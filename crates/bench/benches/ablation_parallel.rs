@@ -1,0 +1,65 @@
+//! Ablation: the parallel-execution extension (§9). Q1 aggregation over the
+//! native row store with a growing worker count, plus the Q3 join with and
+//! without a shared pre-built index on the build sides.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrq_bench::Workbench;
+use mrq_engine_native::{execute_parallel, HashIndex, ParallelConfig};
+use mrq_tpch::queries;
+
+fn bench(c: &mut Criterion) {
+    let wb = Workbench::new(0.002);
+
+    let (canon, spec) = wb.lower(queries::q1());
+    let tables = wb.row_stores(&spec);
+    let mut group = c.benchmark_group("ablation_parallel_q1_aggregation");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("{threads}_threads"), |b| {
+            let config = ParallelConfig {
+                threads,
+                min_rows_per_thread: 512,
+            };
+            b.iter(|| {
+                execute_parallel(&spec, &canon.params, &tables, &[], config)
+                    .expect("parallel run")
+                    .rows
+                    .len()
+            })
+        });
+    }
+    group.finish();
+
+    // Parallel join probe with shared pre-built indexes on both build sides.
+    let date = mrq_common::Date::from_ymd(1995, 3, 15);
+    let naive = queries::join_micro_naive("BUILDING", date, date);
+    let (canon_j, spec_j) = wb.lower(naive);
+    let tables_j = wb.row_stores(&spec_j);
+    let orders_index = HashIndex::build(&wb.stores["orders"], 0).expect("orders index");
+    let customer_index = HashIndex::build(&wb.stores["customer"], 0).expect("customer index");
+    let mut group = c.benchmark_group("ablation_parallel_q3_join");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("{threads}_threads_indexed"), |b| {
+            let config = ParallelConfig {
+                threads,
+                min_rows_per_thread: 512,
+            };
+            b.iter(|| {
+                execute_parallel(
+                    &spec_j,
+                    &canon_j.params,
+                    &tables_j,
+                    &[Some(&orders_index), Some(&customer_index)],
+                    config,
+                )
+                .expect("parallel indexed join")
+                .rows
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

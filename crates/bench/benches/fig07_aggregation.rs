@@ -1,0 +1,22 @@
+//! Criterion bench for Figure 7: Q1 aggregation over a selection, per
+//! strategy, at selectivity 0.5.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrq_bench::{run_strategy, standard_strategies, Workbench};
+use mrq_tpch::queries;
+
+fn bench(c: &mut Criterion) {
+    let wb = Workbench::new(0.002);
+    let cutoff = wb.data.shipdate_for_selectivity(0.5);
+    let (canon, spec) = wb.lower(queries::q1_with_cutoff(cutoff));
+    let mut group = c.benchmark_group("fig07_aggregation_sel_0.5");
+    group.sample_size(10);
+    for (name, strategy) in standard_strategies() {
+        group.bench_function(name, |b| {
+            b.iter(|| run_strategy(&wb, &canon, &spec, strategy).1.rows.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

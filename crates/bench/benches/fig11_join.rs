@@ -1,0 +1,22 @@
+//! Criterion bench for Figure 11: the Q3 join over selections, per strategy.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrq_bench::{run_strategy, standard_strategies, Workbench};
+use mrq_tpch::queries;
+
+fn bench(c: &mut Criterion) {
+    let wb = Workbench::new(0.002);
+    let ship_after = wb.data.shipdate_for_selectivity(0.5);
+    let order_before = wb.data.orderdate_for_selectivity(0.5);
+    let (canon, spec) = wb.lower(queries::join_micro("BUILDING", ship_after, order_before));
+    let mut group = c.benchmark_group("fig11_join_sel_0.5");
+    group.sample_size(10);
+    for (name, strategy) in standard_strategies() {
+        group.bench_function(name, |b| {
+            b.iter(|| run_strategy(&wb, &canon, &spec, strategy).1.rows.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench for Figure 13: full TPC-H Q1-Q3 per strategy.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrq_bench::{run_tpch_query, standard_strategies, tpch_query_names, Workbench};
+
+fn bench(c: &mut Criterion) {
+    let wb = Workbench::new(0.002);
+    let mut group = c.benchmark_group("fig13_tpch");
+    group.sample_size(10);
+    for query in tpch_query_names() {
+        for (name, strategy) in standard_strategies() {
+            group.bench_function(format!("{query}/{name}"), |b| {
+                b.iter(|| run_tpch_query(&wb, query, strategy).1)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench for the §2.3 micro-claims (fused aggregation, push-down).
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrq_bench::{run_strategy, Workbench};
+use mrq_core::Strategy;
+use mrq_tpch::queries;
+
+fn bench(c: &mut Criterion) {
+    let wb = Workbench::new(0.002);
+    let (canon, spec) = wb.lower(queries::q1());
+    let mut group = c.benchmark_group("micro_q1_aggregation");
+    group.sample_size(10);
+    group.bench_function("per-aggregate passes (LINQ)", |b| {
+        b.iter(|| run_strategy(&wb, &canon, &spec, Strategy::LinqToObjects).1.rows.len())
+    });
+    group.bench_function("single fused pass (compiled C#)", |b| {
+        b.iter(|| run_strategy(&wb, &canon, &spec, Strategy::CompiledCSharp).1.rows.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

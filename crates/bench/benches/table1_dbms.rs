@@ -1,0 +1,26 @@
+//! Criterion bench for Table 1: DBMS comparators vs the provider strategies.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrq_bench::Workbench;
+use mrq_common::Date;
+
+fn bench(c: &mut Criterion) {
+    let wb = Workbench::new(0.002);
+    let cutoff = Date::from_ymd(1998, 12, 1).add_days(-90);
+    let mut group = c.benchmark_group("table1_q1");
+    group.sample_size(10);
+    group.bench_function("interpreted row store", |b| {
+        b.iter(|| mrq_dbms::volcano::q1(&wb.columns["lineitem"], cutoff).len())
+    });
+    group.bench_function("vectorised column store", |b| {
+        b.iter(|| mrq_dbms::vector::q1(&wb.columns["lineitem"], cutoff).len())
+    });
+    group.bench_function("compiled row store (native engine)", |b| {
+        b.iter(|| {
+            mrq_bench::run_tpch_query(&wb, "Q1", mrq_core::Strategy::CompiledNative).1
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

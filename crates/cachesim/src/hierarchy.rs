@@ -1,0 +1,276 @@
+//! A multi-level cache hierarchy model.
+//!
+//! Figure 14 of the paper reports only last-level misses, but the discussion
+//! of why the compiled strategies win (compact staged layouts, hash tables
+//! that stay cache-resident) is really about the whole hierarchy. The
+//! [`CacheHierarchy`] threads every traced access through an L1 → L2 → LLC
+//! chain so the benchmark harness can additionally report where in the
+//! hierarchy each strategy's working set stops fitting.
+//!
+//! The model is a straightforward lookup hierarchy: every access probes L1;
+//! only L1 misses probe L2; only L2 misses probe the LLC. Each level is its
+//! own set-associative LRU array (see [`CacheSim`]). Inclusion/exclusion
+//! policies and coherence are out of scope — they do not affect the
+//! single-threaded read-mostly traces the engines produce.
+
+use crate::{CacheConfig, CacheSim};
+use mrq_common::trace::{AccessKind, MemTracer};
+
+/// Geometries of the three simulated levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// First-level data cache.
+    pub l1: CacheConfig,
+    /// Second-level cache.
+    pub l2: CacheConfig,
+    /// Last-level cache.
+    pub llc: CacheConfig,
+}
+
+impl HierarchyConfig {
+    /// The cache hierarchy of the paper's evaluation machine (Intel
+    /// i5-2415M): 32 KiB 8-way L1D, 256 KiB 8-way L2, 3 MiB 12-way shared L3,
+    /// 64-byte lines throughout.
+    pub fn paper_machine() -> Self {
+        HierarchyConfig {
+            l1: CacheConfig {
+                capacity_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 64,
+            },
+            l2: CacheConfig {
+                capacity_bytes: 256 * 1024,
+                ways: 8,
+                line_bytes: 64,
+            },
+            llc: CacheConfig::paper_llc(),
+        }
+    }
+
+    /// A tiny three-level hierarchy for tests (256 B / 1 KiB / 4 KiB).
+    pub fn tiny() -> Self {
+        HierarchyConfig {
+            l1: CacheConfig {
+                capacity_bytes: 256,
+                ways: 2,
+                line_bytes: 64,
+            },
+            l2: CacheConfig {
+                capacity_bytes: 1024,
+                ways: 4,
+                line_bytes: 64,
+            },
+            llc: CacheConfig::tiny(),
+        }
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self::paper_machine()
+    }
+}
+
+/// Per-level access/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Line-granular accesses that reached this level.
+    pub accesses: u64,
+    /// Misses at this level.
+    pub misses: u64,
+}
+
+impl LevelStats {
+    /// Miss ratio at this level (0 for no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A three-level lookup hierarchy fed by [`MemTracer::access`] events.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: CacheSim,
+    l2: CacheSim,
+    llc: CacheSim,
+    line_bytes: u64,
+    stats: [LevelStats; 3],
+    by_kind_llc_misses: [u64; 5],
+}
+
+impl CacheHierarchy {
+    /// Creates a hierarchy with the given geometries.
+    ///
+    /// # Panics
+    /// Panics if the levels do not share one line size (mixed line sizes
+    /// would make the level-to-level hand-off ambiguous) or any individual
+    /// geometry is degenerate.
+    pub fn new(config: HierarchyConfig) -> Self {
+        assert!(
+            config.l1.line_bytes == config.l2.line_bytes
+                && config.l2.line_bytes == config.llc.line_bytes,
+            "all levels must share one line size"
+        );
+        CacheHierarchy {
+            line_bytes: config.l1.line_bytes as u64,
+            l1: CacheSim::new(config.l1),
+            l2: CacheSim::new(config.l2),
+            llc: CacheSim::new(config.llc),
+            stats: [LevelStats::default(); 3],
+            by_kind_llc_misses: [0; 5],
+        }
+    }
+
+    /// A hierarchy with the paper machine's geometry.
+    pub fn paper_machine() -> Self {
+        Self::new(HierarchyConfig::paper_machine())
+    }
+
+    /// L1 counters.
+    pub fn l1(&self) -> LevelStats {
+        self.stats[0]
+    }
+
+    /// L2 counters.
+    pub fn l2(&self) -> LevelStats {
+        self.stats[1]
+    }
+
+    /// Last-level counters (what Figure 14 reports).
+    pub fn llc(&self) -> LevelStats {
+        self.stats[2]
+    }
+
+    /// LLC misses attributed to one access kind.
+    pub fn llc_misses_of(&self, kind: AccessKind) -> u64 {
+        self.by_kind_llc_misses[kind_slot(kind)]
+    }
+
+    /// Clears contents and statistics of every level.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+        self.llc.reset();
+        self.stats = [LevelStats::default(); 3];
+        self.by_kind_llc_misses = [0; 5];
+    }
+}
+
+fn kind_slot(kind: AccessKind) -> usize {
+    match kind {
+        AccessKind::ManagedRead => 0,
+        AccessKind::ManagedWrite => 1,
+        AccessKind::NativeRead => 2,
+        AccessKind::NativeWrite => 3,
+        AccessKind::HashProbe => 4,
+    }
+}
+
+impl MemTracer for CacheHierarchy {
+    fn access(&mut self, kind: AccessKind, addr: u64, len: u32) {
+        let first = addr / self.line_bytes;
+        let last = (addr + len.max(1) as u64 - 1) / self.line_bytes;
+        for line in first..=last {
+            self.stats[0].accesses += 1;
+            if !self.l1.touch_line(line) {
+                continue;
+            }
+            self.stats[0].misses += 1;
+            self.stats[1].accesses += 1;
+            if !self.l2.touch_line(line) {
+                continue;
+            }
+            self.stats[1].misses += 1;
+            self.stats[2].accesses += 1;
+            if self.llc.touch_line(line) {
+                self.stats[2].misses += 1;
+                self.by_kind_llc_misses[kind_slot(kind)] += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_hits_never_reach_lower_levels() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::tiny());
+        for _ in 0..100 {
+            h.access(AccessKind::NativeRead, 0x40, 8);
+        }
+        assert_eq!(h.l1().accesses, 100);
+        assert_eq!(h.l1().misses, 1);
+        assert_eq!(h.l2().accesses, 1);
+        assert_eq!(h.llc().accesses, 1);
+        assert_eq!(h.llc().misses, 1);
+    }
+
+    #[test]
+    fn working_set_between_l1_and_l2_hits_in_l2() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::tiny());
+        // 512 bytes = 8 lines: larger than the 256-byte L1, smaller than the
+        // 1 KiB L2.
+        for _ in 0..4 {
+            for line in 0..8u64 {
+                h.access(AccessKind::NativeRead, line * 64, 8);
+            }
+        }
+        assert!(h.l1().misses > 8, "L1 thrashes");
+        assert_eq!(h.l2().misses, 8, "L2 holds the working set after warm-up");
+        assert_eq!(h.llc().misses, 8);
+    }
+
+    #[test]
+    fn working_set_larger_than_llc_misses_everywhere() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::tiny());
+        // 16 KiB streamed twice: larger than the 4 KiB LLC.
+        for _ in 0..2 {
+            for line in 0..256u64 {
+                h.access(AccessKind::ManagedRead, line * 64, 8);
+            }
+        }
+        assert!(h.llc().misses >= 500, "both passes miss in the LLC");
+        assert_eq!(h.llc_misses_of(AccessKind::ManagedRead), h.llc().misses);
+        assert_eq!(h.llc_misses_of(AccessKind::HashProbe), 0);
+    }
+
+    #[test]
+    fn miss_counts_are_monotone_down_the_hierarchy() {
+        let mut h = CacheHierarchy::paper_machine();
+        let mut pseudo = 0x12345u64;
+        for _ in 0..20_000 {
+            pseudo = pseudo.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.access(AccessKind::HashProbe, pseudo % (8 << 20), 8);
+        }
+        assert!(h.l1().misses >= h.l2().misses);
+        assert!(h.l2().misses >= h.llc().misses);
+        assert_eq!(h.l2().accesses, h.l1().misses);
+        assert_eq!(h.llc().accesses, h.l2().misses);
+        assert!(h.l1().miss_ratio() > 0.0);
+    }
+
+    #[test]
+    fn reset_clears_every_level() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::tiny());
+        h.access(AccessKind::NativeRead, 0, 8);
+        h.reset();
+        assert_eq!(h.l1().accesses, 0);
+        assert_eq!(h.llc().misses, 0);
+        h.access(AccessKind::NativeRead, 0, 8);
+        assert_eq!(h.llc().misses, 1, "contents are cold again after reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "share one line size")]
+    fn mixed_line_sizes_are_rejected() {
+        let mut config = HierarchyConfig::tiny();
+        config.l2.line_bytes = 128;
+        let _ = CacheHierarchy::new(config);
+    }
+}

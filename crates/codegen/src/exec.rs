@@ -1,0 +1,1731 @@
+//! The compiled-query execution templates.
+//!
+//! [`ExecState`] is the fused algorithm the paper's generated code follows:
+//! build hash tables for every join's (filtered) build side, then stream the
+//! probe side once, evaluating filters, probing joins, feeding aggregates or
+//! collecting output rows, and finally sorting/limiting. It is generic over
+//! [`TableAccess`], so each engine instantiates the identical algorithm over
+//! its own storage — managed heap objects, flat native rows, or staged
+//! buffers — which is precisely the relationship between the paper's
+//! generated C# (§4) and C (§5) code.
+//!
+//! The consume step can be called repeatedly with successive chunks of the
+//! probe side, which is what the hybrid engine's buffered staging (§6.1.2)
+//! uses.
+
+use crate::spec::{AggSpec, OutputExpr, QuerySpec, ScalarExpr, SortKeySpec, StrOp};
+use mrq_common::hash::FxHashMap;
+use mrq_common::{DataType, Date, Decimal, MrqError, Result, Schema, Value};
+use mrq_expr::{AggFunc, BinaryOp, UnaryOp};
+use std::cmp::Ordering;
+use std::ops::Range;
+
+/// Row-major access to one table's data. `row` indexes are dense `0..len()`.
+pub trait TableAccess {
+    /// Number of rows.
+    fn len(&self) -> usize;
+    /// True if the table has no rows.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Reads a boolean column.
+    fn get_bool(&self, row: usize, col: usize) -> bool;
+    /// Reads an `i32` column.
+    fn get_i32(&self, row: usize, col: usize) -> i32;
+    /// Reads an `i64` column.
+    fn get_i64(&self, row: usize, col: usize) -> i64;
+    /// Reads an `f64` column.
+    fn get_f64(&self, row: usize, col: usize) -> f64;
+    /// Reads a decimal column.
+    fn get_decimal(&self, row: usize, col: usize) -> Decimal;
+    /// Reads a date column.
+    fn get_date(&self, row: usize, col: usize) -> Date;
+    /// Reads a string column.
+    fn get_str(&self, row: usize, col: usize) -> &str;
+    /// Reads any column as a dynamic [`Value`] (used for result
+    /// construction, not for hot per-row predicates).
+    fn get_value(&self, row: usize, col: usize) -> Value;
+}
+
+/// A simple row-major [`TableAccess`] over dynamic values. Used as the
+/// reference storage in tests, for materialised intermediate results (e.g.
+/// the decorrelated Q2 inner result) and by loaders.
+#[derive(Debug, Clone)]
+pub struct ValueTable {
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+}
+
+impl ValueTable {
+    /// Creates a table; every row must match the schema arity.
+    pub fn new(schema: Schema, rows: Vec<Vec<Value>>) -> Self {
+        debug_assert!(rows.iter().all(|r| r.len() == schema.len()));
+        ValueTable { schema, rows }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Borrow of the rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Builds a table from a query output.
+    pub fn from_output(output: QueryOutput) -> Self {
+        ValueTable {
+            schema: output.schema,
+            rows: output.rows,
+        }
+    }
+}
+
+impl TableAccess for ValueTable {
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+    fn get_bool(&self, row: usize, col: usize) -> bool {
+        self.rows[row][col].as_bool()
+    }
+    fn get_i32(&self, row: usize, col: usize) -> i32 {
+        self.rows[row][col].as_i64().expect("i32 column") as i32
+    }
+    fn get_i64(&self, row: usize, col: usize) -> i64 {
+        self.rows[row][col].as_i64().expect("i64 column")
+    }
+    fn get_f64(&self, row: usize, col: usize) -> f64 {
+        self.rows[row][col].as_f64().expect("f64 column")
+    }
+    fn get_decimal(&self, row: usize, col: usize) -> Decimal {
+        self.rows[row][col].as_decimal().expect("decimal column")
+    }
+    fn get_date(&self, row: usize, col: usize) -> Date {
+        self.rows[row][col].as_date().expect("date column")
+    }
+    fn get_str(&self, row: usize, col: usize) -> &str {
+        self.rows[row][col].as_str().expect("string column")
+    }
+    fn get_value(&self, row: usize, col: usize) -> Value {
+        self.rows[row][col].clone()
+    }
+}
+
+/// The materialised result of a query: schema plus result rows (the "result
+/// objects" every strategy ultimately constructs for the application).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutput {
+    /// Schema of the result columns.
+    pub schema: Schema,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl QueryOutput {
+    /// Renders a small fixed-width table (examples and the figures binary).
+    pub fn render(&self, max_rows: usize) -> String {
+        let mut out = String::new();
+        let names: Vec<&str> = self.schema.fields().iter().map(|f| f.name.as_str()).collect();
+        out.push_str(&names.join(" | "));
+        out.push('\n');
+        for row in self.rows.iter().take(max_rows) {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            out.push_str(&cells.join(" | "));
+            out.push('\n');
+        }
+        if self.rows.len() > max_rows {
+            out.push_str(&format!("... ({} rows total)\n", self.rows.len()));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Key encoding
+// ---------------------------------------------------------------------------
+
+const MAX_KEY_PARTS: usize = 6;
+
+/// A fixed-capacity composite key of encoded 64-bit parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct KeyBuf {
+    parts: [u64; MAX_KEY_PARTS],
+    len: u8,
+}
+
+impl KeyBuf {
+    fn new() -> Self {
+        KeyBuf {
+            parts: [0; MAX_KEY_PARTS],
+            len: 0,
+        }
+    }
+    fn push(&mut self, part: u64) {
+        assert!(
+            (self.len as usize) < MAX_KEY_PARTS,
+            "composite keys support at most {MAX_KEY_PARTS} parts"
+        );
+        self.parts[self.len as usize] = part;
+        self.len += 1;
+    }
+}
+
+/// Interns strings so they can participate in encoded keys without
+/// allocation-per-row.
+#[derive(Debug, Default, Clone)]
+struct StringInterner {
+    map: FxHashMap<String, u64>,
+}
+
+impl StringInterner {
+    fn intern(&mut self, s: &str) -> u64 {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = self.map.len() as u64;
+        self.map.insert(s.to_string(), id);
+        id
+    }
+}
+
+/// Encodes an already-materialised [`Value`] the same way [`EvalCtx::key_part`]
+/// encodes column reads. Used when merging partial execution states (parallel
+/// execution) where group keys are only available as values.
+fn key_part_of_value(value: &Value, interner: &mut StringInterner) -> u64 {
+    match value {
+        Value::Bool(b) => *b as u64,
+        Value::Int32(i) => *i as i64 as u64,
+        Value::Int64(i) => *i as u64,
+        Value::Decimal(d) => d.raw() as u64,
+        Value::Float64(f) => f.to_bits(),
+        Value::Date(d) => d.epoch_days() as u32 as u64,
+        Value::Str(s) => interner.intern(s),
+        Value::Null => u64::MAX,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pre-built join indexes
+// ---------------------------------------------------------------------------
+
+/// A pre-built single-column equality index over a build-side table, usable
+/// in place of the per-query hash-table build (the paper lists indexes as
+/// future work in §9; this is that extension).
+///
+/// Keys are the same 64-bit encoding [`ExecState`] uses for probe keys, so an
+/// index built once over a stored table can serve every query whose join key
+/// is that column. String columns cannot be indexed this way because probe-
+/// side string encoding is per-execution (interned); the engines enforce
+/// that restriction when deciding whether an index is applicable.
+#[derive(Debug, Clone, Default)]
+pub struct JoinIndex {
+    map: FxHashMap<u64, Vec<usize>>,
+    rows: usize,
+}
+
+impl JoinIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        JoinIndex::default()
+    }
+
+    /// Adds one `(key, build row)` entry.
+    pub fn insert(&mut self, key: u64, row: usize) {
+        self.map.entry(key).or_default().push(row);
+        self.rows += 1;
+    }
+
+    /// Build rows whose key equals `key`.
+    pub fn get(&self, key: u64) -> Option<&[usize]> {
+        self.map.get(&key).map(Vec::as_slice)
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True if no rows are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+}
+
+/// The hash table used for one join level: either built for this execution
+/// from the (filtered) build side, or borrowed from a pre-built [`JoinIndex`].
+#[derive(Clone)]
+enum JoinTable<'a> {
+    Built(FxHashMap<KeyBuf, Vec<usize>>),
+    Indexed(&'a JoinIndex),
+}
+
+impl JoinTable<'_> {
+    #[inline]
+    fn lookup(&self, key: &KeyBuf) -> Option<&[usize]> {
+        match self {
+            JoinTable::Built(map) => map.get(key).map(Vec::as_slice),
+            JoinTable::Indexed(index) => {
+                debug_assert_eq!(key.len, 1, "indexed joins use single-part keys");
+                index.get(key.parts[0])
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Top-N (OrderBy + Take fusion)
+// ---------------------------------------------------------------------------
+
+/// A bounded ordered buffer that fuses `OrderBy` with a following `Take(n)`
+/// (§2.3, "Independent operators"): instead of sorting the whole input and
+/// truncating, only the current best `n` rows are retained while streaming.
+///
+/// Ties preserve arrival order, so the final contents equal what a stable
+/// full sort followed by `truncate(n)` would produce.
+#[derive(Debug, Clone)]
+pub struct TopN {
+    limit: usize,
+    sort: Vec<SortKeySpec>,
+    rows: Vec<Vec<Value>>,
+    offered: u64,
+}
+
+impl TopN {
+    /// Creates a top-N buffer retaining `limit` rows ordered by `sort`.
+    pub fn new(limit: usize, sort: Vec<SortKeySpec>) -> Self {
+        TopN {
+            limit,
+            sort,
+            rows: Vec::with_capacity(limit.min(1024)),
+            offered: 0,
+        }
+    }
+
+    fn cmp_rows(&self, a: &[Value], b: &[Value]) -> Ordering {
+        for key in &self.sort {
+            let ord = a[key.output_col].total_cmp(&b[key.output_col]);
+            let ord = if key.descending { ord.reverse() } else { ord };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Offers one row; it is retained only if it ranks within the best
+    /// `limit` rows seen so far.
+    pub fn offer(&mut self, row: Vec<Value>) {
+        self.offered += 1;
+        if self.limit == 0 {
+            return;
+        }
+        if self.rows.len() == self.limit {
+            // Fast reject: worse than (or tied with) the current worst row.
+            if self.cmp_rows(&row, self.rows.last().expect("non-empty")) != Ordering::Less {
+                return;
+            }
+        }
+        // Insert after any equal rows so ties keep arrival order (matching a
+        // stable sort).
+        let pos = self
+            .rows
+            .partition_point(|existing| self.cmp_rows(existing, &row) != Ordering::Greater);
+        self.rows.insert(pos, row);
+        self.rows.truncate(self.limit);
+    }
+
+    /// Rows offered so far (retained or not).
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Number of rows currently retained.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows are retained.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Consumes the buffer, returning the retained rows in sort order.
+    pub fn into_sorted_rows(self) -> Vec<Vec<Value>> {
+        self.rows
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar evaluation
+// ---------------------------------------------------------------------------
+
+/// A borrowed operand produced while evaluating predicates.
+enum Operand<'a> {
+    I64(i64),
+    Dec(Decimal),
+    F64(f64),
+    Date(Date),
+    Str(&'a str),
+    Bool(bool),
+}
+
+/// A numeric value produced by arithmetic expressions (aggregate inputs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Num {
+    I64(i64),
+    Dec(Decimal),
+    F64(f64),
+}
+
+impl Num {
+    fn to_f64(self) -> f64 {
+        match self {
+            Num::I64(v) => v as f64,
+            Num::Dec(d) => d.to_f64(),
+            Num::F64(v) => v,
+        }
+    }
+}
+
+struct EvalCtx<'a, T: TableAccess> {
+    root: &'a T,
+    builds: &'a [&'a T],
+    rows: &'a [usize],
+    params: &'a [Value],
+}
+
+impl<'a, T: TableAccess> EvalCtx<'a, T> {
+    #[inline]
+    fn table(&self, slot: usize) -> &'a T {
+        if slot == 0 {
+            self.root
+        } else {
+            self.builds[slot - 1]
+        }
+    }
+
+    fn column_type(&self, _slot: usize, _col: usize) -> DataType {
+        // Types were resolved during lowering; evaluation derives the shape
+        // from the expression structure, so this is unused.
+        DataType::Int64
+    }
+
+    fn operand(&self, expr: &'a ScalarExpr, types: &ColumnTypes) -> Operand<'a> {
+        match expr {
+            ScalarExpr::Column(c) => {
+                let t = self.table(c.slot);
+                match types.dtype(c.slot, c.col) {
+                    DataType::Bool => Operand::Bool(t.get_bool(self.rows[c.slot], c.col)),
+                    DataType::Int32 => Operand::I64(t.get_i32(self.rows[c.slot], c.col) as i64),
+                    DataType::Int64 => Operand::I64(t.get_i64(self.rows[c.slot], c.col)),
+                    DataType::Decimal => Operand::Dec(t.get_decimal(self.rows[c.slot], c.col)),
+                    DataType::Float64 => Operand::F64(t.get_f64(self.rows[c.slot], c.col)),
+                    DataType::Date => Operand::Date(t.get_date(self.rows[c.slot], c.col)),
+                    DataType::Str => Operand::Str(t.get_str(self.rows[c.slot], c.col)),
+                }
+            }
+            ScalarExpr::Const(v) => value_operand(v),
+            ScalarExpr::Param(i) => value_operand(&self.params[*i]),
+            other => {
+                // Composite arithmetic inside a comparison: evaluate as a
+                // number.
+                let _ = self.column_type(0, 0);
+                match self.number(other, types) {
+                    Num::I64(v) => Operand::I64(v),
+                    Num::Dec(d) => Operand::Dec(d),
+                    Num::F64(v) => Operand::F64(v),
+                }
+            }
+        }
+    }
+
+    fn bool_expr(&self, expr: &'a ScalarExpr, types: &ColumnTypes) -> bool {
+        match expr {
+            ScalarExpr::Binary { op, left, right } => match op {
+                BinaryOp::And => self.bool_expr(left, types) && self.bool_expr(right, types),
+                BinaryOp::Or => self.bool_expr(left, types) || self.bool_expr(right, types),
+                cmp if cmp.is_comparison() => {
+                    let l = self.operand(left, types);
+                    let r = self.operand(right, types);
+                    compare(*cmp, &l, &r)
+                }
+                _ => panic!("arithmetic expression used in a boolean position"),
+            },
+            ScalarExpr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            } => !self.bool_expr(expr, types),
+            ScalarExpr::Const(v) => v.as_bool(),
+            ScalarExpr::Param(i) => self.params[*i].as_bool(),
+            ScalarExpr::Str { op, target, arg } => {
+                let t = self.operand(target, types);
+                let a = self.operand(arg, types);
+                match (t, a) {
+                    (Operand::Str(t), Operand::Str(a)) => match op {
+                        StrOp::StartsWith => t.starts_with(a),
+                        StrOp::EndsWith => t.ends_with(a),
+                        StrOp::Contains => t.contains(a),
+                    },
+                    _ => false,
+                }
+            }
+            ScalarExpr::Column(c) => {
+                let t = self.table(c.slot);
+                t.get_bool(self.rows[c.slot], c.col)
+            }
+            other => panic!("unsupported boolean expression {other:?}"),
+        }
+    }
+
+    fn number(&self, expr: &ScalarExpr, types: &ColumnTypes) -> Num {
+        match expr {
+            ScalarExpr::Column(c) => {
+                let t = self.table(c.slot);
+                match types.dtype(c.slot, c.col) {
+                    DataType::Int32 => Num::I64(t.get_i32(self.rows[c.slot], c.col) as i64),
+                    DataType::Int64 => Num::I64(t.get_i64(self.rows[c.slot], c.col)),
+                    DataType::Decimal => Num::Dec(t.get_decimal(self.rows[c.slot], c.col)),
+                    DataType::Float64 => Num::F64(t.get_f64(self.rows[c.slot], c.col)),
+                    DataType::Date => Num::I64(t.get_date(self.rows[c.slot], c.col).epoch_days() as i64),
+                    other => panic!("column of type {other} used in arithmetic"),
+                }
+            }
+            ScalarExpr::Const(v) => num_of_value(v),
+            ScalarExpr::Param(i) => num_of_value(&self.params[*i]),
+            ScalarExpr::Binary { op, left, right } => {
+                let l = self.number(left, types);
+                let r = self.number(right, types);
+                arith(*op, l, r)
+            }
+            ScalarExpr::Unary {
+                op: UnaryOp::Neg,
+                expr,
+            } => match self.number(expr, types) {
+                Num::I64(v) => Num::I64(-v),
+                Num::Dec(d) => Num::Dec(-d),
+                Num::F64(v) => Num::F64(-v),
+            },
+            other => panic!("unsupported numeric expression {other:?}"),
+        }
+    }
+
+    fn key_part(&self, expr: &'a ScalarExpr, types: &ColumnTypes, interner: &mut StringInterner) -> u64 {
+        match self.operand(expr, types) {
+            Operand::I64(v) => v as u64,
+            Operand::Dec(d) => d.raw() as u64,
+            Operand::F64(v) => v.to_bits(),
+            Operand::Date(d) => d.epoch_days() as u32 as u64,
+            Operand::Bool(b) => b as u64,
+            Operand::Str(s) => interner.intern(s),
+        }
+    }
+
+    fn value(&self, expr: &ScalarExpr, types: &ColumnTypes) -> Value {
+        match expr {
+            ScalarExpr::Column(c) => self.table(c.slot).get_value(self.rows[c.slot], c.col),
+            ScalarExpr::Const(v) => v.clone(),
+            ScalarExpr::Param(i) => self.params[*i].clone(),
+            ScalarExpr::Str { .. } | ScalarExpr::Unary { op: UnaryOp::Not, .. } => {
+                Value::Bool(self.bool_expr(expr, types))
+            }
+            ScalarExpr::Binary { op, .. } if op.is_comparison() || op.is_logical() => {
+                Value::Bool(self.bool_expr(expr, types))
+            }
+            other => match self.number(other, types) {
+                Num::I64(v) => Value::Int64(v),
+                Num::Dec(d) => Value::Decimal(d),
+                Num::F64(v) => Value::Float64(v),
+            },
+        }
+    }
+}
+
+fn value_operand(v: &Value) -> Operand<'_> {
+    match v {
+        Value::Bool(b) => Operand::Bool(*b),
+        Value::Int32(i) => Operand::I64(*i as i64),
+        Value::Int64(i) => Operand::I64(*i),
+        Value::Decimal(d) => Operand::Dec(*d),
+        Value::Float64(f) => Operand::F64(*f),
+        Value::Date(d) => Operand::Date(*d),
+        Value::Str(s) => Operand::Str(s),
+        Value::Null => Operand::Bool(false),
+    }
+}
+
+fn num_of_value(v: &Value) -> Num {
+    match v {
+        Value::Int32(i) => Num::I64(*i as i64),
+        Value::Int64(i) => Num::I64(*i),
+        Value::Decimal(d) => Num::Dec(*d),
+        Value::Float64(f) => Num::F64(*f),
+        Value::Date(d) => Num::I64(d.epoch_days() as i64),
+        other => panic!("value {other:?} used in arithmetic"),
+    }
+}
+
+fn arith(op: BinaryOp, l: Num, r: Num) -> Num {
+    use BinaryOp::*;
+    match (l, r) {
+        (Num::F64(_), _) | (_, Num::F64(_)) => {
+            let (a, b) = (l.to_f64(), r.to_f64());
+            Num::F64(match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => a / b,
+                _ => panic!("non-arithmetic operator in arithmetic position"),
+            })
+        }
+        (Num::Dec(a), Num::Dec(b)) => Num::Dec(match op {
+            Add => a + b,
+            Sub => a - b,
+            Mul => a * b,
+            Div => Decimal::from_f64(a.to_f64() / b.to_f64()),
+            _ => panic!("non-arithmetic operator in arithmetic position"),
+        }),
+        (Num::Dec(a), Num::I64(b)) => arith(op, Num::Dec(a), Num::Dec(Decimal::from_int(b))),
+        (Num::I64(a), Num::Dec(b)) => arith(op, Num::Dec(Decimal::from_int(a)), Num::Dec(b)),
+        (Num::I64(a), Num::I64(b)) => Num::I64(match op {
+            Add => a + b,
+            Sub => a - b,
+            Mul => a * b,
+            Div => a / b,
+            _ => panic!("non-arithmetic operator in arithmetic position"),
+        }),
+    }
+}
+
+fn compare(op: BinaryOp, l: &Operand<'_>, r: &Operand<'_>) -> bool {
+    let ord = match (l, r) {
+        (Operand::I64(a), Operand::I64(b)) => a.cmp(b),
+        (Operand::Dec(a), Operand::Dec(b)) => a.cmp(b),
+        (Operand::Dec(a), Operand::I64(b)) => a.cmp(&Decimal::from_int(*b)),
+        (Operand::I64(a), Operand::Dec(b)) => Decimal::from_int(*a).cmp(b),
+        (Operand::F64(a), Operand::F64(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+        (Operand::F64(a), Operand::I64(b)) => {
+            a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal)
+        }
+        (Operand::I64(a), Operand::F64(b)) => {
+            (*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal)
+        }
+        (Operand::Date(a), Operand::Date(b)) => a.cmp(b),
+        (Operand::Str(a), Operand::Str(b)) => a.cmp(b),
+        (Operand::Bool(a), Operand::Bool(b)) => a.cmp(b),
+        _ => panic!("comparison between incompatible operand types"),
+    };
+    match op {
+        BinaryOp::Eq => ord == Ordering::Equal,
+        BinaryOp::Ne => ord != Ordering::Equal,
+        BinaryOp::Lt => ord == Ordering::Less,
+        BinaryOp::Le => ord != Ordering::Greater,
+        BinaryOp::Gt => ord == Ordering::Greater,
+        BinaryOp::Ge => ord != Ordering::Less,
+        _ => unreachable!(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Column types registry
+// ---------------------------------------------------------------------------
+
+/// Column types per slot, captured at compile (lowering) time so evaluation
+/// never consults schemas in the hot loop.
+#[derive(Debug, Clone)]
+pub struct ColumnTypes {
+    per_slot: Vec<Vec<DataType>>,
+}
+
+impl ColumnTypes {
+    /// Builds the registry from the slot schemas (index 0 = root).
+    pub fn new(slot_schemas: &[Schema]) -> Self {
+        ColumnTypes {
+            per_slot: slot_schemas
+                .iter()
+                .map(|s| s.fields().iter().map(|f| f.dtype).collect())
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn dtype(&self, slot: usize, col: usize) -> DataType {
+        self.per_slot[slot][col]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate state
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    SumI64(i64),
+    SumDec(Decimal),
+    SumF64(f64),
+    Avg { sum: f64, count: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    fn new(spec: &AggSpec) -> AggState {
+        match spec.func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Average => AggState::Avg { sum: 0.0, count: 0 },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::Sum => match spec.dtype {
+                DataType::Decimal => AggState::SumDec(Decimal::ZERO),
+                DataType::Float64 => AggState::SumF64(0.0),
+                _ => AggState::SumI64(0),
+            },
+        }
+    }
+
+    fn finish(&self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int64(*n),
+            AggState::SumI64(v) => Value::Int64(*v),
+            AggState::SumDec(d) => Value::Decimal(*d),
+            AggState::SumF64(v) => Value::Float64(*v),
+            AggState::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64(sum / *count as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.clone().unwrap_or(Value::Null),
+        }
+    }
+
+    /// Folds another partial state of the same aggregate into this one (used
+    /// when merging per-worker states after a parallel scan).
+    fn merge(&mut self, other: &AggState) {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::SumI64(a), AggState::SumI64(b)) => *a += b,
+            (AggState::SumDec(a), AggState::SumDec(b)) => *a += *b,
+            (AggState::SumF64(a), AggState::SumF64(b)) => *a += b,
+            (
+                AggState::Avg { sum, count },
+                AggState::Avg {
+                    sum: other_sum,
+                    count: other_count,
+                },
+            ) => {
+                *sum += other_sum;
+                *count += other_count;
+            }
+            (AggState::Min(a), AggState::Min(b)) => {
+                if let Some(v) = b {
+                    if a.as_ref().is_none_or(|cur| v.total_cmp(cur) == Ordering::Less) {
+                        *a = Some(v.clone());
+                    }
+                }
+            }
+            (AggState::Max(a), AggState::Max(b)) => {
+                if let Some(v) = b {
+                    if a.as_ref().is_none_or(|cur| v.total_cmp(cur) == Ordering::Greater) {
+                        *a = Some(v.clone());
+                    }
+                }
+            }
+            _ => panic!("merging mismatched aggregate states"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The executor
+// ---------------------------------------------------------------------------
+
+/// Incremental execution state for one compiled query over one engine's
+/// tables.
+pub struct ExecState<'a, T: TableAccess> {
+    spec: &'a QuerySpec,
+    params: &'a [Value],
+    types: ColumnTypes,
+    builds: Vec<&'a T>,
+    join_tables: Vec<JoinTable<'a>>,
+    interner: StringInterner,
+    groups: FxHashMap<KeyBuf, usize>,
+    group_keys: Vec<Vec<Value>>,
+    group_aggs: Vec<Vec<AggState>>,
+    plain_rows: Vec<Vec<Value>>,
+    topn: Option<TopN>,
+    consumed_rows: u64,
+    emitted_rows: u64,
+}
+
+impl<'a, T: TableAccess> ExecState<'a, T> {
+    /// Builds the execution state: hash tables are built from the (filtered)
+    /// build-side tables. `builds[i]` is the table bound to
+    /// `spec.joins[i].source`; `slot_schemas[s]` is the schema of slot `s`
+    /// (root first).
+    pub fn new(
+        spec: &'a QuerySpec,
+        params: &'a [Value],
+        builds: Vec<&'a T>,
+        slot_schemas: &[Schema],
+    ) -> Result<Self> {
+        let none = vec![None; spec.joins.len()];
+        Self::new_with_indexes(spec, params, builds, slot_schemas, &none)
+    }
+
+    /// Like [`ExecState::new`], but any join whose `indexes[i]` is `Some`
+    /// uses the pre-built index instead of building a hash table. The caller
+    /// is responsible for only supplying an index when it is applicable (a
+    /// single non-string build key over the unfiltered build table).
+    pub fn new_with_indexes(
+        spec: &'a QuerySpec,
+        params: &'a [Value],
+        builds: Vec<&'a T>,
+        slot_schemas: &[Schema],
+        indexes: &[Option<&'a JoinIndex>],
+    ) -> Result<Self> {
+        if builds.len() != spec.joins.len() {
+            return Err(MrqError::Internal(format!(
+                "expected {} build tables, got {}",
+                spec.joins.len(),
+                builds.len()
+            )));
+        }
+        if indexes.len() != spec.joins.len() {
+            return Err(MrqError::Internal(format!(
+                "expected {} join indexes, got {}",
+                spec.joins.len(),
+                indexes.len()
+            )));
+        }
+        let types = ColumnTypes::new(slot_schemas);
+        // OrderBy + Take over a non-grouped pipeline is fused into a bounded
+        // top-N buffer; grouped queries sort their (few) groups at the end.
+        let topn = match (spec.take, spec.is_grouped(), spec.sort.is_empty()) {
+            (Some(n), false, false) => Some(TopN::new(n, spec.sort.clone())),
+            _ => None,
+        };
+        let mut state = ExecState {
+            spec,
+            params,
+            types,
+            builds,
+            join_tables: Vec::new(),
+            interner: StringInterner::default(),
+            groups: FxHashMap::default(),
+            group_keys: Vec::new(),
+            group_aggs: Vec::new(),
+            plain_rows: Vec::new(),
+            topn,
+            consumed_rows: 0,
+            emitted_rows: 0,
+        };
+        state.build_join_tables(indexes)?;
+        Ok(state)
+    }
+
+    /// Disables the OrderBy+Take fusion (used by ablation benchmarks and by
+    /// the interpreted baseline, which sorts the full input as LINQ does).
+    /// Must be called before any input is consumed.
+    pub fn disable_topn_fusion(&mut self) {
+        assert!(
+            self.plain_rows.is_empty() && self.consumed_rows == 0,
+            "top-N fusion can only be toggled before consuming input"
+        );
+        self.topn = None;
+    }
+
+    /// Whether this execution fuses OrderBy+Take into a bounded buffer.
+    pub fn topn_fused(&self) -> bool {
+        self.topn.is_some()
+    }
+
+    fn build_join_tables(&mut self, indexes: &[Option<&'a JoinIndex>]) -> Result<()> {
+        for (j, join) in self.spec.joins.iter().enumerate() {
+            if let Some(index) = indexes[j] {
+                if join.build_keys.len() != 1 || !join.build_filters.is_empty() {
+                    return Err(MrqError::Internal(
+                        "join indexes require a single build key and no build filters".into(),
+                    ));
+                }
+                self.join_tables.push(JoinTable::Indexed(index));
+                continue;
+            }
+            let table = self.builds[j];
+            let mut map: FxHashMap<KeyBuf, Vec<usize>> =
+                FxHashMap::with_capacity_and_hasher(table.len(), Default::default());
+            // Build-side rows are evaluated with the build slot bound; other
+            // slots are irrelevant for build filters/keys.
+            let mut rows = vec![0usize; self.spec.joins.len() + 1];
+            'rows: for r in 0..table.len() {
+                rows[join.slot] = r;
+                let ctx = EvalCtx {
+                    root: table, // never consulted: build expressions only use `join.slot`
+                    builds: &self.builds,
+                    rows: &rows,
+                    params: self.params,
+                };
+                for f in &join.build_filters {
+                    if !ctx.bool_expr(f, &self.types) {
+                        continue 'rows;
+                    }
+                }
+                let mut key = KeyBuf::new();
+                for k in &join.build_keys {
+                    key.push(ctx.key_part(k, &self.types, &mut self.interner));
+                }
+                map.entry(key).or_default().push(r);
+            }
+            self.join_tables.push(JoinTable::Built(map));
+        }
+        Ok(())
+    }
+
+    /// Streams (a chunk of) the probe-side root table through the fused
+    /// pipeline. May be called multiple times with successive chunks.
+    pub fn consume(&mut self, root: &T) {
+        self.consume_range(root, 0..root.len());
+    }
+
+    /// Streams only the given row range of the probe-side table through the
+    /// pipeline. Parallel execution partitions the probe side into disjoint
+    /// ranges (morsels), gives each worker its own state, and merges them
+    /// with [`ExecState::merge`].
+    pub fn consume_range(&mut self, root: &T, range: Range<usize>) {
+        let join_count = self.spec.joins.len();
+        let mut rows = vec![0usize; join_count + 1];
+        'rows: for r in range {
+            self.consumed_rows += 1;
+            rows[0] = r;
+            {
+                let ctx = EvalCtx {
+                    root,
+                    builds: &self.builds,
+                    rows: &rows,
+                    params: self.params,
+                };
+                for f in &self.spec.root_filters {
+                    if !ctx.bool_expr(f, &self.types) {
+                        continue 'rows;
+                    }
+                }
+            }
+            self.probe_level(root, 0, &mut rows);
+        }
+    }
+
+    /// A copy of this state that shares no mutable data with the original.
+    /// Parallel execution builds the join hash tables once, clones the state
+    /// per worker (a memory copy, much cheaper than re-evaluating the build
+    /// side), and merges the partial states afterwards.
+    pub fn fork(&self) -> ExecState<'a, T> {
+        ExecState {
+            spec: self.spec,
+            params: self.params,
+            types: self.types.clone(),
+            builds: self.builds.clone(),
+            join_tables: self.join_tables.clone(),
+            interner: self.interner.clone(),
+            groups: self.groups.clone(),
+            group_keys: self.group_keys.clone(),
+            group_aggs: self.group_aggs.clone(),
+            plain_rows: self.plain_rows.clone(),
+            topn: self.topn.clone(),
+            consumed_rows: self.consumed_rows,
+            emitted_rows: self.emitted_rows,
+        }
+    }
+
+    /// Folds another partial state (same spec, same build tables) into this
+    /// one: group-by states merge per key, aggregate states fold, plain and
+    /// top-N rows concatenate, and counters add up.
+    pub fn merge(&mut self, other: ExecState<'a, T>) {
+        debug_assert!(std::ptr::eq(self.spec, other.spec), "merging different specs");
+        self.consumed_rows += other.consumed_rows;
+        self.emitted_rows += other.emitted_rows;
+        if self.spec.is_grouped() {
+            for (keys, aggs) in other.group_keys.into_iter().zip(other.group_aggs) {
+                let mut key = KeyBuf::new();
+                for value in &keys {
+                    key.push(key_part_of_value(value, &mut self.interner));
+                }
+                let group_idx = match self.groups.get(&key) {
+                    Some(&idx) => idx,
+                    None => {
+                        let idx = self.group_keys.len();
+                        self.groups.insert(key, idx);
+                        self.group_keys.push(keys);
+                        self.group_aggs
+                            .push(self.spec.aggregates.iter().map(AggState::new).collect());
+                        idx
+                    }
+                };
+                for (state, partial) in self.group_aggs[group_idx].iter_mut().zip(aggs.iter()) {
+                    state.merge(partial);
+                }
+            }
+        } else {
+            match (&mut self.topn, other.topn) {
+                (Some(mine), Some(theirs)) => {
+                    for row in theirs.into_sorted_rows() {
+                        mine.offer(row);
+                    }
+                }
+                (None, None) => self.plain_rows.extend(other.plain_rows),
+                _ => panic!("merging states with mismatched top-N fusion settings"),
+            }
+        }
+    }
+
+    /// Recursively probes join level `level` and emits rows at the deepest
+    /// level.
+    fn probe_level(&mut self, root: &T, level: usize, rows: &mut Vec<usize>) {
+        if level == self.spec.joins.len() {
+            self.emit(root, rows);
+            return;
+        }
+        let join = &self.spec.joins[level];
+        let mut key = KeyBuf::new();
+        {
+            let ctx = EvalCtx {
+                root,
+                builds: &self.builds,
+                rows,
+                params: self.params,
+            };
+            for k in &join.probe_keys {
+                key.push(ctx.key_part(k, &self.types, &mut self.interner));
+            }
+        }
+        let matches = match self.join_tables[level].lookup(&key) {
+            Some(m) => m.to_vec(),
+            None => return,
+        };
+        let slot = join.slot;
+        for m in matches {
+            rows[slot] = m;
+            self.probe_level(root, level + 1, rows);
+        }
+    }
+
+    fn emit(&mut self, root: &T, rows: &[usize]) {
+        let ctx = EvalCtx {
+            root,
+            builds: &self.builds,
+            rows,
+            params: self.params,
+        };
+        for f in &self.spec.post_filters {
+            if !ctx.bool_expr(f, &self.types) {
+                return;
+            }
+        }
+        self.emitted_rows += 1;
+        if self.spec.is_grouped() {
+            let mut key = KeyBuf::new();
+            for k in &self.spec.group_keys {
+                key.push(ctx.key_part(k, &self.types, &mut self.interner));
+            }
+            let group_idx = match self.groups.get(&key) {
+                Some(&idx) => idx,
+                None => {
+                    let idx = self.group_keys.len();
+                    self.groups.insert(key, idx);
+                    self.group_keys
+                        .push(self.spec.group_keys.iter().map(|k| ctx.value(k, &self.types)).collect());
+                    self.group_aggs
+                        .push(self.spec.aggregates.iter().map(AggState::new).collect());
+                    idx
+                }
+            };
+            for (agg_spec, state) in self
+                .spec
+                .aggregates
+                .iter()
+                .zip(self.group_aggs[group_idx].iter_mut())
+            {
+                update_agg(state, agg_spec, &ctx, &self.types);
+            }
+        } else {
+            let row: Vec<Value> = self
+                .spec
+                .output
+                .iter()
+                .map(|(_, o)| match o {
+                    OutputExpr::Scalar(e) => ctx.value(e, &self.types),
+                    OutputExpr::Key(_) | OutputExpr::Agg(_) => {
+                        unreachable!("key/agg outputs require grouping")
+                    }
+                })
+                .collect();
+            match &mut self.topn {
+                Some(topn) => topn.offer(row),
+                None => self.plain_rows.push(row),
+            }
+        }
+    }
+
+    /// Finishes execution: finalises groups, sorts, applies `Take` and strips
+    /// hidden sort columns.
+    pub fn finish(self) -> QueryOutput {
+        let spec = self.spec;
+        let fused_topn = self.topn.is_some();
+        let mut rows: Vec<Vec<Value>> = if spec.is_grouped() {
+            self.group_keys
+                .iter()
+                .zip(self.group_aggs.iter())
+                .map(|(keys, aggs)| {
+                    spec.output
+                        .iter()
+                        .map(|(_, o)| match o {
+                            OutputExpr::Key(i) => keys[*i].clone(),
+                            OutputExpr::Agg(i) => aggs[*i].finish(),
+                            OutputExpr::Scalar(_) => {
+                                unreachable!("scalar outputs are not allowed in grouped queries")
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        } else if let Some(topn) = self.topn {
+            // Already ordered and bounded by the fused OrderBy+Take buffer.
+            topn.into_sorted_rows()
+        } else {
+            self.plain_rows
+        };
+
+        if !fused_topn && !spec.sort.is_empty() {
+            rows.sort_by(|a, b| {
+                for key in &spec.sort {
+                    let ord = a[key.output_col].total_cmp(&b[key.output_col]);
+                    let ord = if key.descending { ord.reverse() } else { ord };
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                Ordering::Equal
+            });
+        }
+        if let Some(n) = spec.take {
+            rows.truncate(n);
+        }
+        if spec.hidden_outputs > 0 {
+            let visible = spec.visible_outputs();
+            for row in &mut rows {
+                row.truncate(visible);
+            }
+        }
+        QueryOutput {
+            schema: spec.output_schema.clone(),
+            rows,
+        }
+    }
+
+    /// Number of probe-side rows consumed so far.
+    pub fn consumed_rows(&self) -> u64 {
+        self.consumed_rows
+    }
+
+    /// Number of rows that survived filters and joins so far.
+    pub fn emitted_rows(&self) -> u64 {
+        self.emitted_rows
+    }
+}
+
+fn update_agg<T: TableAccess>(
+    state: &mut AggState,
+    spec: &AggSpec,
+    ctx: &EvalCtx<'_, T>,
+    types: &ColumnTypes,
+) {
+    match state {
+        AggState::Count(n) => *n += 1,
+        AggState::SumI64(acc) => {
+            if let Num::I64(v) = ctx.number(spec.input.as_ref().expect("sum input"), types) {
+                *acc += v;
+            }
+        }
+        AggState::SumDec(acc) => match ctx.number(spec.input.as_ref().expect("sum input"), types) {
+            Num::Dec(d) => *acc += d,
+            Num::I64(v) => *acc += Decimal::from_int(v),
+            Num::F64(v) => *acc += Decimal::from_f64(v),
+        },
+        AggState::SumF64(acc) => {
+            *acc += ctx
+                .number(spec.input.as_ref().expect("sum input"), types)
+                .to_f64();
+        }
+        AggState::Avg { sum, count } => {
+            *sum += ctx
+                .number(spec.input.as_ref().expect("avg input"), types)
+                .to_f64();
+            *count += 1;
+        }
+        AggState::Min(best) => {
+            let v = ctx.value(spec.input.as_ref().expect("min input"), types);
+            if best.as_ref().is_none_or(|b| v.total_cmp(b) == Ordering::Less) {
+                *best = Some(v);
+            }
+        }
+        AggState::Max(best) => {
+            let v = ctx.value(spec.input.as_ref().expect("max input"), types);
+            if best
+                .as_ref()
+                .is_none_or(|b| v.total_cmp(b) == Ordering::Greater)
+            {
+                *best = Some(v);
+            }
+        }
+    }
+}
+
+/// Convenience wrapper: executes a spec in one shot over fully materialised
+/// tables. `tables[0]` is the root, `tables[1..]` follow `spec.joins` order.
+pub fn execute_once<T: TableAccess>(
+    spec: &QuerySpec,
+    params: &[Value],
+    tables: &[&T],
+    slot_schemas: &[Schema],
+) -> Result<QueryOutput> {
+    let builds = tables[1..].to_vec();
+    let mut state = ExecState::new(spec, params, builds, slot_schemas)?;
+    state.consume(tables[0]);
+    Ok(state.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::lower;
+    use mrq_common::Field;
+    use mrq_expr::{canonicalize, col, lam, lit, Query, SourceId};
+    use std::collections::HashMap;
+
+    fn sales_schema() -> Schema {
+        Schema::new(
+            "Sale",
+            vec![
+                Field::new("id", DataType::Int64),
+                Field::new("city", DataType::Str),
+                Field::new("price", DataType::Decimal),
+                Field::new("when", DataType::Date),
+            ],
+        )
+    }
+
+    fn cities_schema() -> Schema {
+        Schema::new(
+            "City",
+            vec![
+                Field::new("name", DataType::Str),
+                Field::new("country", DataType::Str),
+            ],
+        )
+    }
+
+    fn sales_table() -> ValueTable {
+        let rows = vec![
+            vec![
+                Value::Int64(1),
+                Value::str("London"),
+                Value::Decimal(Decimal::new(10, 0)),
+                Value::Date(Date::from_ymd(1995, 1, 1)),
+            ],
+            vec![
+                Value::Int64(2),
+                Value::str("Paris"),
+                Value::Decimal(Decimal::new(20, 0)),
+                Value::Date(Date::from_ymd(1995, 2, 1)),
+            ],
+            vec![
+                Value::Int64(3),
+                Value::str("London"),
+                Value::Decimal(Decimal::new(30, 0)),
+                Value::Date(Date::from_ymd(1995, 3, 1)),
+            ],
+            vec![
+                Value::Int64(4),
+                Value::str("Berlin"),
+                Value::Decimal(Decimal::new(40, 0)),
+                Value::Date(Date::from_ymd(1995, 4, 1)),
+            ],
+        ];
+        ValueTable::new(sales_schema(), rows)
+    }
+
+    fn cities_table() -> ValueTable {
+        ValueTable::new(
+            cities_schema(),
+            vec![
+                vec![Value::str("London"), Value::str("UK")],
+                vec![Value::str("Paris"), Value::str("FR")],
+                vec![Value::str("Berlin"), Value::str("DE")],
+            ],
+        )
+    }
+
+    fn catalog() -> HashMap<SourceId, Schema> {
+        let mut map = HashMap::new();
+        map.insert(SourceId(0), sales_schema());
+        map.insert(SourceId(1), cities_schema());
+        map
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let q = Query::from_source(SourceId(0))
+            .where_(lam(
+                "s",
+                Expr::binary(BinaryOp::Eq, col("s", "city"), lit("London")),
+            ))
+            .select(lam("s", col("s", "price")))
+            .into_expr();
+        use mrq_expr::Expr;
+        let canon = canonicalize(q);
+        let spec = lower(&canon, &catalog()).unwrap();
+        let table = sales_table();
+        let out =
+            execute_once(&spec, &canon.params, &[&table], &[sales_schema()]).unwrap();
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0], vec![Value::Decimal(Decimal::new(10, 0))]);
+        assert_eq!(out.rows[1], vec![Value::Decimal(Decimal::new(30, 0))]);
+    }
+
+    use mrq_expr::Expr;
+
+    #[test]
+    fn group_by_city_with_sum_and_count() {
+        let q = Query::from_source(SourceId(0))
+            .group_by(lam("s", col("s", "city")))
+            .select(lam(
+                "g",
+                Expr::Constructor {
+                    name: "R".into(),
+                    fields: vec![
+                        (
+                            "city".into(),
+                            Expr::member(Expr::member(mrq_expr::var("g"), "Key"), "city"),
+                        ),
+                        (
+                            "total".into(),
+                            mrq_expr::builder::agg(
+                                mrq_expr::AggFunc::Sum,
+                                "g",
+                                Some(lam("x", col("x", "price"))),
+                            ),
+                        ),
+                        (
+                            "n".into(),
+                            mrq_expr::builder::agg(mrq_expr::AggFunc::Count, "g", None),
+                        ),
+                    ],
+                },
+            ))
+            .order_by(lam("r", col("r", "city")))
+            .into_expr();
+        let canon = canonicalize(q);
+        let spec = lower(&canon, &catalog()).unwrap();
+        let table = sales_table();
+        let out = execute_once(&spec, &canon.params, &[&table], &[sales_schema()]).unwrap();
+        assert_eq!(out.rows.len(), 3);
+        assert_eq!(
+            out.rows[1],
+            vec![
+                Value::str("London"),
+                Value::Decimal(Decimal::new(40, 0)),
+                Value::Int64(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn join_sales_to_cities() {
+        let q = Query::from_source(SourceId(0))
+            .join_query(
+                Query::from_source(SourceId(1)).where_(lam(
+                    "c",
+                    Expr::binary(BinaryOp::Ne, col("c", "country"), lit("DE")),
+                )),
+                lam("s", col("s", "city")),
+                lam("c", col("c", "name")),
+                lam(
+                    "s",
+                    lam(
+                        "c",
+                        Expr::Constructor {
+                            name: "SC".into(),
+                            fields: vec![
+                                ("id".into(), col("s", "id")),
+                                ("country".into(), col("c", "country")),
+                            ],
+                        },
+                    ),
+                ),
+            )
+            .order_by(lam("r", col("r", "id")))
+            .into_expr();
+        let canon = canonicalize(q);
+        let spec = lower(&canon, &catalog()).unwrap();
+        let sales = sales_table();
+        let cities = cities_table();
+        let out = execute_once(
+            &spec,
+            &canon.params,
+            &[&sales, &cities],
+            &[sales_schema(), cities_schema()],
+        )
+        .unwrap();
+        // Berlin sale is filtered out by the build-side filter.
+        assert_eq!(out.rows.len(), 3);
+        assert_eq!(out.rows[0], vec![Value::Int64(1), Value::str("UK")]);
+        assert_eq!(out.rows[2], vec![Value::Int64(3), Value::str("UK")]);
+    }
+
+    #[test]
+    fn sort_descending_with_take() {
+        let q = Query::from_source(SourceId(0))
+            .order_by_desc(lam("s", col("s", "price")))
+            .select(lam("s", col("s", "id")))
+            .take(2)
+            .into_expr();
+        let canon = canonicalize(q);
+        let spec = lower(&canon, &catalog()).unwrap();
+        let table = sales_table();
+        let out = execute_once(&spec, &canon.params, &[&table], &[sales_schema()]).unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Int64(4)], vec![Value::Int64(3)]]);
+        // The hidden sort column is stripped from the output.
+        assert_eq!(out.schema.len(), 1);
+    }
+
+    #[test]
+    fn buffered_consumption_matches_one_shot() {
+        let q = Query::from_source(SourceId(0))
+            .group_by(lam("s", col("s", "city")))
+            .select(lam(
+                "g",
+                Expr::Constructor {
+                    name: "R".into(),
+                    fields: vec![
+                        (
+                            "city".into(),
+                            Expr::member(Expr::member(mrq_expr::var("g"), "Key"), "city"),
+                        ),
+                        (
+                            "total".into(),
+                            mrq_expr::builder::agg(
+                                mrq_expr::AggFunc::Sum,
+                                "g",
+                                Some(lam("x", col("x", "price"))),
+                            ),
+                        ),
+                    ],
+                },
+            ))
+            .order_by(lam("r", col("r", "city")))
+            .into_expr();
+        let canon = canonicalize(q);
+        let spec = lower(&canon, &catalog()).unwrap();
+        let table = sales_table();
+        let one_shot =
+            execute_once(&spec, &canon.params, &[&table], &[sales_schema()]).unwrap();
+
+        // Split the probe side into two chunks and consume them separately.
+        let rows = table.rows().to_vec();
+        let chunk1 = ValueTable::new(sales_schema(), rows[..2].to_vec());
+        let chunk2 = ValueTable::new(sales_schema(), rows[2..].to_vec());
+        let mut state =
+            ExecState::new(&spec, &canon.params, vec![], &[sales_schema()]).unwrap();
+        state.consume(&chunk1);
+        state.consume(&chunk2);
+        let buffered = state.finish();
+        assert_eq!(one_shot, buffered);
+    }
+
+    #[test]
+    fn whole_query_count() {
+        let q = Query::from_source(SourceId(0)).count().into_expr();
+        let canon = canonicalize(q);
+        let spec = lower(&canon, &catalog()).unwrap();
+        let table = sales_table();
+        let out = execute_once(&spec, &canon.params, &[&table], &[sales_schema()]).unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Int64(4)]]);
+    }
+
+    #[test]
+    fn topn_buffer_matches_stable_sort_then_truncate() {
+        let sort = vec![
+            SortKeySpec {
+                output_col: 0,
+                descending: false,
+            },
+            SortKeySpec {
+                output_col: 1,
+                descending: true,
+            },
+        ];
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for i in 0..200i64 {
+            rows.push(vec![Value::Int64(i % 7), Value::Int64(i % 13), Value::Int64(i)]);
+        }
+        let mut topn = TopN::new(25, sort.clone());
+        for row in rows.clone() {
+            topn.offer(row);
+        }
+        let fused = topn.into_sorted_rows();
+
+        let mut reference = rows;
+        reference.sort_by(|a, b| {
+            for key in &sort {
+                let ord = a[key.output_col].total_cmp(&b[key.output_col]);
+                let ord = if key.descending { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        reference.truncate(25);
+        assert_eq!(fused, reference);
+    }
+
+    #[test]
+    fn topn_with_zero_limit_retains_nothing() {
+        let mut topn = TopN::new(0, vec![SortKeySpec { output_col: 0, descending: false }]);
+        topn.offer(vec![Value::Int64(1)]);
+        assert!(topn.is_empty());
+        assert_eq!(topn.offered(), 1);
+    }
+
+    #[test]
+    fn fused_order_by_take_matches_unfused_execution() {
+        let q = Query::from_source(SourceId(0))
+            .order_by_desc(lam("s", col("s", "price")))
+            .select(lam("s", col("s", "id")))
+            .take(2)
+            .into_expr();
+        let canon = canonicalize(q);
+        let spec = lower(&canon, &catalog()).unwrap();
+        let table = sales_table();
+
+        let mut fused = ExecState::new(&spec, &canon.params, vec![], &[sales_schema()]).unwrap();
+        assert!(fused.topn_fused());
+        fused.consume(&table);
+        let fused_out = fused.finish();
+
+        let mut unfused = ExecState::new(&spec, &canon.params, vec![], &[sales_schema()]).unwrap();
+        unfused.disable_topn_fusion();
+        assert!(!unfused.topn_fused());
+        unfused.consume(&table);
+        let unfused_out = unfused.finish();
+
+        assert_eq!(fused_out, unfused_out);
+        assert_eq!(fused_out.rows, vec![vec![Value::Int64(4)], vec![Value::Int64(3)]]);
+    }
+
+    #[test]
+    fn merged_partial_states_match_sequential_execution_for_grouping() {
+        let q = Query::from_source(SourceId(0))
+            .group_by(lam("s", col("s", "city")))
+            .select(lam(
+                "g",
+                Expr::Constructor {
+                    name: "R".into(),
+                    fields: vec![
+                        (
+                            "city".into(),
+                            Expr::member(Expr::member(mrq_expr::var("g"), "Key"), "city"),
+                        ),
+                        (
+                            "total".into(),
+                            mrq_expr::builder::agg(
+                                mrq_expr::AggFunc::Sum,
+                                "g",
+                                Some(lam("x", col("x", "price"))),
+                            ),
+                        ),
+                        (
+                            "avg".into(),
+                            mrq_expr::builder::agg(
+                                mrq_expr::AggFunc::Average,
+                                "g",
+                                Some(lam("x", col("x", "price"))),
+                            ),
+                        ),
+                        (
+                            "n".into(),
+                            mrq_expr::builder::agg(mrq_expr::AggFunc::Count, "g", None),
+                        ),
+                    ],
+                },
+            ))
+            .order_by(lam("r", col("r", "city")))
+            .into_expr();
+        let canon = canonicalize(q);
+        let spec = lower(&canon, &catalog()).unwrap();
+        let table = sales_table();
+        let sequential =
+            execute_once(&spec, &canon.params, &[&table], &[sales_schema()]).unwrap();
+
+        let mut left = ExecState::new(&spec, &canon.params, vec![], &[sales_schema()]).unwrap();
+        left.consume_range(&table, 0..2);
+        let mut right = ExecState::new(&spec, &canon.params, vec![], &[sales_schema()]).unwrap();
+        right.consume_range(&table, 2..table.len());
+        left.merge(right);
+        assert_eq!(left.consumed_rows(), 4);
+        assert_eq!(left.finish(), sequential);
+    }
+
+    #[test]
+    fn merged_plain_states_preserve_row_order() {
+        let q = Query::from_source(SourceId(0))
+            .select(lam("s", col("s", "id")))
+            .into_expr();
+        let canon = canonicalize(q);
+        let spec = lower(&canon, &catalog()).unwrap();
+        let table = sales_table();
+        let mut left = ExecState::new(&spec, &canon.params, vec![], &[sales_schema()]).unwrap();
+        left.consume_range(&table, 0..1);
+        let mut right = ExecState::new(&spec, &canon.params, vec![], &[sales_schema()]).unwrap();
+        right.consume_range(&table, 1..table.len());
+        left.merge(right);
+        let out = left.finish();
+        assert_eq!(
+            out.rows,
+            (1..=4).map(|i| vec![Value::Int64(i)]).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn indexed_join_matches_built_hash_table() {
+        // Join sales to cities on the city name is a string key, which
+        // indexes do not support; join on a synthetic integer key instead by
+        // using the sales id against itself through a value table.
+        let ids_schema = Schema::new(
+            "Ids",
+            vec![Field::new("key", DataType::Int64), Field::new("tag", DataType::Int64)],
+        );
+        let ids = ValueTable::new(
+            ids_schema.clone(),
+            (1..=4)
+                .map(|i| vec![Value::Int64(i), Value::Int64(i * 100)])
+                .collect(),
+        );
+        let q = Query::from_source(SourceId(0))
+            .join_query(
+                Query::from_source(SourceId(1)),
+                lam("s", col("s", "id")),
+                lam("t", col("t", "key")),
+                lam(
+                    "s",
+                    lam(
+                        "t",
+                        Expr::Constructor {
+                            name: "ST".into(),
+                            fields: vec![
+                                ("id".into(), col("s", "id")),
+                                ("tag".into(), col("t", "tag")),
+                            ],
+                        },
+                    ),
+                ),
+            )
+            .order_by(lam("r", col("r", "id")))
+            .into_expr();
+        let canon = canonicalize(q);
+        let mut cat = catalog();
+        cat.insert(SourceId(1), ids_schema.clone());
+        let spec = lower(&canon, &cat).unwrap();
+        let sales = sales_table();
+
+        let reference = execute_once(
+            &spec,
+            &canon.params,
+            &[&sales, &ids],
+            &[sales_schema(), ids_schema.clone()],
+        )
+        .unwrap();
+
+        // Build the index over the `key` column once, then execute with it.
+        let mut index = JoinIndex::new();
+        for row in 0..ids.len() {
+            index.insert(ids.get_i64(row, 0) as u64, row);
+        }
+        assert_eq!(index.len(), 4);
+        assert_eq!(index.distinct_keys(), 4);
+        let mut state = ExecState::new_with_indexes(
+            &spec,
+            &canon.params,
+            vec![&ids],
+            &[sales_schema(), ids_schema],
+            &[Some(&index)],
+        )
+        .unwrap();
+        state.consume(&sales);
+        assert_eq!(state.finish(), reference);
+    }
+
+    #[test]
+    fn index_with_build_filters_is_rejected() {
+        let q = Query::from_source(SourceId(0))
+            .join_query(
+                Query::from_source(SourceId(1)).where_(lam(
+                    "c",
+                    Expr::binary(BinaryOp::Ne, col("c", "country"), lit("DE")),
+                )),
+                lam("s", col("s", "city")),
+                lam("c", col("c", "name")),
+                lam(
+                    "s",
+                    lam(
+                        "c",
+                        Expr::Constructor {
+                            name: "SC".into(),
+                            fields: vec![("id".into(), col("s", "id"))],
+                        },
+                    ),
+                ),
+            )
+            .into_expr();
+        let canon = canonicalize(q);
+        let spec = lower(&canon, &catalog()).unwrap();
+        let cities = cities_table();
+        let index = JoinIndex::new();
+        let err = ExecState::new_with_indexes(
+            &spec,
+            &canon.params,
+            vec![&cities],
+            &[sales_schema(), cities_schema()],
+            &[Some(&index)],
+        )
+        .err()
+        .expect("filtered build sides cannot use an index");
+        assert!(matches!(err, MrqError::Internal(_)));
+    }
+
+    #[test]
+    fn string_predicates_evaluate() {
+        let q = Query::from_source(SourceId(0))
+            .where_(lam(
+                "s",
+                mrq_expr::str_method(
+                    mrq_expr::QueryMethod::EndsWith,
+                    col("s", "city"),
+                    lit("don"),
+                ),
+            ))
+            .count()
+            .into_expr();
+        let canon = canonicalize(q);
+        let spec = lower(&canon, &catalog()).unwrap();
+        let table = sales_table();
+        let out = execute_once(&spec, &canon.params, &[&table], &[sales_schema()]).unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Int64(2)]]);
+    }
+}

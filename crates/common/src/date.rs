@@ -1,0 +1,205 @@
+//! A compact calendar date.
+//!
+//! TPC-H date columns span 1992-01-01 .. 1998-12-31 and the benchmark
+//! queries only ever compare, add intervals to, and group by dates. A date is
+//! therefore stored as an `i32` day count since the Unix epoch, which is
+//! `Copy`, 4 bytes wide and totally ordered — exactly what the generated
+//! row-store code wants.
+
+use std::fmt;
+
+/// Days since 1970-01-01 (may be negative).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Date(i32);
+
+/// Cumulative day counts at the start of each month for a non-leap year.
+const MONTH_STARTS: [i32; 13] = [0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334, 365];
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_year(year: i32) -> i32 {
+    if is_leap(year) {
+        366
+    } else {
+        365
+    }
+}
+
+fn days_in_month(year: i32, month: u32) -> i32 {
+    let base = MONTH_STARTS[month as usize] - MONTH_STARTS[month as usize - 1];
+    if month == 2 && is_leap(year) {
+        base + 1
+    } else {
+        base
+    }
+}
+
+impl Date {
+    /// Builds a date from a raw epoch-day count.
+    #[inline]
+    pub const fn from_epoch_days(days: i32) -> Self {
+        Date(days)
+    }
+
+    /// Returns the raw epoch-day count.
+    #[inline]
+    pub const fn epoch_days(self) -> i32 {
+        self.0
+    }
+
+    /// Builds a date from a civil year/month/day triple.
+    ///
+    /// # Panics
+    /// Panics if the triple is not a valid calendar date.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Self {
+        assert!((1..=12).contains(&month), "month out of range: {month}");
+        assert!(
+            day >= 1 && (day as i32) <= days_in_month(year, month),
+            "day out of range: {year}-{month:02}-{day:02}"
+        );
+        let mut days: i32 = 0;
+        if year >= 1970 {
+            for y in 1970..year {
+                days += days_in_year(y);
+            }
+        } else {
+            for y in year..1970 {
+                days -= days_in_year(y);
+            }
+        }
+        days += MONTH_STARTS[(month - 1) as usize];
+        if month > 2 && is_leap(year) {
+            days += 1;
+        }
+        days += day as i32 - 1;
+        Date(days)
+    }
+
+    /// Decomposes into a civil (year, month, day) triple.
+    pub fn to_ymd(self) -> (i32, u32, u32) {
+        let mut days = self.0;
+        let mut year = 1970;
+        if days >= 0 {
+            while days >= days_in_year(year) {
+                days -= days_in_year(year);
+                year += 1;
+            }
+        } else {
+            while days < 0 {
+                year -= 1;
+                days += days_in_year(year);
+            }
+        }
+        let mut month = 1;
+        while days >= days_in_month(year, month) {
+            days -= days_in_month(year, month);
+            month += 1;
+        }
+        (year, month, days as u32 + 1)
+    }
+
+    /// Parses an ISO `YYYY-MM-DD` literal.
+    pub fn parse(text: &str) -> Option<Date> {
+        let mut parts = text.trim().splitn(3, '-');
+        let year: i32 = parts.next()?.parse().ok()?;
+        let month: u32 = parts.next()?.parse().ok()?;
+        let day: u32 = parts.next()?.parse().ok()?;
+        if !(1..=12).contains(&month) {
+            return None;
+        }
+        if day < 1 || day as i32 > days_in_month(year, month) {
+            return None;
+        }
+        Some(Date::from_ymd(year, month, day))
+    }
+
+    /// Returns the date shifted by a whole number of days.
+    #[inline]
+    pub const fn add_days(self, days: i32) -> Date {
+        Date(self.0 + days)
+    }
+
+    /// Returns the calendar year. Convenient for TPC-H group-bys.
+    pub fn year(self) -> i32 {
+        self.to_ymd().0
+    }
+}
+
+impl fmt::Debug for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Date({})", self)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.to_ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(Date::from_ymd(1970, 1, 1).epoch_days(), 0);
+    }
+
+    #[test]
+    fn known_dates_round_trip() {
+        for &(y, m, d) in &[
+            (1970, 1, 1),
+            (1992, 1, 1),
+            (1995, 3, 15),
+            (1996, 2, 29),
+            (1998, 12, 31),
+            (2000, 2, 29),
+            (1969, 12, 31),
+            (1900, 3, 1),
+        ] {
+            let date = Date::from_ymd(y, m, d);
+            assert_eq!(date.to_ymd(), (y, m, d), "round trip for {y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn ordering_follows_calendar() {
+        assert!(Date::from_ymd(1995, 3, 15) < Date::from_ymd(1995, 3, 16));
+        assert!(Date::from_ymd(1994, 12, 31) < Date::from_ymd(1995, 1, 1));
+        assert!(Date::from_ymd(1969, 6, 1) < Date::from_ymd(1970, 1, 1));
+    }
+
+    #[test]
+    fn parse_and_display_are_inverse() {
+        let d = Date::parse("1998-09-02").unwrap();
+        assert_eq!(d.to_string(), "1998-09-02");
+        assert!(Date::parse("1998-13-02").is_none());
+        assert!(Date::parse("1998-02-30").is_none());
+        assert!(Date::parse("not-a-date").is_none());
+    }
+
+    #[test]
+    fn add_days_crosses_month_and_year_boundaries() {
+        let d = Date::from_ymd(1998, 12, 1);
+        assert_eq!(d.add_days(31).to_string(), "1999-01-01");
+        // TPC-H Q1: shipdate <= 1998-12-01 - 90 days
+        assert_eq!(d.add_days(-90).to_string(), "1998-09-02");
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap(1996));
+        assert!(is_leap(2000));
+        assert!(!is_leap(1900));
+        assert!(!is_leap(1995));
+    }
+
+    #[test]
+    fn year_extraction() {
+        assert_eq!(Date::from_ymd(1997, 6, 30).year(), 1997);
+    }
+}

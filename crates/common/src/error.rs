@@ -1,0 +1,73 @@
+//! Error handling shared across the workspace.
+
+use std::fmt;
+
+/// Convenient result alias used across the MRQ crates.
+pub type Result<T> = std::result::Result<T, MrqError>;
+
+/// The error type produced by query translation and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrqError {
+    /// An expression tree referenced a field that does not exist in the
+    /// schema it was evaluated against.
+    UnknownField(String),
+    /// An operation was applied to values of an incompatible type.
+    TypeMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it actually received.
+        found: String,
+    },
+    /// A query shape is not supported by the engine it was routed to
+    /// (mirrors the type restrictions of the paper's §5 native-only path).
+    Unsupported(String),
+    /// Code generation failed (malformed expression tree, unbound lambda
+    /// parameter, etc.).
+    Codegen(String),
+    /// The managed heap ran out of space or an invalid handle was used.
+    Heap(String),
+    /// Anything else.
+    Internal(String),
+}
+
+impl fmt::Display for MrqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrqError::UnknownField(name) => write!(f, "unknown field `{name}`"),
+            MrqError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            MrqError::Unsupported(what) => write!(f, "unsupported query shape: {what}"),
+            MrqError::Codegen(what) => write!(f, "code generation failed: {what}"),
+            MrqError::Heap(what) => write!(f, "managed heap error: {what}"),
+            MrqError::Internal(what) => write!(f, "internal error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MrqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert_eq!(
+            MrqError::UnknownField("l_tax".into()).to_string(),
+            "unknown field `l_tax`"
+        );
+        let e = MrqError::TypeMismatch {
+            expected: "Decimal".into(),
+            found: "Str".into(),
+        };
+        assert!(e.to_string().contains("Decimal"));
+        assert!(e.to_string().contains("Str"));
+    }
+
+    #[test]
+    fn errors_are_cloneable_and_comparable() {
+        let e = MrqError::Unsupported("user-defined constructor".into());
+        assert_eq!(e.clone(), e);
+    }
+}

@@ -1,0 +1,152 @@
+//! A fast, non-cryptographic hasher for join and aggregation keys.
+//!
+//! The standard library's SipHash is designed to resist hash-flooding but is
+//! slow for the short integer keys that dominate hash joins and grouped
+//! aggregation. This module provides an FxHash-style multiplicative hasher
+//! plus `HashMap`/`HashSet` aliases, used by every engine so that hash-table
+//! behaviour is identical across the strategies being compared.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit multiplicative constant (same as rustc-hash / FxHash).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// An FxHash-style hasher: word-at-a-time multiply-xor.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, v: i32) {
+        self.mix(v as u32 as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes a single 64-bit key without going through the `Hasher` machinery.
+/// Handy for the open-addressing tables in the native engine.
+#[inline]
+pub fn hash_u64(key: u64) -> u64 {
+    // A single round of the multiplicative mix followed by an xor-shift
+    // finaliser gives good dispersion for sequential keys.
+    let mut h = key.wrapping_mul(SEED);
+    h ^= h >> 32;
+    h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+    h ^= h >> 32;
+    h
+}
+
+/// Hashes two 64-bit keys into one. Used for composite group-by keys.
+#[inline]
+pub fn hash_u64_pair(a: u64, b: u64) -> u64 {
+    hash_u64(a ^ b.rotate_left(29).wrapping_mul(SEED))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_work_with_integer_keys() {
+        let mut map: FxHashMap<i64, &str> = FxHashMap::default();
+        map.insert(1, "one");
+        map.insert(2, "two");
+        assert_eq!(map.get(&1), Some(&"one"));
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000 {
+            set.insert(i);
+        }
+        assert_eq!(set.len(), 1000);
+    }
+
+    #[test]
+    fn hasher_differs_on_different_inputs() {
+        assert_ne!(hash_u64(1), hash_u64(2));
+        assert_ne!(hash_u64(0), hash_u64(u64::MAX));
+        assert_ne!(hash_u64_pair(1, 2), hash_u64_pair(2, 1));
+    }
+
+    #[test]
+    fn sequential_keys_disperse_across_buckets() {
+        // With 1<<16 buckets, 10_000 sequential keys should not all collide
+        // into a handful of buckets.
+        let buckets = 1usize << 16;
+        let mut used = FxHashSet::default();
+        for k in 0..10_000u64 {
+            used.insert((hash_u64(k) as usize) & (buckets - 1));
+        }
+        assert!(used.len() > 8_000, "poor dispersion: {} buckets", used.len());
+    }
+
+    #[test]
+    fn string_hashing_is_stable_within_process() {
+        let mut h1 = FxHasher::default();
+        h1.write(b"hello world");
+        let mut h2 = FxHasher::default();
+        h2.write(b"hello world");
+        assert_eq!(h1.finish(), h2.finish());
+        let mut h3 = FxHasher::default();
+        h3.write(b"hello worlc");
+        assert_ne!(h1.finish(), h3.finish());
+    }
+}

@@ -1,0 +1,29 @@
+//! Shared foundations for the MRQ (Managed-Runtime Queries) workspace.
+//!
+//! This crate contains the pieces every other crate builds on:
+//!
+//! * the dynamic [`Value`] model and [`DataType`]s used by expression trees
+//!   and by the interpreted (LINQ-to-objects-style) engine,
+//! * fixed-point [`Decimal`] arithmetic and a compact [`Date`] type matching
+//!   the TPC-H column domains,
+//! * relational [`Schema`] / [`Field`] descriptions,
+//! * the [`trace::MemTracer`] abstraction used to feed the last-level-cache
+//!   simulator,
+//! * the [`profile::CostBreakdown`] phase timer used to reproduce the paper's
+//!   cost-breakdown figures (Figures 8, 10 and 12), and
+//! * small utilities (a fast integer hasher, error types).
+
+pub mod date;
+pub mod decimal;
+pub mod error;
+pub mod hash;
+pub mod profile;
+pub mod schema;
+pub mod trace;
+pub mod value;
+
+pub use date::Date;
+pub use decimal::Decimal;
+pub use error::{MrqError, Result};
+pub use schema::{Field, Schema};
+pub use value::{DataType, Value};

@@ -1,0 +1,181 @@
+//! Phase timing used to reproduce the paper's cost-breakdown figures.
+//!
+//! Figures 8, 10 and 12 of the paper split a hybrid query's evaluation time
+//! into phases (iterate data, apply predicates, data staging, native work,
+//! return result). Engines record into a [`CostBreakdown`] so the benchmark
+//! harness can print the same stacked series.
+
+use std::time::{Duration, Instant};
+
+/// The canonical phase names used by the hybrid engine. Other engines may
+/// record additional phases; the harness prints whatever was recorded.
+pub mod phases {
+    /// Iterating over the managed input collection.
+    pub const ITERATE: &str = "Iterate data (managed)";
+    /// Evaluating selection predicates on the managed side.
+    pub const PREDICATES: &str = "Apply predicates (managed)";
+    /// Copying qualifying rows into unmanaged staging buffers.
+    pub const STAGING: &str = "Data staging (managed)";
+    /// Aggregation performed by the native kernels.
+    pub const AGGREGATION: &str = "Aggregation (native)";
+    /// Sorting performed by the native kernels.
+    pub const SORT: &str = "Quicksort (native)";
+    /// Hash-table build performed by the native kernels.
+    pub const BUILD_HASH: &str = "Build hash tables (native)";
+    /// Probe + result production (native work interleaved with managed
+    /// consumption).
+    pub const PROBE_RETURN: &str = "Process and return result (native/managed)";
+    /// Producing result objects back on the managed side.
+    pub const RETURN_RESULT: &str = "Return result (native/managed)";
+}
+
+/// An accumulating per-phase wall-clock profile.
+#[derive(Debug, Clone, Default)]
+pub struct CostBreakdown {
+    entries: Vec<(String, Duration)>,
+}
+
+impl CostBreakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `elapsed` to the named phase, creating it if needed.
+    pub fn add(&mut self, phase: &str, elapsed: Duration) {
+        if let Some(entry) = self.entries.iter_mut().find(|(name, _)| name == phase) {
+            entry.1 += elapsed;
+        } else {
+            self.entries.push((phase.to_string(), elapsed));
+        }
+    }
+
+    /// Times the given closure and charges it to `phase`, returning its
+    /// result.
+    pub fn time<T>(&mut self, phase: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.add(phase, start.elapsed());
+        out
+    }
+
+    /// All recorded phases in first-recorded order.
+    pub fn entries(&self) -> &[(String, Duration)] {
+        &self.entries
+    }
+
+    /// Total time across phases.
+    pub fn total(&self) -> Duration {
+        self.entries.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Duration recorded for a phase, if any.
+    pub fn get(&self, phase: &str) -> Option<Duration> {
+        self.entries
+            .iter()
+            .find(|(name, _)| name == phase)
+            .map(|(_, d)| *d)
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &CostBreakdown) {
+        for (name, d) in &other.entries {
+            self.add(name, *d);
+        }
+    }
+
+    /// Renders a small fixed-width table, mirroring the stacked-bar figures.
+    pub fn render(&self) -> String {
+        let total = self.total().as_secs_f64().max(f64::MIN_POSITIVE);
+        let mut out = String::new();
+        for (name, d) in &self.entries {
+            let ms = d.as_secs_f64() * 1e3;
+            let pct = d.as_secs_f64() / total * 100.0;
+            out.push_str(&format!("{name:<45} {ms:>10.3} ms  {pct:>5.1}%\n"));
+        }
+        out.push_str(&format!(
+            "{:<45} {:>10.3} ms  100.0%\n",
+            "TOTAL",
+            self.total().as_secs_f64() * 1e3
+        ));
+        out
+    }
+}
+
+/// A guard-style scoped timer: charges the elapsed time to a phase when
+/// dropped. Useful when a phase spans early returns.
+pub struct ScopedTimer<'a> {
+    breakdown: &'a mut CostBreakdown,
+    phase: &'static str,
+    start: Instant,
+}
+
+impl<'a> ScopedTimer<'a> {
+    /// Starts timing `phase`.
+    pub fn new(breakdown: &'a mut CostBreakdown, phase: &'static str) -> Self {
+        ScopedTimer {
+            breakdown,
+            phase,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for ScopedTimer<'_> {
+    fn drop(&mut self) {
+        self.breakdown.add(self.phase, self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn add_accumulates_per_phase() {
+        let mut b = CostBreakdown::new();
+        b.add("x", Duration::from_millis(5));
+        b.add("y", Duration::from_millis(2));
+        b.add("x", Duration::from_millis(3));
+        assert_eq!(b.get("x"), Some(Duration::from_millis(8)));
+        assert_eq!(b.get("y"), Some(Duration::from_millis(2)));
+        assert_eq!(b.total(), Duration::from_millis(10));
+        assert_eq!(b.entries().len(), 2);
+    }
+
+    #[test]
+    fn time_charges_closure_duration() {
+        let mut b = CostBreakdown::new();
+        let v = b.time("work", || {
+            std::thread::sleep(Duration::from_millis(2));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(b.get("work").unwrap() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn scoped_timer_records_on_drop() {
+        let mut b = CostBreakdown::new();
+        {
+            let _t = ScopedTimer::new(&mut b, "scoped");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(b.get("scoped").is_some());
+    }
+
+    #[test]
+    fn merge_and_render() {
+        let mut a = CostBreakdown::new();
+        a.add("p", Duration::from_millis(1));
+        let mut b = CostBreakdown::new();
+        b.add("p", Duration::from_millis(1));
+        b.add("q", Duration::from_millis(2));
+        a.merge(&b);
+        assert_eq!(a.get("p"), Some(Duration::from_millis(2)));
+        let rendered = a.render();
+        assert!(rendered.contains("TOTAL"));
+        assert!(rendered.contains('q'));
+    }
+}

@@ -1,0 +1,144 @@
+//! Relational schema descriptions.
+//!
+//! A [`Schema`] plays the role the C# class/struct definitions play in the
+//! paper: it names the fields of a record type and gives their types. The
+//! code generator uses schemas both to recreate struct definitions for the
+//! native side (§5.2) and to derive the implicit projection of §6.1.1.
+
+use crate::value::DataType;
+
+/// A named, typed field of a record type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name, e.g. `l_extendedprice`.
+    pub name: String,
+    /// Field type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered collection of fields describing a record type.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    name: String,
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema with the given type name and fields.
+    pub fn new(name: impl Into<String>, fields: Vec<Field>) -> Self {
+        let schema = Schema {
+            name: name.into(),
+            fields,
+        };
+        debug_assert!(
+            {
+                let mut names: Vec<&str> = schema.fields.iter().map(|f| f.name.as_str()).collect();
+                names.sort_unstable();
+                names.windows(2).all(|w| w[0] != w[1])
+            },
+            "duplicate field names in schema {}",
+            schema.name
+        );
+        schema
+    }
+
+    /// The record type name (e.g. `Lineitem`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Looks a field up by name, returning its positional index.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Returns the field at `index`.
+    pub fn field(&self, index: usize) -> &Field {
+        &self.fields[index]
+    }
+
+    /// Returns the type of the named field, if present.
+    pub fn dtype_of(&self, name: &str) -> Option<DataType> {
+        self.index_of(name).map(|i| self.fields[i].dtype)
+    }
+
+    /// Builds a new schema containing only the named fields, in the order
+    /// given. Used to model the implicit projection of §6.1.1.
+    pub fn project(&self, names: &[&str]) -> Schema {
+        let fields = names
+            .iter()
+            .filter_map(|n| self.index_of(n).map(|i| self.fields[i].clone()))
+            .collect();
+        Schema::new(format!("{}Projected", self.name), fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(
+            "Lineitem",
+            vec![
+                Field::new("l_orderkey", DataType::Int64),
+                Field::new("l_quantity", DataType::Decimal),
+                Field::new("l_shipdate", DataType::Date),
+                Field::new("l_returnflag", DataType::Str),
+            ],
+        )
+    }
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let s = sample();
+        assert_eq!(s.index_of("l_quantity"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.field(2).name, "l_shipdate");
+        assert_eq!(s.dtype_of("l_returnflag"), Some(DataType::Str));
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn projection_preserves_requested_order() {
+        let s = sample();
+        let p = s.project(&["l_shipdate", "l_orderkey"]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.field(0).name, "l_shipdate");
+        assert_eq!(p.field(1).name, "l_orderkey");
+        assert_eq!(p.name(), "LineitemProjected");
+    }
+
+    #[test]
+    fn projection_ignores_unknown_fields() {
+        let s = sample();
+        let p = s.project(&["l_orderkey", "nope"]);
+        assert_eq!(p.len(), 1);
+    }
+}

@@ -1,0 +1,332 @@
+//! Dynamic values and their types.
+//!
+//! The interpreted engines (LINQ-to-objects and parts of the provider
+//! machinery) manipulate values whose types are only known at run time,
+//! exactly like `object` in the CLR. [`Value`] is that boxed representation;
+//! [`DataType`] is the static type descriptor used by schemas, expression
+//! trees and the code generator.
+
+use crate::date::Date;
+use crate::decimal::Decimal;
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// The static type of a value or column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 32-bit signed integer.
+    Int32,
+    /// 64-bit signed integer.
+    Int64,
+    /// Fixed-point decimal (two fractional digits).
+    Decimal,
+    /// 64-bit binary float (used for averages and derived measures).
+    Float64,
+    /// Calendar date.
+    Date,
+    /// UTF-8 string.
+    Str,
+}
+
+impl DataType {
+    /// Byte width of the type in the flat native row layout. Strings are
+    /// stored out-of-line as a 4-byte dictionary/arena offset (see
+    /// `mrq-engine-native`), so every type has a fixed width.
+    pub fn native_width(self) -> usize {
+        match self {
+            DataType::Bool => 1,
+            DataType::Int32 | DataType::Date | DataType::Str => 4,
+            DataType::Int64 | DataType::Decimal | DataType::Float64 => 8,
+        }
+    }
+
+    /// Natural alignment of the type in the flat native row layout.
+    pub fn native_align(self) -> usize {
+        self.native_width()
+    }
+
+    /// True for types on which `SUM`/`AVG` are defined.
+    pub fn is_numeric(self) -> bool {
+        matches!(
+            self,
+            DataType::Int32 | DataType::Int64 | DataType::Decimal | DataType::Float64
+        )
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "Bool",
+            DataType::Int32 => "Int32",
+            DataType::Int64 => "Int64",
+            DataType::Decimal => "Decimal",
+            DataType::Float64 => "Float64",
+            DataType::Date => "Date",
+            DataType::Str => "Str",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dynamically typed value, the unit of data the interpreted engines move
+/// around one element at a time.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Absent value (LINQ `null`). Only produced by outer joins and defaults.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 32-bit integer.
+    Int32(i32),
+    /// 64-bit integer.
+    Int64(i64),
+    /// Fixed-point decimal.
+    Decimal(Decimal),
+    /// Binary float.
+    Float64(f64),
+    /// Calendar date.
+    Date(Date),
+    /// Shared immutable string (strings are reference types in the CLR; the
+    /// `Arc` models the shared heap object).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Creates a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Returns the run-time type of the value, or `None` for `Null`.
+    pub fn dtype(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int32(_) => Some(DataType::Int32),
+            Value::Int64(_) => Some(DataType::Int64),
+            Value::Decimal(_) => Some(DataType::Decimal),
+            Value::Float64(_) => Some(DataType::Float64),
+            Value::Date(_) => Some(DataType::Date),
+            Value::Str(_) => Some(DataType::Str),
+        }
+    }
+
+    /// Extracts a boolean, treating `Null` as `false` (SQL-style filter
+    /// semantics).
+    pub fn as_bool(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// Extracts an `i64`, widening `Int32`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int32(v) => Some(*v as i64),
+            Value::Int64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts a decimal.
+    pub fn as_decimal(&self) -> Option<Decimal> {
+        match self {
+            Value::Decimal(d) => Some(*d),
+            Value::Int32(v) => Some(Decimal::from_int(*v as i64)),
+            Value::Int64(v) => Some(Decimal::from_int(*v)),
+            _ => None,
+        }
+    }
+
+    /// Extracts a float, widening integers and decimals.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float64(v) => Some(*v),
+            Value::Decimal(d) => Some(d.to_f64()),
+            Value::Int32(v) => Some(*v as f64),
+            Value::Int64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Extracts a date.
+    pub fn as_date(&self) -> Option<Date> {
+        match self {
+            Value::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Extracts a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A total order across values of the same type, with `Null` sorting
+    /// first. Mixed-type comparisons order by type tag; the engines never
+    /// rely on that, but sorting needs totality.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int32(a), Int32(b)) => a.cmp(b),
+            (Int64(a), Int64(b)) => a.cmp(b),
+            (Int32(a), Int64(b)) => (*a as i64).cmp(b),
+            (Int64(a), Int32(b)) => a.cmp(&(*b as i64)),
+            (Decimal(a), Decimal(b)) => a.cmp(b),
+            (Float64(a), Float64(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.as_ref().cmp(b.as_ref()),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int32(_) => 2,
+            Value::Int64(_) => 3,
+            Value::Decimal(_) => 4,
+            Value::Float64(_) => 5,
+            Value::Date(_) => 6,
+            Value::Str(_) => 7,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.total_cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Int32(v) => write!(f, "{v}"),
+            Value::Int64(v) => write!(f, "{v}"),
+            Value::Decimal(v) => write!(f, "{v}"),
+            Value::Float64(v) => write!(f, "{v:.4}"),
+            Value::Date(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int32(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int64(v)
+    }
+}
+impl From<Decimal> for Value {
+    fn from(v: Decimal) -> Self {
+        Value::Decimal(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float64(v)
+    }
+}
+impl From<Date> for Value {
+    fn from(v: Date) -> Self {
+        Value::Date(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_reflects_variant() {
+        assert_eq!(Value::Int32(1).dtype(), Some(DataType::Int32));
+        assert_eq!(Value::str("x").dtype(), Some(DataType::Str));
+        assert_eq!(Value::Null.dtype(), None);
+    }
+
+    #[test]
+    fn accessors_widen_where_sensible() {
+        assert_eq!(Value::Int32(7).as_i64(), Some(7));
+        assert_eq!(Value::Int64(7).as_f64(), Some(7.0));
+        assert_eq!(
+            Value::Int32(7).as_decimal(),
+            Some(Decimal::from_int(7))
+        );
+        assert_eq!(Value::str("x").as_i64(), None);
+        assert!(!Value::Null.as_bool());
+        assert!(Value::Bool(true).as_bool());
+    }
+
+    #[test]
+    fn ordering_within_types() {
+        assert!(Value::Int64(1) < Value::Int64(2));
+        assert!(Value::str("a") < Value::str("b"));
+        assert!(Value::Date(Date::from_ymd(1995, 1, 1)) < Value::Date(Date::from_ymd(1996, 1, 1)));
+        assert!(Value::Null < Value::Int32(0));
+        // cross-width integer comparison
+        assert_eq!(Value::Int32(5), Value::Int64(5));
+    }
+
+    #[test]
+    fn display_round_trips_simple_values() {
+        assert_eq!(Value::Int64(42).to_string(), "42");
+        assert_eq!(Value::Decimal(Decimal::new(3, 50)).to_string(), "3.50");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn native_widths_match_layout_expectations() {
+        assert_eq!(DataType::Int32.native_width(), 4);
+        assert_eq!(DataType::Decimal.native_width(), 8);
+        assert_eq!(DataType::Str.native_width(), 4);
+        assert_eq!(DataType::Bool.native_width(), 1);
+        assert!(DataType::Decimal.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+    }
+}

@@ -1,0 +1,195 @@
+//! Query-result recycling.
+//!
+//! The paper's future-work list (§9) includes "query result caching" in the
+//! style of the authors' recycling work \[15\]: applications driven by GUIs
+//! re-issue the same parameterised statements over data that changes rarely,
+//! so materialised results can be reused outright instead of re-evaluating
+//! the (already compiled) query.
+//!
+//! [`ResultCache`] keys a materialised [`QueryOutput`] by the statement's
+//! canonical shape, its bound parameter values, and a fingerprint of the
+//! bound collections (their lengths). The provider additionally stamps every
+//! entry with its own invalidation epoch: applications that mutate objects in
+//! place call [`Provider::invalidate_results`](crate::Provider::invalidate_results)
+//! to drop every cached result at once, while appends to collections
+//! invalidate automatically through the fingerprint.
+
+use mrq_codegen::exec::QueryOutput;
+use mrq_common::hash::FxHashMap;
+use mrq_common::Value;
+use mrq_expr::SourceId;
+use std::sync::Arc;
+
+/// Identity of one materialised result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultKey {
+    /// Canonical shape hash of the statement.
+    pub shape_hash: u64,
+    /// Parameter values bound to this instance.
+    pub params: Vec<Value>,
+    /// `(source, rows)` fingerprint of every bound collection the statement
+    /// reads, in slot order.
+    pub sources: Vec<(SourceId, usize)>,
+    /// Provider invalidation epoch at insertion time.
+    pub epoch: u64,
+}
+
+/// Hit/miss counters for the result cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecycleStats {
+    /// Results served from the cache.
+    pub hits: u64,
+    /// Executions that had to run the query.
+    pub misses: u64,
+    /// Entries dropped because their epoch or fingerprint went stale.
+    pub evicted: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+struct Entry {
+    key: ResultKey,
+    output: Arc<QueryOutput>,
+}
+
+/// A cache of materialised query results keyed by [`ResultKey`].
+#[derive(Default)]
+pub struct ResultCache {
+    buckets: FxHashMap<u64, Vec<Entry>>,
+    stats: RecycleStats,
+}
+
+impl ResultCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ResultCache::default()
+    }
+
+    /// Looks up a result for the key. Entries whose epoch differs from the
+    /// key's are evicted on the way.
+    pub fn lookup(&mut self, key: &ResultKey) -> Option<Arc<QueryOutput>> {
+        let evicted = &mut self.stats.evicted;
+        let bucket = self.buckets.entry(key.shape_hash).or_default();
+        bucket.retain(|entry| {
+            let fresh = entry.key.epoch == key.epoch;
+            if !fresh {
+                *evicted += 1;
+            }
+            fresh
+        });
+        let found = bucket
+            .iter()
+            .find(|entry| entry.key.params == key.params && entry.key.sources == key.sources)
+            .map(|entry| entry.output.clone());
+        if found.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        found
+    }
+
+    /// Stores a result under the key, replacing any entry with the same
+    /// identity.
+    pub fn insert(&mut self, key: ResultKey, output: Arc<QueryOutput>) {
+        let bucket = self.buckets.entry(key.shape_hash).or_default();
+        bucket.retain(|entry| {
+            !(entry.key.params == key.params && entry.key.sources == key.sources)
+        });
+        bucket.push(Entry { key, output });
+    }
+
+    /// Removes every cached result.
+    pub fn clear(&mut self) {
+        self.buckets.clear();
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> RecycleStats {
+        let mut stats = self.stats;
+        stats.entries = self.buckets.values().map(Vec::len).sum();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrq_common::Schema;
+
+    fn output(n: i64) -> Arc<QueryOutput> {
+        Arc::new(QueryOutput {
+            schema: Schema::new("R", vec![]),
+            rows: vec![vec![Value::Int64(n)]],
+        })
+    }
+
+    fn key(shape: u64, param: i64, rows: usize, epoch: u64) -> ResultKey {
+        ResultKey {
+            shape_hash: shape,
+            params: vec![Value::Int64(param)],
+            sources: vec![(SourceId(0), rows)],
+            epoch,
+        }
+    }
+
+    #[test]
+    fn identical_key_hits_after_insert() {
+        let mut cache = ResultCache::new();
+        assert!(cache.lookup(&key(1, 7, 100, 0)).is_none());
+        cache.insert(key(1, 7, 100, 0), output(42));
+        let hit = cache.lookup(&key(1, 7, 100, 0)).expect("hit");
+        assert_eq!(hit.rows[0][0], Value::Int64(42));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn different_parameters_miss() {
+        let mut cache = ResultCache::new();
+        cache.insert(key(1, 7, 100, 0), output(1));
+        assert!(cache.lookup(&key(1, 8, 100, 0)).is_none());
+    }
+
+    #[test]
+    fn collection_growth_invalidates_through_the_fingerprint() {
+        let mut cache = ResultCache::new();
+        cache.insert(key(1, 7, 100, 0), output(1));
+        assert!(cache.lookup(&key(1, 7, 101, 0)).is_none());
+        // The stale-by-fingerprint entry stays until its epoch changes, but is
+        // never returned for the new fingerprint.
+        assert!(cache.lookup(&key(1, 7, 100, 0)).is_some());
+    }
+
+    #[test]
+    fn epoch_bump_evicts_entries() {
+        let mut cache = ResultCache::new();
+        cache.insert(key(1, 7, 100, 0), output(1));
+        assert!(cache.lookup(&key(1, 7, 100, 1)).is_none());
+        assert_eq!(cache.stats().evicted, 1);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn insert_replaces_same_identity() {
+        let mut cache = ResultCache::new();
+        cache.insert(key(1, 7, 100, 0), output(1));
+        cache.insert(key(1, 7, 100, 0), output(2));
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(
+            cache.lookup(&key(1, 7, 100, 0)).unwrap().rows[0][0],
+            Value::Int64(2)
+        );
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut cache = ResultCache::new();
+        cache.insert(key(1, 7, 100, 0), output(1));
+        cache.insert(key(2, 7, 100, 0), output(1));
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

@@ -1,0 +1,378 @@
+//! Unmanaged staging buffers.
+//!
+//! §6.1.1 of the paper describes two ways to interpret the staged buffer
+//! pages: "We cast the data part of each buffer page to an array of primitive
+//! C# type …; or an array of a custom structure type that is defined in the
+//! generated code. The former represents columnar, the latter row-wise
+//! storage." The hybrid engine therefore stages qualifying rows either into
+//! a [`RowStore`] (row-wise, the paper's default) or into a [`ColumnBuffer`]
+//! (one typed array per staged column); [`StagedTable`] is the common
+//! interface the native kernels consume.
+
+use mrq_codegen::exec::TableAccess;
+use mrq_common::{DataType, Date, Decimal, Schema, Value};
+use mrq_engine_native::RowStore;
+
+use crate::StagingLayout;
+
+/// One staged column as a typed array (the "array of primitive type" view).
+#[derive(Debug, Clone)]
+enum ColumnData {
+    Bool(Vec<bool>),
+    Int32(Vec<i32>),
+    Int64(Vec<i64>),
+    Float64(Vec<f64>),
+    /// Fixed-point decimals stored by their raw scaled representation.
+    Decimal(Vec<i64>),
+    /// Dates stored as epoch days.
+    Date(Vec<i32>),
+    /// Staged strings: offsets into a shared arena (a string is not a
+    /// primitive, but TPC-H group keys are strings, so the columnar layout
+    /// stages them as offset + length pairs the way a native column store
+    /// would).
+    Str { offsets: Vec<(u32, u32)> },
+}
+
+impl ColumnData {
+    fn for_type(dtype: DataType) -> ColumnData {
+        match dtype {
+            DataType::Bool => ColumnData::Bool(Vec::new()),
+            DataType::Int32 => ColumnData::Int32(Vec::new()),
+            DataType::Int64 => ColumnData::Int64(Vec::new()),
+            DataType::Float64 => ColumnData::Float64(Vec::new()),
+            DataType::Decimal => ColumnData::Decimal(Vec::new()),
+            DataType::Date => ColumnData::Date(Vec::new()),
+            DataType::Str => ColumnData::Str { offsets: Vec::new() },
+        }
+    }
+
+    fn payload_bytes(&self) -> usize {
+        match self {
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Int32(v) => v.len() * 4,
+            ColumnData::Int64(v) => v.len() * 8,
+            ColumnData::Float64(v) => v.len() * 8,
+            ColumnData::Decimal(v) => v.len() * 8,
+            ColumnData::Date(v) => v.len() * 4,
+            ColumnData::Str { offsets } => offsets.len() * 8,
+        }
+    }
+}
+
+/// A columnar staging buffer: one typed array per staged column plus a shared
+/// string arena.
+#[derive(Debug, Clone)]
+pub struct ColumnBuffer {
+    schema: Schema,
+    columns: Vec<ColumnData>,
+    arena: String,
+    len: usize,
+}
+
+impl ColumnBuffer {
+    /// Creates an empty buffer for the staged schema.
+    pub fn new(schema: Schema) -> Self {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnData::for_type(f.dtype))
+            .collect();
+        ColumnBuffer {
+            schema,
+            columns,
+            arena: String::new(),
+            len: 0,
+        }
+    }
+
+    /// The staged schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Appends one row given in schema order.
+    pub fn push_values(&mut self, values: &[Value]) {
+        assert_eq!(values.len(), self.schema.len(), "row arity mismatch");
+        for (column, value) in self.columns.iter_mut().zip(values) {
+            match column {
+                ColumnData::Bool(v) => v.push(value.as_bool()),
+                ColumnData::Int32(v) => v.push(value.as_i64().unwrap_or(0) as i32),
+                ColumnData::Int64(v) => v.push(value.as_i64().unwrap_or(0)),
+                ColumnData::Float64(v) => v.push(value.as_f64().unwrap_or(0.0)),
+                ColumnData::Decimal(v) => {
+                    v.push(value.as_decimal().unwrap_or(Decimal::ZERO).raw())
+                }
+                ColumnData::Date(v) => {
+                    v.push(value.as_date().map(|d| d.epoch_days()).unwrap_or(0))
+                }
+                ColumnData::Str { offsets } => {
+                    let s = value.as_str().unwrap_or("");
+                    let start = self.arena.len() as u32;
+                    self.arena.push_str(s);
+                    offsets.push((start, s.len() as u32));
+                }
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Total staged payload bytes across all columns and the string arena.
+    pub fn payload_bytes(&self) -> usize {
+        self.columns.iter().map(ColumnData::payload_bytes).sum::<usize>() + self.arena.len()
+    }
+}
+
+impl TableAccess for ColumnBuffer {
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn get_bool(&self, row: usize, col: usize) -> bool {
+        match &self.columns[col] {
+            ColumnData::Bool(v) => v[row],
+            _ => panic!("column {col} is not boolean"),
+        }
+    }
+    fn get_i32(&self, row: usize, col: usize) -> i32 {
+        match &self.columns[col] {
+            ColumnData::Int32(v) => v[row],
+            ColumnData::Date(v) => v[row],
+            _ => panic!("column {col} is not i32"),
+        }
+    }
+    fn get_i64(&self, row: usize, col: usize) -> i64 {
+        match &self.columns[col] {
+            ColumnData::Int64(v) => v[row],
+            ColumnData::Int32(v) => v[row] as i64,
+            _ => panic!("column {col} is not i64"),
+        }
+    }
+    fn get_f64(&self, row: usize, col: usize) -> f64 {
+        match &self.columns[col] {
+            ColumnData::Float64(v) => v[row],
+            _ => panic!("column {col} is not f64"),
+        }
+    }
+    fn get_decimal(&self, row: usize, col: usize) -> Decimal {
+        match &self.columns[col] {
+            ColumnData::Decimal(v) => Decimal::from_raw(v[row]),
+            _ => panic!("column {col} is not decimal"),
+        }
+    }
+    fn get_date(&self, row: usize, col: usize) -> Date {
+        match &self.columns[col] {
+            ColumnData::Date(v) => Date::from_epoch_days(v[row]),
+            _ => panic!("column {col} is not a date"),
+        }
+    }
+    fn get_str(&self, row: usize, col: usize) -> &str {
+        match &self.columns[col] {
+            ColumnData::Str { offsets } => {
+                let (start, len) = offsets[row];
+                &self.arena[start as usize..(start + len) as usize]
+            }
+            _ => panic!("column {col} is not a string"),
+        }
+    }
+    fn get_value(&self, row: usize, col: usize) -> Value {
+        match self.schema.fields()[col].dtype {
+            DataType::Bool => Value::Bool(self.get_bool(row, col)),
+            DataType::Int32 => Value::Int32(self.get_i32(row, col)),
+            DataType::Int64 => Value::Int64(self.get_i64(row, col)),
+            DataType::Float64 => Value::Float64(self.get_f64(row, col)),
+            DataType::Decimal => Value::Decimal(self.get_decimal(row, col)),
+            DataType::Date => Value::Date(self.get_date(row, col)),
+            DataType::Str => Value::str(self.get_str(row, col)),
+        }
+    }
+}
+
+/// A staging buffer in either layout; the native kernels are instantiated
+/// over this type so one execution can mix staged build and probe sides.
+#[derive(Debug, Clone)]
+pub enum StagedTable {
+    /// Row-wise staging (array of generated structs).
+    Rows(RowStore),
+    /// Columnar staging (array per primitive column).
+    Columns(ColumnBuffer),
+}
+
+impl StagedTable {
+    /// Creates an empty staging buffer for the schema in the given layout.
+    pub fn new(schema: Schema, layout: StagingLayout) -> Self {
+        match layout {
+            StagingLayout::RowWise => StagedTable::Rows(RowStore::new(schema)),
+            StagingLayout::Columnar => StagedTable::Columns(ColumnBuffer::new(schema)),
+        }
+    }
+
+    /// The staged schema.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            StagedTable::Rows(store) => store.schema(),
+            StagedTable::Columns(buffer) => buffer.schema(),
+        }
+    }
+
+    /// Appends one row in schema order.
+    pub fn push_values(&mut self, values: &[Value]) {
+        match self {
+            StagedTable::Rows(store) => store.push_values(values),
+            StagedTable::Columns(buffer) => buffer.push_values(values),
+        }
+    }
+
+    /// Total staged payload bytes.
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            StagedTable::Rows(store) => store.payload_bytes(),
+            StagedTable::Columns(buffer) => buffer.payload_bytes(),
+        }
+    }
+}
+
+impl TableAccess for StagedTable {
+    fn len(&self) -> usize {
+        match self {
+            StagedTable::Rows(s) => s.len(),
+            StagedTable::Columns(c) => c.len(),
+        }
+    }
+    fn get_bool(&self, row: usize, col: usize) -> bool {
+        match self {
+            StagedTable::Rows(s) => s.get_bool(row, col),
+            StagedTable::Columns(c) => c.get_bool(row, col),
+        }
+    }
+    fn get_i32(&self, row: usize, col: usize) -> i32 {
+        match self {
+            StagedTable::Rows(s) => s.get_i32(row, col),
+            StagedTable::Columns(c) => c.get_i32(row, col),
+        }
+    }
+    fn get_i64(&self, row: usize, col: usize) -> i64 {
+        match self {
+            StagedTable::Rows(s) => s.get_i64(row, col),
+            StagedTable::Columns(c) => c.get_i64(row, col),
+        }
+    }
+    fn get_f64(&self, row: usize, col: usize) -> f64 {
+        match self {
+            StagedTable::Rows(s) => s.get_f64(row, col),
+            StagedTable::Columns(c) => c.get_f64(row, col),
+        }
+    }
+    fn get_decimal(&self, row: usize, col: usize) -> Decimal {
+        match self {
+            StagedTable::Rows(s) => s.get_decimal(row, col),
+            StagedTable::Columns(c) => c.get_decimal(row, col),
+        }
+    }
+    fn get_date(&self, row: usize, col: usize) -> Date {
+        match self {
+            StagedTable::Rows(s) => s.get_date(row, col),
+            StagedTable::Columns(c) => c.get_date(row, col),
+        }
+    }
+    fn get_str(&self, row: usize, col: usize) -> &str {
+        match self {
+            StagedTable::Rows(s) => s.get_str(row, col),
+            StagedTable::Columns(c) => c.get_str(row, col),
+        }
+    }
+    fn get_value(&self, row: usize, col: usize) -> Value {
+        match self {
+            StagedTable::Rows(s) => s.get_value(row, col),
+            StagedTable::Columns(c) => c.get_value(row, col),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrq_common::Field;
+
+    fn schema() -> Schema {
+        Schema::new(
+            "Staged",
+            vec![
+                Field::new("id", DataType::Int64),
+                Field::new("city", DataType::Str),
+                Field::new("price", DataType::Decimal),
+                Field::new("day", DataType::Date),
+                Field::new("flag", DataType::Bool),
+                Field::new("size", DataType::Int32),
+                Field::new("ratio", DataType::Float64),
+            ],
+        )
+    }
+
+    fn rows() -> Vec<Vec<Value>> {
+        (0..10i64)
+            .map(|i| {
+                vec![
+                    Value::Int64(i),
+                    Value::str(format!("city-{}", i % 3)),
+                    Value::Decimal(Decimal::from_int(i * 7)),
+                    Value::Date(Date::from_ymd(1995, 1, 1).add_days(i as i32)),
+                    Value::Bool(i % 2 == 0),
+                    Value::Int32(-(i as i32)),
+                    Value::Float64(i as f64 / 4.0),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn columnar_buffer_round_trips_every_type() {
+        let mut buffer = ColumnBuffer::new(schema());
+        for row in rows() {
+            buffer.push_values(&row);
+        }
+        assert_eq!(buffer.len(), 10);
+        for (r, row) in rows().iter().enumerate() {
+            for (c, value) in row.iter().enumerate() {
+                assert_eq!(&buffer.get_value(r, c), value, "row {r} col {c}");
+            }
+        }
+        assert!(buffer.payload_bytes() > 0);
+    }
+
+    #[test]
+    fn both_layouts_agree_through_the_staged_table_interface() {
+        let mut row_wise = StagedTable::new(schema(), StagingLayout::RowWise);
+        let mut columnar = StagedTable::new(schema(), StagingLayout::Columnar);
+        for row in rows() {
+            row_wise.push_values(&row);
+            columnar.push_values(&row);
+        }
+        assert_eq!(row_wise.len(), columnar.len());
+        for r in 0..row_wise.len() {
+            for c in 0..schema().len() {
+                assert_eq!(row_wise.get_value(r, c), columnar.get_value(r, c));
+            }
+        }
+        assert_eq!(row_wise.schema().name(), columnar.schema().name());
+    }
+
+    #[test]
+    fn columnar_strings_share_one_arena() {
+        let mut buffer = ColumnBuffer::new(Schema::new(
+            "S",
+            vec![Field::new("name", DataType::Str)],
+        ));
+        buffer.push_values(&[Value::str("aa")]);
+        buffer.push_values(&[Value::str("bbbb")]);
+        assert_eq!(buffer.get_str(0, 0), "aa");
+        assert_eq!(buffer.get_str(1, 0), "bbbb");
+        // 6 bytes of characters + 8 bytes of (offset, length) per entry.
+        assert_eq!(buffer.payload_bytes(), 6 + 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_is_rejected() {
+        let mut buffer = ColumnBuffer::new(schema());
+        buffer.push_values(&[Value::Int64(1)]);
+    }
+}

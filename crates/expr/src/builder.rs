@@ -1,0 +1,324 @@
+//! A fluent query builder.
+//!
+//! In C#, query syntax (`from s in source where ... select ...`) is sugar
+//! that the compiler lowers to method calls with quoted lambdas. We have no
+//! compiler hook, so [`Query`] plays that role: it assembles the same
+//! [`Expr::Call`] chain the C# compiler would have produced. Small helper
+//! functions ([`col`], [`lit`], [`param`], [`lam`]) keep lambda bodies
+//! readable at call sites.
+
+use crate::tree::{AggFunc, BinaryOp, Expr, QueryMethod, SortDirection, SourceId};
+use mrq_common::Value;
+
+/// A literal constant.
+pub fn lit(value: impl Into<Value>) -> Expr {
+    Expr::Constant(value.into())
+}
+
+/// An explicit query parameter (position `index`). Most queries simply embed
+/// literals and let canonicalisation extract them; explicit parameters are
+/// for statements that are reused with different bindings from the start.
+pub fn param(index: usize) -> Expr {
+    Expr::QueryParam(index)
+}
+
+/// A lambda parameter reference, e.g. `var("s")`.
+pub fn var(name: &str) -> Expr {
+    Expr::Parameter(name.to_string())
+}
+
+/// Member access on a lambda parameter: `col("s", "Name")` is `s.Name`.
+pub fn col(param: &str, field: &str) -> Expr {
+    Expr::member(var(param), field)
+}
+
+/// Member access on an arbitrary target expression.
+pub fn member(target: Expr, field: &str) -> Expr {
+    Expr::member(target, field)
+}
+
+/// A lambda `param => body`.
+pub fn lam(param: &str, body: Expr) -> Expr {
+    Expr::Lambda {
+        param: param.to_string(),
+        body: Box::new(body),
+    }
+}
+
+/// An aggregate call over a group parameter, e.g.
+/// `agg(AggFunc::Sum, "g", Some(lam("x", col("x", "Price"))))` for
+/// `g.Sum(x => x.Price)`.
+pub fn agg(func: AggFunc, group_param: &str, selector: Option<Expr>) -> Expr {
+    Expr::Call {
+        method: func.method(),
+        target: Box::new(var(group_param)),
+        args: selector.into_iter().collect(),
+        direction: SortDirection::Ascending,
+    }
+}
+
+/// String-method call: `str_method(QueryMethod::EndsWith, col("p", "p_type"),
+/// lit("BRASS"))` is `p.p_type.EndsWith("BRASS")`.
+pub fn str_method(method: QueryMethod, target: Expr, arg: Expr) -> Expr {
+    debug_assert!(matches!(
+        method,
+        QueryMethod::StartsWith | QueryMethod::EndsWith | QueryMethod::Contains
+    ));
+    Expr::Call {
+        method,
+        target: Box::new(target),
+        args: vec![arg],
+        direction: SortDirection::Ascending,
+    }
+}
+
+/// Shorthand for a conjunction of predicates. Returns `true` for an empty
+/// slice.
+pub fn and_all(mut predicates: Vec<Expr>) -> Expr {
+    match predicates.len() {
+        0 => lit(true),
+        1 => predicates.pop().expect("len checked"),
+        _ => {
+            let mut iter = predicates.into_iter();
+            let first = iter.next().expect("len checked");
+            iter.fold(first, |acc, p| Expr::binary(BinaryOp::And, acc, p))
+        }
+    }
+}
+
+/// A fluent builder over an expression tree. Each combinator appends one
+/// method-call node, exactly mirroring the operator chain LINQ would build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    expr: Expr,
+}
+
+impl Query {
+    /// Starts a query over an input collection.
+    pub fn from_source(source: SourceId) -> Query {
+        Query {
+            expr: Expr::Source(source),
+        }
+    }
+
+    /// Wraps an existing expression tree.
+    pub fn from_expr(expr: Expr) -> Query {
+        Query { expr }
+    }
+
+    fn call(self, method: QueryMethod, args: Vec<Expr>, direction: SortDirection) -> Query {
+        Query {
+            expr: Expr::Call {
+                method,
+                target: Box::new(self.expr),
+                args,
+                direction,
+            },
+        }
+    }
+
+    /// `Where(predicate)`.
+    pub fn where_(self, predicate: Expr) -> Query {
+        self.call(QueryMethod::Where, vec![predicate], SortDirection::Ascending)
+    }
+
+    /// `Select(selector)`.
+    pub fn select(self, selector: Expr) -> Query {
+        self.call(QueryMethod::Select, vec![selector], SortDirection::Ascending)
+    }
+
+    /// `GroupBy(key_selector)`.
+    pub fn group_by(self, key_selector: Expr) -> Query {
+        self.call(
+            QueryMethod::GroupBy,
+            vec![key_selector],
+            SortDirection::Ascending,
+        )
+    }
+
+    /// `OrderBy(key_selector)`.
+    pub fn order_by(self, key_selector: Expr) -> Query {
+        self.call(
+            QueryMethod::OrderBy,
+            vec![key_selector],
+            SortDirection::Ascending,
+        )
+    }
+
+    /// `OrderByDescending(key_selector)`.
+    pub fn order_by_desc(self, key_selector: Expr) -> Query {
+        self.call(
+            QueryMethod::OrderBy,
+            vec![key_selector],
+            SortDirection::Descending,
+        )
+    }
+
+    /// `ThenBy(key_selector)`.
+    pub fn then_by(self, key_selector: Expr) -> Query {
+        self.call(
+            QueryMethod::ThenBy,
+            vec![key_selector],
+            SortDirection::Ascending,
+        )
+    }
+
+    /// `ThenByDescending(key_selector)`.
+    pub fn then_by_desc(self, key_selector: Expr) -> Query {
+        self.call(
+            QueryMethod::ThenBy,
+            vec![key_selector],
+            SortDirection::Descending,
+        )
+    }
+
+    /// `Take(n)`.
+    pub fn take(self, n: i64) -> Query {
+        self.call(QueryMethod::Take, vec![lit(n)], SortDirection::Ascending)
+    }
+
+    /// `Join(inner, outer_key, inner_key, result_selector)` — an equi-join
+    /// with the given key selectors; `result_selector` is a two-parameter
+    /// lambda encoded as nested lambdas `outer => inner => body`.
+    pub fn join(
+        self,
+        inner: SourceId,
+        outer_key: Expr,
+        inner_key: Expr,
+        result_selector: Expr,
+    ) -> Query {
+        self.call(
+            QueryMethod::Join,
+            vec![
+                Expr::Source(inner),
+                outer_key,
+                inner_key,
+                result_selector,
+            ],
+            SortDirection::Ascending,
+        )
+    }
+
+    /// Joins against another query (e.g. an already-filtered collection).
+    pub fn join_query(
+        self,
+        inner: Query,
+        outer_key: Expr,
+        inner_key: Expr,
+        result_selector: Expr,
+    ) -> Query {
+        self.call(
+            QueryMethod::Join,
+            vec![inner.expr, outer_key, inner_key, result_selector],
+            SortDirection::Ascending,
+        )
+    }
+
+    /// Terminal `Sum(selector)` over the whole query.
+    pub fn sum(self, selector: Expr) -> Query {
+        self.call(QueryMethod::Sum, vec![selector], SortDirection::Ascending)
+    }
+
+    /// Terminal `Count()` over the whole query.
+    pub fn count(self) -> Query {
+        self.call(QueryMethod::Count, vec![], SortDirection::Ascending)
+    }
+
+    /// Terminal `First()`.
+    pub fn first(self) -> Query {
+        self.call(QueryMethod::First, vec![], SortDirection::Ascending)
+    }
+
+    /// Finishes building and returns the expression tree.
+    pub fn into_expr(self) -> Expr {
+        self.expr
+    }
+
+    /// Borrows the expression tree.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn where_select_builds_the_papers_example_tree() {
+        // from s in source where s.Name == "London" select s.Population
+        let q = Query::from_source(SourceId(0))
+            .where_(lam(
+                "s",
+                Expr::binary(BinaryOp::Eq, col("s", "Name"), lit("London")),
+            ))
+            .select(lam("s", col("s", "Population")));
+        let text = q.expr().to_string();
+        assert_eq!(
+            text,
+            "source_0.Where(s => (s.Name == \"London\")).Select(s => s.Population)"
+        );
+        // Chain shape: Select(Where(Source)).
+        match q.expr() {
+            Expr::Call { method, target, .. } => {
+                assert_eq!(*method, QueryMethod::Select);
+                match target.as_ref() {
+                    Expr::Call { method, target, .. } => {
+                        assert_eq!(*method, QueryMethod::Where);
+                        assert!(matches!(target.as_ref(), Expr::Source(SourceId(0))));
+                    }
+                    other => panic!("unexpected inner node {other:?}"),
+                }
+            }
+            other => panic!("unexpected outer node {other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_by_descending_sets_direction() {
+        let q = Query::from_source(SourceId(1)).order_by_desc(lam("x", col("x", "revenue")));
+        match q.expr() {
+            Expr::Call { direction, .. } => assert_eq!(*direction, SortDirection::Descending),
+            _ => panic!("expected a call node"),
+        }
+        assert!(q.expr().to_string().contains("OrderByDescending"));
+    }
+
+    #[test]
+    fn join_embeds_the_inner_source_as_first_argument() {
+        let q = Query::from_source(SourceId(0)).join(
+            SourceId(1),
+            lam("o", col("o", "custkey")),
+            lam("c", col("c", "custkey")),
+            lam("o", lam("c", col("c", "name"))),
+        );
+        match q.expr() {
+            Expr::Call { method, args, .. } => {
+                assert_eq!(*method, QueryMethod::Join);
+                assert_eq!(args.len(), 4);
+                assert!(matches!(args[0], Expr::Source(SourceId(1))));
+            }
+            _ => panic!("expected a call node"),
+        }
+    }
+
+    #[test]
+    fn and_all_folds_predicates() {
+        assert_eq!(and_all(vec![]), lit(true));
+        let one = Expr::binary(BinaryOp::Gt, col("s", "a"), lit(1i64));
+        assert_eq!(and_all(vec![one.clone()]), one.clone());
+        let two = and_all(vec![
+            one.clone(),
+            Expr::binary(BinaryOp::Lt, col("s", "b"), lit(2i64)),
+        ]);
+        assert!(matches!(two, Expr::Binary { op: BinaryOp::And, .. }));
+    }
+
+    #[test]
+    fn agg_builds_group_method_calls() {
+        let e = agg(AggFunc::Sum, "g", Some(lam("x", col("x", "Price"))));
+        assert_eq!(e.to_string(), "g.Sum(x => x.Price)");
+        let c = agg(AggFunc::Count, "g", None);
+        assert_eq!(c.to_string(), "g.Count()");
+    }
+}

@@ -1,0 +1,576 @@
+//! The expression-tree data model.
+
+use mrq_common::Value;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Identifies an input collection bound to the query (the provider maps it
+/// to an actual managed list, row store or column store at execution time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SourceId(pub u32);
+
+/// The standard query operators a method-call node can represent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryMethod {
+    /// `Where(predicate)`
+    Where,
+    /// `Select(selector)`
+    Select,
+    /// `GroupBy(key_selector)`
+    GroupBy,
+    /// `OrderBy(key_selector)` / `OrderByDescending`, see the direction arg.
+    OrderBy,
+    /// `ThenBy(key_selector)` appended to an OrderBy.
+    ThenBy,
+    /// `Take(n)`
+    Take,
+    /// `Join(inner, outer_key, inner_key, result_selector)`
+    Join,
+    /// `Sum(selector?)` aggregate.
+    Sum,
+    /// `Count()` aggregate.
+    Count,
+    /// `Average(selector?)` aggregate.
+    Average,
+    /// `Min(selector?)` aggregate.
+    Min,
+    /// `Max(selector?)` aggregate.
+    Max,
+    /// `First()` terminal.
+    First,
+    /// String method `StartsWith(prefix)`.
+    StartsWith,
+    /// String method `EndsWith(suffix)` (models the `LIKE '%BRASS'`
+    /// predicate of TPC-H Q2).
+    EndsWith,
+    /// String method `Contains(substring)`.
+    Contains,
+}
+
+/// Aggregate functions (the subset of [`QueryMethod`] that folds a group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Sum of the selector over the group.
+    Sum,
+    /// Number of elements in the group.
+    Count,
+    /// Arithmetic mean of the selector over the group.
+    Average,
+    /// Minimum of the selector.
+    Min,
+    /// Maximum of the selector.
+    Max,
+}
+
+impl AggFunc {
+    /// The corresponding query method.
+    pub fn method(self) -> QueryMethod {
+        match self {
+            AggFunc::Sum => QueryMethod::Sum,
+            AggFunc::Count => QueryMethod::Count,
+            AggFunc::Average => QueryMethod::Average,
+            AggFunc::Min => QueryMethod::Min,
+            AggFunc::Max => QueryMethod::Max,
+        }
+    }
+
+    /// Parses a query method into an aggregate function, if it is one.
+    pub fn from_method(method: QueryMethod) -> Option<AggFunc> {
+        match method {
+            QueryMethod::Sum => Some(AggFunc::Sum),
+            QueryMethod::Count => Some(AggFunc::Count),
+            QueryMethod::Average => Some(AggFunc::Average),
+            QueryMethod::Min => Some(AggFunc::Min),
+            QueryMethod::Max => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+/// Binary operators usable inside lambda bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl BinaryOp {
+    /// True for comparison operators producing a boolean.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+        )
+    }
+
+    /// True for the boolean connectives.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinaryOp::And | BinaryOp::Or)
+    }
+
+    /// The C-source spelling of the operator (used by the source emitters).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinaryOp::Eq => "==",
+            BinaryOp::Ne => "!=",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::And => "&&",
+            BinaryOp::Or => "||",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+        }
+    }
+}
+
+/// Unary operators usable inside lambda bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Logical negation.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Sort direction for `OrderBy`/`ThenBy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SortDirection {
+    /// Ascending order.
+    Ascending,
+    /// Descending order.
+    Descending,
+}
+
+/// A LINQ-style expression tree node.
+///
+/// The shape mirrors the paper's Figure 1: a query is a chain of
+/// [`Expr::Call`] nodes whose `target` is the upstream operator (ultimately a
+/// [`Expr::Source`]) and whose arguments are [`Expr::Lambda`]s, constants or
+/// nested sources.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A literal constant embedded in the query text.
+    Constant(Value),
+    /// A query parameter produced by canonicalisation (index into the
+    /// extracted parameter vector). Queries authored through the builder may
+    /// also use it directly for explicitly parameterised statements.
+    QueryParam(usize),
+    /// An input collection.
+    Source(SourceId),
+    /// A lambda parameter reference, e.g. `s`.
+    Parameter(String),
+    /// Member (field) access, possibly chained through references:
+    /// `s.Shop.City.Name` is `Member(Member(Member(Param("s"), "Shop"),
+    /// "City"), "Name")`.
+    Member {
+        /// The object whose member is read.
+        target: Box<Expr>,
+        /// The member name.
+        field: String,
+    },
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// A unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// A lambda expression `param => body`.
+    Lambda {
+        /// Parameter name.
+        param: String,
+        /// Body.
+        body: Box<Expr>,
+    },
+    /// A standard query operator method call.
+    Call {
+        /// Which operator.
+        method: QueryMethod,
+        /// The expression the method is invoked on (the upstream operator or
+        /// a lambda parameter, e.g. the group `g` for `g.Sum(...)`).
+        target: Box<Expr>,
+        /// Arguments (lambdas, constants, nested sources).
+        args: Vec<Expr>,
+        /// Sort direction for OrderBy/ThenBy calls; ignored otherwise.
+        direction: SortDirection,
+    },
+    /// An anonymous-type / result-object constructor:
+    /// `new R { Id = g.Key, Total = g.Sum(x => x.Price) }`.
+    Constructor {
+        /// Result type name (informational; used for generated struct names).
+        name: String,
+        /// Field initialisers in declaration order.
+        fields: Vec<(String, Expr)>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    pub fn binary(op: BinaryOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Convenience constructor for member access.
+    pub fn member(target: Expr, field: impl Into<String>) -> Expr {
+        Expr::Member {
+            target: Box::new(target),
+            field: field.into(),
+        }
+    }
+
+    /// Walks the tree, calling `f` on every node (pre-order).
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Member { target, .. } => target.visit(f),
+            Expr::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            Expr::Unary { expr, .. } => expr.visit(f),
+            Expr::Lambda { body, .. } => body.visit(f),
+            Expr::Call { target, args, .. } => {
+                target.visit(f);
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            Expr::Constructor { fields, .. } => {
+                for (_, e) in fields {
+                    e.visit(f);
+                }
+            }
+            Expr::Constant(_) | Expr::QueryParam(_) | Expr::Source(_) | Expr::Parameter(_) => {}
+        }
+    }
+
+    /// Rebuilds the tree bottom-up through `f` (post-order map).
+    pub fn transform(self, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
+        let rebuilt = match self {
+            Expr::Member { target, field } => Expr::Member {
+                target: Box::new(target.transform(f)),
+                field,
+            },
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op,
+                left: Box::new(left.transform(f)),
+                right: Box::new(right.transform(f)),
+            },
+            Expr::Unary { op, expr } => Expr::Unary {
+                op,
+                expr: Box::new(expr.transform(f)),
+            },
+            Expr::Lambda { param, body } => Expr::Lambda {
+                param,
+                body: Box::new(body.transform(f)),
+            },
+            Expr::Call {
+                method,
+                target,
+                args,
+                direction,
+            } => Expr::Call {
+                method,
+                target: Box::new(target.transform(f)),
+                args: args.into_iter().map(|a| a.transform(f)).collect(),
+                direction,
+            },
+            Expr::Constructor { name, fields } => Expr::Constructor {
+                name,
+                fields: fields
+                    .into_iter()
+                    .map(|(n, e)| (n, e.transform(f)))
+                    .collect(),
+            },
+            leaf => leaf,
+        };
+        f(rebuilt)
+    }
+
+    /// Collects every distinct field name accessed on the given lambda
+    /// parameter, following chained member accesses only one level (the
+    /// source-mapping construction of the paper's Figure 6 walks deeper; the
+    /// code generator handles that).
+    pub fn fields_of_parameter(&self, param: &str) -> Vec<String> {
+        let mut fields = Vec::new();
+        self.visit(&mut |node| {
+            if let Expr::Member { target, field } = node {
+                if matches!(target.as_ref(), Expr::Parameter(p) if p == param)
+                    && !fields.contains(field)
+                {
+                    fields.push(field.clone());
+                }
+            }
+        });
+        fields
+    }
+
+    /// Collects the sources referenced anywhere in the tree, in first-seen
+    /// order.
+    pub fn sources(&self) -> Vec<SourceId> {
+        let mut out = Vec::new();
+        self.visit(&mut |node| {
+            if let Expr::Source(id) = node {
+                if !out.contains(id) {
+                    out.push(*id);
+                }
+            }
+        });
+        out
+    }
+
+    /// Number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Structural hash used as the query-cache key. Constants hash by value;
+    /// [`Expr::QueryParam`] hashes by position only, which is what lets the
+    /// cache reuse compiled code across parameter values.
+    pub fn structural_hash(&self) -> u64 {
+        let mut hasher = mrq_common::hash::FxHasher::default();
+        self.hash_into(&mut hasher);
+        hasher.finish()
+    }
+
+    fn hash_into<H: Hasher>(&self, h: &mut H) {
+        std::mem::discriminant(self).hash(h);
+        match self {
+            Expr::Constant(v) => format!("{v:?}").hash(h),
+            Expr::QueryParam(i) => i.hash(h),
+            Expr::Source(id) => id.hash(h),
+            Expr::Parameter(p) => p.hash(h),
+            Expr::Member { target, field } => {
+                field.hash(h);
+                target.hash_into(h);
+            }
+            Expr::Binary { op, left, right } => {
+                op.hash(h);
+                left.hash_into(h);
+                right.hash_into(h);
+            }
+            Expr::Unary { op, expr } => {
+                op.hash(h);
+                expr.hash_into(h);
+            }
+            Expr::Lambda { param, body } => {
+                param.hash(h);
+                body.hash_into(h);
+            }
+            Expr::Call {
+                method,
+                target,
+                args,
+                direction,
+            } => {
+                method.hash(h);
+                direction.hash(h);
+                target.hash_into(h);
+                args.len().hash(h);
+                for a in args {
+                    a.hash_into(h);
+                }
+            }
+            Expr::Constructor { name, fields } => {
+                name.hash(h);
+                fields.len().hash(h);
+                for (n, e) in fields {
+                    n.hash(h);
+                    e.hash_into(h);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Renders a compact, C#-flavoured rendition of the tree, used in logs,
+    /// generated-source comments and error messages.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Constant(v) => match v {
+                Value::Str(s) => write!(f, "\"{s}\""),
+                other => write!(f, "{other}"),
+            },
+            Expr::QueryParam(i) => write!(f, "@p{i}"),
+            Expr::Source(id) => write!(f, "source_{}", id.0),
+            Expr::Parameter(p) => write!(f, "{p}"),
+            Expr::Member { target, field } => write!(f, "{target}.{field}"),
+            Expr::Binary { op, left, right } => {
+                write!(f, "({left} {} {right})", op.symbol())
+            }
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Not => write!(f, "!({expr})"),
+                UnaryOp::Neg => write!(f, "-({expr})"),
+            },
+            Expr::Lambda { param, body } => write!(f, "{param} => {body}"),
+            Expr::Call {
+                method,
+                target,
+                args,
+                direction,
+            } => {
+                let name: String = match (method, direction) {
+                    (QueryMethod::OrderBy, SortDirection::Descending) => {
+                        "OrderByDescending".to_string()
+                    }
+                    (QueryMethod::ThenBy, SortDirection::Descending) => {
+                        "ThenByDescending".to_string()
+                    }
+                    (m, _) => format!("{m:?}"),
+                };
+                write!(f, "{target}.{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Constructor { name, fields } => {
+                write!(f, "new {name} {{ ")?;
+                for (i, (n, e)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n} = {e}")?;
+                }
+                write!(f, " }}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{col, lit};
+
+    fn sample_predicate() -> Expr {
+        // s => s.Name == "London" && s.Population > 100
+        Expr::Lambda {
+            param: "s".into(),
+            body: Box::new(Expr::binary(
+                BinaryOp::And,
+                Expr::binary(BinaryOp::Eq, col("s", "Name"), lit("London")),
+                Expr::binary(BinaryOp::Gt, col("s", "Population"), lit(100i64)),
+            )),
+        }
+    }
+
+    #[test]
+    fn display_reads_like_csharp() {
+        assert_eq!(
+            sample_predicate().to_string(),
+            "s => ((s.Name == \"London\") && (s.Population > 100))"
+        );
+    }
+
+    #[test]
+    fn visit_counts_every_node() {
+        // Lambda, And, Eq, Member, Parameter, Constant, Gt, Member,
+        // Parameter, Constant.
+        assert_eq!(sample_predicate().size(), 10);
+    }
+
+    #[test]
+    fn fields_of_parameter_finds_accessed_members() {
+        let fields = sample_predicate().fields_of_parameter("s");
+        assert_eq!(fields, vec!["Name".to_string(), "Population".to_string()]);
+        assert!(sample_predicate().fields_of_parameter("t").is_empty());
+    }
+
+    #[test]
+    fn structural_hash_ignores_parameter_values_but_not_shape() {
+        let a = Expr::binary(BinaryOp::Eq, col("s", "Name"), Expr::QueryParam(0));
+        let b = Expr::binary(BinaryOp::Eq, col("s", "Name"), Expr::QueryParam(0));
+        let c = Expr::binary(BinaryOp::Ne, col("s", "Name"), Expr::QueryParam(0));
+        assert_eq!(a.structural_hash(), b.structural_hash());
+        assert_ne!(a.structural_hash(), c.structural_hash());
+        // Different constants produce different hashes (canonicalisation is
+        // what replaces them with parameters first).
+        let d = Expr::binary(BinaryOp::Eq, col("s", "Name"), lit("London"));
+        let e = Expr::binary(BinaryOp::Eq, col("s", "Name"), lit("Paris"));
+        assert_ne!(d.structural_hash(), e.structural_hash());
+    }
+
+    #[test]
+    fn transform_rebuilds_bottom_up() {
+        let expr = Expr::binary(BinaryOp::Add, lit(1i64), lit(2i64));
+        let doubled = expr.transform(&mut |node| match node {
+            Expr::Constant(Value::Int64(v)) => Expr::Constant(Value::Int64(v * 10)),
+            other => other,
+        });
+        assert_eq!(
+            doubled,
+            Expr::binary(BinaryOp::Add, lit(10i64), lit(20i64))
+        );
+    }
+
+    #[test]
+    fn sources_are_collected_in_first_seen_order() {
+        let expr = Expr::Call {
+            method: QueryMethod::Join,
+            target: Box::new(Expr::Source(SourceId(2))),
+            args: vec![Expr::Source(SourceId(5)), Expr::Source(SourceId(2))],
+            direction: SortDirection::Ascending,
+        };
+        assert_eq!(expr.sources(), vec![SourceId(2), SourceId(5)]);
+    }
+
+    #[test]
+    fn agg_func_round_trips_through_method() {
+        for agg in [
+            AggFunc::Sum,
+            AggFunc::Count,
+            AggFunc::Average,
+            AggFunc::Min,
+            AggFunc::Max,
+        ] {
+            assert_eq!(AggFunc::from_method(agg.method()), Some(agg));
+        }
+        assert_eq!(AggFunc::from_method(QueryMethod::Where), None);
+    }
+}

@@ -1,0 +1,196 @@
+//! Class descriptors: the managed type system visible to the query engines.
+
+use mrq_common::{DataType, Schema};
+
+/// Identifies a registered class within a [`crate::Heap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub(crate) u32);
+
+impl ClassId {
+    /// Raw numeric id (useful for diagnostics).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// What a field stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldKind {
+    /// A value-type scalar stored inline in the object (int, decimal, date,
+    /// float, bool).
+    Scalar(DataType),
+    /// A reference to a heap string object. In the CLR `string` is a
+    /// reference type; modelling it as such is what makes managed string
+    /// columns expensive compared to the native engine's dictionary offsets.
+    Str,
+    /// A reference to another object of the given class (nested data, e.g.
+    /// `SaleItem.Shop.City` in the paper's §6 example). `None` means the
+    /// reference may point to any class (an `object` field).
+    Reference(Option<ClassId>),
+}
+
+impl FieldKind {
+    /// The [`DataType`] the field surfaces to expression trees, if it is a
+    /// scalar or string.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            FieldKind::Scalar(dt) => Some(*dt),
+            FieldKind::Str => Some(DataType::Str),
+            FieldKind::Reference(_) => None,
+        }
+    }
+
+    /// True if the field holds a heap reference the collector must trace.
+    pub fn is_traced(&self) -> bool {
+        matches!(self, FieldKind::Str | FieldKind::Reference(_))
+    }
+}
+
+/// A single field of a class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDesc {
+    /// Field name as it appears in expression trees.
+    pub name: String,
+    /// What the field stores.
+    pub kind: FieldKind,
+}
+
+impl FieldDesc {
+    /// Creates a scalar field.
+    pub fn scalar(name: impl Into<String>, dtype: DataType) -> Self {
+        let kind = if dtype == DataType::Str {
+            FieldKind::Str
+        } else {
+            FieldKind::Scalar(dtype)
+        };
+        FieldDesc {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// Creates a string field.
+    pub fn string(name: impl Into<String>) -> Self {
+        FieldDesc {
+            name: name.into(),
+            kind: FieldKind::Str,
+        }
+    }
+
+    /// Creates a reference field pointing at objects of `class`.
+    pub fn reference(name: impl Into<String>, class: ClassId) -> Self {
+        FieldDesc {
+            name: name.into(),
+            kind: FieldKind::Reference(Some(class)),
+        }
+    }
+}
+
+/// A managed record type: name plus ordered fields.
+///
+/// Every field occupies one 8-byte slot in the object payload, mirroring how
+/// the CLR lays out reference-type instances (references and numerics are
+/// word-sized; we do not model field packing because the paper's comparison
+/// never depends on it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDesc {
+    /// Type name, e.g. `Lineitem`.
+    pub name: String,
+    /// Ordered fields.
+    pub fields: Vec<FieldDesc>,
+}
+
+impl ClassDesc {
+    /// Creates a class descriptor.
+    pub fn new(name: impl Into<String>, fields: Vec<FieldDesc>) -> Self {
+        ClassDesc {
+            name: name.into(),
+            fields,
+        }
+    }
+
+    /// Builds a descriptor from a flat relational [`Schema`] (all scalar and
+    /// string columns). This is how the TPC-H loader creates its record
+    /// classes.
+    pub fn from_schema(schema: &Schema) -> Self {
+        ClassDesc {
+            name: schema.name().to_string(),
+            fields: schema
+                .fields()
+                .iter()
+                .map(|f| FieldDesc::scalar(f.name.clone(), f.dtype))
+                .collect(),
+        }
+    }
+
+    /// Number of payload slots an instance occupies.
+    pub fn slot_count(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Index of the named field.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// The relational schema surfaced to expression trees: scalar and string
+    /// fields only (reference fields are navigated, not projected).
+    pub fn to_schema(&self) -> Schema {
+        Schema::new(
+            self.name.clone(),
+            self.fields
+                .iter()
+                .filter_map(|f| {
+                    f.kind
+                        .data_type()
+                        .map(|dt| mrq_common::Field::new(f.name.clone(), dt))
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrq_common::Field;
+
+    #[test]
+    fn scalar_fields_classify_strings_as_references() {
+        let f = FieldDesc::scalar("name", DataType::Str);
+        assert_eq!(f.kind, FieldKind::Str);
+        assert!(f.kind.is_traced());
+        assert_eq!(f.kind.data_type(), Some(DataType::Str));
+        let g = FieldDesc::scalar("qty", DataType::Int64);
+        assert!(!g.kind.is_traced());
+    }
+
+    #[test]
+    fn from_schema_round_trips_field_names_and_types() {
+        let schema = Schema::new(
+            "Orders",
+            vec![
+                Field::new("o_orderkey", DataType::Int64),
+                Field::new("o_orderdate", DataType::Date),
+                Field::new("o_comment", DataType::Str),
+            ],
+        );
+        let class = ClassDesc::from_schema(&schema);
+        assert_eq!(class.slot_count(), 3);
+        assert_eq!(class.field_index("o_orderdate"), Some(1));
+        assert_eq!(class.to_schema(), schema);
+    }
+
+    #[test]
+    fn reference_fields_are_not_part_of_the_relational_schema() {
+        let class = ClassDesc::new(
+            "SaleItem",
+            vec![
+                FieldDesc::scalar("price", DataType::Decimal),
+                FieldDesc::reference("shop", ClassId(7)),
+            ],
+        );
+        assert_eq!(class.to_schema().len(), 1);
+        assert_eq!(class.field_index("shop"), Some(1));
+    }
+}

@@ -1,0 +1,1068 @@
+//! The managed heap: segments, allocation, field access and the collector.
+
+use crate::class::{ClassDesc, ClassId, FieldKind};
+use crate::list::ListData;
+use mrq_common::hash::FxHashMap;
+use mrq_common::{Date, Decimal, Value};
+
+/// Class id stored in the header of string objects.
+const STRING_CLASS: u32 = u32::MAX;
+/// Simulated base address of the first segment.
+const ADDRESS_SPACE_BASE: u64 = 0x1_0000_0000;
+
+/// A handle to a managed object. `GcRef::NULL` models a null reference.
+///
+/// Handles stay valid across collections (the collector updates the handle
+/// table when it moves objects); using an index rather than a raw pointer is
+/// also what keeps the simulator entirely safe Rust.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GcRef(u32);
+
+impl GcRef {
+    /// The null reference.
+    pub const NULL: GcRef = GcRef(0);
+
+    /// True if this is the null reference.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        debug_assert!(self.0 != 0, "dereferenced a null GcRef");
+        (self.0 - 1) as usize
+    }
+
+    #[inline]
+    fn from_index(index: usize) -> GcRef {
+        GcRef(index as u32 + 1)
+    }
+
+    /// Raw handle value; 0 is null. Used by the staging layer to ship object
+    /// indexes to the native side (the paper's §6.1.1 index trick).
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a handle from [`GcRef::raw`].
+    #[inline]
+    pub fn from_raw(raw: u32) -> GcRef {
+        GcRef(raw)
+    }
+}
+
+/// Where an object currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Loc {
+    segment: u32,
+    /// Word offset of the object header within the segment.
+    offset: u32,
+}
+
+const FREE_SLOT: Loc = Loc {
+    segment: u32::MAX,
+    offset: u32::MAX,
+};
+
+/// Which generation a segment currently belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Gen {
+    Nursery,
+    Old,
+}
+
+/// A contiguous chunk of the simulated managed address space.
+#[derive(Debug)]
+struct Segment {
+    words: Vec<u64>,
+    used: usize,
+    base_addr: u64,
+    gen: Gen,
+}
+
+impl Segment {
+    fn new(capacity_words: usize, base_addr: u64, gen: Gen) -> Self {
+        Segment {
+            words: vec![0; capacity_words],
+            used: 0,
+            base_addr,
+            gen,
+        }
+    }
+
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.words.len() - self.used
+    }
+}
+
+/// Sizing knobs for the heap.
+#[derive(Debug, Clone)]
+pub struct HeapConfig {
+    /// Capacity of a nursery segment, in 8-byte words.
+    pub nursery_segment_words: usize,
+    /// Capacity of an old-generation segment, in 8-byte words.
+    pub old_segment_words: usize,
+    /// Objects at least this many words large are allocated directly in the
+    /// old generation (the CLR's large-object-heap rule, scaled down).
+    pub large_object_words: usize,
+}
+
+impl Default for HeapConfig {
+    fn default() -> Self {
+        HeapConfig {
+            nursery_segment_words: 512 * 1024,    // 4 MiB
+            old_segment_words: 4 * 1024 * 1024,   // 32 MiB
+            large_object_words: 10_000,           // ~80 KiB
+        }
+    }
+}
+
+/// Counters describing heap state and collector activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Objects allocated over the heap's lifetime.
+    pub objects_allocated: u64,
+    /// Bytes allocated over the heap's lifetime (headers included).
+    pub bytes_allocated: u64,
+    /// Live bytes after the most recent collection.
+    pub live_bytes_after_gc: u64,
+    /// Minor collections performed.
+    pub minor_collections: u64,
+    /// Full collections performed.
+    pub full_collections: u64,
+    /// Objects freed (handles reclaimed) across all collections.
+    pub objects_freed: u64,
+    /// Objects moved (evacuated or compacted) across all collections.
+    pub objects_moved: u64,
+    /// Bytes currently committed in segments.
+    pub committed_bytes: u64,
+}
+
+/// The managed heap.
+pub struct Heap {
+    config: HeapConfig,
+    classes: Vec<ClassDesc>,
+    class_names: FxHashMap<String, ClassId>,
+    segments: Vec<Segment>,
+    /// Indexes of segments currently used for nursery allocation, in fill
+    /// order (allocation always targets the last one).
+    nursery: Vec<u32>,
+    /// Indexes of old-generation segments (allocation targets the last one).
+    old: Vec<u32>,
+    /// Cleared nursery segments available for reuse.
+    free_nursery: Vec<u32>,
+    handles: Vec<Loc>,
+    free_handles: Vec<u32>,
+    pins: FxHashMap<u32, u32>,
+    extra_roots: FxHashMap<u32, u32>,
+    pub(crate) lists: Vec<ListData>,
+    next_base_addr: u64,
+    stats: HeapStats,
+}
+
+impl Default for Heap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Heap {
+    /// Creates a heap with default sizing.
+    pub fn new() -> Self {
+        Self::with_config(HeapConfig::default())
+    }
+
+    /// Creates a heap with explicit sizing.
+    pub fn with_config(config: HeapConfig) -> Self {
+        Heap {
+            config,
+            classes: Vec::new(),
+            class_names: FxHashMap::default(),
+            segments: Vec::new(),
+            nursery: Vec::new(),
+            old: Vec::new(),
+            free_nursery: Vec::new(),
+            handles: Vec::new(),
+            free_handles: Vec::new(),
+            pins: FxHashMap::default(),
+            extra_roots: FxHashMap::default(),
+            lists: Vec::new(),
+            next_base_addr: ADDRESS_SPACE_BASE,
+            stats: HeapStats::default(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Classes
+    // ------------------------------------------------------------------
+
+    /// Registers a class and returns its id. Class names must be unique.
+    pub fn register_class(&mut self, desc: ClassDesc) -> ClassId {
+        assert!(
+            !self.class_names.contains_key(&desc.name),
+            "class `{}` registered twice",
+            desc.name
+        );
+        let id = ClassId(self.classes.len() as u32);
+        self.class_names.insert(desc.name.clone(), id);
+        self.classes.push(desc);
+        id
+    }
+
+    /// Returns the descriptor for a class id.
+    pub fn class(&self, id: ClassId) -> &ClassDesc {
+        &self.classes[id.0 as usize]
+    }
+
+    /// Looks a class up by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.class_names.get(name).copied()
+    }
+
+    /// The class of an object.
+    pub fn class_of(&self, obj: GcRef) -> ClassId {
+        let (seg, off) = self.locate(obj);
+        let header = self.segments[seg].words[off];
+        let class = (header & 0xFFFF_FFFF) as u32;
+        assert!(class != STRING_CLASS, "class_of called on a string object");
+        ClassId(class)
+    }
+
+    /// True if the object is a string object.
+    pub fn is_string(&self, obj: GcRef) -> bool {
+        let (seg, off) = self.locate(obj);
+        let header = self.segments[seg].words[off];
+        (header & 0xFFFF_FFFF) as u32 == STRING_CLASS
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Allocates a zero-initialised instance of `class`.
+    pub fn alloc(&mut self, class: ClassId) -> GcRef {
+        let payload = self.classes[class.0 as usize].slot_count();
+        self.alloc_raw(class.0, payload)
+    }
+
+    /// Allocates a string object holding `text`.
+    pub fn alloc_string(&mut self, text: &str) -> GcRef {
+        let bytes = text.as_bytes();
+        let byte_words = bytes.len().div_ceil(8);
+        let obj = self.alloc_raw(STRING_CLASS, 1 + byte_words);
+        let (seg, off) = self.locate(obj);
+        let words = &mut self.segments[seg].words;
+        words[off + 1] = bytes.len() as u64;
+        for (i, chunk) in bytes.chunks(8).enumerate() {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            words[off + 2 + i] = u64::from_le_bytes(buf);
+        }
+        obj
+    }
+
+    fn alloc_raw(&mut self, class: u32, payload_words: usize) -> GcRef {
+        let total = payload_words + 1;
+        let large = total >= self.config.large_object_words;
+        let seg_idx = if large {
+            self.old_segment_with_room(total)
+        } else {
+            self.nursery_segment_with_room(total)
+        };
+        let seg = &mut self.segments[seg_idx as usize];
+        let offset = seg.used;
+        seg.words[offset] = class as u64 | ((payload_words as u64) << 32);
+        for w in &mut seg.words[offset + 1..offset + total] {
+            *w = 0;
+        }
+        seg.used += total;
+        self.stats.objects_allocated += 1;
+        self.stats.bytes_allocated += (total * 8) as u64;
+        let loc = Loc {
+            segment: seg_idx,
+            offset: offset as u32,
+        };
+        match self.free_handles.pop() {
+            Some(slot) => {
+                self.handles[slot as usize] = loc;
+                GcRef::from_index(slot as usize)
+            }
+            None => {
+                self.handles.push(loc);
+                GcRef::from_index(self.handles.len() - 1)
+            }
+        }
+    }
+
+    fn new_segment(&mut self, capacity: usize, gen: Gen) -> u32 {
+        let base = self.next_base_addr;
+        self.next_base_addr += (capacity * 8) as u64;
+        self.stats.committed_bytes += (capacity * 8) as u64;
+        self.segments.push(Segment::new(capacity, base, gen));
+        (self.segments.len() - 1) as u32
+    }
+
+    fn nursery_segment_with_room(&mut self, words: usize) -> u32 {
+        if let Some(&idx) = self.nursery.last() {
+            if self.segments[idx as usize].remaining() >= words {
+                return idx;
+            }
+        }
+        // Reuse a cleared nursery segment if one is big enough, otherwise
+        // commit a fresh one. Allocation never triggers a collection: the
+        // paper's methodology collects explicitly between runs, and implicit
+        // mid-query collections would invalidate engine-held references.
+        let idx = match self.free_nursery.pop() {
+            Some(idx) if self.segments[idx as usize].words.len() >= words => idx,
+            Some(idx) => {
+                // Too small for this object; put it back and fall through.
+                self.free_nursery.push(idx);
+                self.new_segment(self.config.nursery_segment_words.max(words), Gen::Nursery)
+            }
+            None => self.new_segment(self.config.nursery_segment_words.max(words), Gen::Nursery),
+        };
+        self.segments[idx as usize].gen = Gen::Nursery;
+        self.nursery.push(idx);
+        idx
+    }
+
+    fn old_segment_with_room(&mut self, words: usize) -> u32 {
+        if let Some(&idx) = self.old.last() {
+            if self.segments[idx as usize].remaining() >= words {
+                return idx;
+            }
+        }
+        let idx = self.new_segment(self.config.old_segment_words.max(words), Gen::Old);
+        self.old.push(idx);
+        idx
+    }
+
+    // ------------------------------------------------------------------
+    // Field access
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn locate(&self, obj: GcRef) -> (usize, usize) {
+        let loc = self.handles[obj.index()];
+        debug_assert!(loc != FREE_SLOT, "access through a collected handle");
+        (loc.segment as usize, loc.offset as usize)
+    }
+
+    #[inline]
+    fn slot(&self, obj: GcRef, field: usize) -> u64 {
+        let (seg, off) = self.locate(obj);
+        self.segments[seg].words[off + 1 + field]
+    }
+
+    #[inline]
+    fn set_slot(&mut self, obj: GcRef, field: usize, value: u64) {
+        let (seg, off) = self.locate(obj);
+        self.segments[seg].words[off + 1 + field] = value;
+    }
+
+    /// Reads an `i64` field.
+    #[inline]
+    pub fn get_i64(&self, obj: GcRef, field: usize) -> i64 {
+        self.slot(obj, field) as i64
+    }
+
+    /// Writes an `i64` field.
+    #[inline]
+    pub fn set_i64(&mut self, obj: GcRef, field: usize, value: i64) {
+        self.set_slot(obj, field, value as u64);
+    }
+
+    /// Reads an `i32` field.
+    #[inline]
+    pub fn get_i32(&self, obj: GcRef, field: usize) -> i32 {
+        self.slot(obj, field) as i32
+    }
+
+    /// Writes an `i32` field.
+    #[inline]
+    pub fn set_i32(&mut self, obj: GcRef, field: usize, value: i32) {
+        self.set_slot(obj, field, value as u32 as u64);
+    }
+
+    /// Reads an `f64` field.
+    #[inline]
+    pub fn get_f64(&self, obj: GcRef, field: usize) -> f64 {
+        f64::from_bits(self.slot(obj, field))
+    }
+
+    /// Writes an `f64` field.
+    #[inline]
+    pub fn set_f64(&mut self, obj: GcRef, field: usize, value: f64) {
+        self.set_slot(obj, field, value.to_bits());
+    }
+
+    /// Reads a boolean field.
+    #[inline]
+    pub fn get_bool(&self, obj: GcRef, field: usize) -> bool {
+        self.slot(obj, field) != 0
+    }
+
+    /// Writes a boolean field.
+    #[inline]
+    pub fn set_bool(&mut self, obj: GcRef, field: usize, value: bool) {
+        self.set_slot(obj, field, value as u64);
+    }
+
+    /// Reads a decimal field.
+    #[inline]
+    pub fn get_decimal(&self, obj: GcRef, field: usize) -> Decimal {
+        Decimal::from_raw(self.slot(obj, field) as i64)
+    }
+
+    /// Writes a decimal field.
+    #[inline]
+    pub fn set_decimal(&mut self, obj: GcRef, field: usize, value: Decimal) {
+        self.set_slot(obj, field, value.raw() as u64);
+    }
+
+    /// Reads a date field.
+    #[inline]
+    pub fn get_date(&self, obj: GcRef, field: usize) -> Date {
+        Date::from_epoch_days(self.slot(obj, field) as i32)
+    }
+
+    /// Writes a date field.
+    #[inline]
+    pub fn set_date(&mut self, obj: GcRef, field: usize, value: Date) {
+        self.set_slot(obj, field, value.epoch_days() as u32 as u64);
+    }
+
+    /// Reads a reference field (object or string handle; may be null).
+    #[inline]
+    pub fn get_ref(&self, obj: GcRef, field: usize) -> GcRef {
+        GcRef(self.slot(obj, field) as u32)
+    }
+
+    /// Writes a reference field.
+    #[inline]
+    pub fn set_ref(&mut self, obj: GcRef, field: usize, value: GcRef) {
+        self.set_slot(obj, field, value.0 as u64);
+    }
+
+    /// Writes a string field, allocating the string object.
+    pub fn set_str(&mut self, obj: GcRef, field: usize, value: &str) {
+        let s = self.alloc_string(value);
+        self.set_ref(obj, field, s);
+    }
+
+    /// Reads a string field. Returns the empty string for a null reference
+    /// (the TPC-H loaders never store nulls).
+    pub fn get_str(&self, obj: GcRef, field: usize) -> &str {
+        let r = self.get_ref(obj, field);
+        if r.is_null() {
+            ""
+        } else {
+            self.string_value(r)
+        }
+    }
+
+    /// The contents of a string object.
+    pub fn string_value(&self, string_obj: GcRef) -> &str {
+        let (seg, off) = self.locate(string_obj);
+        let words = &self.segments[seg].words;
+        let header = words[off];
+        assert_eq!(
+            (header & 0xFFFF_FFFF) as u32,
+            STRING_CLASS,
+            "string_value called on a non-string object"
+        );
+        let len = words[off + 1] as usize;
+        let bytes_words = &words[off + 2..off + 2 + len.div_ceil(8)];
+        // Strings are stored little-endian word by word; on every platform we
+        // target the in-memory representation of `[u64]` words written with
+        // `to_le_bytes` is the original byte sequence.
+        let byte_slice = unsafe {
+            std::slice::from_raw_parts(bytes_words.as_ptr() as *const u8, len)
+        };
+        std::str::from_utf8(byte_slice).expect("heap strings are always valid UTF-8")
+    }
+
+    /// Dynamically reads a field as a [`Value`], as the interpreted engine
+    /// and the provider's generic paths do.
+    pub fn get_value(&self, obj: GcRef, field: usize) -> Value {
+        let class = self.class_of(obj);
+        let desc = &self.classes[class.0 as usize].fields[field];
+        match desc.kind {
+            FieldKind::Scalar(dt) => match dt {
+                mrq_common::DataType::Bool => Value::Bool(self.get_bool(obj, field)),
+                mrq_common::DataType::Int32 => Value::Int32(self.get_i32(obj, field)),
+                mrq_common::DataType::Int64 => Value::Int64(self.get_i64(obj, field)),
+                mrq_common::DataType::Decimal => Value::Decimal(self.get_decimal(obj, field)),
+                mrq_common::DataType::Float64 => Value::Float64(self.get_f64(obj, field)),
+                mrq_common::DataType::Date => Value::Date(self.get_date(obj, field)),
+                mrq_common::DataType::Str => Value::str(self.get_str(obj, field)),
+            },
+            FieldKind::Str => Value::str(self.get_str(obj, field)),
+            FieldKind::Reference(_) => {
+                panic!(
+                    "get_value on reference field `{}`; navigate it with get_ref",
+                    desc.name
+                )
+            }
+        }
+    }
+
+    /// Dynamically writes a field from a [`Value`].
+    pub fn set_value(&mut self, obj: GcRef, field: usize, value: &Value) {
+        match value {
+            Value::Null => self.set_slot(obj, field, 0),
+            Value::Bool(v) => self.set_bool(obj, field, *v),
+            Value::Int32(v) => self.set_i32(obj, field, *v),
+            Value::Int64(v) => self.set_i64(obj, field, *v),
+            Value::Decimal(v) => self.set_decimal(obj, field, *v),
+            Value::Float64(v) => self.set_f64(obj, field, *v),
+            Value::Date(v) => self.set_date(obj, field, *v),
+            Value::Str(v) => self.set_str(obj, field, v),
+        }
+    }
+
+    /// Simulated byte address of the object header. Stable until the object
+    /// is moved by a collection.
+    pub fn address_of(&self, obj: GcRef) -> u64 {
+        let (seg, off) = self.locate(obj);
+        self.segments[seg].base_addr + (off * 8) as u64
+    }
+
+    /// Simulated byte address of a field slot.
+    pub fn field_address(&self, obj: GcRef, field: usize) -> u64 {
+        self.address_of(obj) + 8 + (field * 8) as u64
+    }
+
+    // ------------------------------------------------------------------
+    // Roots & pinning
+    // ------------------------------------------------------------------
+
+    /// Pins an object: the collector will not move it (its segment is
+    /// promoted in place instead). Pin/unpin calls nest.
+    pub fn pin(&mut self, obj: GcRef) {
+        *self.pins.entry(obj.0).or_insert(0) += 1;
+    }
+
+    /// Removes one pin from an object.
+    pub fn unpin(&mut self, obj: GcRef) {
+        match self.pins.get_mut(&obj.0) {
+            Some(count) if *count > 1 => *count -= 1,
+            Some(_) => {
+                self.pins.remove(&obj.0);
+            }
+            None => panic!("unpin of an object that was not pinned"),
+        }
+    }
+
+    /// True if the object currently has at least one pin.
+    pub fn is_pinned(&self, obj: GcRef) -> bool {
+        self.pins.contains_key(&obj.0)
+    }
+
+    /// Registers an additional GC root (for engine-held references that must
+    /// survive an explicit collection). Calls nest.
+    pub fn add_root(&mut self, obj: GcRef) {
+        if !obj.is_null() {
+            *self.extra_roots.entry(obj.0).or_insert(0) += 1;
+        }
+    }
+
+    /// Removes one registration of an additional root.
+    pub fn remove_root(&mut self, obj: GcRef) {
+        match self.extra_roots.get_mut(&obj.0) {
+            Some(count) if *count > 1 => *count -= 1,
+            Some(_) => {
+                self.extra_roots.remove(&obj.0);
+            }
+            None => panic!("remove_root of an object that was not a root"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Collection
+    // ------------------------------------------------------------------
+
+    /// Collects the nursery: live nursery objects are promoted to the old
+    /// generation, dead nursery objects are freed, nursery segments are
+    /// recycled. Returns the number of objects freed.
+    pub fn collect_minor(&mut self) -> u64 {
+        self.stats.minor_collections += 1;
+        let collected: Vec<u32> = self.nursery.clone();
+        self.collect_segments(&collected)
+    }
+
+    /// Collects the whole heap, compacting the old generation. Returns the
+    /// number of objects freed.
+    pub fn collect_full(&mut self) -> u64 {
+        self.stats.full_collections += 1;
+        let mut collected: Vec<u32> = self.nursery.clone();
+        collected.extend(self.old.iter().copied());
+        // Old segments will be rebuilt from scratch.
+        self.old.clear();
+        let freed = self.collect_segments(&collected);
+        freed
+    }
+
+    fn collect_segments(&mut self, collected: &[u32]) -> u64 {
+        let collected_set: Vec<bool> = {
+            let mut v = vec![false; self.segments.len()];
+            for &s in collected {
+                v[s as usize] = true;
+            }
+            v
+        };
+
+        // --- mark ---------------------------------------------------------
+        let live = self.mark();
+
+        // --- decide which collected segments are frozen by pins -----------
+        let mut frozen = vec![false; self.segments.len()];
+        for (&handle, _) in self.pins.iter() {
+            let loc = self.handles[(handle - 1) as usize];
+            if loc != FREE_SLOT && collected_set[loc.segment as usize] {
+                frozen[loc.segment as usize] = true;
+            }
+        }
+
+        // --- evacuate live objects out of non-frozen collected segments ---
+        let mut moved = 0u64;
+        let mut live_bytes = 0u64;
+        for handle_idx in 0..self.handles.len() {
+            let loc = self.handles[handle_idx];
+            if loc == FREE_SLOT {
+                continue;
+            }
+            let is_live = live[handle_idx];
+            let in_collected = collected_set[loc.segment as usize];
+            if !in_collected {
+                if is_live {
+                    live_bytes += self.object_bytes(loc);
+                }
+                continue;
+            }
+            if !is_live {
+                continue; // handled below when freeing
+            }
+            if frozen[loc.segment as usize] {
+                live_bytes += self.object_bytes(loc);
+                continue; // promoted in place
+            }
+            // Copy the object into the old generation.
+            let total_words = {
+                let seg = &self.segments[loc.segment as usize];
+                let header = seg.words[loc.offset as usize];
+                (header >> 32) as usize + 1
+            };
+            let dest_seg_idx = self.old_segment_with_room(total_words);
+            debug_assert!(
+                (dest_seg_idx as usize) >= collected_set.len()
+                    || !collected_set[dest_seg_idx as usize],
+                "evacuation target must not itself be collected"
+            );
+            let dest_offset = self.segments[dest_seg_idx as usize].used;
+            // Copy word range between two different segments.
+            let (src_seg, dst_seg) = {
+                let (a, b) = (loc.segment as usize, dest_seg_idx as usize);
+                assert_ne!(a, b);
+                if a < b {
+                    let (left, right) = self.segments.split_at_mut(b);
+                    (&left[a], &mut right[0])
+                } else {
+                    let (left, right) = self.segments.split_at_mut(a);
+                    (&right[0], &mut left[b])
+                }
+            };
+            dst_seg.words[dest_offset..dest_offset + total_words].copy_from_slice(
+                &src_seg.words[loc.offset as usize..loc.offset as usize + total_words],
+            );
+            dst_seg.used += total_words;
+            self.handles[handle_idx] = Loc {
+                segment: dest_seg_idx,
+                offset: dest_offset as u32,
+            };
+            moved += 1;
+            live_bytes += (total_words * 8) as u64;
+        }
+
+        // --- free dead handles in collected, non-frozen segments ----------
+        let mut freed = 0u64;
+        for handle_idx in 0..self.handles.len() {
+            let loc = self.handles[handle_idx];
+            if loc == FREE_SLOT {
+                continue;
+            }
+            // Segments created during evacuation sit past the end of
+            // `collected_set`; objects in them are never freed here.
+            let seg = loc.segment as usize;
+            if seg < collected_set.len() && collected_set[seg] && !frozen[seg] && !live[handle_idx] {
+                self.handles[handle_idx] = FREE_SLOT;
+                self.free_handles.push(handle_idx as u32);
+                freed += 1;
+            }
+        }
+
+        // --- recycle or retag collected segments ---------------------------
+        for &seg_idx in collected {
+            if frozen[seg_idx as usize] {
+                // Promote in place: the segment becomes old-generation and is
+                // no longer bump-allocated into.
+                self.segments[seg_idx as usize].gen = Gen::Old;
+                if !self.old.contains(&seg_idx) {
+                    self.old.insert(0, seg_idx);
+                }
+            } else if self.segments[seg_idx as usize].gen == Gen::Nursery {
+                self.segments[seg_idx as usize].used = 0;
+                self.free_nursery.push(seg_idx);
+            } else {
+                // An old segment that was fully evacuated by a full
+                // collection: reuse it as a future nursery segment.
+                self.segments[seg_idx as usize].used = 0;
+                self.segments[seg_idx as usize].gen = Gen::Nursery;
+                self.free_nursery.push(seg_idx);
+            }
+        }
+        self.nursery.clear();
+
+        self.stats.objects_freed += freed;
+        self.stats.objects_moved += moved;
+        self.stats.live_bytes_after_gc = live_bytes;
+        freed
+    }
+
+    fn object_bytes(&self, loc: Loc) -> u64 {
+        let header = self.segments[loc.segment as usize].words[loc.offset as usize];
+        (((header >> 32) as u64) + 1) * 8
+    }
+
+    /// Computes the set of live handles (index-aligned with `self.handles`).
+    fn mark(&self) -> Vec<bool> {
+        let mut live = vec![false; self.handles.len()];
+        let mut worklist: Vec<GcRef> = Vec::new();
+        for list in &self.lists {
+            worklist.extend(list.items.iter().copied());
+        }
+        for &handle in self.pins.keys() {
+            worklist.push(GcRef(handle));
+        }
+        for &handle in self.extra_roots.keys() {
+            worklist.push(GcRef(handle));
+        }
+        while let Some(obj) = worklist.pop() {
+            if obj.is_null() {
+                continue;
+            }
+            let idx = obj.index();
+            if live[idx] {
+                continue;
+            }
+            live[idx] = true;
+            let (seg, off) = self.locate(obj);
+            let header = self.segments[seg].words[off];
+            let class = (header & 0xFFFF_FFFF) as u32;
+            if class == STRING_CLASS {
+                continue;
+            }
+            let desc = &self.classes[class as usize];
+            for (field_idx, field) in desc.fields.iter().enumerate() {
+                if field.kind.is_traced() {
+                    let child = GcRef(self.segments[seg].words[off + 1 + field_idx] as u32);
+                    if !child.is_null() && !live[child.index()] {
+                        worklist.push(child);
+                    }
+                }
+            }
+        }
+        live
+    }
+
+    /// Returns a handle's validity (false once collected). Primarily for
+    /// tests.
+    pub fn is_valid(&self, obj: GcRef) -> bool {
+        !obj.is_null() && self.handles.get(obj.index()).is_some_and(|l| *l != FREE_SLOT)
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::{ClassDesc, FieldDesc};
+    use mrq_common::DataType;
+
+    fn item_class(heap: &mut Heap) -> ClassId {
+        heap.register_class(ClassDesc::new(
+            "Item",
+            vec![
+                FieldDesc::scalar("id", DataType::Int64),
+                FieldDesc::scalar("price", DataType::Decimal),
+                FieldDesc::scalar("when", DataType::Date),
+                FieldDesc::string("name"),
+            ],
+        ))
+    }
+
+    #[test]
+    fn alloc_and_typed_field_round_trip() {
+        let mut heap = Heap::new();
+        let class = item_class(&mut heap);
+        let obj = heap.alloc(class);
+        heap.set_i64(obj, 0, 42);
+        heap.set_decimal(obj, 1, Decimal::new(19, 99));
+        heap.set_date(obj, 2, Date::from_ymd(1995, 6, 1));
+        heap.set_str(obj, 3, "London");
+        assert_eq!(heap.get_i64(obj, 0), 42);
+        assert_eq!(heap.get_decimal(obj, 1), Decimal::new(19, 99));
+        assert_eq!(heap.get_date(obj, 2), Date::from_ymd(1995, 6, 1));
+        assert_eq!(heap.get_str(obj, 3), "London");
+        assert_eq!(heap.class_of(obj), class);
+    }
+
+    #[test]
+    fn dynamic_value_access_matches_typed_access() {
+        let mut heap = Heap::new();
+        let class = item_class(&mut heap);
+        let obj = heap.alloc(class);
+        heap.set_value(obj, 0, &Value::Int64(7));
+        heap.set_value(obj, 1, &Value::Decimal(Decimal::new(1, 50)));
+        heap.set_value(obj, 3, &Value::str("Paris"));
+        assert_eq!(heap.get_value(obj, 0), Value::Int64(7));
+        assert_eq!(heap.get_value(obj, 1), Value::Decimal(Decimal::new(1, 50)));
+        assert_eq!(heap.get_value(obj, 3), Value::str("Paris"));
+    }
+
+    #[test]
+    fn strings_of_many_lengths_round_trip() {
+        let mut heap = Heap::new();
+        for len in 0..40 {
+            let text: String = "abcdefgh".chars().cycle().take(len).collect();
+            let s = heap.alloc_string(&text);
+            assert_eq!(heap.string_value(s), text, "length {len}");
+        }
+    }
+
+    #[test]
+    fn negative_scalars_round_trip() {
+        let mut heap = Heap::new();
+        let class = heap.register_class(ClassDesc::new(
+            "Neg",
+            vec![
+                FieldDesc::scalar("a", DataType::Int32),
+                FieldDesc::scalar("b", DataType::Int64),
+                FieldDesc::scalar("c", DataType::Float64),
+                FieldDesc::scalar("d", DataType::Date),
+                FieldDesc::scalar("e", DataType::Bool),
+            ],
+        ));
+        let obj = heap.alloc(class);
+        heap.set_i32(obj, 0, -5);
+        heap.set_i64(obj, 1, -500);
+        heap.set_f64(obj, 2, -2.5);
+        heap.set_date(obj, 3, Date::from_ymd(1969, 1, 1));
+        heap.set_bool(obj, 4, true);
+        assert_eq!(heap.get_i32(obj, 0), -5);
+        assert_eq!(heap.get_i64(obj, 1), -500);
+        assert_eq!(heap.get_f64(obj, 2), -2.5);
+        assert_eq!(heap.get_date(obj, 3), Date::from_ymd(1969, 1, 1));
+        assert!(heap.get_bool(obj, 4));
+    }
+
+    #[test]
+    fn minor_collection_frees_unreachable_objects_and_keeps_rooted_ones() {
+        let mut heap = Heap::with_config(HeapConfig {
+            nursery_segment_words: 4096,
+            old_segment_words: 65536,
+            large_object_words: 2000,
+        });
+        let class = item_class(&mut heap);
+        let list = heap.new_list("kept", Some(class));
+        let mut kept = Vec::new();
+        let mut dropped = Vec::new();
+        for i in 0..100 {
+            let obj = heap.alloc(class);
+            heap.set_i64(obj, 0, i);
+            heap.set_str(obj, 3, "payload");
+            if i % 2 == 0 {
+                heap.list_push(list, obj);
+                kept.push(obj);
+            } else {
+                dropped.push(obj);
+            }
+        }
+        let freed = heap.collect_minor();
+        assert!(freed >= dropped.len() as u64, "freed {freed}");
+        for (i, &obj) in kept.iter().enumerate() {
+            assert!(heap.is_valid(obj));
+            assert_eq!(heap.get_i64(obj, 0), (i as i64) * 2);
+            assert_eq!(heap.get_str(obj, 3), "payload");
+        }
+        for &obj in &dropped {
+            assert!(!heap.is_valid(obj));
+        }
+        assert_eq!(heap.stats().minor_collections, 1);
+        assert!(heap.stats().objects_moved > 0);
+    }
+
+    #[test]
+    fn collection_moves_objects_but_addresses_of_pinned_objects_are_stable() {
+        let mut heap = Heap::with_config(HeapConfig {
+            nursery_segment_words: 4096,
+            old_segment_words: 65536,
+            large_object_words: 2000,
+        });
+        let class = item_class(&mut heap);
+        let list = heap.new_list("data", Some(class));
+        let pinned = heap.alloc(class);
+        heap.list_push(list, pinned);
+        heap.pin(pinned);
+        let unpinned = heap.alloc(class);
+        heap.list_push(list, unpinned);
+        let pinned_addr = heap.address_of(pinned);
+        heap.collect_minor();
+        assert_eq!(heap.address_of(pinned), pinned_addr, "pinned object moved");
+        assert!(heap.is_valid(unpinned));
+        heap.unpin(pinned);
+        assert!(!heap.is_pinned(pinned));
+    }
+
+    #[test]
+    fn full_collection_compacts_and_preserves_reference_graphs() {
+        let mut heap = Heap::with_config(HeapConfig {
+            nursery_segment_words: 2048,
+            old_segment_words: 8192,
+            large_object_words: 1000,
+        });
+        let city = heap.register_class(ClassDesc::new(
+            "City",
+            vec![FieldDesc::string("name")],
+        ));
+        let shop = heap.register_class(ClassDesc::new(
+            "Shop",
+            vec![FieldDesc::reference("city", city)],
+        ));
+        let sale = heap.register_class(ClassDesc::new(
+            "Sale",
+            vec![
+                FieldDesc::scalar("price", DataType::Decimal),
+                FieldDesc::reference("shop", shop),
+            ],
+        ));
+        let list = heap.new_list("sales", Some(sale));
+        for i in 0..200 {
+            let c = heap.alloc(city);
+            heap.set_str(c, 0, if i % 2 == 0 { "London" } else { "Paris" });
+            let s = heap.alloc(shop);
+            heap.set_ref(s, 0, c);
+            let sl = heap.alloc(sale);
+            heap.set_decimal(sl, 0, Decimal::from_int(i));
+            heap.set_ref(sl, 1, s);
+            if i % 4 != 3 {
+                heap.list_push(list, sl);
+            }
+        }
+        heap.collect_full();
+        assert_eq!(heap.stats().full_collections, 1);
+        let items: Vec<GcRef> = heap.list_items(list).to_vec();
+        assert_eq!(items.len(), 150);
+        for &sl in &items {
+            let s = heap.get_ref(sl, 1);
+            let c = heap.get_ref(s, 0);
+            let name = heap.get_str(c, 0);
+            assert!(name == "London" || name == "Paris");
+        }
+        // A second full collection over already-compacted data is a no-op for
+        // live objects.
+        let live_before = heap.list_items(list).len();
+        heap.collect_full();
+        assert_eq!(heap.list_items(list).len(), live_before);
+    }
+
+    #[test]
+    fn extra_roots_survive_collection() {
+        let mut heap = Heap::with_config(HeapConfig {
+            nursery_segment_words: 2048,
+            old_segment_words: 8192,
+            large_object_words: 1000,
+        });
+        let class = item_class(&mut heap);
+        let obj = heap.alloc(class);
+        heap.set_i64(obj, 0, 99);
+        heap.add_root(obj);
+        heap.collect_minor();
+        assert!(heap.is_valid(obj));
+        assert_eq!(heap.get_i64(obj, 0), 99);
+        heap.remove_root(obj);
+        // The object was promoted by the first collection, so a minor
+        // collection leaves it alone; a full collection reclaims it.
+        heap.collect_minor();
+        assert!(heap.is_valid(obj));
+        heap.collect_full();
+        assert!(!heap.is_valid(obj));
+    }
+
+    #[test]
+    fn large_objects_go_straight_to_the_old_generation() {
+        let mut heap = Heap::with_config(HeapConfig {
+            nursery_segment_words: 1024,
+            old_segment_words: 16384,
+            large_object_words: 64,
+        });
+        let long_text = "x".repeat(1024);
+        let s = heap.alloc_string(&long_text);
+        assert_eq!(heap.string_value(s), long_text);
+        // Allocating it must not have consumed nursery space.
+        assert!(heap.nursery.is_empty());
+    }
+
+    #[test]
+    fn allocation_never_fails_even_past_one_segment() {
+        let mut heap = Heap::with_config(HeapConfig {
+            nursery_segment_words: 256,
+            old_segment_words: 1024,
+            large_object_words: 200,
+        });
+        let class = item_class(&mut heap);
+        let list = heap.new_list("all", Some(class));
+        for i in 0..1000 {
+            let obj = heap.alloc(class);
+            heap.set_i64(obj, 0, i);
+            heap.list_push(list, obj);
+        }
+        assert_eq!(heap.list_len(list), 1000);
+        assert_eq!(heap.get_i64(heap.list_get(list, 999), 0), 999);
+        assert!(heap.stats().committed_bytes > 0);
+    }
+
+    #[test]
+    fn handles_are_reused_after_collection() {
+        let mut heap = Heap::with_config(HeapConfig {
+            nursery_segment_words: 2048,
+            old_segment_words: 8192,
+            large_object_words: 1000,
+        });
+        let class = item_class(&mut heap);
+        for _ in 0..10 {
+            let _garbage = heap.alloc(class);
+        }
+        let before = heap.handles.len();
+        heap.collect_minor();
+        for _ in 0..10 {
+            let _again = heap.alloc(class);
+        }
+        assert_eq!(heap.handles.len(), before, "handle table should not grow");
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_class_registration_panics() {
+        let mut heap = Heap::new();
+        item_class(&mut heap);
+        item_class(&mut heap);
+    }
+}

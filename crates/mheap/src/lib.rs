@@ -1,0 +1,34 @@
+//! A managed-heap simulator.
+//!
+//! The paper's baseline and "compiled C#" strategies run over objects that
+//! live in the CLR's garbage-collected heap: every record is a separate
+//! small allocation with an object header, fields are reached through a
+//! reference, strings are separate heap objects, and the collector is free to
+//! move things around — which is precisely why arbitrary collections cannot
+//! be handed to native code (§5) and why staging (§6) exists.
+//!
+//! This crate reproduces that object model in safe Rust:
+//!
+//! * [`ClassDesc`]/[`FieldDesc`] describe record types (the role of C# class
+//!   definitions plus the reflection metadata the code generator reads),
+//! * [`Heap`] owns generationally-organised segments, allocates objects with
+//!   headers, and provides typed and dynamic ([`Value`]) field access through
+//!   [`GcRef`] handles — every access pays the handle → location → field
+//!   indirection a managed reference pays,
+//! * a copying, generational collector ([`Heap::collect_minor`] /
+//!   [`Heap::collect_full`]) moves objects and updates handles; pinned
+//!   objects are never moved,
+//! * [`Heap`]-owned managed lists model `List<T>` collections and double as
+//!   GC roots.
+//!
+//! Simulated addresses (stable per segment) are exposed so the cache
+//! simulator can observe the scattered access patterns managed objects
+//! produce.
+
+mod class;
+mod heap;
+mod list;
+
+pub use class::{ClassDesc, ClassId, FieldDesc, FieldKind};
+pub use heap::{GcRef, Heap, HeapConfig, HeapStats};
+pub use list::ListId;

@@ -1,0 +1,126 @@
+//! Managed lists: the `List<T>` collections queries run over.
+//!
+//! Lists are owned by the [`Heap`] so their contents are always visible to
+//! the collector as roots, exactly like a static `List<T>` field keeping a
+//! dataset alive in the paper's test harness.
+
+use crate::class::ClassId;
+use crate::heap::{GcRef, Heap};
+
+/// Identifies a managed list within its heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ListId(pub(crate) u32);
+
+/// Internal list storage.
+#[derive(Debug)]
+pub(crate) struct ListData {
+    pub(crate) name: String,
+    pub(crate) element_class: Option<ClassId>,
+    pub(crate) items: Vec<GcRef>,
+}
+
+impl Heap {
+    /// Creates a new, empty managed list. `element_class` is the static
+    /// element type, used by the query provider to resolve field names; a
+    /// heterogeneous (`object`) list passes `None`.
+    pub fn new_list(&mut self, name: impl Into<String>, element_class: Option<ClassId>) -> ListId {
+        let id = ListId(self.lists.len() as u32);
+        self.lists.push(ListData {
+            name: name.into(),
+            element_class,
+            items: Vec::new(),
+        });
+        id
+    }
+
+    /// Appends an object to a list.
+    pub fn list_push(&mut self, list: ListId, obj: GcRef) {
+        if let Some(expected) = self.lists[list.0 as usize].element_class {
+            debug_assert_eq!(
+                self.class_of(obj),
+                expected,
+                "pushed an object of the wrong class into list `{}`",
+                self.lists[list.0 as usize].name
+            );
+        }
+        self.lists[list.0 as usize].items.push(obj);
+    }
+
+    /// Number of elements in a list.
+    pub fn list_len(&self, list: ListId) -> usize {
+        self.lists[list.0 as usize].items.len()
+    }
+
+    /// Element at `index`.
+    pub fn list_get(&self, list: ListId, index: usize) -> GcRef {
+        self.lists[list.0 as usize].items[index]
+    }
+
+    /// Borrow of all elements (in insertion order).
+    pub fn list_items(&self, list: ListId) -> &[GcRef] {
+        &self.lists[list.0 as usize].items
+    }
+
+    /// The declared element class of a list, if any.
+    pub fn list_class(&self, list: ListId) -> Option<ClassId> {
+        self.lists[list.0 as usize].element_class
+    }
+
+    /// The list's name (diagnostics only).
+    pub fn list_name(&self, list: ListId) -> &str {
+        &self.lists[list.0 as usize].name
+    }
+
+    /// Removes all elements from a list (the objects become garbage unless
+    /// otherwise rooted).
+    pub fn list_clear(&mut self, list: ListId) {
+        self.lists[list.0 as usize].items.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::{ClassDesc, FieldDesc};
+    use mrq_common::DataType;
+
+    #[test]
+    fn list_push_get_len_and_clear() {
+        let mut heap = Heap::new();
+        let class = heap.register_class(ClassDesc::new(
+            "Row",
+            vec![FieldDesc::scalar("v", DataType::Int64)],
+        ));
+        let list = heap.new_list("rows", Some(class));
+        assert_eq!(heap.list_len(list), 0);
+        for i in 0..10 {
+            let obj = heap.alloc(class);
+            heap.set_i64(obj, 0, i);
+            heap.list_push(list, obj);
+        }
+        assert_eq!(heap.list_len(list), 10);
+        assert_eq!(heap.get_i64(heap.list_get(list, 3), 0), 3);
+        assert_eq!(heap.list_items(list).len(), 10);
+        assert_eq!(heap.list_class(list), Some(class));
+        assert_eq!(heap.list_name(list), "rows");
+        heap.list_clear(list);
+        assert_eq!(heap.list_len(list), 0);
+    }
+
+    #[test]
+    fn cleared_list_elements_are_collected() {
+        let mut heap = Heap::new();
+        let class = heap.register_class(ClassDesc::new(
+            "Row",
+            vec![FieldDesc::scalar("v", DataType::Int64)],
+        ));
+        let list = heap.new_list("rows", Some(class));
+        let obj = heap.alloc(class);
+        heap.list_push(list, obj);
+        heap.collect_minor();
+        assert!(heap.is_valid(obj));
+        heap.list_clear(list);
+        heap.collect_full();
+        assert!(!heap.is_valid(obj));
+    }
+}

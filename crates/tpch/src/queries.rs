@@ -1,0 +1,892 @@
+//! The evaluation workloads as LINQ-style expression trees.
+//!
+//! These are the queries §7 of the paper measures:
+//!
+//! * the **aggregation micro-benchmark** (§7.1): the Q1 aggregation over a
+//!   selection whose selectivity is swept from 0.1 to 1.0,
+//! * the **sorting micro-benchmark** (§7.2): sort `lineitem` by
+//!   `l_extendedprice` under the same selection sweep,
+//! * the **join micro-benchmark** (§7.3): the Q3 join with varied
+//!   selectivities on `lineitem` and `orders`,
+//! * **TPC-H Q1, Q2 and Q3** (§7.4/§7.5). Q2 is expressed in its
+//!   decorrelated two-step form (inner minimum-cost sub-query materialised,
+//!   then joined), which is exactly the hand-optimised plan the paper used to
+//!   keep LINQ-to-objects from re-evaluating the nested sub-query per element.
+
+use mrq_common::{Date, Decimal};
+use mrq_expr::{col, lam, lit, str_method, Expr, Query, QueryMethod, SourceId};
+use mrq_expr::{AggFunc, BinaryOp};
+
+/// Source id of `lineitem`.
+pub const SRC_LINEITEM: SourceId = SourceId(0);
+/// Source id of `orders`.
+pub const SRC_ORDERS: SourceId = SourceId(1);
+/// Source id of `customer`.
+pub const SRC_CUSTOMER: SourceId = SourceId(2);
+/// Source id of `part`.
+pub const SRC_PART: SourceId = SourceId(3);
+/// Source id of `supplier`.
+pub const SRC_SUPPLIER: SourceId = SourceId(4);
+/// Source id of `partsupp`.
+pub const SRC_PARTSUPP: SourceId = SourceId(5);
+/// Source id of `nation`.
+pub const SRC_NATION: SourceId = SourceId(6);
+/// Source id of `region`.
+pub const SRC_REGION: SourceId = SourceId(7);
+/// Source id bound to the materialised result of [`q2_inner`].
+pub const SRC_Q2_INNER: SourceId = SourceId(8);
+
+/// Maps a source id back to the table name it is bound to (the synthetic
+/// [`SRC_Q2_INNER`] source maps to `"q2_inner"`).
+pub fn source_table(source: SourceId) -> &'static str {
+    match source {
+        SourceId(0) => "lineitem",
+        SourceId(1) => "orders",
+        SourceId(2) => "customer",
+        SourceId(3) => "part",
+        SourceId(4) => "supplier",
+        SourceId(5) => "partsupp",
+        SourceId(6) => "nation",
+        SourceId(7) => "region",
+        SourceId(8) => "q2_inner",
+        other => panic!("unknown source id {other:?}"),
+    }
+}
+
+fn agg(func: AggFunc, selector: Option<Expr>) -> Expr {
+    mrq_expr::builder::agg(func, "g", selector)
+}
+
+/// `x.l_extendedprice * (1 - x.l_discount)`.
+fn disc_price(param: &str) -> Expr {
+    Expr::binary(
+        BinaryOp::Mul,
+        col(param, "l_extendedprice"),
+        Expr::binary(BinaryOp::Sub, lit(Decimal::ONE), col(param, "l_discount")),
+    )
+}
+
+/// `x.l_extendedprice * (1 - x.l_discount) * (1 + x.l_tax)`.
+fn charge(param: &str) -> Expr {
+    Expr::binary(
+        BinaryOp::Mul,
+        disc_price(param),
+        Expr::binary(BinaryOp::Add, lit(Decimal::ONE), col(param, "l_tax")),
+    )
+}
+
+/// TPC-H Q1 with the spec predicate `l_shipdate <= 1998-12-01 - 90 days`.
+pub fn q1() -> Expr {
+    q1_with_cutoff(Date::from_ymd(1998, 12, 1).add_days(-90))
+}
+
+/// The Q1 aggregation with an explicit ship-date cutoff. Sweeping the cutoff
+/// sweeps the selectivity (Figure 7).
+pub fn q1_with_cutoff(cutoff: Date) -> Expr {
+    Query::from_source(SRC_LINEITEM)
+        .where_(lam(
+            "l",
+            Expr::binary(BinaryOp::Le, col("l", "l_shipdate"), lit(cutoff)),
+        ))
+        .group_by(lam(
+            "l",
+            Expr::Constructor {
+                name: "Q1Key".into(),
+                fields: vec![
+                    ("l_returnflag".into(), col("l", "l_returnflag")),
+                    ("l_linestatus".into(), col("l", "l_linestatus")),
+                ],
+            },
+        ))
+        .select(lam(
+            "g",
+            Expr::Constructor {
+                name: "Q1Row".into(),
+                fields: vec![
+                    (
+                        "l_returnflag".into(),
+                        Expr::member(Expr::member(mrq_expr::var("g"), "Key"), "l_returnflag"),
+                    ),
+                    (
+                        "l_linestatus".into(),
+                        Expr::member(Expr::member(mrq_expr::var("g"), "Key"), "l_linestatus"),
+                    ),
+                    (
+                        "sum_qty".into(),
+                        agg(AggFunc::Sum, Some(lam("x", col("x", "l_quantity")))),
+                    ),
+                    (
+                        "sum_base_price".into(),
+                        agg(AggFunc::Sum, Some(lam("x", col("x", "l_extendedprice")))),
+                    ),
+                    (
+                        "sum_disc_price".into(),
+                        agg(AggFunc::Sum, Some(lam("x", disc_price("x")))),
+                    ),
+                    (
+                        "sum_charge".into(),
+                        agg(AggFunc::Sum, Some(lam("x", charge("x")))),
+                    ),
+                    (
+                        "avg_qty".into(),
+                        agg(AggFunc::Average, Some(lam("x", col("x", "l_quantity")))),
+                    ),
+                    (
+                        "avg_price".into(),
+                        agg(AggFunc::Average, Some(lam("x", col("x", "l_extendedprice")))),
+                    ),
+                    (
+                        "avg_disc".into(),
+                        agg(AggFunc::Average, Some(lam("x", col("x", "l_discount")))),
+                    ),
+                    ("count_order".into(), agg(AggFunc::Count, None)),
+                ],
+            },
+        ))
+        .order_by(lam("r", col("r", "l_returnflag")))
+        .then_by(lam("r", col("r", "l_linestatus")))
+        .into_expr()
+}
+
+/// The aggregation micro-benchmark of §7.1 with a configurable number of
+/// `Sum` aggregates (the paper varies the aggregate count while keeping the
+/// staged data constant).
+pub fn aggregation_micro(cutoff: Date, num_aggregates: usize) -> Expr {
+    assert!(num_aggregates >= 1);
+    let mut fields: Vec<(String, Expr)> = vec![
+        (
+            "l_returnflag".into(),
+            Expr::member(Expr::member(mrq_expr::var("g"), "Key"), "l_returnflag"),
+        ),
+        (
+            "l_linestatus".into(),
+            Expr::member(Expr::member(mrq_expr::var("g"), "Key"), "l_linestatus"),
+        ),
+    ];
+    let selectors = [
+        lam("x", col("x", "l_quantity")),
+        lam("x", col("x", "l_extendedprice")),
+        lam("x", disc_price("x")),
+        lam("x", charge("x")),
+        lam("x", col("x", "l_discount")),
+        lam("x", col("x", "l_tax")),
+        lam("x", Expr::binary(BinaryOp::Add, col("x", "l_quantity"), col("x", "l_tax"))),
+        lam("x", Expr::binary(BinaryOp::Sub, col("x", "l_extendedprice"), col("x", "l_tax"))),
+    ];
+    for i in 0..num_aggregates.min(selectors.len()) {
+        fields.push((format!("sum_{i}"), agg(AggFunc::Sum, Some(selectors[i].clone()))));
+    }
+    Query::from_source(SRC_LINEITEM)
+        .where_(lam(
+            "l",
+            Expr::binary(BinaryOp::Le, col("l", "l_shipdate"), lit(cutoff)),
+        ))
+        .group_by(lam(
+            "l",
+            Expr::Constructor {
+                name: "Q1Key".into(),
+                fields: vec![
+                    ("l_returnflag".into(), col("l", "l_returnflag")),
+                    ("l_linestatus".into(), col("l", "l_linestatus")),
+                ],
+            },
+        ))
+        .select(lam(
+            "g",
+            Expr::Constructor {
+                name: "AggRow".into(),
+                fields,
+            },
+        ))
+        .into_expr()
+}
+
+/// The sorting micro-benchmark of §7.2: filter `lineitem` by ship date and
+/// sort by `l_extendedprice`. The projection keeps the columns the paper's
+/// result objects carry.
+pub fn sort_micro(cutoff: Date) -> Expr {
+    Query::from_source(SRC_LINEITEM)
+        .where_(lam(
+            "l",
+            Expr::binary(BinaryOp::Le, col("l", "l_shipdate"), lit(cutoff)),
+        ))
+        .order_by(lam("l", col("l", "l_extendedprice")))
+        .select(lam(
+            "l",
+            Expr::Constructor {
+                name: "SortRow".into(),
+                fields: vec![
+                    ("l_orderkey".into(), col("l", "l_orderkey")),
+                    ("l_extendedprice".into(), col("l", "l_extendedprice")),
+                    ("l_quantity".into(), col("l", "l_quantity")),
+                    ("l_shipdate".into(), col("l", "l_shipdate")),
+                ],
+            },
+        ))
+        .into_expr()
+}
+
+/// The join micro-benchmark of §7.3: the Q3 join with explicit cut-offs on
+/// `l_shipdate` and `o_orderdate` (which the paper varies) and the constant
+/// `c_mktsegment` selection. Produces the flat join result (no aggregation):
+/// the paper's figure measures the join itself.
+pub fn join_micro(segment: &str, ship_after: Date, order_before: Date) -> Expr {
+    Query::from_source(SRC_LINEITEM)
+        .where_(lam(
+            "l",
+            Expr::binary(BinaryOp::Gt, col("l", "l_shipdate"), lit(ship_after)),
+        ))
+        .join_query(
+            Query::from_source(SRC_ORDERS).where_(lam(
+                "o",
+                Expr::binary(BinaryOp::Lt, col("o", "o_orderdate"), lit(order_before)),
+            )),
+            lam("l", col("l", "l_orderkey")),
+            lam("o", col("o", "o_orderkey")),
+            lam(
+                "l",
+                lam(
+                    "o",
+                    Expr::Constructor {
+                        name: "LO".into(),
+                        fields: vec![
+                            ("l_orderkey".into(), col("l", "l_orderkey")),
+                            ("l_extendedprice".into(), col("l", "l_extendedprice")),
+                            ("l_discount".into(), col("l", "l_discount")),
+                            ("o_orderdate".into(), col("o", "o_orderdate")),
+                            ("o_shippriority".into(), col("o", "o_shippriority")),
+                            ("o_custkey".into(), col("o", "o_custkey")),
+                        ],
+                    },
+                ),
+            ),
+        )
+        .join_query(
+            Query::from_source(SRC_CUSTOMER).where_(lam(
+                "c",
+                Expr::binary(BinaryOp::Eq, col("c", "c_mktsegment"), lit(segment)),
+            )),
+            lam("x", col("x", "o_custkey")),
+            lam("c", col("c", "c_custkey")),
+            lam(
+                "x",
+                lam(
+                    "c",
+                    Expr::Constructor {
+                        name: "LOC".into(),
+                        fields: vec![
+                            ("l_orderkey".into(), col("x", "l_orderkey")),
+                            ("revenue_item".into(), {
+                                Expr::binary(
+                                    BinaryOp::Mul,
+                                    col("x", "l_extendedprice"),
+                                    Expr::binary(
+                                        BinaryOp::Sub,
+                                        lit(Decimal::ONE),
+                                        col("x", "l_discount"),
+                                    ),
+                                )
+                            }),
+                            ("o_orderdate".into(), col("x", "o_orderdate")),
+                            ("o_shippriority".into(), col("x", "o_shippriority")),
+                        ],
+                    },
+                ),
+            ),
+        )
+        .into_expr()
+}
+
+/// The Q3 join written the way §2.3 warns about: every selection is applied
+/// *after* the joins, on the joined result, instead of on the individual
+/// inputs. LINQ-to-objects evaluates such a statement exactly as written;
+/// the provider's heuristic optimizer pushes the selections back below the
+/// joins (compare against [`join_micro`], the hand-optimised form).
+pub fn join_micro_naive(segment: &str, ship_after: Date, order_before: Date) -> Expr {
+    Query::from_source(SRC_LINEITEM)
+        .join_query(
+            Query::from_source(SRC_ORDERS),
+            lam("l", col("l", "l_orderkey")),
+            lam("o", col("o", "o_orderkey")),
+            lam(
+                "l",
+                lam(
+                    "o",
+                    Expr::Constructor {
+                        name: "LO".into(),
+                        fields: vec![
+                            ("l_orderkey".into(), col("l", "l_orderkey")),
+                            ("l_extendedprice".into(), col("l", "l_extendedprice")),
+                            ("l_discount".into(), col("l", "l_discount")),
+                            ("l_shipdate".into(), col("l", "l_shipdate")),
+                            ("o_orderdate".into(), col("o", "o_orderdate")),
+                            ("o_shippriority".into(), col("o", "o_shippriority")),
+                            ("o_custkey".into(), col("o", "o_custkey")),
+                        ],
+                    },
+                ),
+            ),
+        )
+        .join_query(
+            Query::from_source(SRC_CUSTOMER),
+            lam("x", col("x", "o_custkey")),
+            lam("c", col("c", "c_custkey")),
+            lam(
+                "x",
+                lam(
+                    "c",
+                    Expr::Constructor {
+                        name: "LOC".into(),
+                        fields: vec![
+                            ("l_orderkey".into(), col("x", "l_orderkey")),
+                            ("l_shipdate".into(), col("x", "l_shipdate")),
+                            ("o_orderdate".into(), col("x", "o_orderdate")),
+                            ("o_shippriority".into(), col("x", "o_shippriority")),
+                            ("c_mktsegment".into(), col("c", "c_mktsegment")),
+                            ("revenue_item".into(), {
+                                Expr::binary(
+                                    BinaryOp::Mul,
+                                    col("x", "l_extendedprice"),
+                                    Expr::binary(
+                                        BinaryOp::Sub,
+                                        lit(Decimal::ONE),
+                                        col("x", "l_discount"),
+                                    ),
+                                )
+                            }),
+                        ],
+                    },
+                ),
+            ),
+        )
+        .where_(lam(
+            "r",
+            mrq_expr::and_all(vec![
+                Expr::binary(BinaryOp::Eq, col("r", "c_mktsegment"), lit(segment)),
+                Expr::binary(BinaryOp::Gt, col("r", "l_shipdate"), lit(ship_after)),
+                Expr::binary(BinaryOp::Lt, col("r", "o_orderdate"), lit(order_before)),
+            ]),
+        ))
+        .into_expr()
+}
+
+/// The sorting micro-benchmark with a `Take(n)` appended — the §2.3
+/// "independent operators" example (`OrderBy` followed by `Take`) used by the
+/// top-N fusion ablation.
+pub fn sort_topn_micro(cutoff: Date, n: i64) -> Expr {
+    Query::from_expr(sort_micro(cutoff)).take(n).into_expr()
+}
+
+/// TPC-H Q3 with the spec parameters (`BUILDING`, 1995-03-15).
+pub fn q3() -> Expr {
+    q3_with_params("BUILDING", Date::from_ymd(1995, 3, 15))
+}
+
+/// TPC-H Q3 with explicit parameters: joins customer/orders/lineitem, groups
+/// by order, sorts by revenue and returns the top ten.
+pub fn q3_with_params(segment: &str, date: Date) -> Expr {
+    Query::from_expr(join_micro(segment, date, date))
+        .group_by(lam(
+            "x",
+            Expr::Constructor {
+                name: "Q3Key".into(),
+                fields: vec![
+                    ("l_orderkey".into(), col("x", "l_orderkey")),
+                    ("o_orderdate".into(), col("x", "o_orderdate")),
+                    ("o_shippriority".into(), col("x", "o_shippriority")),
+                ],
+            },
+        ))
+        .select(lam(
+            "g",
+            Expr::Constructor {
+                name: "Q3Row".into(),
+                fields: vec![
+                    (
+                        "l_orderkey".into(),
+                        Expr::member(Expr::member(mrq_expr::var("g"), "Key"), "l_orderkey"),
+                    ),
+                    (
+                        "revenue".into(),
+                        agg(AggFunc::Sum, Some(lam("x", col("x", "revenue_item")))),
+                    ),
+                    (
+                        "o_orderdate".into(),
+                        Expr::member(Expr::member(mrq_expr::var("g"), "Key"), "o_orderdate"),
+                    ),
+                    (
+                        "o_shippriority".into(),
+                        Expr::member(Expr::member(mrq_expr::var("g"), "Key"), "o_shippriority"),
+                    ),
+                ],
+            },
+        ))
+        .order_by_desc(lam("r", col("r", "revenue")))
+        .then_by(lam("r", col("r", "o_orderdate")))
+        .take(10)
+        .into_expr()
+}
+
+/// TPC-H Q6 with the spec parameters (1994-01-01, discount 0.06 ± 0.01,
+/// quantity < 24).
+pub fn q6() -> Expr {
+    // 0.06 expressed in the fixed-point representation (two fractional
+    // digits).
+    q6_with_params(
+        Date::from_ymd(1994, 1, 1),
+        Decimal::from_raw(6),
+        Decimal::from_int(24),
+    )
+}
+
+/// TPC-H Q6 — the forecasting-revenue-change query: a single whole-relation
+/// `Sum(l_extendedprice * l_discount)` under a conjunctive selection. Not
+/// part of the paper's evaluation, but a useful additional workload: it is
+/// the purest "tight loop over one table" shape, where the compiled
+/// strategies' advantage comes entirely from fusion and predicate evaluation
+/// (no joins, no grouping, no sort).
+pub fn q6_with_params(ship_from: Date, discount: Decimal, max_quantity: Decimal) -> Expr {
+    let epsilon = Decimal::from_raw(1); // 0.01
+    Query::from_source(SRC_LINEITEM)
+        .where_(lam(
+            "l",
+            mrq_expr::and_all(vec![
+                Expr::binary(BinaryOp::Ge, col("l", "l_shipdate"), lit(ship_from)),
+                Expr::binary(
+                    BinaryOp::Lt,
+                    col("l", "l_shipdate"),
+                    lit(ship_from.add_days(365)),
+                ),
+                Expr::binary(
+                    BinaryOp::Ge,
+                    col("l", "l_discount"),
+                    lit(discount - epsilon),
+                ),
+                Expr::binary(
+                    BinaryOp::Le,
+                    col("l", "l_discount"),
+                    lit(discount + epsilon),
+                ),
+                Expr::binary(BinaryOp::Lt, col("l", "l_quantity"), lit(max_quantity)),
+            ]),
+        ))
+        .sum(lam(
+            "l",
+            Expr::binary(
+                BinaryOp::Mul,
+                col("l", "l_extendedprice"),
+                col("l", "l_discount"),
+            ),
+        ))
+        .into_expr()
+}
+
+/// Q2 parameters.
+#[derive(Debug, Clone)]
+pub struct Q2Params {
+    /// `p_size = size`.
+    pub size: i32,
+    /// `p_type LIKE '%suffix'`.
+    pub type_suffix: String,
+    /// `r_name = region`.
+    pub region: String,
+}
+
+impl Default for Q2Params {
+    fn default() -> Self {
+        Q2Params {
+            size: 15,
+            type_suffix: "BRASS".into(),
+            region: "EUROPE".into(),
+        }
+    }
+}
+
+/// The inner (decorrelated) sub-query of TPC-H Q2: the minimum supply cost
+/// per part among suppliers of the chosen region. Its materialised result is
+/// bound to [`SRC_Q2_INNER`] when executing [`q2_outer`].
+pub fn q2_inner(params: &Q2Params) -> Expr {
+    Query::from_source(SRC_PARTSUPP)
+        .join_query(
+            Query::from_source(SRC_SUPPLIER),
+            lam("ps", col("ps", "ps_suppkey")),
+            lam("s", col("s", "s_suppkey")),
+            lam(
+                "ps",
+                lam(
+                    "s",
+                    Expr::Constructor {
+                        name: "PsS".into(),
+                        fields: vec![
+                            ("ps_partkey".into(), col("ps", "ps_partkey")),
+                            ("ps_supplycost".into(), col("ps", "ps_supplycost")),
+                            ("s_nationkey".into(), col("s", "s_nationkey")),
+                        ],
+                    },
+                ),
+            ),
+        )
+        .join_query(
+            Query::from_source(SRC_NATION),
+            lam("x", col("x", "s_nationkey")),
+            lam("n", col("n", "n_nationkey")),
+            lam(
+                "x",
+                lam(
+                    "n",
+                    Expr::Constructor {
+                        name: "PsSN".into(),
+                        fields: vec![
+                            ("ps_partkey".into(), col("x", "ps_partkey")),
+                            ("ps_supplycost".into(), col("x", "ps_supplycost")),
+                            ("n_regionkey".into(), col("n", "n_regionkey")),
+                        ],
+                    },
+                ),
+            ),
+        )
+        .join_query(
+            Query::from_source(SRC_REGION).where_(lam(
+                "r",
+                Expr::binary(BinaryOp::Eq, col("r", "r_name"), lit(params.region.as_str())),
+            )),
+            lam("x", col("x", "n_regionkey")),
+            lam("r", col("r", "r_regionkey")),
+            lam(
+                "x",
+                lam(
+                    "r",
+                    Expr::Constructor {
+                        name: "PsSNR".into(),
+                        fields: vec![
+                            ("ps_partkey".into(), col("x", "ps_partkey")),
+                            ("ps_supplycost".into(), col("x", "ps_supplycost")),
+                        ],
+                    },
+                ),
+            ),
+        )
+        .group_by(lam(
+            "x",
+            Expr::Constructor {
+                name: "MinKey".into(),
+                fields: vec![("ps_partkey".into(), col("x", "ps_partkey"))],
+            },
+        ))
+        .select(lam(
+            "g",
+            Expr::Constructor {
+                name: "MinCost".into(),
+                fields: vec![
+                    (
+                        "ps_partkey".into(),
+                        Expr::member(Expr::member(mrq_expr::var("g"), "Key"), "ps_partkey"),
+                    ),
+                    (
+                        "min_cost".into(),
+                        agg(AggFunc::Min, Some(lam("x", col("x", "ps_supplycost")))),
+                    ),
+                ],
+            },
+        ))
+        .into_expr()
+}
+
+/// The outer part of TPC-H Q2: minimum-cost European suppliers of the
+/// selected parts, ordered by account balance. Expects [`SRC_Q2_INNER`] to be
+/// bound to the materialised result of [`q2_inner`].
+pub fn q2_outer(params: &Q2Params) -> Expr {
+    Query::from_source(SRC_PARTSUPP)
+        .join_query(
+            Query::from_source(SRC_PART).where_(lam(
+                "p",
+                Expr::binary(
+                    BinaryOp::And,
+                    Expr::binary(BinaryOp::Eq, col("p", "p_size"), lit(params.size)),
+                    str_method(
+                        QueryMethod::EndsWith,
+                        col("p", "p_type"),
+                        lit(params.type_suffix.as_str()),
+                    ),
+                ),
+            )),
+            lam("ps", col("ps", "ps_partkey")),
+            lam("p", col("p", "p_partkey")),
+            lam(
+                "ps",
+                lam(
+                    "p",
+                    Expr::Constructor {
+                        name: "PsP".into(),
+                        fields: vec![
+                            ("ps_partkey".into(), col("ps", "ps_partkey")),
+                            ("ps_suppkey".into(), col("ps", "ps_suppkey")),
+                            ("ps_supplycost".into(), col("ps", "ps_supplycost")),
+                            ("p_mfgr".into(), col("p", "p_mfgr")),
+                        ],
+                    },
+                ),
+            ),
+        )
+        .join_query(
+            Query::from_source(SRC_Q2_INNER),
+            lam(
+                "x",
+                Expr::Constructor {
+                    name: "CostKey".into(),
+                    fields: vec![
+                        ("k".into(), col("x", "ps_partkey")),
+                        ("c".into(), col("x", "ps_supplycost")),
+                    ],
+                },
+            ),
+            lam(
+                "m",
+                Expr::Constructor {
+                    name: "CostKey".into(),
+                    fields: vec![
+                        ("k".into(), col("m", "ps_partkey")),
+                        ("c".into(), col("m", "min_cost")),
+                    ],
+                },
+            ),
+            lam(
+                "x",
+                lam(
+                    "m",
+                    Expr::Constructor {
+                        name: "PsPM".into(),
+                        fields: vec![
+                            ("ps_partkey".into(), col("x", "ps_partkey")),
+                            ("ps_suppkey".into(), col("x", "ps_suppkey")),
+                            ("ps_supplycost".into(), col("x", "ps_supplycost")),
+                            ("p_mfgr".into(), col("x", "p_mfgr")),
+                        ],
+                    },
+                ),
+            ),
+        )
+        .join_query(
+            Query::from_source(SRC_SUPPLIER),
+            lam("x", col("x", "ps_suppkey")),
+            lam("s", col("s", "s_suppkey")),
+            lam(
+                "x",
+                lam(
+                    "s",
+                    Expr::Constructor {
+                        name: "PsPMS".into(),
+                        fields: vec![
+                            ("ps_partkey".into(), col("x", "ps_partkey")),
+                            ("p_mfgr".into(), col("x", "p_mfgr")),
+                            ("s_acctbal".into(), col("s", "s_acctbal")),
+                            ("s_name".into(), col("s", "s_name")),
+                            ("s_address".into(), col("s", "s_address")),
+                            ("s_phone".into(), col("s", "s_phone")),
+                            ("s_nationkey".into(), col("s", "s_nationkey")),
+                        ],
+                    },
+                ),
+            ),
+        )
+        .join_query(
+            Query::from_source(SRC_NATION),
+            lam("x", col("x", "s_nationkey")),
+            lam("n", col("n", "n_nationkey")),
+            lam(
+                "x",
+                lam(
+                    "n",
+                    Expr::Constructor {
+                        name: "Q2Out".into(),
+                        fields: vec![
+                            ("s_acctbal".into(), col("x", "s_acctbal")),
+                            ("s_name".into(), col("x", "s_name")),
+                            ("n_name".into(), col("n", "n_name")),
+                            ("p_partkey".into(), col("x", "ps_partkey")),
+                            ("p_mfgr".into(), col("x", "p_mfgr")),
+                            ("s_address".into(), col("x", "s_address")),
+                            ("s_phone".into(), col("x", "s_phone")),
+                        ],
+                    },
+                ),
+            ),
+        )
+        .order_by_desc(lam("r", col("r", "s_acctbal")))
+        .then_by(lam("r", col("r", "n_name")))
+        .then_by(lam("r", col("r", "s_name")))
+        .then_by(lam("r", col("r", "p_partkey")))
+        .take(100)
+        .into_expr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrq_expr::canonicalize;
+
+    #[test]
+    fn q1_tree_mentions_every_aggregate() {
+        let text = q1().to_string();
+        for needle in [
+            "GroupBy",
+            "Sum",
+            "Average",
+            "Count",
+            "l_returnflag",
+            "l_linestatus",
+            "l_extendedprice",
+        ] {
+            assert!(text.contains(needle), "Q1 text missing `{needle}`: {text}");
+        }
+    }
+
+    #[test]
+    fn q1_selectivity_variants_share_a_canonical_shape() {
+        let a = canonicalize(q1_with_cutoff(Date::from_ymd(1995, 1, 1)));
+        let b = canonicalize(q1_with_cutoff(Date::from_ymd(1997, 1, 1)));
+        assert_eq!(a.shape_hash, b.shape_hash);
+        assert_ne!(a.params, b.params);
+    }
+
+    #[test]
+    fn q3_tree_contains_two_joins_and_a_top_ten() {
+        let expr = q3();
+        let mut joins = 0;
+        let mut takes = 0;
+        expr.visit(&mut |node| {
+            if let Expr::Call { method, .. } = node {
+                match method {
+                    QueryMethod::Join => joins += 1,
+                    QueryMethod::Take => takes += 1,
+                    _ => {}
+                }
+            }
+        });
+        assert_eq!(joins, 2);
+        assert_eq!(takes, 1);
+        assert_eq!(expr.sources(), vec![SRC_LINEITEM, SRC_ORDERS, SRC_CUSTOMER]);
+    }
+
+    #[test]
+    fn q2_outer_references_the_inner_result_source() {
+        let params = Q2Params::default();
+        let outer = q2_outer(&params);
+        assert!(outer.sources().contains(&SRC_Q2_INNER));
+        let inner = q2_inner(&params);
+        assert!(inner.sources().contains(&SRC_REGION));
+        assert!(inner.to_string().contains("Min"));
+        assert!(outer.to_string().contains("EndsWith"));
+    }
+
+    #[test]
+    fn aggregation_micro_scales_its_aggregate_count() {
+        let one = aggregation_micro(Date::from_ymd(1998, 12, 1), 1);
+        let six = aggregation_micro(Date::from_ymd(1998, 12, 1), 6);
+        let count_sums = |e: &Expr| {
+            let mut n = 0;
+            e.visit(&mut |node| {
+                if let Expr::Call {
+                    method: QueryMethod::Sum,
+                    ..
+                } = node
+                {
+                    n += 1;
+                }
+            });
+            n
+        };
+        assert_eq!(count_sums(&one), 1);
+        assert_eq!(count_sums(&six), 6);
+    }
+
+    #[test]
+    fn source_table_maps_all_ids() {
+        assert_eq!(source_table(SRC_LINEITEM), "lineitem");
+        assert_eq!(source_table(SRC_Q2_INNER), "q2_inner");
+    }
+
+    #[test]
+    fn naive_q3_join_keeps_every_selection_above_the_joins() {
+        let date = Date::from_ymd(1995, 3, 15);
+        let naive = join_micro_naive("BUILDING", date, date);
+        // Written naively: exactly one Where, and it sits at the top of the
+        // chain (the outermost call).
+        let mut wheres = 0;
+        naive.visit(&mut |node| {
+            if matches!(
+                node,
+                Expr::Call {
+                    method: QueryMethod::Where,
+                    ..
+                }
+            ) {
+                wheres += 1;
+            }
+        });
+        assert_eq!(wheres, 1);
+        assert!(matches!(
+            &naive,
+            Expr::Call {
+                method: QueryMethod::Where,
+                ..
+            }
+        ));
+        // The optimizer pushes all three conjuncts below the joins.
+        let optimized = mrq_expr::optimize(naive, mrq_expr::OptimizerConfig::default());
+        assert!(!matches!(
+            &optimized.expr,
+            Expr::Call {
+                method: QueryMethod::Where,
+                ..
+            }
+        ));
+        assert!(optimized.rewrites.len() >= 3);
+    }
+
+    #[test]
+    fn q6_is_a_whole_relation_sum_under_a_conjunction() {
+        let expr = q6();
+        assert!(matches!(
+            &expr,
+            Expr::Call {
+                method: QueryMethod::Sum,
+                ..
+            }
+        ));
+        let text = expr.to_string();
+        for needle in ["l_shipdate", "l_discount", "l_quantity", "Sum"] {
+            assert!(text.contains(needle), "Q6 text missing `{needle}`");
+        }
+        // Parameter-insensitive canonical shape, like every other workload.
+        let a = canonicalize(q6_with_params(
+            Date::from_ymd(1994, 1, 1),
+            Decimal::from_raw(6),
+            Decimal::from_int(24),
+        ));
+        let b = canonicalize(q6_with_params(
+            Date::from_ymd(1995, 1, 1),
+            Decimal::from_raw(7),
+            Decimal::from_int(25),
+        ));
+        assert_eq!(a.shape_hash, b.shape_hash);
+    }
+
+    #[test]
+    fn sort_topn_micro_appends_a_take() {
+        let expr = sort_topn_micro(Date::from_ymd(1998, 12, 1), 10);
+        let mut takes = 0;
+        expr.visit(&mut |node| {
+            if matches!(
+                node,
+                Expr::Call {
+                    method: QueryMethod::Take,
+                    ..
+                }
+            ) {
+                takes += 1;
+            }
+        });
+        assert_eq!(takes, 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! Relational schemas of the eight TPC-H tables.
+
+use mrq_common::{DataType, Field, Schema};
+
+/// Schema of `lineitem`.
+pub fn lineitem() -> Schema {
+    Schema::new(
+        "Lineitem",
+        vec![
+            Field::new("l_orderkey", DataType::Int64),
+            Field::new("l_partkey", DataType::Int64),
+            Field::new("l_suppkey", DataType::Int64),
+            Field::new("l_linenumber", DataType::Int32),
+            Field::new("l_quantity", DataType::Decimal),
+            Field::new("l_extendedprice", DataType::Decimal),
+            Field::new("l_discount", DataType::Decimal),
+            Field::new("l_tax", DataType::Decimal),
+            Field::new("l_returnflag", DataType::Str),
+            Field::new("l_linestatus", DataType::Str),
+            Field::new("l_shipdate", DataType::Date),
+            Field::new("l_commitdate", DataType::Date),
+            Field::new("l_receiptdate", DataType::Date),
+            Field::new("l_shipinstruct", DataType::Str),
+            Field::new("l_shipmode", DataType::Str),
+            Field::new("l_comment", DataType::Str),
+        ],
+    )
+}
+
+/// Schema of `orders`.
+pub fn orders() -> Schema {
+    Schema::new(
+        "Orders",
+        vec![
+            Field::new("o_orderkey", DataType::Int64),
+            Field::new("o_custkey", DataType::Int64),
+            Field::new("o_orderstatus", DataType::Str),
+            Field::new("o_totalprice", DataType::Decimal),
+            Field::new("o_orderdate", DataType::Date),
+            Field::new("o_orderpriority", DataType::Str),
+            Field::new("o_clerk", DataType::Str),
+            Field::new("o_shippriority", DataType::Int32),
+            Field::new("o_comment", DataType::Str),
+        ],
+    )
+}
+
+/// Schema of `customer`.
+pub fn customer() -> Schema {
+    Schema::new(
+        "Customer",
+        vec![
+            Field::new("c_custkey", DataType::Int64),
+            Field::new("c_name", DataType::Str),
+            Field::new("c_address", DataType::Str),
+            Field::new("c_nationkey", DataType::Int32),
+            Field::new("c_phone", DataType::Str),
+            Field::new("c_acctbal", DataType::Decimal),
+            Field::new("c_mktsegment", DataType::Str),
+            Field::new("c_comment", DataType::Str),
+        ],
+    )
+}
+
+/// Schema of `part`.
+pub fn part() -> Schema {
+    Schema::new(
+        "Part",
+        vec![
+            Field::new("p_partkey", DataType::Int64),
+            Field::new("p_name", DataType::Str),
+            Field::new("p_mfgr", DataType::Str),
+            Field::new("p_brand", DataType::Str),
+            Field::new("p_type", DataType::Str),
+            Field::new("p_size", DataType::Int32),
+            Field::new("p_container", DataType::Str),
+            Field::new("p_retailprice", DataType::Decimal),
+            Field::new("p_comment", DataType::Str),
+        ],
+    )
+}
+
+/// Schema of `supplier`.
+pub fn supplier() -> Schema {
+    Schema::new(
+        "Supplier",
+        vec![
+            Field::new("s_suppkey", DataType::Int64),
+            Field::new("s_name", DataType::Str),
+            Field::new("s_address", DataType::Str),
+            Field::new("s_nationkey", DataType::Int32),
+            Field::new("s_phone", DataType::Str),
+            Field::new("s_acctbal", DataType::Decimal),
+            Field::new("s_comment", DataType::Str),
+        ],
+    )
+}
+
+/// Schema of `partsupp`.
+pub fn partsupp() -> Schema {
+    Schema::new(
+        "Partsupp",
+        vec![
+            Field::new("ps_partkey", DataType::Int64),
+            Field::new("ps_suppkey", DataType::Int64),
+            Field::new("ps_availqty", DataType::Int32),
+            Field::new("ps_supplycost", DataType::Decimal),
+            Field::new("ps_comment", DataType::Str),
+        ],
+    )
+}
+
+/// Schema of `nation`.
+pub fn nation() -> Schema {
+    Schema::new(
+        "Nation",
+        vec![
+            Field::new("n_nationkey", DataType::Int32),
+            Field::new("n_name", DataType::Str),
+            Field::new("n_regionkey", DataType::Int32),
+            Field::new("n_comment", DataType::Str),
+        ],
+    )
+}
+
+/// Schema of `region`.
+pub fn region() -> Schema {
+    Schema::new(
+        "Region",
+        vec![
+            Field::new("r_regionkey", DataType::Int32),
+            Field::new("r_name", DataType::Str),
+            Field::new("r_comment", DataType::Str),
+        ],
+    )
+}
+
+/// All eight schemas, keyed by canonical table name.
+pub fn all() -> Vec<(&'static str, Schema)> {
+    vec![
+        ("lineitem", lineitem()),
+        ("orders", orders()),
+        ("customer", customer()),
+        ("part", part()),
+        ("supplier", supplier()),
+        ("partsupp", partsupp()),
+        ("nation", nation()),
+        ("region", region()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineitem_has_sixteen_columns_in_spec_order() {
+        let s = lineitem();
+        assert_eq!(s.len(), 16);
+        assert_eq!(s.index_of("l_quantity"), Some(4));
+        assert_eq!(s.index_of("l_shipdate"), Some(10));
+        assert_eq!(s.dtype_of("l_extendedprice"), Some(DataType::Decimal));
+    }
+
+    #[test]
+    fn all_tables_are_present_with_unique_names() {
+        let tables = all();
+        assert_eq!(tables.len(), 8);
+        let mut names: Vec<&str> = tables.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn q3_columns_exist() {
+        assert!(customer().index_of("c_mktsegment").is_some());
+        assert!(orders().index_of("o_orderdate").is_some());
+        assert!(orders().index_of("o_shippriority").is_some());
+        assert!(lineitem().index_of("l_orderkey").is_some());
+    }
+}

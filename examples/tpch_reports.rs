@@ -1,0 +1,59 @@
+//! Runs TPC-H Q1 and Q3 over a generated dataset loaded as managed objects
+//! and as native arrays of structs, printing the reports and timings.
+//!
+//! Run with `cargo run -p mrq-core --release --example tpch_reports`.
+
+use mrq_core::{Provider, Strategy};
+use mrq_engine_hybrid::HybridConfig;
+use mrq_expr::SourceId;
+use mrq_tpch::gen::{GenConfig, TpchData};
+use mrq_tpch::load::{schema_of, value_rows, HeapDataset, TABLE_NAMES};
+use mrq_tpch::queries;
+use std::time::Instant;
+
+fn main() {
+    let data = TpchData::generate(GenConfig::scale(0.01));
+    let heap_data = HeapDataset::load(&data);
+    // Native mirrors (arrays of structs) for the §5 strategy.
+    let stores: Vec<(usize, mrq_engine_native::RowStore)> = TABLE_NAMES
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            (
+                i,
+                mrq_engine_native::RowStore::from_rows(schema_of(t), &value_rows(&data, t)),
+            )
+        })
+        .collect();
+
+    let mut provider = Provider::over_heap(&heap_data.heap);
+    for (i, table) in TABLE_NAMES.iter().enumerate() {
+        provider.bind_managed(SourceId(i as u32), heap_data.list(table), schema_of(table));
+    }
+    let mut native = Provider::new();
+    for (i, store) in &stores {
+        native.bind_native(SourceId(*i as u32), store);
+    }
+
+    for (name, expr) in [("TPC-H Q1", queries::q1()), ("TPC-H Q3", queries::q3())] {
+        println!("=== {name} ===");
+        for (label, provider_ref, strategy) in [
+            ("LINQ-to-objects", &provider, Strategy::LinqToObjects),
+            ("compiled C#", &provider, Strategy::CompiledCSharp),
+            ("hybrid C#/C", &provider, Strategy::Hybrid(HybridConfig::default())),
+            ("compiled C (native rows)", &native, Strategy::CompiledNative),
+        ] {
+            let start = Instant::now();
+            let out = provider_ref.execute(expr.clone(), strategy).unwrap();
+            println!(
+                "  {label:<26} {:>9.2} ms   ({} result rows)",
+                start.elapsed().as_secs_f64() * 1e3,
+                out.rows.len()
+            );
+            if label == "compiled C (native rows)" {
+                print!("{}", out.render(4));
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,11 @@
+//! Shared helpers for the workspace-level integration tests.
+
+use mrq_tpch::gen::{GenConfig, TpchData};
+
+/// A small deterministic dataset shared by the integration tests.
+pub fn small_dataset() -> TpchData {
+    TpchData::generate(GenConfig {
+        scale_factor: 0.002,
+        seed: 1234,
+    })
+}

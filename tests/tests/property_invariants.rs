@@ -1,0 +1,346 @@
+//! Property-based tests over the core data structures and the compiled
+//! execution paths: random inputs must never break the equivalences the
+//! reproduction rests on (flat storage round-trips, fused top-N versus full
+//! sorts, optimizer rewrites, parallel merges, cache-model monotonicity).
+
+use mrq_codegen::exec::{execute_once, ExecState, TableAccess, ValueTable};
+use mrq_codegen::spec::lower;
+use mrq_common::{DataType, Date, Decimal, Field, Schema, Value};
+use mrq_engine_native::{execute_parallel, ParallelConfig, RowStore};
+use mrq_expr::{canonicalize, col, lam, lit, BinaryOp, Expr, Query, SourceId};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn sales_schema() -> Schema {
+    Schema::new(
+        "Sale",
+        vec![
+            Field::new("id", DataType::Int64),
+            Field::new("bucket", DataType::Int64),
+            Field::new("price", DataType::Decimal),
+            Field::new("day", DataType::Date),
+            Field::new("tag", DataType::Str),
+        ],
+    )
+}
+
+fn catalog() -> HashMap<SourceId, Schema> {
+    let mut map = HashMap::new();
+    map.insert(SourceId(0), sales_schema());
+    map
+}
+
+prop_compose! {
+    fn arb_row()(
+        id in -1_000_000i64..1_000_000,
+        bucket in 0i64..8,
+        price in -10_000i64..10_000,
+        days in 0i32..4000,
+        tag in "[A-D]{1,3}",
+    ) -> Vec<Value> {
+        vec![
+            Value::Int64(id),
+            Value::Int64(bucket),
+            Value::Decimal(Decimal::from_int(price)),
+            Value::Date(Date::from_ymd(1992, 1, 1).add_days(days)),
+            Value::str(tag),
+        ]
+    }
+}
+
+fn arb_rows(max: usize) -> impl Strategy<Value = Vec<Vec<Value>>> {
+    prop::collection::vec(arb_row(), 0..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Values written into the packed native row layout read back unchanged.
+    #[test]
+    fn row_store_round_trips_every_value(rows in arb_rows(64)) {
+        let store = RowStore::from_rows(sales_schema(), &rows);
+        prop_assert_eq!(store.len(), rows.len());
+        for (r, row) in rows.iter().enumerate() {
+            for (c, value) in row.iter().enumerate() {
+                prop_assert_eq!(&store.get_value(r, c), value);
+            }
+        }
+    }
+
+    /// Date round-trips through its epoch-day representation (the layout the
+    /// row store and the staged buffers use).
+    #[test]
+    fn date_round_trips_through_epoch_days(days in 0i32..200_000) {
+        let date = Date::from_epoch_days(days);
+        prop_assert_eq!(date.epoch_days(), days);
+        let (y, m, d) = date.to_ymd();
+        prop_assert_eq!(Date::from_ymd(y, m, d), date);
+        prop_assert_eq!(date.year(), y);
+    }
+
+    /// Decimal sums agree with exact integer arithmetic.
+    #[test]
+    fn decimal_sums_match_integer_sums(values in prop::collection::vec(-50_000i64..50_000, 0..100)) {
+        let decimal_sum = values
+            .iter()
+            .fold(Decimal::ZERO, |acc, &v| acc + Decimal::from_int(v));
+        let int_sum: i64 = values.iter().sum();
+        prop_assert_eq!(decimal_sum, Decimal::from_int(int_sum));
+    }
+
+    /// The fused OrderBy+Take buffer returns exactly what a full stable sort
+    /// followed by truncation returns, for any data and any limit.
+    #[test]
+    fn fused_topn_equals_full_sort_then_truncate(rows in arb_rows(120), take in 0i64..40) {
+        let q = Query::from_source(SourceId(0))
+            .order_by_desc(lam("s", col("s", "price")))
+            .then_by(lam("s", col("s", "id")))
+            .select(lam(
+                "s",
+                Expr::Constructor {
+                    name: "Out".into(),
+                    fields: vec![
+                        ("id".into(), col("s", "id")),
+                        ("price".into(), col("s", "price")),
+                    ],
+                },
+            ))
+            .take(take)
+            .into_expr();
+        let canon = canonicalize(q);
+        let spec = lower(&canon, &catalog()).unwrap();
+        let table = ValueTable::new(sales_schema(), rows);
+        let schemas = [sales_schema()];
+
+        let mut fused = ExecState::new(&spec, &canon.params, vec![], &schemas).unwrap();
+        fused.consume(&table);
+        let fused_out = fused.finish();
+
+        let mut unfused = ExecState::new(&spec, &canon.params, vec![], &schemas).unwrap();
+        unfused.disable_topn_fusion();
+        unfused.consume(&table);
+        let unfused_out = unfused.finish();
+
+        prop_assert_eq!(fused_out, unfused_out);
+    }
+
+    /// Splitting the probe side into arbitrary contiguous partitions and
+    /// merging the per-partition states gives the sequential result, for
+    /// grouped aggregation queries.
+    #[test]
+    fn merged_partitions_equal_sequential_aggregation(
+        rows in arb_rows(150),
+        cut_points in prop::collection::vec(0usize..150, 0..4),
+    ) {
+        let q = Query::from_source(SourceId(0))
+            .group_by(lam("s", col("s", "bucket")))
+            .select(lam(
+                "g",
+                Expr::Constructor {
+                    name: "R".into(),
+                    fields: vec![
+                        (
+                            "bucket".into(),
+                            Expr::member(Expr::member(mrq_expr::var("g"), "Key"), "bucket"),
+                        ),
+                        (
+                            "total".into(),
+                            mrq_expr::builder::agg(
+                                mrq_expr::AggFunc::Sum,
+                                "g",
+                                Some(lam("x", col("x", "price"))),
+                            ),
+                        ),
+                        (
+                            "n".into(),
+                            mrq_expr::builder::agg(mrq_expr::AggFunc::Count, "g", None),
+                        ),
+                        (
+                            "latest".into(),
+                            mrq_expr::builder::agg(
+                                mrq_expr::AggFunc::Max,
+                                "g",
+                                Some(lam("x", col("x", "day"))),
+                            ),
+                        ),
+                    ],
+                },
+            ))
+            .order_by(lam("r", col("r", "bucket")))
+            .into_expr();
+        let canon = canonicalize(q);
+        let spec = lower(&canon, &catalog()).unwrap();
+        let table = ValueTable::new(sales_schema(), rows.clone());
+        let schemas = [sales_schema()];
+        let sequential = execute_once(&spec, &canon.params, &[&table], &schemas).unwrap();
+
+        // Build partition boundaries from the random cut points.
+        let mut cuts: Vec<usize> = cut_points.into_iter().map(|c| c % (rows.len() + 1)).collect();
+        cuts.push(0);
+        cuts.push(rows.len());
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut merged: Option<ExecState<'_, ValueTable>> = None;
+        for window in cuts.windows(2) {
+            let mut partial = ExecState::new(&spec, &canon.params, vec![], &schemas).unwrap();
+            partial.consume_range(&table, window[0]..window[1]);
+            match &mut merged {
+                None => merged = Some(partial),
+                Some(state) => state.merge(partial),
+            }
+        }
+        let merged_out = merged
+            .map(|m| m.finish())
+            .unwrap_or_else(|| execute_once(&spec, &canon.params, &[&table], &schemas).unwrap());
+        prop_assert_eq!(merged_out, sequential);
+    }
+
+    /// The parallel native path equals the sequential native path for any
+    /// data and thread count.
+    #[test]
+    fn parallel_native_equals_sequential(rows in arb_rows(200), threads in 1usize..6) {
+        let q = Query::from_source(SourceId(0))
+            .where_(lam(
+                "s",
+                Expr::binary(BinaryOp::Ge, col("s", "price"), lit(Decimal::from_int(0))),
+            ))
+            .group_by(lam("s", col("s", "tag")))
+            .select(lam(
+                "g",
+                Expr::Constructor {
+                    name: "R".into(),
+                    fields: vec![
+                        (
+                            "tag".into(),
+                            Expr::member(Expr::member(mrq_expr::var("g"), "Key"), "tag"),
+                        ),
+                        (
+                            "total".into(),
+                            mrq_expr::builder::agg(
+                                mrq_expr::AggFunc::Sum,
+                                "g",
+                                Some(lam("x", col("x", "price"))),
+                            ),
+                        ),
+                    ],
+                },
+            ))
+            .order_by(lam("r", col("r", "tag")))
+            .into_expr();
+        let canon = canonicalize(q);
+        let spec = lower(&canon, &catalog()).unwrap();
+        let store = RowStore::from_rows(sales_schema(), &rows);
+        let sequential = mrq_engine_native::execute(&spec, &canon.params, &[&store]).unwrap();
+        let parallel = execute_parallel(
+            &spec,
+            &canon.params,
+            &[&store],
+            &[],
+            ParallelConfig { threads, min_rows_per_thread: 1 },
+        )
+        .unwrap();
+        prop_assert_eq!(parallel, sequential);
+    }
+
+    /// Optimizer rewrites never change results: a filter written after a
+    /// projection returns exactly the rows of the hand-pushed form.
+    #[test]
+    fn optimizer_rewrites_preserve_results(
+        rows in arb_rows(100),
+        threshold in -10_000i64..10_000,
+    ) {
+        let naive = Query::from_source(SourceId(0))
+            .select(lam(
+                "s",
+                Expr::Constructor {
+                    name: "P".into(),
+                    fields: vec![
+                        ("bucket".into(), col("s", "bucket")),
+                        ("price".into(), col("s", "price")),
+                    ],
+                },
+            ))
+            .where_(lam(
+                "p",
+                Expr::binary(
+                    BinaryOp::Gt,
+                    col("p", "price"),
+                    lit(Decimal::from_int(threshold)),
+                ),
+            ))
+            .into_expr();
+        let hand_pushed = Query::from_source(SourceId(0))
+            .where_(lam(
+                "s",
+                Expr::binary(
+                    BinaryOp::Gt,
+                    col("s", "price"),
+                    lit(Decimal::from_int(threshold)),
+                ),
+            ))
+            .select(lam(
+                "s",
+                Expr::Constructor {
+                    name: "P".into(),
+                    fields: vec![
+                        ("bucket".into(), col("s", "bucket")),
+                        ("price".into(), col("s", "price")),
+                    ],
+                },
+            ))
+            .into_expr();
+        let optimized = mrq_expr::optimize(naive, mrq_expr::OptimizerConfig::default()).expr;
+        let table = ValueTable::new(sales_schema(), rows);
+        let schemas = [sales_schema()];
+        let run = |expr: Expr| {
+            let canon = canonicalize(expr);
+            let spec = lower(&canon, &catalog()).unwrap();
+            execute_once(&spec, &canon.params, &[&table], &schemas).unwrap()
+        };
+        prop_assert_eq!(run(optimized).rows, run(hand_pushed).rows);
+    }
+
+    /// Canonicalisation maps parameter-differing instances of one pattern to
+    /// the same cache key, and the extracted parameters reproduce the values.
+    #[test]
+    fn canonical_shape_is_stable_across_parameter_values(a in any::<i64>(), b in any::<i64>()) {
+        let statement = |v: i64| {
+            Query::from_source(SourceId(0))
+                .where_(lam("s", Expr::binary(BinaryOp::Eq, col("s", "id"), lit(v))))
+                .select(lam("s", col("s", "price")))
+                .into_expr()
+        };
+        let ca = canonicalize(statement(a));
+        let cb = canonicalize(statement(b));
+        prop_assert_eq!(ca.shape_hash, cb.shape_hash);
+        prop_assert_eq!(&ca.expr, &cb.expr);
+        prop_assert_eq!(ca.params, vec![Value::Int64(a)]);
+        prop_assert_eq!(cb.params, vec![Value::Int64(b)]);
+    }
+
+    /// The cache model never reports more misses than accesses, is
+    /// deterministic, and the hierarchy's per-level traffic is monotone.
+    #[test]
+    fn cache_models_are_consistent(addrs in prop::collection::vec(0u64..(1 << 22), 1..400)) {
+        use mrq_cachesim::{CacheConfig, CacheHierarchy, CacheSim, HierarchyConfig};
+        use mrq_common::trace::{AccessKind, MemTracer};
+        let mut a = CacheSim::new(CacheConfig::tiny());
+        let mut b = CacheSim::new(CacheConfig::tiny());
+        let mut h = CacheHierarchy::new(HierarchyConfig::tiny());
+        for &addr in &addrs {
+            a.access(AccessKind::NativeRead, addr, 8);
+            b.access(AccessKind::NativeRead, addr, 8);
+            h.access(AccessKind::ManagedRead, addr, 8);
+        }
+        prop_assert_eq!(a.stats(), b.stats());
+        prop_assert!(a.stats().misses <= a.stats().accesses);
+        prop_assert!(h.l1().misses >= h.l2().misses);
+        prop_assert!(h.l2().misses >= h.llc().misses);
+        prop_assert_eq!(h.l2().accesses, h.l1().misses);
+        prop_assert_eq!(h.llc().accesses, h.l2().misses);
+        // The single-level model and the hierarchy's LLC see different
+        // traffic (the hierarchy filters through L1/L2), but neither can
+        // miss more often than the lines it was asked for.
+        prop_assert!(h.llc().misses <= a.stats().accesses);
+    }
+}

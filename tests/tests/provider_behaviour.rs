@@ -1,0 +1,69 @@
+//! Provider-level behaviour: caching, deferred execution, GC interaction and
+//! cache-simulation ordering.
+
+use mrq_bench::{fig14_cache, Workbench};
+use mrq_core::Strategy;
+use mrq_expr::SourceId;
+use mrq_tpch::load::{schema_of, HeapDataset, TABLE_NAMES};
+use mrq_tpch::queries;
+use mrq_xtests::small_dataset;
+
+#[test]
+fn query_cache_amortises_compilation_across_parameters() {
+    let data = small_dataset();
+    let heap_data = HeapDataset::load(&data);
+    let mut provider = mrq_core::Provider::over_heap(&heap_data.heap);
+    for (i, table) in TABLE_NAMES.iter().enumerate() {
+        provider.bind_managed(SourceId(i as u32), heap_data.list(table), schema_of(table));
+    }
+    for sel in [0.2, 0.5, 0.9] {
+        let cutoff = data.shipdate_for_selectivity(sel);
+        provider
+            .execute(queries::q1_with_cutoff(cutoff), Strategy::CompiledCSharp)
+            .unwrap();
+    }
+    let stats = provider.stats();
+    assert_eq!(stats.cache_misses, 1, "one compilation for the Q1 pattern");
+    assert_eq!(stats.cache_hits, 2);
+}
+
+#[test]
+fn results_survive_an_explicit_garbage_collection() {
+    let data = small_dataset();
+    let mut heap_data = HeapDataset::load(&data);
+    heap_data.heap.collect_full();
+    let mut provider = mrq_core::Provider::over_heap(&heap_data.heap);
+    for (i, table) in TABLE_NAMES.iter().enumerate() {
+        provider.bind_managed(SourceId(i as u32), heap_data.list(table), schema_of(table));
+    }
+    let out = provider
+        .execute(queries::q1(), Strategy::CompiledCSharp)
+        .unwrap();
+    assert!(!out.rows.is_empty());
+}
+
+#[test]
+fn simulated_cache_misses_rank_strategies_like_figure_14() {
+    let wb = Workbench::new(0.002);
+    let rows = fig14_cache(&wb, false);
+    let get = |name: &str| {
+        rows.iter()
+            .find(|(s, q, _)| s == name && q == "Q1")
+            .map(|(_, _, m)| *m)
+            .unwrap()
+    };
+    let linq = get("LINQ-to-Objects");
+    let csharp = get("C# Code");
+    let native = get("C Code");
+    // The baseline re-iterates groups per aggregate; at tiny scale factors the
+    // re-passes mostly hit, so allow a small tolerance rather than a strict
+    // ordering (the paper's Figure 14 ordering emerges at larger scales).
+    assert!(
+        linq * 100 >= csharp * 90,
+        "baseline must not miss materially less than compiled C# ({linq} vs {csharp})"
+    );
+    assert!(
+        csharp > native,
+        "managed object access must miss more than the flat row store ({csharp} vs {native})"
+    );
+}
