@@ -1,8 +1,12 @@
-//! Ablation: the parallel-execution extension (§9). Q1 aggregation over the
-//! native row store with a growing worker count, plus the Q3 join with and
-//! without a shared pre-built index on the build sides.
+//! Ablation: the parallel-execution extension (§9). Q1 aggregation with a
+//! growing worker count across every strategy with a parallel path — the
+//! native row store, the compiled-C# fused loops over managed objects and
+//! hybrid staging (full and buffered) — plus the Q3 join with and without a
+//! shared pre-built index on the build sides.
 use criterion::{criterion_group, criterion_main, Criterion};
 use mrq_bench::Workbench;
+use mrq_engine_csharp::HeapTable;
+use mrq_engine_hybrid::HybridConfig;
 use mrq_engine_native::{execute_parallel, HashIndex, ParallelConfig};
 use mrq_tpch::queries;
 
@@ -28,6 +32,58 @@ fn bench(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // The same Q1 aggregation through the compiled-C# fused loops over
+    // managed heap objects.
+    let heap_tables = wb.heap_tables(&spec);
+    let heap_refs: Vec<&HeapTable<'_>> = heap_tables.iter().collect();
+    let mut group = c.benchmark_group("ablation_parallel_q1_csharp");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("{threads}_threads"), |b| {
+            let config = ParallelConfig {
+                threads,
+                min_rows_per_thread: 512,
+            };
+            b.iter(|| {
+                mrq_engine_csharp::execute_parallel(&spec, &canon.params, &heap_refs, config)
+                    .expect("parallel C# run")
+                    .rows
+                    .len()
+            })
+        });
+    }
+    group.finish();
+
+    // Hybrid staging: every worker filters its morsel of the managed
+    // collection into a thread-local staging shard before native
+    // aggregation consumes the shards.
+    for (label, base) in [
+        ("ablation_parallel_q1_hybrid_full", HybridConfig::default()),
+        (
+            "ablation_parallel_q1_hybrid_buffered",
+            HybridConfig::buffered(),
+        ),
+    ] {
+        let mut group = c.benchmark_group(label);
+        group.sample_size(10);
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_function(format!("{threads}_threads"), |b| {
+                let config = base.parallel(ParallelConfig {
+                    threads,
+                    min_rows_per_thread: 512,
+                });
+                b.iter(|| {
+                    mrq_engine_hybrid::execute(&spec, &canon.params, &heap_refs, config)
+                        .expect("parallel hybrid run")
+                        .output
+                        .rows
+                        .len()
+                })
+            });
+        }
+        group.finish();
+    }
 
     // Parallel join probe with shared pre-built indexes on both build sides.
     let date = mrq_common::Date::from_ymd(1995, 3, 15);

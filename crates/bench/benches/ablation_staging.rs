@@ -17,7 +17,8 @@ fn bench(c: &mut Criterion) {
             let strategy = Strategy::Hybrid(HybridConfig {
                 materialization: Materialization::Buffered { rows_per_buffer },
                 transfer: TransferPolicy::Max,
-                    layout: mrq_engine_hybrid::StagingLayout::RowWise,
+                layout: mrq_engine_hybrid::StagingLayout::RowWise,
+                ..HybridConfig::default()
             });
             b.iter(|| run_strategy(&wb, &canon, &spec, strategy).1.rows.len())
         });
@@ -50,6 +51,7 @@ fn bench(c: &mut Criterion) {
                 materialization: Materialization::Full,
                 transfer: TransferPolicy::Max,
                 layout,
+                ..HybridConfig::default()
             });
             b.iter(|| run_strategy(&wb, &canon, &spec, strategy).1.rows.len())
         });
@@ -59,4 +61,3 @@ fn bench(c: &mut Criterion) {
 
 criterion_group!(benches, bench);
 criterion_main!(benches);
-

@@ -10,10 +10,20 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro_q1_aggregation");
     group.sample_size(10);
     group.bench_function("per-aggregate passes (LINQ)", |b| {
-        b.iter(|| run_strategy(&wb, &canon, &spec, Strategy::LinqToObjects).1.rows.len())
+        b.iter(|| {
+            run_strategy(&wb, &canon, &spec, Strategy::LinqToObjects)
+                .1
+                .rows
+                .len()
+        })
     });
     group.bench_function("single fused pass (compiled C#)", |b| {
-        b.iter(|| run_strategy(&wb, &canon, &spec, Strategy::CompiledCSharp).1.rows.len())
+        b.iter(|| {
+            run_strategy(&wb, &canon, &spec, Strategy::CompiledCSharp)
+                .1
+                .rows
+                .len()
+        })
     });
     group.finish();
 }

@@ -15,9 +15,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| mrq_dbms::vector::q1(&wb.columns["lineitem"], cutoff).len())
     });
     group.bench_function("compiled row store (native engine)", |b| {
-        b.iter(|| {
-            mrq_bench::run_tpch_query(&wb, "Q1", mrq_core::Strategy::CompiledNative).1
-        })
+        b.iter(|| mrq_bench::run_tpch_query(&wb, "Q1", mrq_core::Strategy::CompiledNative).1)
     });
     group.finish();
 }

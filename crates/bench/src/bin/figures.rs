@@ -16,8 +16,20 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "table1",
-            "compile-cost", "micro", "agg-extras", "parallel", "extensions",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "table1",
+            "compile-cost",
+            "micro",
+            "agg-extras",
+            "parallel",
+            "extensions",
         ]
     } else {
         args.iter().map(|s| s.as_str()).collect()
@@ -94,8 +106,7 @@ fn main() {
             }
             "fig12" => {
                 let date = mrq_common::Date::from_ymd(1995, 3, 15);
-                let (canon, spec) =
-                    bench.lower(queries::join_micro("BUILDING", date, date));
+                let (canon, spec) = bench.lower(queries::join_micro("BUILDING", date, date));
                 let breakdown =
                     run_hybrid_breakdown(&bench, &canon, &spec, HybridConfig::default());
                 println!("== Figure 12: join cost breakdown (C#/C, Max transfer) ==");
@@ -147,8 +158,7 @@ fn main() {
                     )
                 );
                 println!("== §7.1 extras: staging buffer size (Q1 aggregation) ==");
-                for (label, elapsed, staged) in
-                    agg_extras_buffer_sweep(&bench, &[256, 2048, 16384])
+                for (label, elapsed, staged) in agg_extras_buffer_sweep(&bench, &[256, 2048, 16384])
                 {
                     println!(
                         "  {label:<28} {:>10.3} ms   staged {:>12} bytes",
@@ -180,6 +190,30 @@ fn main() {
                         elapsed.as_secs_f64() * 1e3,
                         base / elapsed.as_secs_f64()
                     );
+                }
+                println!();
+                println!("== Extension: morsel parallelism across strategies (TPC-H Q1) ==");
+                let points = parallel_strategy_sweep(&bench, &[1, 2, 4, 8]);
+                let mut strategies: Vec<&str> = Vec::new();
+                for p in &points {
+                    if !strategies.contains(&p.strategy.as_str()) {
+                        strategies.push(&p.strategy);
+                    }
+                }
+                for strategy in strategies {
+                    let series: Vec<&Point> =
+                        points.iter().filter(|p| p.strategy == strategy).collect();
+                    let base = series[0].elapsed.as_secs_f64();
+                    print!("  {strategy:<22}");
+                    for p in &series {
+                        print!(
+                            "  {}: {:>8.3} ms ({:>4.2}x)",
+                            p.x,
+                            p.elapsed.as_secs_f64() * 1e3,
+                            base / p.elapsed.as_secs_f64()
+                        );
+                    }
+                    println!();
                 }
                 println!();
             }

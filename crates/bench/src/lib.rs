@@ -17,7 +17,7 @@ use mrq_common::profile::CostBreakdown;
 use mrq_common::Schema;
 use mrq_core::{Provider, Strategy};
 use mrq_dbms::ColumnTable;
-use mrq_engine_csharp::HeapTable;
+use mrq_engine_csharp::{HeapTable, TracedHeapTable};
 use mrq_engine_hybrid::{HybridConfig, Materialization, TransferPolicy};
 use mrq_engine_native::RowStore;
 use mrq_expr::{canonicalize, CanonicalQuery, Expr, SourceId};
@@ -134,7 +134,11 @@ impl Workbench {
     pub fn managed_provider(&self) -> Provider<'_> {
         let mut provider = Provider::over_heap(&self.heap.heap);
         for (i, table) in TABLE_NAMES.iter().enumerate() {
-            provider.bind_managed(SourceId(i as u32), self.list_of(SourceId(i as u32)), schema_of(table));
+            provider.bind_managed(
+                SourceId(i as u32),
+                self.list_of(SourceId(i as u32)),
+                schema_of(table),
+            );
             let _ = table;
         }
         provider
@@ -178,8 +182,8 @@ pub fn run_strategy(
             let tables = bench.heap_tables(spec);
             let refs: Vec<&HeapTable<'_>> = tables.iter().collect();
             let start = Instant::now();
-            let run = mrq_engine_hybrid::execute(spec, &canon.params, &refs, config)
-                .expect("hybrid run");
+            let run =
+                mrq_engine_hybrid::execute(spec, &canon.params, &refs, config).expect("hybrid run");
             (start.elapsed(), run.output)
         }
     }
@@ -211,15 +215,19 @@ pub fn standard_strategies() -> Vec<(&'static str, Strategy)> {
             Strategy::Hybrid(HybridConfig {
                 materialization: Materialization::Full,
                 transfer: TransferPolicy::Max,
-                    layout: mrq_engine_hybrid::StagingLayout::RowWise,
+                layout: mrq_engine_hybrid::StagingLayout::RowWise,
+                ..HybridConfig::default()
             }),
         ),
         (
             "C#/C Code (Buffer)",
             Strategy::Hybrid(HybridConfig {
-                materialization: Materialization::Buffered { rows_per_buffer: 2048 },
+                materialization: Materialization::Buffered {
+                    rows_per_buffer: 2048,
+                },
                 transfer: TransferPolicy::Max,
-                    layout: mrq_engine_hybrid::StagingLayout::RowWise,
+                layout: mrq_engine_hybrid::StagingLayout::RowWise,
+                ..HybridConfig::default()
             }),
         ),
     ]
@@ -276,6 +284,7 @@ pub fn fig09_sort(bench: &Workbench, selectivities: &[f64]) -> Vec<Point> {
                     materialization: Materialization::Full,
                     transfer: TransferPolicy::Min,
                     layout: mrq_engine_hybrid::StagingLayout::RowWise,
+                    ..HybridConfig::default()
                 }),
             ),
         ];
@@ -299,8 +308,7 @@ pub fn fig11_join(bench: &Workbench, selectivities: &[f64]) -> Vec<Point> {
     for &sel in selectivities {
         let ship_after = bench.data.shipdate_for_selectivity(1.0 - sel);
         let order_before = bench.data.orderdate_for_selectivity(sel);
-        let (canon, spec) =
-            bench.lower(queries::join_micro("BUILDING", ship_after, order_before));
+        let (canon, spec) = bench.lower(queries::join_micro("BUILDING", ship_after, order_before));
         let mut strategies: Vec<(&str, Strategy)> = vec![
             ("LINQ-to-Objects", Strategy::LinqToObjects),
             ("C# Code", Strategy::CompiledCSharp),
@@ -308,7 +316,12 @@ pub fn fig11_join(bench: &Workbench, selectivities: &[f64]) -> Vec<Point> {
         ];
         for (name, materialization) in [
             ("C#/C Code (Max)", Materialization::Full),
-            ("C#/C Code (Max, Buffer)", Materialization::Buffered { rows_per_buffer: 2048 }),
+            (
+                "C#/C Code (Max, Buffer)",
+                Materialization::Buffered {
+                    rows_per_buffer: 2048,
+                },
+            ),
         ] {
             strategies.push((
                 name,
@@ -316,12 +329,18 @@ pub fn fig11_join(bench: &Workbench, selectivities: &[f64]) -> Vec<Point> {
                     materialization,
                     transfer: TransferPolicy::Max,
                     layout: mrq_engine_hybrid::StagingLayout::RowWise,
+                    ..HybridConfig::default()
                 }),
             ));
         }
         for (name, materialization) in [
             ("C#/C Code (Min)", Materialization::Full),
-            ("C#/C Code (Min, Buffer)", Materialization::Buffered { rows_per_buffer: 2048 }),
+            (
+                "C#/C Code (Min, Buffer)",
+                Materialization::Buffered {
+                    rows_per_buffer: 2048,
+                },
+            ),
         ] {
             strategies.push((
                 name,
@@ -329,6 +348,7 @@ pub fn fig11_join(bench: &Workbench, selectivities: &[f64]) -> Vec<Point> {
                     materialization,
                     transfer: TransferPolicy::Min,
                     layout: mrq_engine_hybrid::StagingLayout::RowWise,
+                    ..HybridConfig::default()
                 }),
             ));
         }
@@ -374,10 +394,8 @@ pub fn run_tpch_query(bench: &Workbench, query: &str, strategy: Strategy) -> (Du
             // Outer step: bind the materialised inner result.
             let outer_expr = queries::q2_outer(&params);
             let canon = canonicalize(outer_expr);
-            let catalog = bench.catalog(Some((
-                queries::SRC_Q2_INNER,
-                inner_table.schema().clone(),
-            )));
+            let catalog =
+                bench.catalog(Some((queries::SRC_Q2_INNER, inner_table.schema().clone())));
             let spec = lower(&canon, &catalog).expect("q2 outer lowers");
             // The outer query joins against the materialised inner result,
             // which lives outside both the heap and the row stores; run it on
@@ -462,21 +480,23 @@ pub fn fig14_cache(bench: &Workbench, include_q3: bool) -> Vec<(String, String, 
                     schema_of(root_table),
                 )
                 .with_tracer(&mut sim);
-                let mut tables: Vec<HeapTable<'_>> = vec![traced_root];
+                let mut tables: Vec<TracedHeapTable<'_>> = vec![traced_root];
                 for s in &sources[1..] {
                     let table = queries::source_table(*s);
-                    tables.push(HeapTable::new(
+                    tables.push(TracedHeapTable::untraced(HeapTable::new(
                         &bench.heap.heap,
                         bench.heap.list(table),
                         schema_of(table),
-                    ));
+                    )));
                 }
-                let refs: Vec<&HeapTable<'_>> = tables.iter().collect();
+                let refs: Vec<&TracedHeapTable<'_>> = tables.iter().collect();
+                let schemas: Vec<Schema> = tables.iter().map(|t| t.schema().clone()).collect();
                 match strategy {
                     Strategy::LinqToObjects => {
                         mrq_engine_linq::execute(&spec, &canon.params, &refs).expect("linq")
                     }
-                    _ => mrq_engine_csharp::execute(&spec, &canon.params, &refs).expect("csharp"),
+                    _ => mrq_codegen::exec::execute_once(&spec, &canon.params, &refs, &schemas)
+                        .expect("csharp"),
                 };
             }
             out.push((name.to_string(), query.to_string(), sim.stats().misses));
@@ -574,11 +594,7 @@ pub fn table1(bench: &Workbench) -> Vec<(String, String, Duration)> {
         // LINQ-to-objects and compiled C#/C over application objects.
         let (elapsed, _) = run_tpch_query(bench, query, Strategy::LinqToObjects);
         rows.push(("LINQ-to-objects".to_string(), query.to_string(), elapsed));
-        let (elapsed, _) = run_tpch_query(
-            bench,
-            query,
-            Strategy::Hybrid(HybridConfig::default()),
-        );
+        let (elapsed, _) = run_tpch_query(bench, query, Strategy::Hybrid(HybridConfig::default()));
         rows.push(("Compiled C#/C code".to_string(), query.to_string(), elapsed));
     }
     rows
@@ -628,18 +644,29 @@ pub fn agg_extras_buffer_sweep(
             &canon.params,
             &refs,
             HybridConfig {
-                materialization: Materialization::Buffered { rows_per_buffer: rows },
+                materialization: Materialization::Buffered {
+                    rows_per_buffer: rows,
+                },
                 transfer: TransferPolicy::Max,
-                    layout: mrq_engine_hybrid::StagingLayout::RowWise,
+                layout: mrq_engine_hybrid::StagingLayout::RowWise,
+                ..HybridConfig::default()
             },
         )
         .expect("buffered run");
-        out.push((format!("buffered ({rows} rows)"), start.elapsed(), run.staged_bytes));
+        out.push((
+            format!("buffered ({rows} rows)"),
+            start.elapsed(),
+            run.staged_bytes,
+        ));
     }
     let start = Instant::now();
     let run = mrq_engine_hybrid::execute(&spec, &canon.params, &refs, HybridConfig::default())
         .expect("full run");
-    out.push(("full materialisation".to_string(), start.elapsed(), run.staged_bytes));
+    out.push((
+        "full materialisation".to_string(),
+        start.elapsed(),
+        run.staged_bytes,
+    ));
     out
 }
 
@@ -653,17 +680,24 @@ pub fn staging_layout_comparison(bench: &Workbench) -> Vec<(String, Duration, us
     let refs: Vec<&HeapTable<'_>> = tables.iter().collect();
     let mut out = Vec::new();
     for (label, layout) in [
-        ("row-wise staging", mrq_engine_hybrid::StagingLayout::RowWise),
-        ("columnar staging", mrq_engine_hybrid::StagingLayout::Columnar),
+        (
+            "row-wise staging",
+            mrq_engine_hybrid::StagingLayout::RowWise,
+        ),
+        (
+            "columnar staging",
+            mrq_engine_hybrid::StagingLayout::Columnar,
+        ),
     ] {
         let config = HybridConfig {
             materialization: Materialization::Full,
             transfer: TransferPolicy::Max,
             layout,
+            ..HybridConfig::default()
         };
         let start = Instant::now();
-        let run = mrq_engine_hybrid::execute(&spec, &canon.params, &refs, config)
-            .expect("hybrid run");
+        let run =
+            mrq_engine_hybrid::execute(&spec, &canon.params, &refs, config).expect("hybrid run");
         out.push((label.to_string(), start.elapsed(), run.staged_bytes));
     }
     out
@@ -682,11 +716,61 @@ pub fn parallel_sweep(bench: &Workbench, threads: &[usize]) -> Vec<(usize, Durat
                 min_rows_per_thread: 1024,
             };
             let start = Instant::now();
-            let out = mrq_engine_native::execute_parallel(&spec, &canon.params, &tables, &[], config)
-                .expect("parallel run");
+            let out =
+                mrq_engine_native::execute_parallel(&spec, &canon.params, &tables, &[], config)
+                    .expect("parallel run");
             (t, start.elapsed(), out.rows.len())
         })
         .collect()
+}
+
+/// Parallel-execution extension, cross-strategy: the Q1 aggregation at each
+/// thread count for every strategy with a parallel path — compiled C# over
+/// managed objects, compiled C over the native row store, and the hybrid
+/// strategy under full and buffered staging. The x label is the thread
+/// count; the 1-thread point of each strategy is its own baseline.
+pub fn parallel_strategy_sweep(bench: &Workbench, threads: &[usize]) -> Vec<Point> {
+    use mrq_common::ParallelConfig;
+    let (canon, spec) = bench.lower(queries::q1());
+    let stores = bench.row_stores(&spec);
+    let heap_tables = bench.heap_tables(&spec);
+    let heap_refs: Vec<&HeapTable<'_>> = heap_tables.iter().collect();
+    let mut points = Vec::new();
+    for &t in threads {
+        let config = ParallelConfig {
+            threads: t,
+            min_rows_per_thread: 1024,
+        };
+        let mut record = |strategy: &str, elapsed: Duration, rows: usize| {
+            points.push(Point {
+                strategy: strategy.to_string(),
+                x: format!("{t} threads"),
+                elapsed,
+                rows,
+            });
+        };
+        let start = Instant::now();
+        let out = mrq_engine_csharp::execute_parallel(&spec, &canon.params, &heap_refs, config)
+            .expect("parallel C# run");
+        record("C# Code", start.elapsed(), out.rows.len());
+
+        let start = Instant::now();
+        let out = mrq_engine_native::execute_parallel(&spec, &canon.params, &stores, &[], config)
+            .expect("parallel native run");
+        record("C Code", start.elapsed(), out.rows.len());
+
+        for (name, base) in [
+            ("C#/C Code", HybridConfig::default()),
+            ("C#/C Code (Buffer)", HybridConfig::buffered()),
+        ] {
+            let start = Instant::now();
+            let run =
+                mrq_engine_hybrid::execute(&spec, &canon.params, &heap_refs, base.parallel(config))
+                    .expect("parallel hybrid run");
+            record(name, start.elapsed(), run.output.rows.len());
+        }
+    }
+    points
 }
 
 /// Extension ablations beyond the paper's figures: each entry is
@@ -703,13 +787,9 @@ pub fn extension_claims(bench: &Workbench) -> Vec<(String, Duration, Duration)> 
     let schemas: Vec<Schema> = tables.iter().map(|t| t.schema().clone()).collect();
     let run_native = |fused: bool| {
         let start = Instant::now();
-        let mut state = mrq_codegen::exec::ExecState::new(
-            &spec,
-            &canon.params,
-            tables[1..].to_vec(),
-            &schemas,
-        )
-        .expect("state");
+        let mut state =
+            mrq_codegen::exec::ExecState::new(&spec, &canon.params, tables[1..].to_vec(), &schemas)
+                .expect("state");
         if !fused {
             state.disable_topn_fusion();
         }
@@ -732,7 +812,8 @@ pub fn extension_claims(bench: &Workbench) -> Vec<(String, Duration, Duration)> 
     // use the index), which is exactly when an index pays off.
     let date = mrq_common::Date::from_ymd(1995, 3, 15);
     let naive = queries::join_micro_naive("BUILDING", date, date);
-    let optimized_expr = mrq_expr::optimize(naive.clone(), mrq_expr::OptimizerConfig::disabled()).expr;
+    let optimized_expr =
+        mrq_expr::optimize(naive.clone(), mrq_expr::OptimizerConfig::disabled()).expr;
     let (canon_j, spec_j) = bench.lower(optimized_expr);
     let tables_j = bench.row_stores(&spec_j);
     let start = Instant::now();
@@ -799,7 +880,13 @@ pub fn extension_claims(bench: &Workbench) -> Vec<(String, Duration, Duration)> 
 pub fn fig14_hierarchy(
     bench: &Workbench,
     include_q3: bool,
-) -> Vec<(String, String, mrq_cachesim::LevelStats, mrq_cachesim::LevelStats, mrq_cachesim::LevelStats)> {
+) -> Vec<(
+    String,
+    String,
+    mrq_cachesim::LevelStats,
+    mrq_cachesim::LevelStats,
+    mrq_cachesim::LevelStats,
+)> {
     use mrq_cachesim::CacheHierarchy;
     let mut out = Vec::new();
     let mut queries_to_run = vec!["Q1"];
@@ -825,26 +912,34 @@ pub fn fig14_hierarchy(
                     schema_of(root_table),
                 )
                 .with_tracer(&mut sim);
-                let mut tables: Vec<HeapTable<'_>> = vec![traced_root];
+                let mut tables: Vec<TracedHeapTable<'_>> = vec![traced_root];
                 let mut sources = vec![spec.root];
                 sources.extend(spec.joins.iter().map(|j| j.source));
                 for s in &sources[1..] {
                     let table = queries::source_table(*s);
-                    tables.push(HeapTable::new(
+                    tables.push(TracedHeapTable::untraced(HeapTable::new(
                         &bench.heap.heap,
                         bench.heap.list(table),
                         schema_of(table),
-                    ));
+                    )));
                 }
-                let refs: Vec<&HeapTable<'_>> = tables.iter().collect();
+                let refs: Vec<&TracedHeapTable<'_>> = tables.iter().collect();
+                let schemas: Vec<Schema> = tables.iter().map(|t| t.schema().clone()).collect();
                 match strategy {
                     Strategy::LinqToObjects => {
                         mrq_engine_linq::execute(&spec, &canon.params, &refs).expect("linq")
                     }
-                    _ => mrq_engine_csharp::execute(&spec, &canon.params, &refs).expect("csharp"),
+                    _ => mrq_codegen::exec::execute_once(&spec, &canon.params, &refs, &schemas)
+                        .expect("csharp"),
                 };
             }
-            out.push((name.to_string(), query.to_string(), sim.l1(), sim.l2(), sim.llc()));
+            out.push((
+                name.to_string(),
+                query.to_string(),
+                sim.l1(),
+                sim.l2(),
+                sim.llc(),
+            ));
         }
         // Native: sequential scan over the referenced columns of the flat
         // rows.
@@ -864,7 +959,13 @@ pub fn fig14_hierarchy(
                 }
             }
         }
-        out.push(("C Code".to_string(), query.to_string(), sim.l1(), sim.l2(), sim.llc()));
+        out.push((
+            "C Code".to_string(),
+            query.to_string(),
+            sim.l1(),
+            sim.l2(),
+            sim.llc(),
+        ));
     }
     out
 }
@@ -924,7 +1025,9 @@ pub fn compile_costs(bench: &Workbench) -> Vec<(String, Duration, Duration, Dura
         let (generation, csharp) = provider
             .compile_cost(expr.clone(), Backend::CSharp)
             .expect("compile cost");
-        let (_, c) = provider.compile_cost(expr, Backend::C).expect("compile cost");
+        let (_, c) = provider
+            .compile_cost(expr, Backend::C)
+            .expect("compile cost");
         out.push((name.to_string(), generation, csharp, c));
     }
     out

@@ -142,7 +142,9 @@ impl CacheSim {
             "line size must be a power of two of at least 8 bytes"
         );
         assert!(
-            config.capacity_bytes % (config.ways * config.line_bytes) == 0,
+            config
+                .capacity_bytes
+                .is_multiple_of(config.ways * config.line_bytes),
             "capacity must be a whole number of sets"
         );
         let set_count = config.sets();

@@ -126,7 +126,12 @@ impl QueryOutput {
     /// Renders a small fixed-width table (examples and the figures binary).
     pub fn render(&self, max_rows: usize) -> String {
         let mut out = String::new();
-        let names: Vec<&str> = self.schema.fields().iter().map(|f| f.name.as_str()).collect();
+        let names: Vec<&str> = self
+            .schema
+            .fields()
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
         out.push_str(&names.join(" | "));
         out.push('\n');
         for row in self.rows.iter().take(max_rows) {
@@ -492,7 +497,9 @@ impl<'a, T: TableAccess> EvalCtx<'a, T> {
                     DataType::Int64 => Num::I64(t.get_i64(self.rows[c.slot], c.col)),
                     DataType::Decimal => Num::Dec(t.get_decimal(self.rows[c.slot], c.col)),
                     DataType::Float64 => Num::F64(t.get_f64(self.rows[c.slot], c.col)),
-                    DataType::Date => Num::I64(t.get_date(self.rows[c.slot], c.col).epoch_days() as i64),
+                    DataType::Date => {
+                        Num::I64(t.get_date(self.rows[c.slot], c.col).epoch_days() as i64)
+                    }
                     other => panic!("column of type {other} used in arithmetic"),
                 }
             }
@@ -515,7 +522,12 @@ impl<'a, T: TableAccess> EvalCtx<'a, T> {
         }
     }
 
-    fn key_part(&self, expr: &'a ScalarExpr, types: &ColumnTypes, interner: &mut StringInterner) -> u64 {
+    fn key_part(
+        &self,
+        expr: &'a ScalarExpr,
+        types: &ColumnTypes,
+        interner: &mut StringInterner,
+    ) -> u64 {
         match self.operand(expr, types) {
             Operand::I64(v) => v as u64,
             Operand::Dec(d) => d.raw() as u64,
@@ -531,9 +543,10 @@ impl<'a, T: TableAccess> EvalCtx<'a, T> {
             ScalarExpr::Column(c) => self.table(c.slot).get_value(self.rows[c.slot], c.col),
             ScalarExpr::Const(v) => v.clone(),
             ScalarExpr::Param(i) => self.params[*i].clone(),
-            ScalarExpr::Str { .. } | ScalarExpr::Unary { op: UnaryOp::Not, .. } => {
-                Value::Bool(self.bool_expr(expr, types))
-            }
+            ScalarExpr::Str { .. }
+            | ScalarExpr::Unary {
+                op: UnaryOp::Not, ..
+            } => Value::Bool(self.bool_expr(expr, types)),
             ScalarExpr::Binary { op, .. } if op.is_comparison() || op.is_logical() => {
                 Value::Bool(self.bool_expr(expr, types))
             }
@@ -612,9 +625,7 @@ fn compare(op: BinaryOp, l: &Operand<'_>, r: &Operand<'_>) -> bool {
         (Operand::F64(a), Operand::I64(b)) => {
             a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal)
         }
-        (Operand::I64(a), Operand::F64(b)) => {
-            (*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal)
-        }
+        (Operand::I64(a), Operand::F64(b)) => (*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal),
         (Operand::Date(a), Operand::Date(b)) => a.cmp(b),
         (Operand::Str(a), Operand::Str(b)) => a.cmp(b),
         (Operand::Bool(a), Operand::Bool(b)) => a.cmp(b),
@@ -669,7 +680,18 @@ enum AggState {
     SumI64(i64),
     SumDec(Decimal),
     SumF64(f64),
-    Avg { sum: f64, count: i64 },
+    Avg {
+        sum: f64,
+        count: i64,
+    },
+    /// Averages over decimal inputs accumulate exactly in fixed point, so
+    /// they are associative: merging per-worker partial states yields the
+    /// bit-identical result of a sequential scan at any thread count
+    /// (float accumulation would drift by an ulp across morsel boundaries).
+    AvgDec {
+        sum: Decimal,
+        count: i64,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
 }
@@ -678,7 +700,13 @@ impl AggState {
     fn new(spec: &AggSpec) -> AggState {
         match spec.func {
             AggFunc::Count => AggState::Count(0),
-            AggFunc::Average => AggState::Avg { sum: 0.0, count: 0 },
+            AggFunc::Average => match spec.input_dtype {
+                Some(DataType::Decimal) => AggState::AvgDec {
+                    sum: Decimal::ZERO,
+                    count: 0,
+                },
+                _ => AggState::Avg { sum: 0.0, count: 0 },
+            },
             AggFunc::Min => AggState::Min(None),
             AggFunc::Max => AggState::Max(None),
             AggFunc::Sum => match spec.dtype {
@@ -700,6 +728,13 @@ impl AggState {
                     Value::Null
                 } else {
                     Value::Float64(sum / *count as f64)
+                }
+            }
+            AggState::AvgDec { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64(sum.to_f64() / *count as f64)
                 }
             }
             AggState::Min(v) | AggState::Max(v) => v.clone().unwrap_or(Value::Null),
@@ -724,16 +759,30 @@ impl AggState {
                 *sum += other_sum;
                 *count += other_count;
             }
+            (
+                AggState::AvgDec { sum, count },
+                AggState::AvgDec {
+                    sum: other_sum,
+                    count: other_count,
+                },
+            ) => {
+                *sum += *other_sum;
+                *count += other_count;
+            }
             (AggState::Min(a), AggState::Min(b)) => {
                 if let Some(v) = b {
-                    if a.as_ref().is_none_or(|cur| v.total_cmp(cur) == Ordering::Less) {
+                    if a.as_ref()
+                        .is_none_or(|cur| v.total_cmp(cur) == Ordering::Less)
+                    {
                         *a = Some(v.clone());
                     }
                 }
             }
             (AggState::Max(a), AggState::Max(b)) => {
                 if let Some(v) = b {
-                    if a.as_ref().is_none_or(|cur| v.total_cmp(cur) == Ordering::Greater) {
+                    if a.as_ref()
+                        .is_none_or(|cur| v.total_cmp(cur) == Ordering::Greater)
+                    {
                         *a = Some(v.clone());
                     }
                 }
@@ -947,7 +996,10 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
     /// one: group-by states merge per key, aggregate states fold, plain and
     /// top-N rows concatenate, and counters add up.
     pub fn merge(&mut self, other: ExecState<'a, T>) {
-        debug_assert!(std::ptr::eq(self.spec, other.spec), "merging different specs");
+        debug_assert!(
+            std::ptr::eq(self.spec, other.spec),
+            "merging different specs"
+        );
         self.consumed_rows += other.consumed_rows;
         self.emitted_rows += other.emitted_rows;
         if self.spec.is_grouped() {
@@ -1038,8 +1090,13 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
                 None => {
                     let idx = self.group_keys.len();
                     self.groups.insert(key, idx);
-                    self.group_keys
-                        .push(self.spec.group_keys.iter().map(|k| ctx.value(k, &self.types)).collect());
+                    self.group_keys.push(
+                        self.spec
+                            .group_keys
+                            .iter()
+                            .map(|k| ctx.value(k, &self.types))
+                            .collect(),
+                    );
                     self.group_aggs
                         .push(self.spec.aggregates.iter().map(AggState::new).collect());
                     idx
@@ -1168,9 +1225,20 @@ fn update_agg<T: TableAccess>(
                 .to_f64();
             *count += 1;
         }
+        AggState::AvgDec { sum, count } => {
+            match ctx.number(spec.input.as_ref().expect("avg input"), types) {
+                Num::Dec(d) => *sum += d,
+                Num::I64(v) => *sum += Decimal::from_int(v),
+                Num::F64(v) => *sum += Decimal::from_f64(v),
+            }
+            *count += 1;
+        }
         AggState::Min(best) => {
             let v = ctx.value(spec.input.as_ref().expect("min input"), types);
-            if best.as_ref().is_none_or(|b| v.total_cmp(b) == Ordering::Less) {
+            if best
+                .as_ref()
+                .is_none_or(|b| v.total_cmp(b) == Ordering::Less)
+            {
                 *best = Some(v);
             }
         }
@@ -1184,6 +1252,38 @@ fn update_agg<T: TableAccess>(
             }
         }
     }
+}
+
+/// Runs an already-built execution state over `root` with morsel-driven
+/// parallelism: the probe side is partitioned per `config`
+/// ([`mrq_common::morsel`]), each worker forks `base` (sharing the
+/// already-built join hash tables via a memory copy), consumes its disjoint
+/// row range on a scoped thread, and the partial states merge back into
+/// `base` in partition order — preserving source enumeration order for
+/// non-sorted outputs.
+///
+/// This is the one parallel execution template every engine instantiates:
+/// native row stores, managed heap tables and hybrid staged buffers only
+/// differ in the `T` they plug in.
+pub fn consume_partitioned<'a, T: TableAccess + Sync>(
+    mut base: ExecState<'a, T>,
+    root: &T,
+    config: mrq_common::ParallelConfig,
+) -> QueryOutput {
+    let ranges = mrq_common::morsel::partition(root.len(), config);
+    if ranges.len() <= 1 {
+        base.consume(root);
+        return base.finish();
+    }
+    let partials = mrq_common::morsel::scatter(&ranges, |_, range| {
+        let mut state = base.fork();
+        state.consume_range(root, range);
+        state
+    });
+    for partial in partials {
+        base.merge(partial);
+    }
+    base.finish()
 }
 
 /// Convenience wrapper: executes a spec in one shot over fully materialised
@@ -1291,8 +1391,7 @@ mod tests {
         let canon = canonicalize(q);
         let spec = lower(&canon, &catalog()).unwrap();
         let table = sales_table();
-        let out =
-            execute_once(&spec, &canon.params, &[&table], &[sales_schema()]).unwrap();
+        let out = execute_once(&spec, &canon.params, &[&table], &[sales_schema()]).unwrap();
         assert_eq!(out.rows.len(), 2);
         assert_eq!(out.rows[0], vec![Value::Decimal(Decimal::new(10, 0))]);
         assert_eq!(out.rows[1], vec![Value::Decimal(Decimal::new(30, 0))]);
@@ -1433,15 +1532,13 @@ mod tests {
         let canon = canonicalize(q);
         let spec = lower(&canon, &catalog()).unwrap();
         let table = sales_table();
-        let one_shot =
-            execute_once(&spec, &canon.params, &[&table], &[sales_schema()]).unwrap();
+        let one_shot = execute_once(&spec, &canon.params, &[&table], &[sales_schema()]).unwrap();
 
         // Split the probe side into two chunks and consume them separately.
         let rows = table.rows().to_vec();
         let chunk1 = ValueTable::new(sales_schema(), rows[..2].to_vec());
         let chunk2 = ValueTable::new(sales_schema(), rows[2..].to_vec());
-        let mut state =
-            ExecState::new(&spec, &canon.params, vec![], &[sales_schema()]).unwrap();
+        let mut state = ExecState::new(&spec, &canon.params, vec![], &[sales_schema()]).unwrap();
         state.consume(&chunk1);
         state.consume(&chunk2);
         let buffered = state.finish();
@@ -1472,7 +1569,11 @@ mod tests {
         ];
         let mut rows: Vec<Vec<Value>> = Vec::new();
         for i in 0..200i64 {
-            rows.push(vec![Value::Int64(i % 7), Value::Int64(i % 13), Value::Int64(i)]);
+            rows.push(vec![
+                Value::Int64(i % 7),
+                Value::Int64(i % 13),
+                Value::Int64(i),
+            ]);
         }
         let mut topn = TopN::new(25, sort.clone());
         for row in rows.clone() {
@@ -1497,7 +1598,13 @@ mod tests {
 
     #[test]
     fn topn_with_zero_limit_retains_nothing() {
-        let mut topn = TopN::new(0, vec![SortKeySpec { output_col: 0, descending: false }]);
+        let mut topn = TopN::new(
+            0,
+            vec![SortKeySpec {
+                output_col: 0,
+                descending: false,
+            }],
+        );
         topn.offer(vec![Value::Int64(1)]);
         assert!(topn.is_empty());
         assert_eq!(topn.offered(), 1);
@@ -1526,7 +1633,10 @@ mod tests {
         let unfused_out = unfused.finish();
 
         assert_eq!(fused_out, unfused_out);
-        assert_eq!(fused_out.rows, vec![vec![Value::Int64(4)], vec![Value::Int64(3)]]);
+        assert_eq!(
+            fused_out.rows,
+            vec![vec![Value::Int64(4)], vec![Value::Int64(3)]]
+        );
     }
 
     #[test]
@@ -1570,8 +1680,7 @@ mod tests {
         let canon = canonicalize(q);
         let spec = lower(&canon, &catalog()).unwrap();
         let table = sales_table();
-        let sequential =
-            execute_once(&spec, &canon.params, &[&table], &[sales_schema()]).unwrap();
+        let sequential = execute_once(&spec, &canon.params, &[&table], &[sales_schema()]).unwrap();
 
         let mut left = ExecState::new(&spec, &canon.params, vec![], &[sales_schema()]).unwrap();
         left.consume_range(&table, 0..2);
@@ -1609,7 +1718,10 @@ mod tests {
         // using the sales id against itself through a value table.
         let ids_schema = Schema::new(
             "Ids",
-            vec![Field::new("key", DataType::Int64), Field::new("tag", DataType::Int64)],
+            vec![
+                Field::new("key", DataType::Int64),
+                Field::new("tag", DataType::Int64),
+            ],
         );
         let ids = ValueTable::new(
             ids_schema.clone(),

@@ -7,7 +7,9 @@
 //! left-deep hash joins with their build-side filters attached.
 
 use mrq_common::{DataType, MrqError, Result, Schema, Value};
-use mrq_expr::{AggFunc, BinaryOp, CanonicalQuery, Expr, QueryMethod, SortDirection, SourceId, UnaryOp};
+use mrq_expr::{
+    AggFunc, BinaryOp, CanonicalQuery, Expr, QueryMethod, SortDirection, SourceId, UnaryOp,
+};
 use std::collections::HashMap;
 
 /// Resolves the schema of a source id. The provider implements this over its
@@ -145,6 +147,10 @@ pub struct AggSpec {
     pub input: Option<ScalarExpr>,
     /// The output type of the aggregate.
     pub dtype: DataType,
+    /// The type of the input expression (`None` for `Count()`). Averages
+    /// over decimal inputs accumulate exactly in fixed point, which keeps
+    /// parallel merges bit-identical to sequential execution.
+    pub input_dtype: Option<DataType>,
 }
 
 /// One hash join in the left-deep join chain.
@@ -348,7 +354,12 @@ pub fn lower(query: &CanonicalQuery, catalog: &dyn Catalog) -> Result<QuerySpec>
         .fields()
         .iter()
         .enumerate()
-        .map(|(i, f)| (f.name.clone(), ScalarExpr::Column(ColumnRef { slot: 0, col: i })))
+        .map(|(i, f)| {
+            (
+                f.name.clone(),
+                ScalarExpr::Column(ColumnRef { slot: 0, col: i }),
+            )
+        })
         .collect();
 
     let mut lowering = Lowering {
@@ -401,7 +412,10 @@ impl<'a> Lowering<'a> {
             QueryMethod::Select => self.apply_select(args),
             QueryMethod::OrderBy | QueryMethod::ThenBy => self.apply_order_by(args, direction),
             QueryMethod::Take => self.apply_take(args),
-            QueryMethod::Sum | QueryMethod::Count | QueryMethod::Average | QueryMethod::Min
+            QueryMethod::Sum
+            | QueryMethod::Count
+            | QueryMethod::Average
+            | QueryMethod::Min
             | QueryMethod::Max => self.apply_scalar_aggregate(method, args),
             QueryMethod::First => {
                 self.spec.take = Some(1);
@@ -427,9 +441,7 @@ impl<'a> Lowering<'a> {
         let mut conjuncts = Vec::new();
         split_conjuncts(predicate, &mut conjuncts);
         for c in conjuncts {
-            if c.only_slot(0) && self.spec.joins.is_empty() {
-                self.spec.root_filters.push(c);
-            } else if self.spec.joins.is_empty() {
+            if self.spec.joins.is_empty() {
                 self.spec.root_filters.push(c);
             } else {
                 self.spec.post_filters.push(c);
@@ -501,8 +513,8 @@ impl<'a> Lowering<'a> {
             Expr::Parameter(p) if p == res_inner => build_map.clone(),
             other => {
                 return Err(MrqError::Unsupported(format!(
-                    "join result selector must construct a record or return a parameter, found {other}"
-                )))
+                "join result selector must construct a record or return a parameter, found {other}"
+            )))
             }
         };
 
@@ -541,8 +553,8 @@ impl<'a> Lowering<'a> {
             }
             other => {
                 return Err(MrqError::Unsupported(format!(
-                    "GroupBy key selector must be a member access or record constructor, found {other}"
-                )))
+                "GroupBy key selector must be a member access or record constructor, found {other}"
+            )))
             }
         };
         self.spec.group_keys = keys.iter().map(|(_, e)| e.clone()).collect();
@@ -596,7 +608,9 @@ impl<'a> Lowering<'a> {
                 for (name, e) in &fields {
                     let output = self.lower_group_output(e, param, &keys, &row_map)?;
                     let dtype = match &output {
-                        OutputExpr::Key(i) => self.scalar_type(&self.spec.group_keys[*i].clone())?,
+                        OutputExpr::Key(i) => {
+                            self.scalar_type(&self.spec.group_keys[*i].clone())?
+                        }
                         OutputExpr::Agg(i) => self.spec.aggregates[*i].dtype,
                         OutputExpr::Scalar(s) => self.scalar_type(s)?,
                     };
@@ -668,16 +682,22 @@ impl<'a> Lowering<'a> {
                         None => None,
                     };
                     let dtype = self.aggregate_type(func, input.as_ref())?;
-                    let candidate = AggSpec { func, input, dtype };
+                    let input_dtype = match &input {
+                        Some(e) => Some(self.scalar_type(e)?),
+                        None => None,
+                    };
+                    let candidate = AggSpec {
+                        func,
+                        input,
+                        dtype,
+                        input_dtype,
+                    };
                     // Duplicate-aggregate elimination (§2.3): identical
                     // aggregate computations (same function over the same
                     // selector) are computed once and shared by every output
                     // column that references them.
-                    if let Some(existing) = self
-                        .spec
-                        .aggregates
-                        .iter()
-                        .position(|a| *a == candidate)
+                    if let Some(existing) =
+                        self.spec.aggregates.iter().position(|a| *a == candidate)
                     {
                         return Ok(OutputExpr::Agg(existing));
                     }
@@ -699,9 +719,7 @@ impl<'a> Lowering<'a> {
             Binding::Output(names) => {
                 // The key selector must reference an output column by name.
                 let field = match body {
-                    Expr::Member { target, field }
-                        if matches!(target.as_ref(), Expr::Parameter(p) if p == param) =>
-                    {
+                    Expr::Member { target, field } if matches!(target.as_ref(), Expr::Parameter(p) if p == param) => {
                         field.clone()
                     }
                     other => {
@@ -765,7 +783,16 @@ impl<'a> Lowering<'a> {
             None => None,
         };
         let dtype = self.aggregate_type(func, input.as_ref())?;
-        self.spec.aggregates.push(AggSpec { func, input, dtype });
+        let input_dtype = match &input {
+            Some(e) => Some(self.scalar_type(e)?),
+            None => None,
+        };
+        self.spec.aggregates.push(AggSpec {
+            func,
+            input,
+            dtype,
+            input_dtype,
+        });
         self.output_types.push(dtype);
         self.spec
             .output
@@ -806,9 +833,10 @@ impl<'a> Lowering<'a> {
                 None => {
                     let dtype = self.scalar_type(&key)?;
                     self.output_types.push(dtype);
-                    self.spec
-                        .output
-                        .push((format!("__sort_{}", self.spec.output.len()), OutputExpr::Scalar(key)));
+                    self.spec.output.push((
+                        format!("__sort_{}", self.spec.output.len()),
+                        OutputExpr::Scalar(key),
+                    ));
                     self.spec.hidden_outputs += 1;
                     self.spec.output.len() - 1
                 }
@@ -951,9 +979,8 @@ impl<'a> Lowering<'a> {
             AggFunc::Count => Ok(DataType::Int64),
             AggFunc::Average => Ok(DataType::Float64),
             AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
-                let input = input.ok_or_else(|| {
-                    MrqError::Codegen(format!("{func:?} requires a selector"))
-                })?;
+                let input = input
+                    .ok_or_else(|| MrqError::Codegen(format!("{func:?} requires a selector")))?;
                 self.scalar_type(input)
             }
         }
@@ -1037,8 +1064,8 @@ fn unwrap_filtered_source(expr: &Expr) -> Result<(SourceId, Vec<(String, Expr)>)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mrq_expr::{canonicalize, col, lam, lit, Query};
     use mrq_common::Field;
+    use mrq_expr::{canonicalize, col, lam, lit, Query};
 
     fn catalog() -> HashMap<SourceId, Schema> {
         let mut map = HashMap::new();
@@ -1101,7 +1128,11 @@ mod tests {
                 "l",
                 Expr::binary(
                     BinaryOp::And,
-                    Expr::binary(BinaryOp::Gt, col("l", "l_quantity"), lit(mrq_common::Decimal::from_int(5))),
+                    Expr::binary(
+                        BinaryOp::Gt,
+                        col("l", "l_quantity"),
+                        lit(mrq_common::Decimal::from_int(5)),
+                    ),
                     Expr::binary(BinaryOp::Eq, col("l", "l_returnflag"), lit("N")),
                 ),
             ))
@@ -1326,7 +1357,10 @@ mod tests {
             ))
             .into_expr();
         let err = lower(&canonicalize(q), &catalog()).unwrap_err();
-        assert!(matches!(err, MrqError::Unsupported(_) | MrqError::UnknownField(_)));
+        assert!(matches!(
+            err,
+            MrqError::Unsupported(_) | MrqError::UnknownField(_)
+        ));
 
         // GroupBy without a Select.
         let q2 = Query::from_source(SourceId(0))
@@ -1343,6 +1377,4 @@ mod tests {
             Err(MrqError::UnknownField(_))
         ));
     }
-
 }
-

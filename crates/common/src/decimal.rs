@@ -128,9 +128,7 @@ impl Decimal {
             let d = ch.to_digit(10)? as i64;
             frac_val += d * 10_i64.pow(DECIMAL_SCALE - 1 - i as u32);
         }
-        let raw = int_val
-            .checked_mul(DECIMAL_ONE)?
-            .checked_add(frac_val)?;
+        let raw = int_val.checked_mul(DECIMAL_ONE)?.checked_add(frac_val)?;
         Some(Decimal(if neg { -raw } else { raw }))
     }
 }

@@ -135,7 +135,11 @@ mod tests {
         for k in 0..10_000u64 {
             used.insert((hash_u64(k) as usize) & (buckets - 1));
         }
-        assert!(used.len() > 8_000, "poor dispersion: {} buckets", used.len());
+        assert!(
+            used.len() > 8_000,
+            "poor dispersion: {} buckets",
+            used.len()
+        );
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //! * relational [`Schema`] / [`Field`] descriptions,
 //! * the [`trace::MemTracer`] abstraction used to feed the last-level-cache
 //!   simulator,
+//! * the [`morsel`] scheduler ([`ParallelConfig`], contiguous range
+//!   partitioning, scoped worker fan-out) every parallel execution path
+//!   shares,
 //! * the [`profile::CostBreakdown`] phase timer used to reproduce the paper's
 //!   cost-breakdown figures (Figures 8, 10 and 12), and
 //! * small utilities (a fast integer hasher, error types).
@@ -17,6 +20,7 @@ pub mod date;
 pub mod decimal;
 pub mod error;
 pub mod hash;
+pub mod morsel;
 pub mod profile;
 pub mod schema;
 pub mod trace;
@@ -25,5 +29,6 @@ pub mod value;
 pub use date::Date;
 pub use decimal::Decimal;
 pub use error::{MrqError, Result};
+pub use morsel::ParallelConfig;
 pub use schema::{Field, Schema};
 pub use value::{DataType, Value};

@@ -1,0 +1,200 @@
+//! The shared morsel scheduler: contiguous range partitioning plus scoped
+//! worker threads.
+//!
+//! The paper leaves parallel execution to future work (§4, §9) but observes
+//! that its database-style plan shape makes standard parallelisation
+//! directly applicable. Every parallel path in this workspace — the native
+//! engine's partitioned probe scan, the compiled-C# fused loops over managed
+//! objects and the hybrid engine's parallel staging — follows the same
+//! morsel-driven recipe:
+//!
+//! 1. split the probe-side input `0..total` into at most
+//!    [`ParallelConfig::threads`] contiguous ranges (*morsels*), never
+//!    smaller than [`ParallelConfig::min_rows_per_thread`] rows,
+//! 2. run one worker per morsel on a scoped thread, producing a partial
+//!    result (an execution state, a staged buffer shard, …),
+//! 3. merge the partials **in partition order**, which preserves the source
+//!    enumeration order for order-sensitive outputs.
+//!
+//! This module owns steps 1 and 2 ([`partition`], [`scatter`], [`run`]);
+//! what a worker computes and how partials merge stays with each engine.
+
+use std::ops::Range;
+
+/// Degree-of-parallelism configuration shared by every engine.
+///
+/// A `threads` value of 1 (the [`ParallelConfig::sequential`] default used
+/// by the provider) always takes the engines' sequential paths, so results
+/// and timings are bit-identical to the unparallelised seed code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Number of worker threads (1 falls back to the sequential path).
+    pub threads: usize,
+    /// Minimum number of probe-side rows per worker; partitions smaller than
+    /// this are not split further, so tiny inputs do not pay thread overhead.
+    pub min_rows_per_thread: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            min_rows_per_thread: 4096,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// A configuration with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig {
+            threads: threads.max(1),
+            ..ParallelConfig::default()
+        }
+    }
+
+    /// The single-threaded configuration: every engine takes its sequential
+    /// path, matching the seed engines exactly.
+    pub fn sequential() -> Self {
+        ParallelConfig {
+            threads: 1,
+            min_rows_per_thread: usize::MAX,
+        }
+    }
+
+    /// True if this configuration never spawns workers.
+    pub fn is_sequential(&self) -> bool {
+        self.threads <= 1
+    }
+
+    /// The number of partitions to use for `rows` probe-side rows.
+    pub fn partitions_for(&self, rows: usize) -> usize {
+        if self.threads <= 1 || rows == 0 {
+            return 1;
+        }
+        let by_size = rows.div_ceil(self.min_rows_per_thread.max(1));
+        self.threads.min(by_size).max(1)
+    }
+}
+
+/// Splits `0..total` into the contiguous morsel ranges this configuration
+/// prescribes. Returns at least one (possibly empty) range so callers can
+/// treat the sequential case uniformly.
+pub fn partition(total: usize, config: ParallelConfig) -> Vec<Range<usize>> {
+    let partitions = config.partitions_for(total);
+    if partitions <= 1 {
+        #[allow(clippy::single_range_in_vec_init)]
+        return vec![0..total];
+    }
+    let chunk = total.div_ceil(partitions);
+    (0..partitions)
+        .map(|p| (p * chunk)..((p + 1) * chunk).min(total))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Runs `worker(partition_index, range)` once per range on scoped threads and
+/// returns the partial results **in partition order**. A single range runs on
+/// the calling thread (no spawn).
+pub fn scatter<T, F>(ranges: &[Range<usize>], worker: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    if ranges.len() <= 1 {
+        return ranges
+            .iter()
+            .enumerate()
+            .map(|(i, r)| worker(i, r.clone()))
+            .collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .enumerate()
+            .map(|(i, range)| {
+                let range = range.clone();
+                let worker = &worker;
+                scope.spawn(move || worker(i, range))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("morsel workers do not panic"))
+            .collect()
+    })
+}
+
+/// Convenience composition of [`partition`] and [`scatter`]: partitions
+/// `0..total` per `config` and fans the morsels out to `worker`.
+pub fn run<T, F>(total: usize, config: ParallelConfig, worker: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    scatter(&partition(total, config), worker)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_cover_the_input_contiguously() {
+        for total in [0usize, 1, 7, 100, 4097, 100_000] {
+            for threads in [1usize, 2, 3, 8] {
+                let config = ParallelConfig {
+                    threads,
+                    min_rows_per_thread: 64,
+                };
+                let ranges = partition(total, config);
+                assert!(!ranges.is_empty());
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().unwrap().end, total);
+                for pair in ranges.windows(2) {
+                    assert_eq!(pair[0].end, pair[1].start, "contiguous, in order");
+                }
+                assert!(ranges.len() <= threads.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn small_inputs_do_not_split() {
+        let config = ParallelConfig {
+            threads: 8,
+            min_rows_per_thread: 4096,
+        };
+        assert_eq!(config.partitions_for(100), 1);
+        assert_eq!(config.partitions_for(0), 1);
+        assert_eq!(config.partitions_for(10_000), 3);
+        assert_eq!(ParallelConfig::with_threads(1).partitions_for(1_000_000), 1);
+        assert!(ParallelConfig::sequential().is_sequential());
+    }
+
+    #[test]
+    fn scatter_returns_results_in_partition_order() {
+        let config = ParallelConfig {
+            threads: 4,
+            min_rows_per_thread: 1,
+        };
+        let sums = run(1000, config, |_, range| range.sum::<usize>());
+        assert_eq!(sums.iter().sum::<usize>(), (0..1000).sum::<usize>());
+        let firsts = run(1000, config, |_, range| range.start);
+        let mut sorted = firsts.clone();
+        sorted.sort_unstable();
+        assert_eq!(firsts, sorted, "partition order equals range order");
+    }
+
+    #[test]
+    fn worker_indexes_match_positions() {
+        let config = ParallelConfig {
+            threads: 3,
+            min_rows_per_thread: 1,
+        };
+        let idx = run(300, config, |i, _| i);
+        assert_eq!(idx, (0..idx.len()).collect::<Vec<_>>());
+    }
+}

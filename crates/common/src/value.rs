@@ -13,7 +13,7 @@ use std::fmt;
 use std::sync::Arc;
 
 /// The static type of a value or column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// Boolean.
     Bool,
@@ -213,7 +213,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -294,10 +294,7 @@ mod tests {
     fn accessors_widen_where_sensible() {
         assert_eq!(Value::Int32(7).as_i64(), Some(7));
         assert_eq!(Value::Int64(7).as_f64(), Some(7.0));
-        assert_eq!(
-            Value::Int32(7).as_decimal(),
-            Some(Decimal::from_int(7))
-        );
+        assert_eq!(Value::Int32(7).as_decimal(), Some(Decimal::from_int(7)));
         assert_eq!(Value::str("x").as_i64(), None);
         assert!(!Value::Null.as_bool());
         assert!(Value::Bool(true).as_bool());

@@ -24,6 +24,8 @@
 //!
 //! [`QuerySpec`]: mrq_codegen::spec::QuerySpec
 
+#![warn(missing_docs)]
+
 use mrq_codegen::emit::{emit_source, Backend, CompileCostModel};
 use mrq_codegen::exec::{QueryOutput, TableAccess, ValueTable};
 use mrq_codegen::spec::{lower, Catalog, QuerySpec};
@@ -101,6 +103,7 @@ pub struct Provider<'a> {
     cost_model: CompileCostModel,
     optimizer: OptimizerConfig,
     recycling: bool,
+    parallel: ParallelConfig,
     results: Mutex<ResultCache>,
     epoch: std::sync::atomic::AtomicU64,
 }
@@ -115,9 +118,31 @@ impl<'a> Provider<'a> {
             cost_model: CompileCostModel::default(),
             optimizer: OptimizerConfig::default(),
             recycling: false,
+            parallel: ParallelConfig::sequential(),
             results: Mutex::new(ResultCache::new()),
             epoch: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Sets the provider-wide degree of parallelism applied by the compiled
+    /// strategies (§9 parallel-execution extension): `CompiledCSharp`,
+    /// `CompiledNative` and `Hybrid` partition their probe-side scan into
+    /// morsels across this many workers. A [`Strategy`] that carries its own
+    /// [`ParallelConfig`] (`CompiledNativeParallel`, or `Hybrid` with a
+    /// non-sequential [`HybridConfig::parallel`]) overrides this default.
+    /// `LinqToObjects` always runs single-threaded — it reproduces the
+    /// paper's baseline enumerable pipeline exactly.
+    ///
+    /// The default is [`ParallelConfig::sequential`], which matches the
+    /// single-threaded seed engines bit-for-bit.
+    pub fn set_parallelism(&mut self, config: ParallelConfig) -> &mut Self {
+        self.parallel = config;
+        self
+    }
+
+    /// The provider-wide degree of parallelism.
+    pub fn parallelism(&self) -> ParallelConfig {
+        self.parallel
     }
 
     /// Sets the heuristic-rewrite configuration applied before lowering
@@ -146,8 +171,7 @@ impl<'a> Provider<'a> {
 
     /// Drops every recycled result (call after mutating bound data in place).
     pub fn invalidate_results(&self) {
-        self.epoch
-            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        self.epoch.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         self.results.lock().clear();
     }
 
@@ -161,7 +185,8 @@ impl<'a> Provider<'a> {
 
     /// Binds a source id to a managed list (the `QList<T>` wrapper of §3).
     pub fn bind_managed(&mut self, source: SourceId, list: ListId, schema: Schema) -> &mut Self {
-        self.bindings.push((source, Binding::Managed { list, schema }));
+        self.bindings
+            .push((source, Binding::Managed { list, schema }));
         self
     }
 
@@ -335,6 +360,13 @@ impl<'a> Provider<'a> {
                     Strategy::CompiledNativeParallel(config) => {
                         mrq_engine_native::execute_parallel(spec, params, &tables, &[], config)
                     }
+                    _ if !self.parallel.is_sequential() => mrq_engine_native::execute_parallel(
+                        spec,
+                        params,
+                        &tables,
+                        &[],
+                        self.parallel,
+                    ),
                     _ => mrq_engine_native::execute(spec, params, &tables),
                 }
             }
@@ -364,10 +396,21 @@ impl<'a> Provider<'a> {
                 }
                 let refs: Vec<&HeapTable<'_>> = tables.iter().collect();
                 match strategy {
+                    // The baseline reproduces the paper's single-threaded
+                    // enumerable pipeline; it never parallelises.
                     Strategy::LinqToObjects => mrq_engine_linq::execute(spec, params, &refs),
+                    Strategy::CompiledCSharp if !self.parallel.is_sequential() => {
+                        mrq_engine_csharp::execute_parallel(spec, params, &refs, self.parallel)
+                    }
                     Strategy::CompiledCSharp => mrq_engine_csharp::execute(spec, params, &refs),
-                    Strategy::Hybrid(config) => {
-                        mrq_engine_hybrid::execute(spec, params, &refs, config).map(|run| run.output)
+                    Strategy::Hybrid(mut config) => {
+                        // A strategy-level parallel setting wins; otherwise
+                        // the provider-wide degree of parallelism applies.
+                        if config.parallel.is_sequential() {
+                            config.parallel = self.parallel;
+                        }
+                        mrq_engine_hybrid::execute(spec, params, &refs, config)
+                            .map(|run| run.output)
                     }
                     Strategy::CompiledNative | Strategy::CompiledNativeParallel(_) => {
                         unreachable!()
@@ -415,7 +458,10 @@ pub struct DeferredQuery<'a> {
 impl DeferredQuery<'_> {
     /// Executes the query and returns all result rows.
     pub fn to_rows(&self) -> Result<Vec<Vec<Value>>> {
-        Ok(self.provider.execute(self.expr.clone(), self.strategy)?.rows)
+        Ok(self
+            .provider
+            .execute(self.expr.clone(), self.strategy)?
+            .rows)
     }
 
     /// Executes the query and returns the full output (schema + rows).
@@ -483,7 +529,10 @@ mod tests {
             .execute(statement("London"), Strategy::CompiledCSharp)
             .unwrap();
         let hybrid = provider
-            .execute(statement("London"), Strategy::Hybrid(HybridConfig::default()))
+            .execute(
+                statement("London"),
+                Strategy::Hybrid(HybridConfig::default()),
+            )
             .unwrap();
         assert_eq!(linq, csharp);
         assert_eq!(linq, hybrid);
@@ -686,6 +735,42 @@ mod tests {
             .unwrap();
         assert_eq!(sequential, parallel);
         assert_eq!(parallel.rows.len(), 5_000);
+    }
+
+    #[test]
+    fn provider_parallelism_applies_to_every_compiled_strategy() {
+        let (heap, list) = heap_with_data();
+        let mut sequential = Provider::over_heap(&heap);
+        sequential.bind_managed(SourceId(0), list, schema());
+        let mut parallel = Provider::over_heap(&heap);
+        parallel.bind_managed(SourceId(0), list, schema());
+        parallel.set_parallelism(ParallelConfig {
+            threads: 4,
+            min_rows_per_thread: 8,
+        });
+        assert_eq!(parallel.parallelism().threads, 4);
+        for strategy in [
+            Strategy::LinqToObjects,
+            Strategy::CompiledCSharp,
+            Strategy::Hybrid(HybridConfig::default()),
+            Strategy::Hybrid(HybridConfig::buffered()),
+        ] {
+            let reference = sequential.execute(statement("London"), strategy).unwrap();
+            let out = parallel.execute(statement("London"), strategy).unwrap();
+            assert_eq!(out, reference, "{strategy:?}");
+        }
+        // A strategy-level parallel setting overrides the provider's.
+        let strategy = Strategy::Hybrid(HybridConfig::default().with_threads(2));
+        let reference = sequential
+            .execute(
+                statement("London"),
+                Strategy::Hybrid(HybridConfig::default()),
+            )
+            .unwrap();
+        assert_eq!(
+            parallel.execute(statement("London"), strategy).unwrap(),
+            reference
+        );
     }
 
     #[test]

@@ -93,9 +93,8 @@ impl ResultCache {
     /// identity.
     pub fn insert(&mut self, key: ResultKey, output: Arc<QueryOutput>) {
         let bucket = self.buckets.entry(key.shape_hash).or_default();
-        bucket.retain(|entry| {
-            !(entry.key.params == key.params && entry.key.sources == key.sources)
-        });
+        bucket
+            .retain(|entry| !(entry.key.params == key.params && entry.key.sources == key.sources));
         bucket.push(Entry { key, output });
     }
 

@@ -231,7 +231,6 @@ pub mod vector {
             }
             start = end;
         }
-        let mut order = order;
         order.sort_by_key(|&(rf, ls)| (rf_dict[rf as usize].clone(), ls_dict[ls as usize].clone()));
         order
             .into_iter()
@@ -424,9 +423,21 @@ pub mod volcano {
         segment: &str,
         date: Date,
     ) -> Vec<Row> {
-        let cidx = |name: &str| customer.columns.iter().position(|(n, _)| n == name).unwrap();
+        let cidx = |name: &str| {
+            customer
+                .columns
+                .iter()
+                .position(|(n, _)| n == name)
+                .unwrap()
+        };
         let oidx = |name: &str| orders.columns.iter().position(|(n, _)| n == name).unwrap();
-        let lidx = |name: &str| lineitem.columns.iter().position(|(n, _)| n == name).unwrap();
+        let lidx = |name: &str| {
+            lineitem
+                .columns
+                .iter()
+                .position(|(n, _)| n == name)
+                .unwrap()
+        };
         let seg = segment.to_string();
         let (c_seg, c_key) = (cidx("c_mktsegment"), cidx("c_custkey"));
         let mut cust: FxHashMap<i64, ()> = FxHashMap::default();
@@ -548,7 +559,7 @@ mod tests {
         // Counts add up to the number of qualifying rows.
         let total: i64 = v.iter().map(|r| r[9].as_i64().unwrap()).sum();
         let qualifying = (0..200)
-            .filter(|i| Date::from_ymd(1995, 1, 1).add_days((i % 400) as i32) <= cutoff)
+            .filter(|i| Date::from_ymd(1995, 1, 1).add_days(i % 400) <= cutoff)
             .count() as i64;
         assert_eq!(total, qualifying);
     }

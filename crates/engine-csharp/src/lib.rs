@@ -14,10 +14,10 @@
 //! string objects), which is what separates this strategy from the native
 //! one, but control flow is fused exactly like the generated C# of the paper.
 
-use mrq_codegen::exec::{execute_once, QueryOutput, TableAccess};
+use mrq_codegen::exec::{consume_partitioned, execute_once, ExecState, QueryOutput, TableAccess};
 use mrq_codegen::spec::QuerySpec;
 use mrq_common::trace::{AccessKind, MemTracer};
-use mrq_common::{Date, Decimal, MrqError, Result, Schema, Value};
+use mrq_common::{Date, Decimal, MrqError, ParallelConfig, Result, Schema, Value};
 use mrq_mheap::{GcRef, Heap, ListId};
 use std::cell::RefCell;
 
@@ -26,11 +26,17 @@ use std::cell::RefCell;
 /// Column indexes equal field indexes of the list's element class (the TPC-H
 /// loader creates classes straight from the relational schemas, so this is
 /// one-to-one).
+///
+/// `HeapTable` is a read-only view over the (externally synchronised) heap,
+/// so shared references are `Sync` and the morsel workers of
+/// [`execute_parallel`] can scan one table concurrently. Cache-study tracing
+/// lives in the separate [`TracedHeapTable`] wrapper (mirroring the native
+/// engine's `TracedRowStore`), keeping this hot-path type free of interior
+/// mutability.
 pub struct HeapTable<'a> {
     heap: &'a Heap,
     items: &'a [GcRef],
     schema: Schema,
-    tracer: Option<RefCell<&'a mut dyn MemTracer>>,
 }
 
 impl<'a> HeapTable<'a> {
@@ -40,7 +46,6 @@ impl<'a> HeapTable<'a> {
             heap,
             items: heap.list_items(list),
             schema,
-            tracer: None,
         }
     }
 
@@ -51,15 +56,17 @@ impl<'a> HeapTable<'a> {
             heap,
             items,
             schema,
-            tracer: None,
         }
     }
 
-    /// Attaches a memory tracer; every field access reports the simulated
-    /// managed address it touches (used for the Figure 14 cache study).
-    pub fn with_tracer(mut self, tracer: &'a mut dyn MemTracer) -> Self {
-        self.tracer = Some(RefCell::new(tracer));
-        self
+    /// Wraps the table with a memory tracer; every field access through the
+    /// wrapper reports the simulated managed address it touches (used for
+    /// the Figure 14 cache study).
+    pub fn with_tracer(self, tracer: &'a mut dyn MemTracer) -> TracedHeapTable<'a> {
+        TracedHeapTable {
+            table: self,
+            tracer: Some(RefCell::new(tracer)),
+        }
     }
 
     /// The table's schema.
@@ -71,17 +78,6 @@ impl<'a> HeapTable<'a> {
     pub fn object(&self, row: usize) -> GcRef {
         self.items[row]
     }
-
-    #[inline]
-    fn trace_field(&self, row: usize, col: usize) {
-        if let Some(tracer) = &self.tracer {
-            let obj = self.items[row];
-            let addr = self.heap.field_address(obj, col);
-            tracer
-                .borrow_mut()
-                .access(AccessKind::ManagedRead, addr, 8);
-        }
-    }
 }
 
 impl TableAccess for HeapTable<'_> {
@@ -89,42 +85,25 @@ impl TableAccess for HeapTable<'_> {
         self.items.len()
     }
     fn get_bool(&self, row: usize, col: usize) -> bool {
-        self.trace_field(row, col);
         self.heap.get_bool(self.items[row], col)
     }
     fn get_i32(&self, row: usize, col: usize) -> i32 {
-        self.trace_field(row, col);
         self.heap.get_i32(self.items[row], col)
     }
     fn get_i64(&self, row: usize, col: usize) -> i64 {
-        self.trace_field(row, col);
         self.heap.get_i64(self.items[row], col)
     }
     fn get_f64(&self, row: usize, col: usize) -> f64 {
-        self.trace_field(row, col);
         self.heap.get_f64(self.items[row], col)
     }
     fn get_decimal(&self, row: usize, col: usize) -> Decimal {
-        self.trace_field(row, col);
         self.heap.get_decimal(self.items[row], col)
     }
     fn get_date(&self, row: usize, col: usize) -> Date {
-        self.trace_field(row, col);
         self.heap.get_date(self.items[row], col)
     }
     fn get_str(&self, row: usize, col: usize) -> &str {
-        self.trace_field(row, col);
-        // Reading the string chases the reference into the string object,
-        // touching a second cache line — report that too.
-        let obj = self.items[row];
-        let s_ref = self.heap.get_ref(obj, col);
-        if let (Some(tracer), false) = (&self.tracer, s_ref.is_null()) {
-            tracer.borrow_mut().access(
-                AccessKind::ManagedRead,
-                self.heap.address_of(s_ref),
-                16,
-            );
-        }
+        let s_ref = self.heap.get_ref(self.items[row], col);
         if s_ref.is_null() {
             ""
         } else {
@@ -132,19 +111,98 @@ impl TableAccess for HeapTable<'_> {
         }
     }
     fn get_value(&self, row: usize, col: usize) -> Value {
-        self.trace_field(row, col);
-        let value = self.heap.get_value(self.items[row], col);
-        // Reading a string column chases the reference into the string
-        // object; report that extra line like `get_str` does.
-        if let (Some(tracer), Value::Str(_)) = (&self.tracer, &value) {
-            let s_ref = self.heap.get_ref(self.items[row], col);
+        self.heap.get_value(self.items[row], col)
+    }
+}
+
+/// A [`HeapTable`] wrapper that reports every managed field access (and the
+/// string-object chase a string read implies) to a [`MemTracer`], feeding
+/// the Figure 14 cache study. An [`TracedHeapTable::untraced`] instance
+/// passes reads through silently, so one execution can mix a traced probe
+/// side with untraced build sides under a single table type.
+pub struct TracedHeapTable<'a> {
+    table: HeapTable<'a>,
+    tracer: Option<RefCell<&'a mut dyn MemTracer>>,
+}
+
+impl<'a> TracedHeapTable<'a> {
+    /// Wraps a table without a tracer (reads pass through unreported).
+    pub fn untraced(table: HeapTable<'a>) -> Self {
+        TracedHeapTable {
+            table,
+            tracer: None,
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        self.table.schema()
+    }
+
+    #[inline]
+    fn trace_field(&self, row: usize, col: usize) {
+        if let Some(tracer) = &self.tracer {
+            let obj = self.table.items[row];
+            let addr = self.table.heap.field_address(obj, col);
+            tracer.borrow_mut().access(AccessKind::ManagedRead, addr, 8);
+        }
+    }
+
+    /// Reading a string chases the reference into the string object,
+    /// touching a second cache line — report that too.
+    #[inline]
+    fn trace_string_chase(&self, row: usize, col: usize) {
+        if let Some(tracer) = &self.tracer {
+            let s_ref = self.table.heap.get_ref(self.table.items[row], col);
             if !s_ref.is_null() {
                 tracer.borrow_mut().access(
                     AccessKind::ManagedRead,
-                    self.heap.address_of(s_ref),
+                    self.table.heap.address_of(s_ref),
                     16,
                 );
             }
+        }
+    }
+}
+
+impl TableAccess for TracedHeapTable<'_> {
+    fn len(&self) -> usize {
+        self.table.len()
+    }
+    fn get_bool(&self, row: usize, col: usize) -> bool {
+        self.trace_field(row, col);
+        self.table.get_bool(row, col)
+    }
+    fn get_i32(&self, row: usize, col: usize) -> i32 {
+        self.trace_field(row, col);
+        self.table.get_i32(row, col)
+    }
+    fn get_i64(&self, row: usize, col: usize) -> i64 {
+        self.trace_field(row, col);
+        self.table.get_i64(row, col)
+    }
+    fn get_f64(&self, row: usize, col: usize) -> f64 {
+        self.trace_field(row, col);
+        self.table.get_f64(row, col)
+    }
+    fn get_decimal(&self, row: usize, col: usize) -> Decimal {
+        self.trace_field(row, col);
+        self.table.get_decimal(row, col)
+    }
+    fn get_date(&self, row: usize, col: usize) -> Date {
+        self.trace_field(row, col);
+        self.table.get_date(row, col)
+    }
+    fn get_str(&self, row: usize, col: usize) -> &str {
+        self.trace_field(row, col);
+        self.trace_string_chase(row, col);
+        self.table.get_str(row, col)
+    }
+    fn get_value(&self, row: usize, col: usize) -> Value {
+        self.trace_field(row, col);
+        let value = self.table.get_value(row, col);
+        if matches!(value, Value::Str(_)) {
+            self.trace_string_chase(row, col);
         }
         value
     }
@@ -152,7 +210,11 @@ impl TableAccess for HeapTable<'_> {
 
 /// Executes a fused query spec over managed tables. `tables[0]` is the root
 /// (probe side); subsequent tables follow `spec.joins` order.
-pub fn execute(spec: &QuerySpec, params: &[Value], tables: &[&HeapTable<'_>]) -> Result<QueryOutput> {
+pub fn execute(
+    spec: &QuerySpec,
+    params: &[Value],
+    tables: &[&HeapTable<'_>],
+) -> Result<QueryOutput> {
     if tables.len() != spec.joins.len() + 1 {
         return Err(MrqError::Internal(format!(
             "expected {} tables, got {}",
@@ -162,6 +224,31 @@ pub fn execute(spec: &QuerySpec, params: &[Value], tables: &[&HeapTable<'_>]) ->
     }
     let schemas: Vec<Schema> = tables.iter().map(|t| t.schema().clone()).collect();
     execute_once(spec, params, tables, &schemas)
+}
+
+/// Executes a fused query spec over managed tables with `config.threads`
+/// morsel workers: the generated-C#-style loop runs unchanged per worker
+/// over a contiguous slice of the probe-side object list, and the partial
+/// states (group hash tables, aggregates, top-N buffers, plain rows) merge
+/// in partition order. Join hash tables are built once and shared by memory
+/// copy, exactly like the native engine's parallel path.
+pub fn execute_parallel(
+    spec: &QuerySpec,
+    params: &[Value],
+    tables: &[&HeapTable<'_>],
+    config: ParallelConfig,
+) -> Result<QueryOutput> {
+    if tables.len() != spec.joins.len() + 1 {
+        return Err(MrqError::Internal(format!(
+            "expected {} tables, got {}",
+            spec.joins.len() + 1,
+            tables.len()
+        )));
+    }
+    let schemas: Vec<Schema> = tables.iter().map(|t| t.schema().clone()).collect();
+    let builds = tables[1..].to_vec();
+    let base = ExecState::new(spec, params, builds, &schemas)?;
+    Ok(consume_partitioned(base, tables[0], config))
 }
 
 #[cfg(test)]
@@ -193,9 +280,14 @@ mod tests {
             ],
         ));
         let list = heap.new_list("sales", Some(class));
-        for (i, (city, price)) in [("London", 10), ("Paris", 20), ("London", 30), ("Berlin", 40)]
-            .iter()
-            .enumerate()
+        for (i, (city, price)) in [
+            ("London", 10),
+            ("Paris", 20),
+            ("London", 30),
+            ("Berlin", 40),
+        ]
+        .iter()
+        .enumerate()
         {
             let obj = heap.alloc(class);
             heap.set_i64(obj, 0, i as i64 + 1);
@@ -245,11 +337,61 @@ mod tests {
         let spec = lower(&canon, &catalog).unwrap();
         let mut tracer = CountingTracer::default();
         {
-            let table = HeapTable::new(&heap, list, schema).with_tracer(&mut tracer);
-            let _ = execute(&spec, &canon.params, &[&table]).unwrap();
+            let traced = HeapTable::new(&heap, list, schema.clone()).with_tracer(&mut tracer);
+            let _ = execute_once(&spec, &canon.params, &[&traced], &[schema]).unwrap();
         }
         // 4 rows × (city field + string object) plus 2 qualifying price reads.
         assert!(tracer.events_of(AccessKind::ManagedRead) >= 10);
+    }
+
+    #[test]
+    fn parallel_fused_loops_match_sequential() {
+        let schema = Schema::new(
+            "Sale",
+            vec![
+                mrq_common::Field::new("id", DataType::Int64),
+                mrq_common::Field::new("city", DataType::Str),
+                mrq_common::Field::new("price", DataType::Decimal),
+            ],
+        );
+        let mut heap = Heap::new();
+        let class = heap.register_class(mrq_mheap::ClassDesc::from_schema(&schema));
+        let list = heap.new_list("sales", Some(class));
+        for i in 0..5_000i64 {
+            let obj = heap.alloc(class);
+            heap.set_i64(obj, 0, i);
+            heap.set_str(obj, 1, if i % 2 == 0 { "London" } else { "Paris" });
+            heap.set_decimal(obj, 2, Decimal::from_int(i % 100));
+            heap.list_push(list, obj);
+        }
+        let mut catalog = HashMap::new();
+        catalog.insert(SourceId(0), schema.clone());
+        let canon = canonicalize(
+            Query::from_source(SourceId(0))
+                .where_(lam(
+                    "s",
+                    Expr::binary(BinaryOp::Eq, col("s", "city"), lit("London")),
+                ))
+                .select(lam("s", col("s", "price")))
+                .into_expr(),
+        );
+        let spec = lower(&canon, &catalog).unwrap();
+        let table = HeapTable::new(&heap, list, schema);
+        let sequential = execute(&spec, &canon.params, &[&table]).unwrap();
+        for threads in [1usize, 2, 4, 7] {
+            let parallel = execute_parallel(
+                &spec,
+                &canon.params,
+                &[&table],
+                ParallelConfig {
+                    threads,
+                    min_rows_per_thread: 64,
+                },
+            )
+            .unwrap();
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+        assert_eq!(sequential.rows.len(), 2_500);
     }
 
     #[test]

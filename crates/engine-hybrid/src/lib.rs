@@ -25,11 +25,14 @@
 //!   each row's index in the source collection; output columns are fetched
 //!   from the original managed objects when results are constructed.
 
+#![warn(missing_docs)]
+
 use mrq_codegen::exec::{ExecState, QueryOutput, TableAccess};
 use mrq_codegen::spec::{ColumnRef, OutputExpr, QuerySpec, ScalarExpr};
 use mrq_common::profile::{phases, CostBreakdown};
-use mrq_common::{DataType, Field, MrqError, Result, Schema, Value};
+use mrq_common::{morsel, DataType, Field, MrqError, ParallelConfig, Result, Schema, Value};
 use mrq_engine_csharp::HeapTable;
+use std::time::{Duration, Instant};
 
 pub mod staging;
 pub use staging::{ColumnBuffer, StagedTable};
@@ -78,6 +81,13 @@ pub struct HybridConfig {
     pub transfer: TransferPolicy,
     /// Staging-buffer layout.
     pub layout: StagingLayout,
+    /// Degree of parallelism for staging + native processing. The default
+    /// ([`ParallelConfig::sequential`]) reproduces the paper's
+    /// single-threaded behaviour exactly; with more threads each morsel
+    /// worker filters its slice of the managed collection into a
+    /// thread-local staging shard and the partial native states merge in
+    /// partition order.
+    pub parallel: ParallelConfig,
 }
 
 impl Default for HybridConfig {
@@ -86,6 +96,7 @@ impl Default for HybridConfig {
             materialization: Materialization::Full,
             transfer: TransferPolicy::Max,
             layout: StagingLayout::RowWise,
+            parallel: ParallelConfig::sequential(),
         }
     }
 }
@@ -106,6 +117,20 @@ impl HybridConfig {
     pub fn columnar(mut self) -> Self {
         self.layout = StagingLayout::Columnar;
         self
+    }
+
+    /// The same configuration with the given degree of parallelism.
+    pub fn parallel(mut self, config: ParallelConfig) -> Self {
+        self.parallel = config;
+        self
+    }
+
+    /// The same configuration with `threads` morsel workers.
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.parallel(ParallelConfig {
+            threads: threads.max(1),
+            min_rows_per_thread: 1024,
+        })
     }
 }
 
@@ -187,10 +212,7 @@ fn staged_schema(
     if with_index {
         fields.push(Field::new("__idx", DataType::Int64));
     }
-    (
-        Schema::new(format!("Staged{slot}"), fields),
-        mapping,
-    )
+    (Schema::new(format!("Staged{slot}"), fields), mapping)
 }
 
 struct SlotStaging {
@@ -230,8 +252,17 @@ pub fn execute(
     // Plan the staging: per slot, which columns are shipped.
     // ------------------------------------------------------------------
     let mut slots: Vec<SlotStaging> = Vec::new();
+    #[allow(clippy::needless_range_loop)]
     for slot in 0..=spec.joins.len() {
-        let cols = native_columns(spec, slot, if min_mode { TransferPolicy::Min } else { TransferPolicy::Max });
+        let cols = native_columns(
+            spec,
+            slot,
+            if min_mode {
+                TransferPolicy::Min
+            } else {
+                TransferPolicy::Max
+            },
+        );
         let (schema, mapping) = staged_schema(tables[slot].schema(), &cols, min_mode, slot);
         let index_col = min_mode.then(|| schema.len() - 1);
         slots.push(SlotStaging {
@@ -268,7 +299,11 @@ pub fn execute(
     }
     native_spec.post_filters = spec.post_filters.iter().map(remap_expr).collect();
     native_spec.group_keys = spec.group_keys.iter().map(remap_expr).collect();
-    for (a, orig) in native_spec.aggregates.iter_mut().zip(spec.aggregates.iter()) {
+    for (a, orig) in native_spec
+        .aggregates
+        .iter_mut()
+        .zip(spec.aggregates.iter())
+    {
         a.input = orig.input.as_ref().map(remap_expr);
     }
     // Outputs: in Max mode, remap; in Min mode, replace plain scalar outputs
@@ -365,6 +400,8 @@ pub fn execute(
 
     // ------------------------------------------------------------------
     // Execute: stage the probe side (fully or buffered) and consume it.
+    // Sequentially with one staging buffer, or morsel-parallel with one
+    // thread-local staging shard per worker.
     // ------------------------------------------------------------------
     let slot_schemas: Vec<Schema> = slots.iter().map(|s| s.schema.clone()).collect();
     let build_refs: Vec<&StagedTable> = build_stores.iter().collect();
@@ -372,48 +409,98 @@ pub fn execute(
 
     let root = tables[0];
     let root_staging = &slots[0];
-    match config.materialization {
-        Materialization::Full => {
-            let store = breakdown.time(phases::STAGING, || {
-                stage_table(
-                    root,
-                    &root_staging.schema,
-                    &root_staging.mapping,
-                    root_staging.index_col,
-                    &spec.root_filters,
-                    params,
-                    config.layout,
-                )
-            });
-            staged_bytes += store.payload_bytes();
-            staged_rows += store.len();
-            let phase = native_phase(spec);
-            breakdown.time(phase, || state.consume(&store));
-        }
-        Materialization::Buffered { rows_per_buffer } => {
-            let chunk = rows_per_buffer.max(1);
+    let phase = native_phase(spec);
+
+    /// Per-worker staging + consumption totals for one morsel range.
+    struct RangeRun {
+        /// Peak bytes live in this worker's staging buffer(s).
+        staged_bytes: usize,
+        staged_rows: usize,
+        staging_time: Duration,
+        native_time: Duration,
+    }
+
+    // Stages one contiguous row range into a worker-local buffer (one shard
+    // under full materialisation, a reused fixed-size buffer under buffered
+    // materialisation) and feeds it to `worker_state`. Shared by the
+    // sequential path (on `state` directly) and every morsel worker (on a
+    // fork of `state`). Staged `__idx` columns (Min transfer) hold absolute
+    // row indexes, so Min-mode result reconstruction is oblivious to the
+    // partitioning.
+    let run_range = |worker_state: &mut ExecState<'_, StagedTable>,
+                     range: std::ops::Range<usize>|
+     -> RangeRun {
+        let mut run = RangeRun {
+            staged_bytes: 0,
+            staged_rows: 0,
+            staging_time: Duration::ZERO,
+            native_time: Duration::ZERO,
+        };
+        let chunk = match config.materialization {
+            Materialization::Full => range.len().max(1),
+            Materialization::Buffered { rows_per_buffer } => rows_per_buffer.max(1),
+        };
+        let mut cursor = range.start;
+        loop {
+            let end = (cursor + chunk).min(range.end);
+            let start = Instant::now();
             let mut buffer = StagedTable::new(root_staging.schema.clone(), config.layout);
-            let total = root.len();
-            let phase = native_phase(spec);
-            for start in (0..total).step_by(chunk) {
-                let end = (start + chunk).min(total);
-                breakdown.time(phases::STAGING, || {
-                    stage_range(
-                        root,
-                        start..end,
-                        &root_staging.mapping,
-                        root_staging.index_col,
-                        &spec.root_filters,
-                        params,
-                        &mut buffer,
-                    )
-                });
-                staged_bytes = staged_bytes.max(buffer.payload_bytes());
-                staged_rows += buffer.len();
-                breakdown.time(phase, || state.consume(&buffer));
-                buffer = StagedTable::new(root_staging.schema.clone(), config.layout);
+            stage_range(
+                root,
+                cursor..end,
+                &root_staging.mapping,
+                root_staging.index_col,
+                &spec.root_filters,
+                params,
+                &mut buffer,
+            );
+            run.staging_time += start.elapsed();
+            run.staged_bytes = run.staged_bytes.max(buffer.payload_bytes());
+            run.staged_rows += buffer.len();
+            let start = Instant::now();
+            worker_state.consume(&buffer);
+            run.native_time += start.elapsed();
+            cursor = end;
+            if cursor >= range.end {
+                break;
             }
         }
+        run
+    };
+
+    let ranges = morsel::partition(root.len(), config.parallel);
+    if ranges.len() <= 1 {
+        // Sequential (or single-morsel) fast path: no fork, no merge.
+        let run = run_range(&mut state, 0..root.len());
+        staged_bytes += run.staged_bytes;
+        staged_rows += run.staged_rows;
+        breakdown.add(phases::STAGING, run.staging_time);
+        breakdown.add(phase, run.native_time);
+    } else {
+        // Morsel-parallel staging: every worker filters its contiguous slice
+        // of the managed collection into a thread-local staging shard
+        // (row-wise or columnar) and immediately consumes it with a forked
+        // native state. Join hash tables were built once above and are
+        // shared by memory copy; partial states merge in partition order so
+        // result row order matches the sequential path.
+        let partials = morsel::scatter(&ranges, |_, range| {
+            let mut worker_state = state.fork();
+            let run = run_range(&mut worker_state, range);
+            (worker_state, run)
+        });
+        // Wall-clock per phase is the slowest worker's share; footprint is
+        // the sum of concurrently live shards.
+        let mut max_staging = Duration::ZERO;
+        let mut max_native = Duration::ZERO;
+        for (partial, run) in partials {
+            state.merge(partial);
+            staged_bytes += run.staged_bytes;
+            staged_rows += run.staged_rows;
+            max_staging = max_staging.max(run.staging_time);
+            max_native = max_native.max(run.native_time);
+        }
+        breakdown.add(phases::STAGING, max_staging);
+        breakdown.add(phase, max_native);
     }
 
     // ------------------------------------------------------------------
@@ -472,7 +559,15 @@ fn stage_table(
     layout: StagingLayout,
 ) -> StagedTable {
     let mut store = StagedTable::new(schema.clone(), layout);
-    stage_range(table, 0..table.len(), mapping, index_col, filters, params, &mut store);
+    stage_range(
+        table,
+        0..table.len(),
+        mapping,
+        index_col,
+        filters,
+        params,
+        &mut store,
+    );
     store
 }
 
@@ -577,7 +672,11 @@ fn rebuild_min_output(
                 OutputExpr::Scalar(e) => {
                     row.push(eval_multi_slot_value(e, tables, &slot_rows, params))
                 }
-                _ => return Err(MrqError::Internal("min mode requires scalar outputs".into())),
+                _ => {
+                    return Err(MrqError::Internal(
+                        "min mode requires scalar outputs".into(),
+                    ))
+                }
             }
         }
         rows.push(row);
@@ -641,7 +740,11 @@ mod tests {
             heap.set_i64(obj, 0, i);
             heap.set_str(obj, 1, if i % 3 == 0 { "London" } else { "Paris" });
             heap.set_decimal(obj, 2, Decimal::from_int(i % 10));
-            heap.set_date(obj, 3, Date::from_ymd(1995, 1, 1).add_days((i % 300) as i32));
+            heap.set_date(
+                obj,
+                3,
+                Date::from_ymd(1995, 1, 1).add_days((i % 300) as i32),
+            );
             heap.list_push(list, obj);
         }
         (heap, list)
@@ -695,9 +798,12 @@ mod tests {
             &canon.params,
             &[&table],
             HybridConfig {
-                materialization: Materialization::Buffered { rows_per_buffer: 64 },
+                materialization: Materialization::Buffered {
+                    rows_per_buffer: 64,
+                },
                 transfer: TransferPolicy::Max,
                 layout: StagingLayout::RowWise,
+                ..HybridConfig::default()
             },
         )
         .unwrap();
@@ -749,9 +855,12 @@ mod tests {
             &canon.params,
             &[&table],
             HybridConfig {
-                materialization: Materialization::Buffered { rows_per_buffer: 128 },
+                materialization: Materialization::Buffered {
+                    rows_per_buffer: 128,
+                },
                 transfer: TransferPolicy::Max,
                 layout: StagingLayout::Columnar,
+                ..HybridConfig::default()
             },
         )
         .unwrap();
@@ -761,6 +870,91 @@ mod tests {
         // The columnar layout stages only the raw column payloads (no per-row
         // struct padding), so its footprint is never larger.
         assert!(columnar.staged_bytes <= row_wise.staged_bytes);
+    }
+
+    #[test]
+    fn parallel_staging_matches_sequential_for_every_policy() {
+        let (heap, list) = setup(3_000);
+        let mut catalog = HashMap::new();
+        catalog.insert(SourceId(0), schema());
+        let canon = agg_query();
+        let spec = lower(&canon, &catalog).unwrap();
+        let table = HeapTable::new(&heap, list, schema());
+        let configs = [
+            HybridConfig::default(),
+            HybridConfig::buffered(),
+            HybridConfig::default().columnar(),
+            HybridConfig::buffered().columnar(),
+        ];
+        for base in configs {
+            let sequential = execute(&spec, &canon.params, &[&table], base).unwrap();
+            for threads in [2usize, 4, 8] {
+                let config = base.parallel(ParallelConfig {
+                    threads,
+                    min_rows_per_thread: 64,
+                });
+                let parallel = execute(&spec, &canon.params, &[&table], config).unwrap();
+                assert_eq!(
+                    parallel.output, sequential.output,
+                    "{base:?} at {threads} threads"
+                );
+                assert_eq!(parallel.staged_rows, sequential.staged_rows);
+                assert!(parallel.breakdown.get(phases::STAGING).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_min_transfer_rebuilds_from_absolute_indexes() {
+        let (heap, list) = setup(2_000);
+        let mut catalog = HashMap::new();
+        catalog.insert(SourceId(0), schema());
+        // Sort query: Min transfer stages sort keys + row indexes only and
+        // rebuilds output columns from the managed objects afterwards.
+        let canon = canonicalize(
+            Query::from_source(SourceId(0))
+                .where_(lam(
+                    "s",
+                    Expr::binary(
+                        BinaryOp::Le,
+                        col("s", "day"),
+                        lit(Date::from_ymd(1995, 6, 1)),
+                    ),
+                ))
+                .order_by(lam("s", col("s", "id")))
+                .select(lam(
+                    "s",
+                    Expr::Constructor {
+                        name: "Out".into(),
+                        fields: vec![
+                            ("id".into(), col("s", "id")),
+                            ("city".into(), col("s", "city")),
+                            ("price".into(), col("s", "price")),
+                        ],
+                    },
+                ))
+                .into_expr(),
+        );
+        let spec = lower(&canon, &catalog).unwrap();
+        let table = HeapTable::new(&heap, list, schema());
+        let min = HybridConfig {
+            transfer: TransferPolicy::Min,
+            ..HybridConfig::default()
+        };
+        let sequential = execute(&spec, &canon.params, &[&table], min).unwrap();
+        for threads in [2usize, 8] {
+            let parallel = execute(
+                &spec,
+                &canon.params,
+                &[&table],
+                min.parallel(ParallelConfig {
+                    threads,
+                    min_rows_per_thread: 32,
+                }),
+            )
+            .unwrap();
+            assert_eq!(parallel.output, sequential.output, "{threads} threads");
+        }
     }
 
     #[test]
@@ -804,6 +998,7 @@ mod tests {
                 materialization: Materialization::Full,
                 transfer: TransferPolicy::Min,
                 layout: StagingLayout::RowWise,
+                ..HybridConfig::default()
             },
         )
         .unwrap();
@@ -815,6 +1010,7 @@ mod tests {
                 materialization: Materialization::Full,
                 transfer: TransferPolicy::Max,
                 layout: StagingLayout::RowWise,
+                ..HybridConfig::default()
             },
         )
         .unwrap();

@@ -30,7 +30,9 @@ enum ColumnData {
     /// primitive, but TPC-H group keys are strings, so the columnar layout
     /// stages them as offset + length pairs the way a native column store
     /// would).
-    Str { offsets: Vec<(u32, u32)> },
+    Str {
+        offsets: Vec<(u32, u32)>,
+    },
 }
 
 impl ColumnData {
@@ -42,7 +44,9 @@ impl ColumnData {
             DataType::Float64 => ColumnData::Float64(Vec::new()),
             DataType::Decimal => ColumnData::Decimal(Vec::new()),
             DataType::Date => ColumnData::Date(Vec::new()),
-            DataType::Str => ColumnData::Str { offsets: Vec::new() },
+            DataType::Str => ColumnData::Str {
+                offsets: Vec::new(),
+            },
         }
     }
 
@@ -99,12 +103,8 @@ impl ColumnBuffer {
                 ColumnData::Int32(v) => v.push(value.as_i64().unwrap_or(0) as i32),
                 ColumnData::Int64(v) => v.push(value.as_i64().unwrap_or(0)),
                 ColumnData::Float64(v) => v.push(value.as_f64().unwrap_or(0.0)),
-                ColumnData::Decimal(v) => {
-                    v.push(value.as_decimal().unwrap_or(Decimal::ZERO).raw())
-                }
-                ColumnData::Date(v) => {
-                    v.push(value.as_date().map(|d| d.epoch_days()).unwrap_or(0))
-                }
+                ColumnData::Decimal(v) => v.push(value.as_decimal().unwrap_or(Decimal::ZERO).raw()),
+                ColumnData::Date(v) => v.push(value.as_date().map(|d| d.epoch_days()).unwrap_or(0)),
                 ColumnData::Str { offsets } => {
                     let s = value.as_str().unwrap_or("");
                     let start = self.arena.len() as u32;
@@ -118,7 +118,11 @@ impl ColumnBuffer {
 
     /// Total staged payload bytes across all columns and the string arena.
     pub fn payload_bytes(&self) -> usize {
-        self.columns.iter().map(ColumnData::payload_bytes).sum::<usize>() + self.arena.len()
+        self.columns
+            .iter()
+            .map(ColumnData::payload_bytes)
+            .sum::<usize>()
+            + self.arena.len()
     }
 }
 
@@ -357,10 +361,8 @@ mod tests {
 
     #[test]
     fn columnar_strings_share_one_arena() {
-        let mut buffer = ColumnBuffer::new(Schema::new(
-            "S",
-            vec![Field::new("name", DataType::Str)],
-        ));
+        let mut buffer =
+            ColumnBuffer::new(Schema::new("S", vec![Field::new("name", DataType::Str)]));
         buffer.push_values(&[Value::str("aa")]);
         buffer.push_values(&[Value::str("bbbb")]);
         assert_eq!(buffer.get_str(0, 0), "aa");

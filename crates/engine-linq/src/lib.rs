@@ -21,7 +21,6 @@ use mrq_codegen::exec::{QueryOutput, TableAccess};
 use mrq_codegen::spec::{AggSpec, OutputExpr, QuerySpec, ScalarExpr, StrOp};
 use mrq_common::hash::FxHashMap;
 use mrq_common::{DataType, MrqError, Result, Value};
-use mrq_engine_csharp::HeapTable;
 use mrq_expr::AggFunc;
 use std::rc::Rc;
 
@@ -50,7 +49,7 @@ type Pipe<'a> = Box<dyn Iterator<Item = Item> + 'a>;
 /// Interprets a scalar expression against one pipeline element, boxing the
 /// result as a [`Value`] — the per-element delegate-invocation overhead of
 /// the baseline.
-fn eval(expr: &ScalarExpr, tables: &[&HeapTable<'_>], item: &Item, params: &[Value]) -> Value {
+fn eval<T: TableAccess>(expr: &ScalarExpr, tables: &[&T], item: &Item, params: &[Value]) -> Value {
     match expr {
         ScalarExpr::Column(c) => tables[c.slot].get_value(item.row(c.slot), c.col),
         ScalarExpr::Const(v) => v.clone(),
@@ -82,10 +81,10 @@ fn eval(expr: &ScalarExpr, tables: &[&HeapTable<'_>], item: &Item, params: &[Val
 
 /// Computes one aggregate over a materialised group with its own full pass —
 /// the paper's headline LINQ-to-objects inefficiency.
-fn aggregate_pass(
+fn aggregate_pass<T: TableAccess>(
     agg: &AggSpec,
     group: &[Item],
-    tables: &[&HeapTable<'_>],
+    tables: &[&T],
     params: &[Value],
 ) -> Value {
     match agg.func {
@@ -126,6 +125,18 @@ fn aggregate_pass(
             if group.is_empty() {
                 return Value::Null;
             }
+            // Decimal averages accumulate exactly in fixed point (matching
+            // the compiled engines, whose parallel merges rely on the
+            // associativity of the exact sum); other inputs sum as f64.
+            if agg.input_dtype == Some(DataType::Decimal) {
+                let mut total = mrq_common::Decimal::ZERO;
+                for item in group {
+                    if let Some(d) = eval(input, tables, item, params).as_decimal() {
+                        total += d;
+                    }
+                }
+                return Value::Float64(total.to_f64() / count);
+            }
             let mut total = 0.0;
             for item in group {
                 total += eval(input, tables, item, params).as_f64().unwrap_or(0.0);
@@ -159,7 +170,11 @@ fn aggregate_pass(
 
 /// Executes a query spec with the LINQ-to-objects strategy. `tables[0]` is
 /// the root collection; the rest follow `spec.joins` order.
-pub fn execute(spec: &QuerySpec, params: &[Value], tables: &[&HeapTable<'_>]) -> Result<QueryOutput> {
+pub fn execute<T: TableAccess>(
+    spec: &QuerySpec,
+    params: &[Value],
+    tables: &[&T],
+) -> Result<QueryOutput> {
     if tables.len() != spec.joins.len() + 1 {
         return Err(MrqError::Internal(format!(
             "expected {} tables, got {}",
@@ -317,6 +332,7 @@ mod tests {
     use super::*;
     use mrq_codegen::spec::lower;
     use mrq_common::{Date, Decimal, Field, Schema};
+    use mrq_engine_csharp::HeapTable;
     use mrq_expr::{canonicalize, col, lam, lit, BinaryOp, Expr, Query, SourceId};
     use mrq_mheap::{ClassDesc, Heap, ListId};
     use std::collections::HashMap;
@@ -354,7 +370,11 @@ mod tests {
             heap.set_i64(obj, 0, i);
             heap.set_str(obj, 1, if i % 3 == 0 { "London" } else { "Paris" });
             heap.set_decimal(obj, 2, Decimal::from_int(i % 7));
-            heap.set_date(obj, 3, Date::from_ymd(1995, 1, 1).add_days((i % 200) as i32));
+            heap.set_date(
+                obj,
+                3,
+                Date::from_ymd(1995, 1, 1).add_days((i % 200) as i32),
+            );
             heap.list_push(sales, obj);
         }
         for (name, country) in [("London", "UK"), ("Paris", "FR")] {
@@ -403,7 +423,10 @@ mod tests {
                                     Some(lam("x", col("x", "price"))),
                                 ),
                             ),
-                            ("n".into(), mrq_expr::builder::agg(AggFunc::Count, "g", None)),
+                            (
+                                "n".into(),
+                                mrq_expr::builder::agg(AggFunc::Count, "g", None),
+                            ),
                         ],
                     },
                 ))

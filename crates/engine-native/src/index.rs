@@ -3,7 +3,7 @@
 //! The paper lists index support as future work (§9): once data lives in
 //! database-style arrays of structs, the classic IMDB machinery becomes
 //! applicable. A [`HashIndex`] is built once over one column of a
-//! [`RowStore`](crate::RowStore) and can then replace the per-query
+//! [`RowStore`] and can then replace the per-query
 //! hash-table build of every join whose build key is exactly that column —
 //! the equivalent of a primary-key/foreign-key index in a relational engine.
 //!
@@ -65,8 +65,8 @@ impl HashIndex {
         }
         let mut index = JoinIndex::new();
         for row in 0..store.len() {
-            let key = encode_key(&store.get_value(row, column))
-                .expect("indexable columns always encode");
+            let key =
+                encode_key(&store.get_value(row, column)).expect("indexable columns always encode");
             index.insert(key, row);
         }
         Ok(HashIndex {
@@ -170,10 +170,7 @@ mod tests {
     fn builds_over_date_and_decimal_columns() {
         let s = store();
         let by_price = HashIndex::build(&s, 2).unwrap();
-        assert_eq!(
-            by_price.lookup(&Value::Decimal(Decimal::from_int(7))),
-            &[7]
-        );
+        assert_eq!(by_price.lookup(&Value::Decimal(Decimal::from_int(7))), &[7]);
         let by_day = HashIndex::build(&s, 3).unwrap();
         assert_eq!(
             by_day.lookup(&Value::Date(Date::from_ymd(1995, 1, 4))),

@@ -14,6 +14,8 @@
 //! mirroring how the generated C of the paper shares its structure with the
 //! generated C# but reads a row store instead of chasing object references.
 
+#![warn(missing_docs)]
+
 use mrq_codegen::exec::{execute_once, QueryOutput, TableAccess};
 use mrq_codegen::spec::QuerySpec;
 use mrq_common::trace::{AccessKind, MemTracer};
@@ -128,15 +130,19 @@ impl RowStore {
                 (DataType::Int32, v) => self.data[at..at + 4]
                     .copy_from_slice(&(v.as_i64().unwrap_or(0) as i32).to_le_bytes()),
                 (DataType::Date, v) => self.data[at..at + 4].copy_from_slice(
-                    &v.as_date().map(|d| d.epoch_days()).unwrap_or(0).to_le_bytes(),
+                    &v.as_date()
+                        .map(|d| d.epoch_days())
+                        .unwrap_or(0)
+                        .to_le_bytes(),
                 ),
-                (DataType::Int64, v) => self.data[at..at + 8]
-                    .copy_from_slice(&v.as_i64().unwrap_or(0).to_le_bytes()),
-                (DataType::Decimal, v) => self.data[at..at + 8].copy_from_slice(
-                    &v.as_decimal().unwrap_or(Decimal::ZERO).raw().to_le_bytes(),
-                ),
-                (DataType::Float64, v) => self.data[at..at + 8]
-                    .copy_from_slice(&v.as_f64().unwrap_or(0.0).to_le_bytes()),
+                (DataType::Int64, v) => {
+                    self.data[at..at + 8].copy_from_slice(&v.as_i64().unwrap_or(0).to_le_bytes())
+                }
+                (DataType::Decimal, v) => self.data[at..at + 8]
+                    .copy_from_slice(&v.as_decimal().unwrap_or(Decimal::ZERO).raw().to_le_bytes()),
+                (DataType::Float64, v) => {
+                    self.data[at..at + 8].copy_from_slice(&v.as_f64().unwrap_or(0.0).to_le_bytes())
+                }
                 (DataType::Str, v) => {
                     let s = v.as_str().unwrap_or("");
                     let arena_offset = self.intern_string(s);
@@ -210,11 +216,12 @@ impl TableAccess for RowStore {
     #[inline]
     fn get_str(&self, row: usize, col: usize) -> &str {
         let at = self.field_ptr(row, col);
-        let arena_offset =
-            u32::from_le_bytes(self.data[at..at + 4].try_into().unwrap()) as usize;
-        let len =
-            u32::from_le_bytes(self.strings[arena_offset..arena_offset + 4].try_into().unwrap())
-                as usize;
+        let arena_offset = u32::from_le_bytes(self.data[at..at + 4].try_into().unwrap()) as usize;
+        let len = u32::from_le_bytes(
+            self.strings[arena_offset..arena_offset + 4]
+                .try_into()
+                .unwrap(),
+        ) as usize;
         std::str::from_utf8(&self.strings[arena_offset + 4..arena_offset + 4 + len])
             .expect("row-store strings are valid UTF-8")
     }
@@ -327,6 +334,10 @@ impl QueryContext {
     }
 
     /// Returns the next result row, running the query on first call.
+    /// (Deliberately named after the paper's per-result `EvaluateQuery`
+    /// cursor call rather than implementing `Iterator`, which cannot
+    /// return `Result`.)
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<Vec<Value>>> {
         self.boundary_calls += 1;
         if self.output.is_none() {
@@ -500,9 +511,7 @@ mod tests {
     fn empty_store_executes_cleanly() {
         let mut catalog = HashMap::new();
         catalog.insert(SourceId(0), schema());
-        let canon = canonicalize(
-            Query::from_source(SourceId(0)).count().into_expr(),
-        );
+        let canon = canonicalize(Query::from_source(SourceId(0)).count().into_expr());
         let spec = lower(&canon, &catalog).unwrap();
         let s = RowStore::new(schema());
         let out = execute(&spec, &canon.params, &[&s]).unwrap();

@@ -4,9 +4,11 @@
 //! notes that its database-centric plan shape makes existing parallelisation
 //! strategies directly applicable. This module provides that extension for
 //! the native strategy: the probe-side scan is range-partitioned across
-//! worker threads, each worker runs the same fused pipeline over its
-//! partition, and the partial states (group hash tables, aggregate states,
-//! top-N buffers or plain result rows) are merged at the end.
+//! worker threads by the shared morsel scheduler ([`mrq_common::morsel`]),
+//! each worker runs the same fused pipeline over its partition, and the
+//! partial states (group hash tables, aggregate states, top-N buffers or
+//! plain result rows) are merged at the end. The same scheduler drives the
+//! compiled-C# and hybrid engines' parallel paths.
 //!
 //! Joins build their hash tables per worker unless a [`HashIndex`] is
 //! supplied for the build side, in which case all workers share the
@@ -16,54 +18,22 @@
 
 use crate::index::HashIndex;
 use crate::RowStore;
-use mrq_codegen::exec::{ExecState, JoinIndex, QueryOutput, TableAccess};
+use mrq_codegen::exec::{consume_partitioned, ExecState, JoinIndex, QueryOutput};
 use mrq_codegen::spec::QuerySpec;
 use mrq_common::{MrqError, Result, Schema, Value};
 
-/// Configuration of a parallel native execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ParallelConfig {
-    /// Number of worker threads (1 falls back to the sequential path).
-    pub threads: usize,
-    /// Minimum number of probe-side rows per worker; partitions smaller than
-    /// this are not split further, so tiny inputs do not pay thread overhead.
-    pub min_rows_per_thread: usize,
-}
-
-impl Default for ParallelConfig {
-    fn default() -> Self {
-        ParallelConfig {
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-            min_rows_per_thread: 4096,
-        }
-    }
-}
-
-impl ParallelConfig {
-    /// A configuration with an explicit thread count.
-    pub fn with_threads(threads: usize) -> Self {
-        ParallelConfig {
-            threads: threads.max(1),
-            ..ParallelConfig::default()
-        }
-    }
-
-    /// The number of partitions to use for `rows` probe-side rows.
-    pub fn partitions_for(&self, rows: usize) -> usize {
-        if self.threads <= 1 || rows == 0 {
-            return 1;
-        }
-        let by_size = rows.div_ceil(self.min_rows_per_thread.max(1));
-        self.threads.min(by_size).max(1)
-    }
-}
+pub use mrq_common::ParallelConfig;
 
 /// Executes a fused query spec over row stores with `config.threads` workers.
 /// `tables[0]` is the probe side; subsequent tables follow `spec.joins`
 /// order. `indexes[j]`, when given and applicable, replaces the hash-table
 /// build of join `j` (see [`HashIndex::serves`]).
+///
+/// Build-side hash tables are built exactly once; the shared morsel scheduler
+/// ([`mrq_common::morsel`]) then forks the state per worker (a memory copy),
+/// runs the identical fused pipeline over contiguous row ranges and merges
+/// the partial states in partition order, so row order is preserved for
+/// non-sorted outputs.
 pub fn execute_parallel(
     spec: &QuerySpec,
     params: &[Value],
@@ -82,49 +52,8 @@ pub fn execute_parallel(
     let join_indexes = resolve_indexes(spec, indexes)?;
     let root = tables[0];
     let builds: Vec<&RowStore> = tables[1..].to_vec();
-
-    let partitions = config.partitions_for(root.len());
-    if partitions <= 1 {
-        let mut state =
-            ExecState::new_with_indexes(spec, params, builds, &schemas, &join_indexes)?;
-        state.consume(root);
-        return Ok(state.finish());
-    }
-
-    let chunk = root.len().div_ceil(partitions);
-    let ranges: Vec<std::ops::Range<usize>> = (0..partitions)
-        .map(|p| (p * chunk)..((p + 1) * chunk).min(root.len()))
-        .filter(|r| !r.is_empty())
-        .collect();
-
-    // Build-side hash tables are built exactly once; each worker forks the
-    // state (a memory copy) and runs the identical fused pipeline over its
-    // contiguous row range. Partial states merge in partition order so row
-    // order is preserved for non-sorted outputs.
     let base = ExecState::new_with_indexes(spec, params, builds, &schemas, &join_indexes)?;
-    let mut partials: Vec<ExecState<'_, RowStore>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .map(|range| {
-                let range = range.clone();
-                let mut state = base.fork();
-                scope.spawn(move || {
-                    state.consume_range(root, range);
-                    state
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker threads do not panic"))
-            .collect()
-    });
-
-    let mut merged = base;
-    for partial in partials.drain(..) {
-        merged.merge(partial);
-    }
-    Ok(merged.finish())
+    Ok(consume_partitioned(base, root, config))
 }
 
 /// Maps per-join [`HashIndex`]es to executor join indexes, dropping any index
@@ -163,7 +92,13 @@ pub fn execute_indexed(
     tables: &[&RowStore],
     indexes: &[Option<&HashIndex>],
 ) -> Result<QueryOutput> {
-    execute_parallel(spec, params, tables, indexes, ParallelConfig::with_threads(1))
+    execute_parallel(
+        spec,
+        params,
+        tables,
+        indexes,
+        ParallelConfig::with_threads(1),
+    )
 }
 
 #[cfg(test)]
@@ -407,7 +342,11 @@ mod tests {
         .unwrap();
         assert_eq!(parallel, sequential);
         // Enumeration order: ids ascending as in the source collection.
-        let ids: Vec<i64> = parallel.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        let ids: Vec<i64> = parallel
+            .rows
+            .iter()
+            .map(|r| r[0].as_i64().unwrap())
+            .collect();
         assert!(ids.windows(2).all(|w| w[0] < w[1]));
     }
 

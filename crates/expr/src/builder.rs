@@ -119,12 +119,20 @@ impl Query {
 
     /// `Where(predicate)`.
     pub fn where_(self, predicate: Expr) -> Query {
-        self.call(QueryMethod::Where, vec![predicate], SortDirection::Ascending)
+        self.call(
+            QueryMethod::Where,
+            vec![predicate],
+            SortDirection::Ascending,
+        )
     }
 
     /// `Select(selector)`.
     pub fn select(self, selector: Expr) -> Query {
-        self.call(QueryMethod::Select, vec![selector], SortDirection::Ascending)
+        self.call(
+            QueryMethod::Select,
+            vec![selector],
+            SortDirection::Ascending,
+        )
     }
 
     /// `GroupBy(key_selector)`.
@@ -189,12 +197,7 @@ impl Query {
     ) -> Query {
         self.call(
             QueryMethod::Join,
-            vec![
-                Expr::Source(inner),
-                outer_key,
-                inner_key,
-                result_selector,
-            ],
+            vec![Expr::Source(inner), outer_key, inner_key, result_selector],
             SortDirection::Ascending,
         )
     }
@@ -311,7 +314,13 @@ mod tests {
             one.clone(),
             Expr::binary(BinaryOp::Lt, col("s", "b"), lit(2i64)),
         ]);
-        assert!(matches!(two, Expr::Binary { op: BinaryOp::And, .. }));
+        assert!(matches!(
+            two,
+            Expr::Binary {
+                op: BinaryOp::And,
+                ..
+            }
+        ));
     }
 
     #[test]

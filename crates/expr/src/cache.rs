@@ -159,7 +159,10 @@ mod tests {
             compile_count += 1;
             format!("compiled:{}", c.shape_hash)
         });
-        assert_eq!(compile_count, 1, "the second instance must reuse the artefact");
+        assert_eq!(
+            compile_count, 1,
+            "the second instance must reuse the artefact"
+        );
         assert!(Arc::ptr_eq(&a1, &a2));
         let stats = cache.stats();
         assert_eq!(stats.entries, 1);

@@ -121,7 +121,10 @@ fn comparable(a: &Value, b: &Value) -> bool {
                 || (x.is_numeric() && y.is_numeric())
                 || matches!(
                     (a, b),
-                    (Value::Int32(_) | Value::Int64(_), Value::Int32(_) | Value::Int64(_))
+                    (
+                        Value::Int32(_) | Value::Int64(_),
+                        Value::Int32(_) | Value::Int64(_)
+                    )
                 )
         }
         _ => false,
@@ -216,11 +219,7 @@ mod tests {
         let e = Expr::binary(
             BinaryOp::Le,
             col("l", "l_shipdate"),
-            Expr::binary(
-                BinaryOp::Sub,
-                lit(Date::from_ymd(1998, 12, 1)),
-                lit(90i64),
-            ),
+            Expr::binary(BinaryOp::Sub, lit(Date::from_ymd(1998, 12, 1)), lit(90i64)),
         );
         let folded = fold_constants(e);
         match folded {
@@ -266,8 +265,14 @@ mod tests {
 
     #[test]
     fn unary_folding() {
-        assert_eq!(eval_unary(UnaryOp::Not, &Value::Bool(true)), Some(Value::Bool(false)));
-        assert_eq!(eval_unary(UnaryOp::Neg, &Value::Int64(5)), Some(Value::Int64(-5)));
+        assert_eq!(
+            eval_unary(UnaryOp::Not, &Value::Bool(true)),
+            Some(Value::Bool(false))
+        );
+        assert_eq!(
+            eval_unary(UnaryOp::Neg, &Value::Int64(5)),
+            Some(Value::Int64(-5))
+        );
         assert_eq!(eval_unary(UnaryOp::Not, &Value::Int64(5)), None);
     }
 
@@ -288,7 +293,10 @@ mod tests {
         };
         let a = canonicalize(build("London", 100));
         let b = canonicalize(build("Paris", 2_000_000));
-        assert_eq!(a.shape_hash, b.shape_hash, "same query shape must share a cache key");
+        assert_eq!(
+            a.shape_hash, b.shape_hash,
+            "same query shape must share a cache key"
+        );
         assert_eq!(a.expr, b.expr);
         assert_eq!(a.params, vec![Value::str("London"), Value::Int64(100)]);
         assert_eq!(b.params, vec![Value::str("Paris"), Value::Int64(2_000_000)]);
@@ -313,7 +321,10 @@ mod tests {
             .into_expr();
         let q = match q {
             Expr::Call {
-                method, target, direction, ..
+                method,
+                target,
+                direction,
+                ..
             } => Expr::Call {
                 method,
                 target,

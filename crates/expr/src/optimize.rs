@@ -328,9 +328,9 @@ fn push_down(expr: Expr, rewrites: &mut Vec<Rewrite>) -> Expr {
                 args: select_args,
                 direction: select_dir,
             } => {
-                let substituted = select_args.first().and_then(|sel| {
-                    substitute_through_selector(body.as_ref(), &param, sel)
-                });
+                let substituted = select_args
+                    .first()
+                    .and_then(|sel| substitute_through_selector(body.as_ref(), &param, sel));
                 match substituted {
                     Some(pred) => {
                         rewrites.push(Rewrite::PushedBelowSelect(pred.to_string()));
@@ -418,8 +418,7 @@ fn route_through_join_selector(
     else {
         return None;
     };
-    let substituted =
-        substitute_members_through(body.clone(), where_param, construct.as_ref())?;
+    let substituted = substitute_members_through(body.clone(), where_param, construct.as_ref())?;
     let uses_outer = references_parameter(&substituted, outer_param);
     let uses_inner = references_parameter(&substituted, inner_param);
     match (uses_outer, uses_inner) {
@@ -707,7 +706,11 @@ mod tests {
     fn selections_after_a_join_are_pushed_onto_both_sides() {
         let optimized = optimize(naive_join(), OptimizerConfig::default());
         let (below, above) = where_count_below_join(&optimized.expr);
-        assert_eq!(above, 0, "no filter should remain above the join:\n{}", optimized.expr);
+        assert_eq!(
+            above, 0,
+            "no filter should remain above the join:\n{}",
+            optimized.expr
+        );
         assert_eq!(below, 2, "both filters push down:\n{}", optimized.expr);
         assert!(optimized
             .rewrites
@@ -740,10 +743,7 @@ mod tests {
                         "o",
                         Expr::Constructor {
                             name: "LO".into(),
-                            fields: vec![
-                                ("a".into(), col("l", "a")),
-                                ("b".into(), col("o", "b")),
-                            ],
+                            fields: vec![("a".into(), col("l", "a")), ("b".into(), col("o", "b"))],
                         },
                     ),
                 ),
@@ -874,10 +874,7 @@ mod tests {
     fn optimizer_terminates_on_deep_filter_chains() {
         let mut q = Query::from_source(SourceId(0));
         for i in 0..40i64 {
-            q = q.where_(lam(
-                "s",
-                Expr::binary(BinaryOp::Gt, col("s", "v"), lit(i)),
-            ));
+            q = q.where_(lam("s", Expr::binary(BinaryOp::Gt, col("s", "v"), lit(i))));
         }
         let optimized = optimize(q.into_expr(), OptimizerConfig::default());
         let text = optimized.expr.to_string();

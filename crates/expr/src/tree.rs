@@ -543,10 +543,7 @@ mod tests {
             Expr::Constant(Value::Int64(v)) => Expr::Constant(Value::Int64(v * 10)),
             other => other,
         });
-        assert_eq!(
-            doubled,
-            Expr::binary(BinaryOp::Add, lit(10i64), lit(20i64))
-        );
+        assert_eq!(doubled, Expr::binary(BinaryOp::Add, lit(10i64), lit(20i64)));
     }
 
     #[test]

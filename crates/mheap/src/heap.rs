@@ -113,9 +113,9 @@ pub struct HeapConfig {
 impl Default for HeapConfig {
     fn default() -> Self {
         HeapConfig {
-            nursery_segment_words: 512 * 1024,    // 4 MiB
-            old_segment_words: 4 * 1024 * 1024,   // 32 MiB
-            large_object_words: 10_000,           // ~80 KiB
+            nursery_segment_words: 512 * 1024,  // 4 MiB
+            old_segment_words: 4 * 1024 * 1024, // 32 MiB
+            large_object_words: 10_000,         // ~80 KiB
         }
     }
 }
@@ -479,9 +479,8 @@ impl Heap {
         // Strings are stored little-endian word by word; on every platform we
         // target the in-memory representation of `[u64]` words written with
         // `to_le_bytes` is the original byte sequence.
-        let byte_slice = unsafe {
-            std::slice::from_raw_parts(bytes_words.as_ptr() as *const u8, len)
-        };
+        let byte_slice =
+            unsafe { std::slice::from_raw_parts(bytes_words.as_ptr() as *const u8, len) };
         std::str::from_utf8(byte_slice).expect("heap strings are always valid UTF-8")
     }
 
@@ -602,8 +601,8 @@ impl Heap {
         collected.extend(self.old.iter().copied());
         // Old segments will be rebuilt from scratch.
         self.old.clear();
-        let freed = self.collect_segments(&collected);
-        freed
+
+        self.collect_segments(&collected)
     }
 
     fn collect_segments(&mut self, collected: &[u32]) -> u64 {
@@ -630,6 +629,7 @@ impl Heap {
         // --- evacuate live objects out of non-frozen collected segments ---
         let mut moved = 0u64;
         let mut live_bytes = 0u64;
+        #[allow(clippy::needless_range_loop)]
         for handle_idx in 0..self.handles.len() {
             let loc = self.handles[handle_idx];
             if loc == FREE_SLOT {
@@ -689,6 +689,7 @@ impl Heap {
 
         // --- free dead handles in collected, non-frozen segments ----------
         let mut freed = 0u64;
+        #[allow(clippy::needless_range_loop)]
         for handle_idx in 0..self.handles.len() {
             let loc = self.handles[handle_idx];
             if loc == FREE_SLOT {
@@ -697,7 +698,8 @@ impl Heap {
             // Segments created during evacuation sit past the end of
             // `collected_set`; objects in them are never freed here.
             let seg = loc.segment as usize;
-            if seg < collected_set.len() && collected_set[seg] && !frozen[seg] && !live[handle_idx] {
+            if seg < collected_set.len() && collected_set[seg] && !frozen[seg] && !live[handle_idx]
+            {
                 self.handles[handle_idx] = FREE_SLOT;
                 self.free_handles.push(handle_idx as u32);
                 freed += 1;
@@ -734,7 +736,7 @@ impl Heap {
 
     fn object_bytes(&self, loc: Loc) -> u64 {
         let header = self.segments[loc.segment as usize].words[loc.offset as usize];
-        (((header >> 32) as u64) + 1) * 8
+        ((header >> 32) + 1) * 8
     }
 
     /// Computes the set of live handles (index-aligned with `self.handles`).
@@ -781,7 +783,11 @@ impl Heap {
     /// Returns a handle's validity (false once collected). Primarily for
     /// tests.
     pub fn is_valid(&self, obj: GcRef) -> bool {
-        !obj.is_null() && self.handles.get(obj.index()).is_some_and(|l| *l != FREE_SLOT)
+        !obj.is_null()
+            && self
+                .handles
+                .get(obj.index())
+                .is_some_and(|l| *l != FREE_SLOT)
     }
 
     /// Current statistics snapshot.
@@ -938,10 +944,7 @@ mod tests {
             old_segment_words: 8192,
             large_object_words: 1000,
         });
-        let city = heap.register_class(ClassDesc::new(
-            "City",
-            vec![FieldDesc::string("name")],
-        ));
+        let city = heap.register_class(ClassDesc::new("City", vec![FieldDesc::string("name")]));
         let shop = heap.register_class(ClassDesc::new(
             "Shop",
             vec![FieldDesc::reference("city", city)],

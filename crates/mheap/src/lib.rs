@@ -12,7 +12,7 @@
 //! * [`ClassDesc`]/[`FieldDesc`] describe record types (the role of C# class
 //!   definitions plus the reflection metadata the code generator reads),
 //! * [`Heap`] owns generationally-organised segments, allocates objects with
-//!   headers, and provides typed and dynamic ([`Value`]) field access through
+//!   headers, and provides typed and dynamic ([`mrq_common::Value`]) field access through
 //!   [`GcRef`] handles — every access pays the handle → location → field
 //!   indirection a managed reference pays,
 //! * a copying, generational collector ([`Heap::collect_minor`] /

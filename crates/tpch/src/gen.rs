@@ -17,14 +17,24 @@ const SF1_PARTS: f64 = 200_000.0;
 const SF1_ORDERS: f64 = 1_500_000.0;
 
 /// Market segments (`c_mktsegment`).
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 /// Order priorities.
 pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 /// Ship modes.
 pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 /// Ship instructions.
-pub const SHIP_INSTRUCTIONS: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+pub const SHIP_INSTRUCTIONS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 /// Region names.
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 /// Nation name / region index pairs (the 25 spec nations).
@@ -63,7 +73,14 @@ pub const TYPE_SYLLABLE_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLI
 pub const TYPE_SYLLABLE_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 /// Containers.
 pub const CONTAINERS: [&str; 8] = [
-    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP BAG",
+    "SM CASE",
+    "SM BOX",
+    "MED BAG",
+    "MED BOX",
+    "LG CASE",
+    "LG BOX",
+    "JUMBO PACK",
+    "WRAP BAG",
 ];
 
 /// One `lineitem` row.
@@ -281,7 +298,9 @@ impl TpchData {
                     ),
                     p_size: rng.gen_range(1..=50),
                     p_container: CONTAINERS[rng.gen_range(0..CONTAINERS.len())].to_string(),
-                    p_retailprice: Decimal::from_raw(90_000 + (k % 2_000) * 100 + rng.gen_range(0..100)),
+                    p_retailprice: Decimal::from_raw(
+                        90_000 + (k % 2_000) * 100 + rng.gen_range(0..100i64),
+                    ),
                     p_comment: filler(&mut rng, 10),
                 }
             })
@@ -345,7 +364,7 @@ impl TpchData {
                     l_orderkey: okey,
                     l_partkey: partkey,
                     l_suppkey: suppkey,
-                    l_linenumber: line as i32,
+                    l_linenumber: line,
                     l_quantity: Decimal::from_int(quantity),
                     l_extendedprice: extendedprice,
                     l_discount: discount,
@@ -413,7 +432,11 @@ impl TpchData {
         if self.lineitem.is_empty() {
             return Date::from_ymd(1998, 12, 1);
         }
-        let mut dates: Vec<i32> = self.lineitem.iter().map(|l| l.l_shipdate.epoch_days()).collect();
+        let mut dates: Vec<i32> = self
+            .lineitem
+            .iter()
+            .map(|l| l.l_shipdate.epoch_days())
+            .collect();
         dates.sort_unstable();
         let idx = ((dates.len() as f64 - 1.0) * selectivity).round() as usize;
         Date::from_epoch_days(dates[idx])
@@ -425,7 +448,11 @@ impl TpchData {
         if self.orders.is_empty() {
             return Date::from_ymd(1998, 8, 2);
         }
-        let mut dates: Vec<i32> = self.orders.iter().map(|o| o.o_orderdate.epoch_days()).collect();
+        let mut dates: Vec<i32> = self
+            .orders
+            .iter()
+            .map(|o| o.o_orderdate.epoch_days())
+            .collect();
         dates.sort_unstable();
         let idx = ((dates.len() as f64 - 1.0) * selectivity).round() as usize;
         Date::from_epoch_days(dates[idx])
@@ -535,19 +562,28 @@ mod tests {
             assert!(l.l_receiptdate > l.l_shipdate);
         }
         // Both line statuses and all three return flags occur.
-        let statuses: std::collections::HashSet<_> =
-            data.lineitem.iter().map(|l| l.l_linestatus.clone()).collect();
+        let statuses: std::collections::HashSet<_> = data
+            .lineitem
+            .iter()
+            .map(|l| l.l_linestatus.clone())
+            .collect();
         assert_eq!(statuses.len(), 2);
-        let flags: std::collections::HashSet<_> =
-            data.lineitem.iter().map(|l| l.l_returnflag.clone()).collect();
+        let flags: std::collections::HashSet<_> = data
+            .lineitem
+            .iter()
+            .map(|l| l.l_returnflag.clone())
+            .collect();
         assert_eq!(flags.len(), 3);
     }
 
     #[test]
     fn all_market_segments_and_brass_parts_occur() {
         let data = tiny();
-        let segments: std::collections::HashSet<_> =
-            data.customer.iter().map(|c| c.c_mktsegment.clone()).collect();
+        let segments: std::collections::HashSet<_> = data
+            .customer
+            .iter()
+            .map(|c| c.c_mktsegment.clone())
+            .collect();
         assert_eq!(segments.len(), SEGMENTS.len());
         assert!(
             data.part.iter().any(|p| p.p_type.ends_with("BRASS")),
@@ -564,10 +600,17 @@ mod tests {
         let d100 = data.shipdate_for_selectivity(1.0);
         assert!(d10 <= d50 && d50 <= d100);
         let count = |cutoff: Date| {
-            data.lineitem.iter().filter(|l| l.l_shipdate <= cutoff).count() as f64
+            data.lineitem
+                .iter()
+                .filter(|l| l.l_shipdate <= cutoff)
+                .count() as f64
                 / data.lineitem.len() as f64
         };
-        assert!((count(d50) - 0.5).abs() < 0.05, "selectivity 0.5 -> {}", count(d50));
+        assert!(
+            (count(d50) - 0.5).abs() < 0.05,
+            "selectivity 0.5 -> {}",
+            count(d50)
+        );
         assert!(count(d100) > 0.999);
     }
 

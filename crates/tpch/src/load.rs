@@ -290,7 +290,10 @@ mod tests {
 
     #[test]
     fn schema_of_rejects_unknown_tables() {
-        assert_eq!(schema_of("lineitem").dtype_of("l_shipdate"), Some(DataType::Date));
+        assert_eq!(
+            schema_of("lineitem").dtype_of("l_shipdate"),
+            Some(DataType::Date)
+        );
         let caught = std::panic::catch_unwind(|| schema_of("not_a_table"));
         assert!(caught.is_err());
     }

@@ -133,7 +133,10 @@ pub fn q1_with_cutoff(cutoff: Date) -> Expr {
                     ),
                     (
                         "avg_price".into(),
-                        agg(AggFunc::Average, Some(lam("x", col("x", "l_extendedprice")))),
+                        agg(
+                            AggFunc::Average,
+                            Some(lam("x", col("x", "l_extendedprice"))),
+                        ),
                     ),
                     (
                         "avg_disc".into(),
@@ -170,11 +173,24 @@ pub fn aggregation_micro(cutoff: Date, num_aggregates: usize) -> Expr {
         lam("x", charge("x")),
         lam("x", col("x", "l_discount")),
         lam("x", col("x", "l_tax")),
-        lam("x", Expr::binary(BinaryOp::Add, col("x", "l_quantity"), col("x", "l_tax"))),
-        lam("x", Expr::binary(BinaryOp::Sub, col("x", "l_extendedprice"), col("x", "l_tax"))),
+        lam(
+            "x",
+            Expr::binary(BinaryOp::Add, col("x", "l_quantity"), col("x", "l_tax")),
+        ),
+        lam(
+            "x",
+            Expr::binary(
+                BinaryOp::Sub,
+                col("x", "l_extendedprice"),
+                col("x", "l_tax"),
+            ),
+        ),
     ];
-    for i in 0..num_aggregates.min(selectors.len()) {
-        fields.push((format!("sum_{i}"), agg(AggFunc::Sum, Some(selectors[i].clone()))));
+    for (i, selector) in selectors.iter().take(num_aggregates).enumerate() {
+        fields.push((
+            format!("sum_{i}"),
+            agg(AggFunc::Sum, Some(selector.clone())),
+        ));
     }
     Query::from_source(SRC_LINEITEM)
         .where_(lam(
@@ -548,7 +564,11 @@ pub fn q2_inner(params: &Q2Params) -> Expr {
         .join_query(
             Query::from_source(SRC_REGION).where_(lam(
                 "r",
-                Expr::binary(BinaryOp::Eq, col("r", "r_name"), lit(params.region.as_str())),
+                Expr::binary(
+                    BinaryOp::Eq,
+                    col("r", "r_name"),
+                    lit(params.region.as_str()),
+                ),
             )),
             lam("x", col("x", "n_regionkey")),
             lam("r", col("r", "r_regionkey")),

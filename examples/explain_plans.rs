@@ -3,7 +3,7 @@
 //! modelled compile cost (§7.4), and the caches that amortise all of it
 //! (compiled-query cache §3, result recycling §9).
 //!
-//! Run with `cargo run -p mrq-core --release --example explain_plans`.
+//! Run with `cargo run --release --example explain_plans`.
 
 use mrq_codegen::emit::Backend;
 use mrq_common::{DataType, Date, Decimal, Field, Schema};
@@ -71,11 +71,7 @@ fn naive_statement(segment: &str) -> Expr {
                     col("r", "Placed"),
                     lit(Date::from_ymd(1995, 1, 1)),
                 ),
-                Expr::binary(
-                    BinaryOp::Gt,
-                    col("r", "Total"),
-                    lit(Decimal::from_int(100)),
-                ),
+                Expr::binary(BinaryOp::Gt, col("r", "Total"), lit(Decimal::from_int(100))),
             ]),
         ))
         .order_by_desc(lam("r", col("r", "Total")))
@@ -123,18 +119,34 @@ fn main() {
 
     // 2. The source code the paper's system would generate and compile.
     println!("--- generated C#-style source (§4) ---");
-    println!("{}", provider.explain(statement.clone(), Backend::CSharp).unwrap());
+    println!(
+        "{}",
+        provider
+            .explain(statement.clone(), Backend::CSharp)
+            .unwrap()
+    );
     println!("--- generated C-style source (§5) ---");
-    println!("{}", provider.explain(statement.clone(), Backend::C).unwrap());
+    println!(
+        "{}",
+        provider.explain(statement.clone(), Backend::C).unwrap()
+    );
 
     // 3. The modelled compile cost (§7.4) for each backend.
     let (generation, csharp) = provider
         .compile_cost(statement.clone(), Backend::CSharp)
         .unwrap();
-    let (_, c) = provider.compile_cost(statement.clone(), Backend::C).unwrap();
+    let (_, c) = provider
+        .compile_cost(statement.clone(), Backend::C)
+        .unwrap();
     println!("compile cost model (§7.4):");
-    println!("  source generation : {:>7.2} ms", generation.as_secs_f64() * 1e3);
-    println!("  C# compilation    : {:>7.2} ms", csharp.as_secs_f64() * 1e3);
+    println!(
+        "  source generation : {:>7.2} ms",
+        generation.as_secs_f64() * 1e3
+    );
+    println!(
+        "  C# compilation    : {:>7.2} ms",
+        csharp.as_secs_f64() * 1e3
+    );
     println!("  C  compilation    : {:>7.2} ms\n", c.as_secs_f64() * 1e3);
 
     // 4. Execute it a few times with different parameters: one compilation,

@@ -6,7 +6,7 @@
 //! §2.3. This example loads a TPC-H subset into row stores and runs the Q3
 //! join/aggregation with each of those features, printing the timings.
 //!
-//! Run with `cargo run -p mrq-core --release --example parallel_analytics`.
+//! Run with `cargo run --release --example parallel_analytics`.
 
 use mrq_core::{ParallelConfig, Provider, Strategy};
 use mrq_engine_native::{execute_indexed, execute_parallel, HashIndex, RowStore};

@@ -2,7 +2,7 @@
 //! different parameters compiles once and reuses the artefact, exactly the
 //! amortisation argument of §3/§7.4.
 //!
-//! Run with `cargo run -p mrq-core --release --example query_cache_demo`.
+//! Run with `cargo run --release --example query_cache_demo`.
 
 use mrq_codegen::emit::Backend;
 use mrq_core::{Provider, Strategy};
@@ -38,9 +38,7 @@ fn main() {
         );
     }
 
-    let (generation, compile) = provider
-        .compile_cost(queries::q1(), Backend::C)
-        .unwrap();
+    let (generation, compile) = provider.compile_cost(queries::q1(), Backend::C).unwrap();
     println!(
         "\nwithout the cache every run would pay ~{:.0} ms of generation and ~{:.0} ms of C compilation (§7.4 model)",
         generation.as_secs_f64() * 1e3,

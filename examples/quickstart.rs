@@ -1,7 +1,7 @@
 //! Quickstart: query an application's in-memory collection through the
 //! provider with every execution strategy.
 //!
-//! Run with `cargo run -p mrq-core --release --example quickstart`.
+//! Run with `cargo run --release --example quickstart`.
 
 use mrq_common::{DataType, Decimal, Field, Schema};
 use mrq_core::{Provider, Strategy};
@@ -55,7 +55,10 @@ fn main() {
     for (name, strategy) in [
         ("LINQ-to-objects (baseline)", Strategy::LinqToObjects),
         ("compiled C# (fused, managed)", Strategy::CompiledCSharp),
-        ("hybrid C#/C (staged)", Strategy::Hybrid(HybridConfig::default())),
+        (
+            "hybrid C#/C (staged)",
+            Strategy::Hybrid(HybridConfig::default()),
+        ),
     ] {
         let out = provider.execute(statement.clone(), strategy).unwrap();
         println!("{name}:");

@@ -2,7 +2,7 @@
 //! grouped revenue per city with a join, executed with every strategy and
 //! timed.
 //!
-//! Run with `cargo run -p mrq-core --release --example sales_analytics`.
+//! Run with `cargo run --release --example sales_analytics`.
 
 use mrq_common::{DataType, Date, Decimal, Field, Schema};
 use mrq_core::{Provider, Strategy};
@@ -43,7 +43,11 @@ fn main() {
         let obj = heap.alloc(sale_class);
         heap.set_i64(obj, 0, i % 40);
         heap.set_decimal(obj, 1, Decimal::new(5 + i % 95, 99));
-        heap.set_date(obj, 2, Date::from_ymd(1995, 1, 1).add_days((i % 1000) as i32));
+        heap.set_date(
+            obj,
+            2,
+            Date::from_ymd(1995, 1, 1).add_days((i % 1000) as i32),
+        );
         heap.list_push(sales, obj);
     }
 
@@ -111,14 +115,14 @@ fn main() {
         ("LINQ-to-objects", Strategy::LinqToObjects),
         ("compiled C#", Strategy::CompiledCSharp),
         ("hybrid C#/C", Strategy::Hybrid(HybridConfig::default())),
-        ("hybrid C#/C (buffered)", Strategy::Hybrid(HybridConfig::buffered())),
+        (
+            "hybrid C#/C (buffered)",
+            Strategy::Hybrid(HybridConfig::buffered()),
+        ),
     ] {
         let start = Instant::now();
         let out = provider.execute(statement.clone(), strategy).unwrap();
-        println!(
-            "{name:<25} {:>8.2} ms",
-            start.elapsed().as_secs_f64() * 1e3
-        );
+        println!("{name:<25} {:>8.2} ms", start.elapsed().as_secs_f64() * 1e3);
         if name == "LINQ-to-objects" {
             print!("{}", out.render(5));
         }

@@ -1,7 +1,7 @@
 //! Runs TPC-H Q1 and Q3 over a generated dataset loaded as managed objects
 //! and as native arrays of structs, printing the reports and timings.
 //!
-//! Run with `cargo run -p mrq-core --release --example tpch_reports`.
+//! Run with `cargo run --release --example tpch_reports`.
 
 use mrq_core::{Provider, Strategy};
 use mrq_engine_hybrid::HybridConfig;
@@ -40,8 +40,16 @@ fn main() {
         for (label, provider_ref, strategy) in [
             ("LINQ-to-objects", &provider, Strategy::LinqToObjects),
             ("compiled C#", &provider, Strategy::CompiledCSharp),
-            ("hybrid C#/C", &provider, Strategy::Hybrid(HybridConfig::default())),
-            ("compiled C (native rows)", &native, Strategy::CompiledNative),
+            (
+                "hybrid C#/C",
+                &provider,
+                Strategy::Hybrid(HybridConfig::default()),
+            ),
+            (
+                "compiled C (native rows)",
+                &native,
+                Strategy::CompiledNative,
+            ),
         ] {
             let start = Instant::now();
             let out = provider_ref.execute(expr.clone(), strategy).unwrap();

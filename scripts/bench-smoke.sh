@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Perf-harness smoke test: run the parallel ablation bench once so bitrot in
+# the bench targets (API drift, panics, wrong cardinalities) is caught in CI,
+# and — on hosts with enough cores to express one — enforce the headline
+# speedup claim: hybrid full-materialisation Q1 aggregation at 8 threads must
+# be at least MIN_SPEEDUP x faster than at 1 thread.
+#
+# Usage: scripts/bench-smoke.sh [bench-filter]
+# Env:   MRQ_SF           scale factor for the bench workload (default 0.002)
+#        MIN_SPEEDUP      enforced 8-thread speedup (default 2.0)
+#        ENFORCE_SPEEDUP  1 = always enforce, 0 = never, unset = auto
+#                         (enforce only when >= 8 CPUs are available)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FILTER="${1:-}"
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+echo "== bench-smoke: ablation_parallel (one pass) =="
+cargo bench -q -p mrq-bench --bench ablation_parallel -- ${FILTER:+"$FILTER"} | tee "$OUT"
+
+# Every benchmark line must have produced a time — a bench that silently
+# stopped reporting is bitrot even when it exits 0.
+LINES=$(grep -c "time:" "$OUT" || true)
+if [ "$LINES" -lt 4 ]; then
+    echo "bench-smoke: FAIL — expected >=4 benchmark reports, got $LINES" >&2
+    exit 1
+fi
+echo "bench-smoke: $LINES benchmark points reported"
+
+# Speedup enforcement (à la tonic's bench-enforce): compare the mean time of
+# the hybrid full-materialisation Q1 point at 1 vs 8 threads.
+CPUS=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+ENFORCE="${ENFORCE_SPEEDUP:-auto}"
+if [ "$ENFORCE" = "auto" ]; then
+    if [ "$CPUS" -ge 8 ]; then ENFORCE=1; else ENFORCE=0; fi
+fi
+
+T1=$(awk '/ablation_parallel_q1_hybrid_full\/1_threads/ {print $4}' "$OUT" | head -1)
+T8=$(awk '/ablation_parallel_q1_hybrid_full\/8_threads/ {print $4}' "$OUT" | head -1)
+if [ -z "${T1:-}" ] || [ -z "${T8:-}" ]; then
+    echo "bench-smoke: FAIL — hybrid_full 1/8-thread points missing from output" >&2
+    exit 1
+fi
+SPEEDUP=$(awk -v a="$T1" -v b="$T8" 'BEGIN { printf "%.2f", a / b }')
+echo "bench-smoke: hybrid full Q1 speedup at 8 threads: ${SPEEDUP}x (host has $CPUS CPUs)"
+
+if [ "$ENFORCE" = "1" ]; then
+    MIN="${MIN_SPEEDUP:-2.0}"
+    PASS=$(awk -v s="$SPEEDUP" -v m="$MIN" 'BEGIN { print (s >= m) ? 1 : 0 }')
+    if [ "$PASS" != "1" ]; then
+        echo "bench-smoke: FAIL — speedup ${SPEEDUP}x below required ${MIN}x" >&2
+        exit 1
+    fi
+    echo "bench-smoke: speedup gate (>= ${MIN}x) passed"
+else
+    echo "bench-smoke: speedup gate skipped ($CPUS CPUs cannot express an 8-thread speedup)"
+fi
+echo "bench-smoke: OK"

@@ -48,7 +48,11 @@ fn sort_and_join_micro_workloads_agree() {
     let reference = run_strategy(&wb, &canon, &spec, Strategy::CompiledCSharp).1;
     for (name, strategy) in standard_strategies() {
         let out = run_strategy(&wb, &canon, &spec, strategy).1;
-        assert_eq!(out.rows.len(), reference.rows.len(), "{name} join cardinality");
+        assert_eq!(
+            out.rows.len(),
+            reference.rows.len(),
+            "{name} join cardinality"
+        );
     }
 }
 

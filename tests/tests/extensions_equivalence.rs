@@ -22,7 +22,11 @@ fn assert_outputs_match(
 ) {
     use mrq_common::Value;
     assert_eq!(actual.schema, expected.schema, "{context}: schema");
-    assert_eq!(actual.rows.len(), expected.rows.len(), "{context}: cardinality");
+    assert_eq!(
+        actual.rows.len(),
+        expected.rows.len(),
+        "{context}: cardinality"
+    );
     for (row, (a, e)) in actual.rows.iter().zip(expected.rows.iter()).enumerate() {
         for (col, (av, ev)) in a.iter().zip(e.iter()).enumerate() {
             match (av, ev) {
@@ -59,7 +63,11 @@ fn parallel_native_matches_every_sequential_strategy_on_q1() {
             }),
         )
         .1;
-        assert_outputs_match(&out, &reference, &format!("parallel with {threads} threads"));
+        assert_outputs_match(
+            &out,
+            &reference,
+            &format!("parallel with {threads} threads"),
+        );
     }
 }
 
@@ -184,7 +192,10 @@ fn q2_and_q3_agree_across_all_strategies_at_small_scale() {
         }
         let first = counts[0].1;
         for (name, rows) in &counts {
-            assert_eq!(*rows, first, "{query}: {name} returned a different cardinality");
+            assert_eq!(
+                *rows, first,
+                "{query}: {name} returned a different cardinality"
+            );
         }
     }
 }

@@ -1,0 +1,201 @@
+//! Cross-strategy parallel equivalence: every strategy, at every degree of
+//! parallelism, must return exactly what the single-threaded seed engines
+//! return.
+//!
+//! Thread counts sweep {1, 2, 8}: 1 must take the engines' sequential paths,
+//! 2 and 8 exercise morsel partitioning, worker-local staging shards and
+//! partial-state merging. Comparisons are on sorted row text (duplicate sort
+//! keys make row order within ties implementation-defined in principle, so
+//! the suite asserts the multiset of rows plus the sort-key ordering), and
+//! additionally on exact row order where the engines guarantee it.
+
+use mrq_bench::Workbench;
+use mrq_codegen::exec::QueryOutput;
+use mrq_common::ParallelConfig;
+use mrq_core::{Provider, Strategy};
+use mrq_engine_csharp::HeapTable;
+use mrq_engine_hybrid::{HybridConfig, Materialization, StagingLayout, TransferPolicy};
+use mrq_tpch::queries;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn workbench() -> Workbench {
+    Workbench::new(0.002)
+}
+
+fn config_for(threads: usize) -> ParallelConfig {
+    ParallelConfig {
+        threads,
+        // Low threshold so the tiny test dataset actually splits.
+        min_rows_per_thread: 16,
+    }
+}
+
+fn sorted_rows(out: &QueryOutput) -> Vec<String> {
+    let mut rows: Vec<String> = out.rows.iter().map(|r| format!("{r:?}")).collect();
+    rows.sort();
+    rows
+}
+
+fn assert_same(reference: &QueryOutput, parallel: &QueryOutput, context: &str) {
+    assert_eq!(reference.schema, parallel.schema, "{context}: schema");
+    assert_eq!(
+        sorted_rows(reference),
+        sorted_rows(parallel),
+        "{context}: row multiset"
+    );
+}
+
+/// The managed strategies (LINQ baseline, compiled C#, hybrid staging in all
+/// four policy combinations) through the provider, with the provider-wide
+/// degree of parallelism swept over {1, 2, 8}.
+#[test]
+fn managed_strategies_match_sequential_at_every_thread_count() {
+    let wb = workbench();
+    let strategies: Vec<(&str, Strategy)> = vec![
+        ("linq", Strategy::LinqToObjects),
+        ("csharp", Strategy::CompiledCSharp),
+        ("hybrid full/max", Strategy::Hybrid(HybridConfig::default())),
+        (
+            "hybrid buffered/max",
+            Strategy::Hybrid(HybridConfig::buffered()),
+        ),
+        (
+            "hybrid full/max columnar",
+            Strategy::Hybrid(HybridConfig::default().columnar()),
+        ),
+    ];
+    for workload in [queries::q1(), queries::q3()] {
+        let sequential = wb.managed_provider();
+        let reference = sequential
+            .execute(workload.clone(), Strategy::CompiledCSharp)
+            .expect("sequential reference");
+        for &threads in &THREADS {
+            let mut provider = wb.managed_provider();
+            provider.set_parallelism(config_for(threads));
+            for (name, strategy) in &strategies {
+                let out = provider
+                    .execute(workload.clone(), *strategy)
+                    .expect("parallel run");
+                let context = format!("{name} at {threads} threads");
+                assert_same(&reference, &out, &context);
+                // Exact row order is preserved: morsels are contiguous and
+                // partials merge in partition order.
+                assert_eq!(reference.rows, out.rows, "{context}: row order");
+            }
+        }
+    }
+}
+
+/// Min-transfer hybrid staging ships sort keys plus absolute row indexes and
+/// rebuilds output columns from the original managed objects; the rebuilt
+/// rows must match the fully-staged (Max) result at every thread count.
+#[test]
+fn min_transfer_result_construction_matches_at_every_thread_count() {
+    let wb = workbench();
+    let cutoff = wb.data.shipdate_for_selectivity(0.5);
+    let workload = queries::sort_micro(cutoff);
+    let provider = wb.managed_provider();
+    let reference = provider
+        .execute(workload.clone(), Strategy::CompiledCSharp)
+        .expect("sequential reference");
+    for &threads in &THREADS {
+        for materialization in [
+            Materialization::Full,
+            Materialization::Buffered {
+                rows_per_buffer: 256,
+            },
+        ] {
+            let config = HybridConfig {
+                materialization,
+                transfer: TransferPolicy::Min,
+                layout: StagingLayout::RowWise,
+                ..HybridConfig::default()
+            }
+            .parallel(config_for(threads));
+            let out = provider
+                .execute(workload.clone(), Strategy::Hybrid(config))
+                .expect("min-transfer run");
+            let context = format!("min transfer {materialization:?} at {threads} threads");
+            assert_same(&reference, &out, &context);
+            // The sort-key ordering must hold even when tie order is free.
+            let keys: Vec<_> = out.rows.iter().map(|r| r[1].clone()).collect();
+            assert!(
+                keys.windows(2)
+                    .all(|w| w[0].total_cmp(&w[1]) != std::cmp::Ordering::Greater),
+                "{context}: sort keys ordered"
+            );
+        }
+    }
+}
+
+/// The native strategy through the provider: explicit
+/// `CompiledNativeParallel` configs and the provider-wide parallelism both
+/// match the sequential native engine.
+#[test]
+fn native_strategy_matches_sequential_at_every_thread_count() {
+    let wb = workbench();
+    for workload in [queries::q1(), queries::q3()] {
+        let canon = mrq_expr::canonicalize(workload.clone());
+        let spec = mrq_codegen::spec::lower(&canon, &wb.catalog(None)).expect("lowers");
+        let mut provider = Provider::new();
+        let mut sources = vec![spec.root];
+        sources.extend(spec.joins.iter().map(|j| j.source));
+        for s in &sources {
+            provider.bind_native(*s, &wb.stores[queries::source_table(*s)]);
+        }
+        let reference = provider
+            .execute(workload.clone(), Strategy::CompiledNative)
+            .expect("sequential native");
+        for &threads in &THREADS {
+            let explicit = provider
+                .execute(
+                    workload.clone(),
+                    Strategy::CompiledNativeParallel(config_for(threads)),
+                )
+                .expect("explicit parallel native");
+            assert_same(&reference, &explicit, &format!("explicit at {threads}"));
+            assert_eq!(reference.rows, explicit.rows);
+        }
+        provider.set_parallelism(config_for(8));
+        let implicit = provider
+            .execute(workload.clone(), Strategy::CompiledNative)
+            .expect("provider-parallel native");
+        assert_same(&reference, &implicit, "provider-wide parallelism");
+        assert_eq!(reference.rows, implicit.rows);
+    }
+}
+
+/// The direct engine entry points (bypassing the provider) agree with each
+/// other across the heap, staged and native representations at 1/2/8
+/// threads.
+#[test]
+fn engine_entry_points_agree_across_representations() {
+    let wb = workbench();
+    let (canon, spec) = wb.lower(queries::q1());
+    let heap_tables = wb.heap_tables(&spec);
+    let heap_refs: Vec<&HeapTable<'_>> = heap_tables.iter().collect();
+    let stores = wb.row_stores(&spec);
+    let reference =
+        mrq_engine_csharp::execute(&spec, &canon.params, &heap_refs).expect("sequential C#");
+    for &threads in &THREADS {
+        let config = config_for(threads);
+        let csharp = mrq_engine_csharp::execute_parallel(&spec, &canon.params, &heap_refs, config)
+            .expect("parallel C#");
+        assert_eq!(csharp, reference, "C# at {threads} threads");
+        let native =
+            mrq_engine_native::execute_parallel(&spec, &canon.params, &stores, &[], config)
+                .expect("parallel native");
+        assert_eq!(native, reference, "native at {threads} threads");
+        let hybrid = mrq_engine_hybrid::execute(
+            &spec,
+            &canon.params,
+            &heap_refs,
+            HybridConfig::default().parallel(config),
+        )
+        .expect("parallel hybrid");
+        assert_eq!(hybrid.output, reference, "hybrid at {threads} threads");
+    }
+    // Sanity: the workload is not trivially empty.
+    assert!(!reference.rows.is_empty());
+}

@@ -2,14 +2,21 @@
 //! execution paths: random inputs must never break the equivalences the
 //! reproduction rests on (flat storage round-trips, fused top-N versus full
 //! sorts, optimizer rewrites, parallel merges, cache-model monotonicity).
+//!
+//! The build environment has no crates.io access, so instead of `proptest`
+//! these properties are exercised with a seeded deterministic RNG (the
+//! workspace `rand` shim): every case is reproducible from its printed seed.
 
 use mrq_codegen::exec::{execute_once, ExecState, TableAccess, ValueTable};
 use mrq_codegen::spec::lower;
 use mrq_common::{DataType, Date, Decimal, Field, Schema, Value};
 use mrq_engine_native::{execute_parallel, ParallelConfig, RowStore};
 use mrq_expr::{canonicalize, col, lam, lit, BinaryOp, Expr, Query, SourceId};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+
+const CASES: u64 = 64;
 
 fn sales_schema() -> Schema {
     Schema::new(
@@ -30,68 +37,81 @@ fn catalog() -> HashMap<SourceId, Schema> {
     map
 }
 
-prop_compose! {
-    fn arb_row()(
-        id in -1_000_000i64..1_000_000,
-        bucket in 0i64..8,
-        price in -10_000i64..10_000,
-        days in 0i32..4000,
-        tag in "[A-D]{1,3}",
-    ) -> Vec<Value> {
-        vec![
-            Value::Int64(id),
-            Value::Int64(bucket),
-            Value::Decimal(Decimal::from_int(price)),
-            Value::Date(Date::from_ymd(1992, 1, 1).add_days(days)),
-            Value::str(tag),
-        ]
-    }
+/// One random row matching `sales_schema` (ids, buckets, prices, dates and a
+/// short A–D tag, mirroring the old proptest generators).
+fn arb_row(rng: &mut SmallRng) -> Vec<Value> {
+    let tag_len = rng.gen_range(1usize..=3);
+    let tag: String = (0..tag_len)
+        .map(|_| (b'A' + rng.gen_range(0u8..4)) as char)
+        .collect();
+    vec![
+        Value::Int64(rng.gen_range(-1_000_000i64..1_000_000)),
+        Value::Int64(rng.gen_range(0i64..8)),
+        Value::Decimal(Decimal::from_int(rng.gen_range(-10_000i64..10_000))),
+        Value::Date(Date::from_ymd(1992, 1, 1).add_days(rng.gen_range(0i32..4000))),
+        Value::str(tag),
+    ]
 }
 
-fn arb_rows(max: usize) -> impl Strategy<Value = Vec<Vec<Value>>> {
-    prop::collection::vec(arb_row(), 0..max)
+fn arb_rows(rng: &mut SmallRng, max: usize) -> Vec<Vec<Value>> {
+    let n = rng.gen_range(0usize..max);
+    (0..n).map(|_| arb_row(rng)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Values written into the packed native row layout read back unchanged.
-    #[test]
-    fn row_store_round_trips_every_value(rows in arb_rows(64)) {
+/// Values written into the packed native row layout read back unchanged.
+#[test]
+fn row_store_round_trips_every_value() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rows = arb_rows(&mut rng, 64);
         let store = RowStore::from_rows(sales_schema(), &rows);
-        prop_assert_eq!(store.len(), rows.len());
+        assert_eq!(store.len(), rows.len(), "seed {seed}");
         for (r, row) in rows.iter().enumerate() {
             for (c, value) in row.iter().enumerate() {
-                prop_assert_eq!(&store.get_value(r, c), value);
+                assert_eq!(&store.get_value(r, c), value, "seed {seed} row {r} col {c}");
             }
         }
     }
+}
 
-    /// Date round-trips through its epoch-day representation (the layout the
-    /// row store and the staged buffers use).
-    #[test]
-    fn date_round_trips_through_epoch_days(days in 0i32..200_000) {
+/// Date round-trips through its epoch-day representation (the layout the
+/// row store and the staged buffers use).
+#[test]
+fn date_round_trips_through_epoch_days() {
+    let mut rng = SmallRng::seed_from_u64(11);
+    for case in 0..4096 {
+        let days = rng.gen_range(0i32..200_000);
         let date = Date::from_epoch_days(days);
-        prop_assert_eq!(date.epoch_days(), days);
+        assert_eq!(date.epoch_days(), days, "case {case}");
         let (y, m, d) = date.to_ymd();
-        prop_assert_eq!(Date::from_ymd(y, m, d), date);
-        prop_assert_eq!(date.year(), y);
+        assert_eq!(Date::from_ymd(y, m, d), date, "case {case}");
+        assert_eq!(date.year(), y, "case {case}");
     }
+}
 
-    /// Decimal sums agree with exact integer arithmetic.
-    #[test]
-    fn decimal_sums_match_integer_sums(values in prop::collection::vec(-50_000i64..50_000, 0..100)) {
+/// Decimal sums agree with exact integer arithmetic.
+#[test]
+fn decimal_sums_match_integer_sums() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.gen_range(0usize..100);
+        let values: Vec<i64> = (0..n).map(|_| rng.gen_range(-50_000i64..50_000)).collect();
         let decimal_sum = values
             .iter()
             .fold(Decimal::ZERO, |acc, &v| acc + Decimal::from_int(v));
         let int_sum: i64 = values.iter().sum();
-        prop_assert_eq!(decimal_sum, Decimal::from_int(int_sum));
+        assert_eq!(decimal_sum, Decimal::from_int(int_sum), "seed {seed}");
     }
+}
 
-    /// The fused OrderBy+Take buffer returns exactly what a full stable sort
-    /// followed by truncation returns, for any data and any limit.
-    #[test]
-    fn fused_topn_equals_full_sort_then_truncate(rows in arb_rows(120), take in 0i64..40) {
+/// The fused OrderBy+Take buffer returns exactly what a full stable sort
+/// followed by truncation returns, for any data and any limit.
+#[test]
+fn fused_topn_equals_full_sort_then_truncate() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rows = arb_rows(&mut rng, 120);
+        let take = rng.gen_range(0i64..40);
         let q = Query::from_source(SourceId(0))
             .order_by_desc(lam("s", col("s", "price")))
             .then_by(lam("s", col("s", "id")))
@@ -121,17 +141,20 @@ proptest! {
         unfused.consume(&table);
         let unfused_out = unfused.finish();
 
-        prop_assert_eq!(fused_out, unfused_out);
+        assert_eq!(fused_out, unfused_out, "seed {seed}");
     }
+}
 
-    /// Splitting the probe side into arbitrary contiguous partitions and
-    /// merging the per-partition states gives the sequential result, for
-    /// grouped aggregation queries.
-    #[test]
-    fn merged_partitions_equal_sequential_aggregation(
-        rows in arb_rows(150),
-        cut_points in prop::collection::vec(0usize..150, 0..4),
-    ) {
+/// Splitting the probe side into arbitrary contiguous partitions and
+/// merging the per-partition states gives the sequential result, for
+/// grouped aggregation queries.
+#[test]
+fn merged_partitions_equal_sequential_aggregation() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rows = arb_rows(&mut rng, 150);
+        let n_cuts = rng.gen_range(0usize..4);
+        let cut_points: Vec<usize> = (0..n_cuts).map(|_| rng.gen_range(0usize..150)).collect();
         let q = Query::from_source(SourceId(0))
             .group_by(lam("s", col("s", "bucket")))
             .select(lam(
@@ -175,7 +198,10 @@ proptest! {
         let sequential = execute_once(&spec, &canon.params, &[&table], &schemas).unwrap();
 
         // Build partition boundaries from the random cut points.
-        let mut cuts: Vec<usize> = cut_points.into_iter().map(|c| c % (rows.len() + 1)).collect();
+        let mut cuts: Vec<usize> = cut_points
+            .into_iter()
+            .map(|c| c % (rows.len() + 1))
+            .collect();
         cuts.push(0);
         cuts.push(rows.len());
         cuts.sort_unstable();
@@ -192,13 +218,18 @@ proptest! {
         let merged_out = merged
             .map(|m| m.finish())
             .unwrap_or_else(|| execute_once(&spec, &canon.params, &[&table], &schemas).unwrap());
-        prop_assert_eq!(merged_out, sequential);
+        assert_eq!(merged_out, sequential, "seed {seed}");
     }
+}
 
-    /// The parallel native path equals the sequential native path for any
-    /// data and thread count.
-    #[test]
-    fn parallel_native_equals_sequential(rows in arb_rows(200), threads in 1usize..6) {
+/// The parallel native path equals the sequential native path for any
+/// data and thread count.
+#[test]
+fn parallel_native_equals_sequential() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rows = arb_rows(&mut rng, 200);
+        let threads = rng.gen_range(1usize..6);
         let q = Query::from_source(SourceId(0))
             .where_(lam(
                 "s",
@@ -236,19 +267,24 @@ proptest! {
             &canon.params,
             &[&store],
             &[],
-            ParallelConfig { threads, min_rows_per_thread: 1 },
+            ParallelConfig {
+                threads,
+                min_rows_per_thread: 1,
+            },
         )
         .unwrap();
-        prop_assert_eq!(parallel, sequential);
+        assert_eq!(parallel, sequential, "seed {seed} threads {threads}");
     }
+}
 
-    /// Optimizer rewrites never change results: a filter written after a
-    /// projection returns exactly the rows of the hand-pushed form.
-    #[test]
-    fn optimizer_rewrites_preserve_results(
-        rows in arb_rows(100),
-        threshold in -10_000i64..10_000,
-    ) {
+/// Optimizer rewrites never change results: a filter written after a
+/// projection returns exactly the rows of the hand-pushed form.
+#[test]
+fn optimizer_rewrites_preserve_results() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rows = arb_rows(&mut rng, 100);
+        let threshold = rng.gen_range(-10_000i64..10_000);
         let naive = Query::from_source(SourceId(0))
             .select(lam(
                 "s",
@@ -297,13 +333,18 @@ proptest! {
             let spec = lower(&canon, &catalog()).unwrap();
             execute_once(&spec, &canon.params, &[&table], &schemas).unwrap()
         };
-        prop_assert_eq!(run(optimized).rows, run(hand_pushed).rows);
+        assert_eq!(run(optimized).rows, run(hand_pushed).rows, "seed {seed}");
     }
+}
 
-    /// Canonicalisation maps parameter-differing instances of one pattern to
-    /// the same cache key, and the extracted parameters reproduce the values.
-    #[test]
-    fn canonical_shape_is_stable_across_parameter_values(a in any::<i64>(), b in any::<i64>()) {
+/// Canonicalisation maps parameter-differing instances of one pattern to
+/// the same cache key, and the extracted parameters reproduce the values.
+#[test]
+fn canonical_shape_is_stable_across_parameter_values() {
+    let mut rng = SmallRng::seed_from_u64(99);
+    for case in 0..CASES {
+        let a = rng.gen_range(i64::MIN..i64::MAX);
+        let b = rng.gen_range(i64::MIN..i64::MAX);
         let statement = |v: i64| {
             Query::from_source(SourceId(0))
                 .where_(lam("s", Expr::binary(BinaryOp::Eq, col("s", "id"), lit(v))))
@@ -312,18 +353,23 @@ proptest! {
         };
         let ca = canonicalize(statement(a));
         let cb = canonicalize(statement(b));
-        prop_assert_eq!(ca.shape_hash, cb.shape_hash);
-        prop_assert_eq!(&ca.expr, &cb.expr);
-        prop_assert_eq!(ca.params, vec![Value::Int64(a)]);
-        prop_assert_eq!(cb.params, vec![Value::Int64(b)]);
+        assert_eq!(ca.shape_hash, cb.shape_hash, "case {case}");
+        assert_eq!(&ca.expr, &cb.expr, "case {case}");
+        assert_eq!(ca.params, vec![Value::Int64(a)], "case {case}");
+        assert_eq!(cb.params, vec![Value::Int64(b)], "case {case}");
     }
+}
 
-    /// The cache model never reports more misses than accesses, is
-    /// deterministic, and the hierarchy's per-level traffic is monotone.
-    #[test]
-    fn cache_models_are_consistent(addrs in prop::collection::vec(0u64..(1 << 22), 1..400)) {
-        use mrq_cachesim::{CacheConfig, CacheHierarchy, CacheSim, HierarchyConfig};
-        use mrq_common::trace::{AccessKind, MemTracer};
+/// The cache model never reports more misses than accesses, is
+/// deterministic, and the hierarchy's per-level traffic is monotone.
+#[test]
+fn cache_models_are_consistent() {
+    use mrq_cachesim::{CacheConfig, CacheHierarchy, CacheSim, HierarchyConfig};
+    use mrq_common::trace::{AccessKind, MemTracer};
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.gen_range(1usize..400);
+        let addrs: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..1 << 22)).collect();
         let mut a = CacheSim::new(CacheConfig::tiny());
         let mut b = CacheSim::new(CacheConfig::tiny());
         let mut h = CacheHierarchy::new(HierarchyConfig::tiny());
@@ -332,15 +378,15 @@ proptest! {
             b.access(AccessKind::NativeRead, addr, 8);
             h.access(AccessKind::ManagedRead, addr, 8);
         }
-        prop_assert_eq!(a.stats(), b.stats());
-        prop_assert!(a.stats().misses <= a.stats().accesses);
-        prop_assert!(h.l1().misses >= h.l2().misses);
-        prop_assert!(h.l2().misses >= h.llc().misses);
-        prop_assert_eq!(h.l2().accesses, h.l1().misses);
-        prop_assert_eq!(h.llc().accesses, h.l2().misses);
+        assert_eq!(a.stats(), b.stats(), "seed {seed}");
+        assert!(a.stats().misses <= a.stats().accesses, "seed {seed}");
+        assert!(h.l1().misses >= h.l2().misses, "seed {seed}");
+        assert!(h.l2().misses >= h.llc().misses, "seed {seed}");
+        assert_eq!(h.l2().accesses, h.l1().misses, "seed {seed}");
+        assert_eq!(h.llc().accesses, h.l2().misses, "seed {seed}");
         // The single-level model and the hierarchy's LLC see different
         // traffic (the hierarchy filters through L1/L2), but neither can
         // miss more often than the lines it was asked for.
-        prop_assert!(h.llc().misses <= a.stats().accesses);
+        assert!(h.llc().misses <= a.stats().accesses, "seed {seed}");
     }
 }
