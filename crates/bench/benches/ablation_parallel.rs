@@ -22,6 +22,7 @@ fn bench(c: &mut Criterion) {
             let config = ParallelConfig {
                 threads,
                 min_rows_per_thread: 512,
+                ..ParallelConfig::default()
             };
             b.iter(|| {
                 execute_parallel(&spec, &canon.params, &tables, &[], config)
@@ -44,6 +45,7 @@ fn bench(c: &mut Criterion) {
             let config = ParallelConfig {
                 threads,
                 min_rows_per_thread: 512,
+                ..ParallelConfig::default()
             };
             b.iter(|| {
                 mrq_engine_csharp::execute_parallel(&spec, &canon.params, &heap_refs, config)
@@ -72,6 +74,7 @@ fn bench(c: &mut Criterion) {
                 let config = base.parallel(ParallelConfig {
                     threads,
                     min_rows_per_thread: 512,
+                    ..ParallelConfig::default()
                 });
                 b.iter(|| {
                     mrq_engine_hybrid::execute(&spec, &canon.params, &heap_refs, config)
@@ -90,8 +93,17 @@ fn bench(c: &mut Criterion) {
     let naive = queries::join_micro_naive("BUILDING", date, date);
     let (canon_j, spec_j) = wb.lower(naive);
     let tables_j = wb.row_stores(&spec_j);
-    let orders_index = HashIndex::build(&wb.stores["orders"], 0).expect("orders index");
-    let customer_index = HashIndex::build(&wb.stores["customer"], 0).expect("customer index");
+    // The indexes themselves are built with the hash-partitioned parallel
+    // path (identical content to the sequential build).
+    let index_config = ParallelConfig {
+        threads: 4,
+        min_rows_per_thread: 512,
+        ..ParallelConfig::default()
+    };
+    let orders_index =
+        HashIndex::build_parallel(&wb.stores["orders"], 0, index_config).expect("orders index");
+    let customer_index =
+        HashIndex::build_parallel(&wb.stores["customer"], 0, index_config).expect("customer index");
     let mut group = c.benchmark_group("ablation_parallel_q3_join");
     group.sample_size(10);
     for threads in [1usize, 4] {
@@ -99,6 +111,7 @@ fn bench(c: &mut Criterion) {
             let config = ParallelConfig {
                 threads,
                 min_rows_per_thread: 512,
+                ..ParallelConfig::default()
             };
             b.iter(|| {
                 execute_parallel(

@@ -714,6 +714,7 @@ pub fn parallel_sweep(bench: &Workbench, threads: &[usize]) -> Vec<(usize, Durat
             let config = mrq_engine_native::ParallelConfig {
                 threads: t,
                 min_rows_per_thread: 1024,
+                ..mrq_engine_native::ParallelConfig::default()
             };
             let start = Instant::now();
             let out =
@@ -740,6 +741,7 @@ pub fn parallel_strategy_sweep(bench: &Workbench, threads: &[usize]) -> Vec<Poin
         let config = ParallelConfig {
             threads: t,
             min_rows_per_thread: 1024,
+            ..ParallelConfig::default()
         };
         let mut record = |strategy: &str, elapsed: Duration, rows: usize| {
             points.push(Point {

@@ -14,11 +14,14 @@
 //! uses.
 
 use crate::spec::{AggSpec, OutputExpr, QuerySpec, ScalarExpr, SortKeySpec, StrOp};
-use mrq_common::hash::FxHashMap;
-use mrq_common::{DataType, Date, Decimal, MrqError, Result, Schema, Value};
+use mrq_common::hash::{hash_u64, hash_u64_pair, FxHashMap};
+use mrq_common::{
+    morsel, DataType, Date, Decimal, MrqError, ParallelConfig, Result, Schema, Value,
+};
 use mrq_expr::{AggFunc, BinaryOp, UnaryOp};
 use std::cmp::Ordering;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Row-major access to one table's data. `row` indexes are dense `0..len()`.
 pub trait TableAccess {
@@ -223,32 +226,81 @@ fn key_part_of_value(value: &Value, interner: &mut StringInterner) -> u64 {
 /// is that column. String columns cannot be indexed this way because probe-
 /// side string encoding is per-execution (interned); the engines enforce
 /// that restriction when deciding whether an index is applicable.
-#[derive(Debug, Clone, Default)]
+///
+/// Internally the index is hash-partitioned into `2^bits` shards selected by
+/// the high bits of the key hash, so it can be built in parallel (scatter
+/// `(key, row)` pairs per shard, finalise each shard independently) with
+/// zero merge contention. A sequentially built index has a single shard.
+#[derive(Debug, Clone)]
 pub struct JoinIndex {
-    map: FxHashMap<u64, Vec<usize>>,
+    shards: Vec<FxHashMap<u64, Vec<usize>>>,
+    bits: u32,
     rows: usize,
 }
 
+impl Default for JoinIndex {
+    fn default() -> Self {
+        JoinIndex {
+            shards: vec![FxHashMap::default()],
+            bits: 0,
+            rows: 0,
+        }
+    }
+}
+
 impl JoinIndex {
-    /// Creates an empty index.
+    /// Creates an empty single-shard index.
     pub fn new() -> Self {
         JoinIndex::default()
     }
 
+    /// The shard a key belongs to: the high `bits` bits of the key hash
+    /// (0 when the index is unsharded). Parallel builders must scatter with
+    /// this exact function so lookups route to the right shard.
+    #[inline]
+    pub fn shard_index(key: u64, bits: u32) -> usize {
+        if bits == 0 {
+            0
+        } else {
+            (hash_u64(key) >> (64 - bits)) as usize
+        }
+    }
+
+    /// Assembles an index from per-shard maps built elsewhere (the parallel
+    /// build path). `shards.len()` must be a power of two and every entry
+    /// must have been routed with [`JoinIndex::shard_index`].
+    pub fn from_shards(shards: Vec<FxHashMap<u64, Vec<usize>>>) -> Self {
+        assert!(
+            !shards.is_empty() && shards.len().is_power_of_two(),
+            "shard count must be a power of two"
+        );
+        let bits = shards.len().trailing_zeros();
+        let rows = shards.iter().flat_map(|s| s.values()).map(Vec::len).sum();
+        JoinIndex { shards, bits, rows }
+    }
+
     /// Adds one `(key, build row)` entry.
     pub fn insert(&mut self, key: u64, row: usize) {
-        self.map.entry(key).or_default().push(row);
+        let shard = Self::shard_index(key, self.bits);
+        self.shards[shard].entry(key).or_default().push(row);
         self.rows += 1;
     }
 
     /// Build rows whose key equals `key`.
     pub fn get(&self, key: u64) -> Option<&[usize]> {
-        self.map.get(&key).map(Vec::as_slice)
+        self.shards[Self::shard_index(key, self.bits)]
+            .get(&key)
+            .map(Vec::as_slice)
     }
 
     /// Number of distinct keys.
     pub fn distinct_keys(&self) -> usize {
-        self.map.len()
+        self.shards.iter().map(FxHashMap::len).sum()
+    }
+
+    /// Number of hash shards (1 for a sequentially built index).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Number of indexed rows.
@@ -262,11 +314,54 @@ impl JoinIndex {
     }
 }
 
+/// Hashes a composite key for shard routing. Must be engine-independent (it
+/// only sees the encoded key parts), so the build-side scatter and the
+/// probe-side lookup always agree on the shard.
+#[inline]
+fn shard_hash(key: &KeyBuf) -> u64 {
+    let mut h = 0u64;
+    for i in 0..key.len as usize {
+        h = hash_u64_pair(h, key.parts[i]);
+    }
+    h
+}
+
+/// A join hash table built for this execution, hash-partitioned into
+/// `2^bits` shards by the high bits of the key hash. The sequential build
+/// produces a single shard (`bits == 0`, no routing cost); the parallel
+/// build scatters `(key, row)` pairs per shard and finalises the shards
+/// independently, and probes route to the owning shard with the same hash.
+struct BuiltJoinTable {
+    shards: Vec<FxHashMap<KeyBuf, Vec<usize>>>,
+    bits: u32,
+}
+
+impl BuiltJoinTable {
+    fn single(map: FxHashMap<KeyBuf, Vec<usize>>) -> Self {
+        BuiltJoinTable {
+            shards: vec![map],
+            bits: 0,
+        }
+    }
+
+    #[inline]
+    fn get(&self, key: &KeyBuf) -> Option<&[usize]> {
+        let shard = if self.bits == 0 {
+            0
+        } else {
+            (shard_hash(key) >> (64 - self.bits)) as usize
+        };
+        self.shards[shard].get(key).map(Vec::as_slice)
+    }
+}
+
 /// The hash table used for one join level: either built for this execution
-/// from the (filtered) build side, or borrowed from a pre-built [`JoinIndex`].
+/// from the (filtered) build side, or borrowed from a pre-built
+/// [`JoinIndex`]. Built tables sit behind an [`Arc`] so forking a state per
+/// morsel worker shares them instead of deep-copying the hash maps.
 #[derive(Clone)]
 enum JoinTable<'a> {
-    Built(FxHashMap<KeyBuf, Vec<usize>>),
+    Built(Arc<BuiltJoinTable>),
     Indexed(&'a JoinIndex),
 }
 
@@ -274,7 +369,7 @@ impl JoinTable<'_> {
     #[inline]
     fn lookup(&self, key: &KeyBuf) -> Option<&[usize]> {
         match self {
-            JoinTable::Built(map) => map.get(key).map(Vec::as_slice),
+            JoinTable::Built(table) => table.get(key),
             JoinTable::Indexed(index) => {
                 debug_assert_eq!(key.len, 1, "indexed joins use single-part keys");
                 index.get(key.parts[0])
@@ -840,6 +935,20 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
         slot_schemas: &[Schema],
         indexes: &[Option<&'a JoinIndex>],
     ) -> Result<Self> {
+        let mut state = Self::new_unbuilt(spec, params, builds, slot_schemas, indexes)?;
+        state.build_join_tables(indexes)?;
+        Ok(state)
+    }
+
+    /// Constructs the state without building join tables (shared by the
+    /// sequential and parallel constructors).
+    fn new_unbuilt(
+        spec: &'a QuerySpec,
+        params: &'a [Value],
+        builds: Vec<&'a T>,
+        slot_schemas: &[Schema],
+        indexes: &[Option<&'a JoinIndex>],
+    ) -> Result<Self> {
         if builds.len() != spec.joins.len() {
             return Err(MrqError::Internal(format!(
                 "expected {} build tables, got {}",
@@ -861,7 +970,7 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
             (Some(n), false, false) => Some(TopN::new(n, spec.sort.clone())),
             _ => None,
         };
-        let mut state = ExecState {
+        Ok(ExecState {
             spec,
             params,
             types,
@@ -875,9 +984,7 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
             topn,
             consumed_rows: 0,
             emitted_rows: 0,
-        };
-        state.build_join_tables(indexes)?;
-        Ok(state)
+        })
     }
 
     /// Disables the OrderBy+Take fusion (used by ablation benchmarks and by
@@ -896,45 +1003,74 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
         self.topn.is_some()
     }
 
+    /// Validates that a pre-built index is shaped to serve join `j`.
+    fn check_index_applicable(join: &crate::spec::JoinSpec) -> Result<()> {
+        if join.build_keys.len() != 1 || !join.build_filters.is_empty() {
+            return Err(MrqError::Internal(
+                "join indexes require a single build key and no build filters".into(),
+            ));
+        }
+        Ok(())
+    }
+
     fn build_join_tables(&mut self, indexes: &[Option<&'a JoinIndex>]) -> Result<()> {
-        for (j, join) in self.spec.joins.iter().enumerate() {
-            if let Some(index) = indexes[j] {
-                if join.build_keys.len() != 1 || !join.build_filters.is_empty() {
-                    return Err(MrqError::Internal(
-                        "join indexes require a single build key and no build filters".into(),
-                    ));
-                }
+        for (j, slot_index) in indexes.iter().enumerate() {
+            if let Some(index) = slot_index {
+                Self::check_index_applicable(&self.spec.joins[j])?;
                 self.join_tables.push(JoinTable::Indexed(index));
                 continue;
             }
-            let table = self.builds[j];
-            let mut map: FxHashMap<KeyBuf, Vec<usize>> =
-                FxHashMap::with_capacity_and_hasher(table.len(), Default::default());
-            // Build-side rows are evaluated with the build slot bound; other
-            // slots are irrelevant for build filters/keys.
-            let mut rows = vec![0usize; self.spec.joins.len() + 1];
-            'rows: for r in 0..table.len() {
-                rows[join.slot] = r;
-                let ctx = EvalCtx {
-                    root: table, // never consulted: build expressions only use `join.slot`
-                    builds: &self.builds,
-                    rows: &rows,
-                    params: self.params,
-                };
-                for f in &join.build_filters {
-                    if !ctx.bool_expr(f, &self.types) {
-                        continue 'rows;
-                    }
-                }
-                let mut key = KeyBuf::new();
-                for k in &join.build_keys {
-                    key.push(ctx.key_part(k, &self.types, &mut self.interner));
-                }
-                map.entry(key).or_default().push(r);
-            }
-            self.join_tables.push(JoinTable::Built(map));
+            let map = self.build_join_map(j);
+            self.join_tables
+                .push(JoinTable::Built(Arc::new(BuiltJoinTable::single(map))));
         }
         Ok(())
+    }
+
+    /// Builds the hash table for join `j` sequentially (the seed behaviour):
+    /// one pass over the build side, inserting into a single map.
+    fn build_join_map(&mut self, j: usize) -> FxHashMap<KeyBuf, Vec<usize>> {
+        let spec = self.spec;
+        let join = &spec.joins[j];
+        let table = self.builds[j];
+        let mut map: FxHashMap<KeyBuf, Vec<usize>> =
+            FxHashMap::with_capacity_and_hasher(table.len(), Default::default());
+        // Build-side rows are evaluated with the build slot bound; other
+        // slots are irrelevant for build filters/keys.
+        let mut rows = vec![0usize; spec.joins.len() + 1];
+        'rows: for r in 0..table.len() {
+            rows[join.slot] = r;
+            let ctx = EvalCtx {
+                root: table, // never consulted: build expressions only use `join.slot`
+                builds: &self.builds,
+                rows: &rows,
+                params: self.params,
+            };
+            for f in &join.build_filters {
+                if !ctx.bool_expr(f, &self.types) {
+                    continue 'rows;
+                }
+            }
+            let mut key = KeyBuf::new();
+            for k in &join.build_keys {
+                key.push(ctx.key_part(k, &self.types, &mut self.interner));
+            }
+            map.entry(key).or_default().push(r);
+        }
+        map
+    }
+
+    /// True if evaluating this build-key expression would intern a string.
+    /// String keys force the sequential build: the interner assigns ids in
+    /// first-seen order, which a parallel scan could not reproduce.
+    fn key_interns_strings(&self, expr: &ScalarExpr) -> bool {
+        match expr {
+            ScalarExpr::Column(c) => matches!(self.types.dtype(c.slot, c.col), DataType::Str),
+            ScalarExpr::Const(v) => matches!(v, Value::Str(_)),
+            ScalarExpr::Param(i) => matches!(self.params[*i], Value::Str(_)),
+            // Composite arithmetic / comparisons never produce strings.
+            _ => false,
+        }
     }
 
     /// Streams (a chunk of) the probe-side root table through the fused
@@ -1196,6 +1332,86 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
     }
 }
 
+impl<'a, T: TableAccess + Sync> ExecState<'a, T> {
+    /// Like [`ExecState::new_with_indexes`], but join hash tables are built
+    /// with hash-partitioned parallelism under `config`: morsel workers scan
+    /// the build side (filters applied per worker), scatter `(key, row)`
+    /// pairs into per-shard buckets by the high bits of the key hash, and
+    /// the shards are finalised into per-shard maps in parallel — zero merge
+    /// contention, and probes route to shards with the same hash. Joins with
+    /// string build keys, tiny build sides or a sequential `config` fall
+    /// back to the sequential single-shard build. Either way the table
+    /// content (per-key build rows in ascending row order) is identical, so
+    /// results stay bit-identical to the sequential engines.
+    pub fn new_parallel(
+        spec: &'a QuerySpec,
+        params: &'a [Value],
+        builds: Vec<&'a T>,
+        slot_schemas: &[Schema],
+        indexes: &[Option<&'a JoinIndex>],
+        config: ParallelConfig,
+    ) -> Result<Self> {
+        let mut state = Self::new_unbuilt(spec, params, builds, slot_schemas, indexes)?;
+        for (j, slot_index) in indexes.iter().enumerate() {
+            if let Some(index) = slot_index {
+                Self::check_index_applicable(&spec.joins[j])?;
+                state.join_tables.push(JoinTable::Indexed(index));
+                continue;
+            }
+            let join = &spec.joins[j];
+            let parallel = !config.is_sequential()
+                && config.partitions_for(state.builds[j].len()) > 1
+                && !join.build_keys.iter().any(|k| state.key_interns_strings(k));
+            let table = if parallel {
+                state.build_join_shards(j, config)
+            } else {
+                BuiltJoinTable::single(state.build_join_map(j))
+            };
+            state.join_tables.push(JoinTable::Built(Arc::new(table)));
+        }
+        Ok(state)
+    }
+
+    /// The hash-partitioned parallel build for join `j`, on the shared
+    /// scatter/finalise recipe ([`morsel::build_hash_shards`]). Only called
+    /// for non-string build keys (checked by the caller), so no worker ever
+    /// touches the interner.
+    fn build_join_shards(&self, j: usize, config: ParallelConfig) -> BuiltJoinTable {
+        let spec = self.spec;
+        let join = &spec.joins[j];
+        let table = self.builds[j];
+        let workers = config.partitions_for(table.len());
+        let shard_count = workers.next_power_of_two();
+        let bits = shard_count.trailing_zeros();
+        let shards =
+            morsel::build_hash_shards(table.len(), config, shard_count, |range, buckets| {
+                let mut scratch = StringInterner::default(); // never used: no string keys
+                let mut rows = vec![0usize; spec.joins.len() + 1];
+                'rows: for r in range {
+                    rows[join.slot] = r;
+                    let ctx = EvalCtx {
+                        root: table, // never consulted: build expressions only use `join.slot`
+                        builds: &self.builds,
+                        rows: &rows,
+                        params: self.params,
+                    };
+                    for f in &join.build_filters {
+                        if !ctx.bool_expr(f, &self.types) {
+                            continue 'rows;
+                        }
+                    }
+                    let mut key = KeyBuf::new();
+                    for k in &join.build_keys {
+                        key.push(ctx.key_part(k, &self.types, &mut scratch));
+                    }
+                    let shard = (shard_hash(&key) >> (64 - bits)) as usize;
+                    buckets[shard].push((key, r));
+                }
+            });
+        BuiltJoinTable { shards, bits }
+    }
+}
+
 fn update_agg<T: TableAccess>(
     state: &mut AggState,
     spec: &AggSpec,
@@ -1255,12 +1471,15 @@ fn update_agg<T: TableAccess>(
 }
 
 /// Runs an already-built execution state over `root` with morsel-driven
-/// parallelism: the probe side is partitioned per `config`
-/// ([`mrq_common::morsel`]), each worker forks `base` (sharing the
-/// already-built join hash tables via a memory copy), consumes its disjoint
-/// row range on a scoped thread, and the partial states merge back into
-/// `base` in partition order — preserving source enumeration order for
-/// non-sorted outputs.
+/// parallelism: the probe side is split into morsels per `config`
+/// ([`mrq_common::morsel`]) — fixed-size ranges handed out by a shared
+/// atomic work-stealing cursor when [`ParallelConfig::stealing`] is on, one
+/// static contiguous range per worker otherwise. Each morsel runs on a fork
+/// of `base` (the already-built join hash tables are shared behind an
+/// [`Arc`], so a fork is cheap), and the partial states merge back into
+/// `base` **in morsel order** regardless of which worker ran which morsel —
+/// preserving source enumeration order for non-sorted outputs and keeping
+/// results bit-identical to a sequential run.
 ///
 /// This is the one parallel execution template every engine instantiates:
 /// native row stores, managed heap tables and hybrid staged buffers only
@@ -1268,18 +1487,23 @@ fn update_agg<T: TableAccess>(
 pub fn consume_partitioned<'a, T: TableAccess + Sync>(
     mut base: ExecState<'a, T>,
     root: &T,
-    config: mrq_common::ParallelConfig,
+    config: ParallelConfig,
 ) -> QueryOutput {
-    let ranges = mrq_common::morsel::partition(root.len(), config);
+    let (ranges, stealing) = morsel::plan(root.len(), config);
     if ranges.len() <= 1 {
         base.consume(root);
         return base.finish();
     }
-    let partials = mrq_common::morsel::scatter(&ranges, |_, range| {
+    let worker = |_: usize, range: Range<usize>| {
         let mut state = base.fork();
         state.consume_range(root, range);
         state
-    });
+    };
+    let partials = if stealing {
+        morsel::steal(&ranges, config.threads, worker)
+    } else {
+        morsel::scatter(&ranges, worker)
+    };
     for partial in partials {
         base.merge(partial);
     }
@@ -1819,6 +2043,167 @@ mod tests {
         .err()
         .expect("filtered build sides cannot use an index");
         assert!(matches!(err, MrqError::Internal(_)));
+    }
+
+    #[test]
+    fn partitioned_parallel_build_matches_sequential_build() {
+        // Integer build keys with heavy duplication: the hash-partitioned
+        // parallel build must produce identical per-key row lists (ascending
+        // row order), so the joined output is bit-identical.
+        let ids_schema = Schema::new(
+            "Ids",
+            vec![
+                Field::new("key", DataType::Int64),
+                Field::new("tag", DataType::Int64),
+            ],
+        );
+        let ids = ValueTable::new(
+            ids_schema.clone(),
+            (0..600i64)
+                .map(|i| vec![Value::Int64(i % 50), Value::Int64(i)])
+                .collect(),
+        );
+        let big_sales_schema = Schema::new(
+            "Sale",
+            vec![
+                Field::new("id", DataType::Int64),
+                Field::new("key", DataType::Int64),
+            ],
+        );
+        let sales = ValueTable::new(
+            big_sales_schema.clone(),
+            (0..2_000i64)
+                .map(|i| vec![Value::Int64(i), Value::Int64(i % 64)])
+                .collect(),
+        );
+        let q = Query::from_source(SourceId(0))
+            .join_query(
+                Query::from_source(SourceId(1)),
+                lam("s", col("s", "key")),
+                lam("t", col("t", "key")),
+                lam(
+                    "s",
+                    lam(
+                        "t",
+                        Expr::Constructor {
+                            name: "ST".into(),
+                            fields: vec![
+                                ("id".into(), col("s", "id")),
+                                ("tag".into(), col("t", "tag")),
+                            ],
+                        },
+                    ),
+                ),
+            )
+            .into_expr();
+        let canon = canonicalize(q);
+        let mut cat = HashMap::new();
+        cat.insert(SourceId(0), big_sales_schema.clone());
+        cat.insert(SourceId(1), ids_schema.clone());
+        let spec = lower(&canon, &cat).unwrap();
+        let schemas = [big_sales_schema, ids_schema];
+
+        let reference = execute_once(&spec, &canon.params, &[&sales, &ids], &schemas).unwrap();
+        for threads in [2usize, 8] {
+            for stealing in [false, true] {
+                let config = mrq_common::ParallelConfig {
+                    threads,
+                    min_rows_per_thread: 32,
+                    ..mrq_common::ParallelConfig::default()
+                }
+                .with_morsel_rows(64)
+                .with_stealing(stealing);
+                let state = ExecState::new_parallel(
+                    &spec,
+                    &canon.params,
+                    vec![&ids],
+                    &schemas,
+                    &[None],
+                    config,
+                )
+                .unwrap();
+                let out = consume_partitioned(state, &sales, config);
+                assert_eq!(out, reference, "{threads} threads, stealing={stealing}");
+            }
+        }
+    }
+
+    #[test]
+    fn string_build_keys_fall_back_to_the_sequential_build() {
+        // A string join key must not take the partitioned path (interner ids
+        // are first-seen-ordered); new_parallel falls back and matches.
+        let q = Query::from_source(SourceId(0))
+            .join_query(
+                Query::from_source(SourceId(1)),
+                lam("s", col("s", "city")),
+                lam("c", col("c", "name")),
+                lam(
+                    "s",
+                    lam(
+                        "c",
+                        Expr::Constructor {
+                            name: "SC".into(),
+                            fields: vec![
+                                ("id".into(), col("s", "id")),
+                                ("country".into(), col("c", "country")),
+                            ],
+                        },
+                    ),
+                ),
+            )
+            .into_expr();
+        let canon = canonicalize(q);
+        let spec = lower(&canon, &catalog()).unwrap();
+        let sales = sales_table();
+        let cities = cities_table();
+        let schemas = [sales_schema(), cities_schema()];
+        let reference = execute_once(&spec, &canon.params, &[&sales, &cities], &schemas).unwrap();
+        let config = mrq_common::ParallelConfig {
+            threads: 8,
+            min_rows_per_thread: 1,
+            ..mrq_common::ParallelConfig::default()
+        };
+        let state = ExecState::new_parallel(
+            &spec,
+            &canon.params,
+            vec![&cities],
+            &schemas,
+            &[None],
+            config,
+        )
+        .unwrap();
+        let out = consume_partitioned(state, &sales, config);
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn sharded_join_index_round_trips() {
+        let mut shards = vec![mrq_common::hash::FxHashMap::default(); 4];
+        for key in 0..1_000u64 {
+            let shard = JoinIndex::shard_index(key, 2);
+            assert!(shard < 4);
+            shards[shard]
+                .entry(key)
+                .or_insert_with(Vec::new)
+                .push(key as usize);
+        }
+        let index = JoinIndex::from_shards(shards);
+        assert_eq!(index.len(), 1_000);
+        assert_eq!(index.distinct_keys(), 1_000);
+        assert_eq!(index.shard_count(), 4);
+        for key in 0..1_000u64 {
+            assert_eq!(index.get(key), Some(&[key as usize][..]));
+        }
+        assert_eq!(index.get(5_000), None);
+        // The single-shard (sequentially inserted) index agrees.
+        let mut sequential = JoinIndex::new();
+        for key in 0..1_000u64 {
+            sequential.insert(key, key as usize);
+        }
+        assert_eq!(sequential.shard_count(), 1);
+        for key in 0..1_000u64 {
+            assert_eq!(sequential.get(key), index.get(key));
+        }
     }
 
     #[test]

@@ -30,6 +30,8 @@
 //! [`QuerySpec`]: spec::QuerySpec
 //! [`TableAccess`]: exec::TableAccess
 
+#![warn(missing_docs)]
+
 pub mod emit;
 pub mod exec;
 pub mod spec;

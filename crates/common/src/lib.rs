@@ -16,6 +16,8 @@
 //!   cost-breakdown figures (Figures 8, 10 and 12), and
 //! * small utilities (a fast integer hasher, error types).
 
+#![warn(missing_docs)]
+
 pub mod date;
 pub mod decimal;
 pub mod error;

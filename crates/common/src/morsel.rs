@@ -1,25 +1,33 @@
-//! The shared morsel scheduler: contiguous range partitioning plus scoped
-//! worker threads.
+//! The shared morsel scheduler: static range partitioning plus a
+//! work-stealing dispatcher over fixed-size morsels.
 //!
 //! The paper leaves parallel execution to future work (§4, §9) but observes
 //! that its database-style plan shape makes standard parallelisation
 //! directly applicable. Every parallel path in this workspace — the native
 //! engine's partitioned probe scan, the compiled-C# fused loops over managed
-//! objects and the hybrid engine's parallel staging — follows the same
-//! morsel-driven recipe:
+//! objects, the hybrid engine's parallel staging and the hash-partitioned
+//! join builds — follows the same morsel-driven recipe (Leis et al.,
+//! "Morsel-Driven Parallelism", SIGMOD 2014):
 //!
-//! 1. split the probe-side input `0..total` into at most
-//!    [`ParallelConfig::threads`] contiguous ranges (*morsels*), never
-//!    smaller than [`ParallelConfig::min_rows_per_thread`] rows,
-//! 2. run one worker per morsel on a scoped thread, producing a partial
-//!    result (an execution state, a staged buffer shard, …),
-//! 3. merge the partials **in partition order**, which preserves the source
-//!    enumeration order for order-sensitive outputs.
+//! 1. split the input `0..total` into contiguous *morsels* — either one
+//!    static range per worker ([`partition`]) or fixed-size ranges of
+//!    [`ParallelConfig::morsel_rows`] rows ([`morsels`]) handed out by a
+//!    shared atomic cursor so idle workers steal the remaining work,
+//! 2. run the morsels on a fixed pool of scoped worker threads, producing
+//!    one partial result per morsel (an execution state, a staged buffer
+//!    shard, a scatter bucket, …),
+//! 3. gather the partials **in morsel order** (each morsel is tagged with
+//!    its index and placed into a slot table), so merging stays
+//!    deterministic and order-sensitive outputs are bit-identical to a
+//!    sequential run regardless of which worker ran which morsel.
 //!
-//! This module owns steps 1 and 2 ([`partition`], [`scatter`], [`run`]);
-//! what a worker computes and how partials merge stays with each engine.
+//! This module owns steps 1 and 2 ([`partition`], [`morsels`], [`plan`],
+//! [`scatter`], [`steal`], [`dispatch`]) plus the shared two-phase
+//! hash-partitioned build recipe ([`build_hash_shards`]); what a worker
+//! computes and how partials merge stays with each engine.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Degree-of-parallelism configuration shared by every engine.
 ///
@@ -33,6 +41,16 @@ pub struct ParallelConfig {
     /// Minimum number of probe-side rows per worker; partitions smaller than
     /// this are not split further, so tiny inputs do not pay thread overhead.
     pub min_rows_per_thread: usize,
+    /// Rows per morsel under work stealing. Smaller morsels balance skewed
+    /// work better but pay more dispatch/merge overhead; the default (32k
+    /// rows, the middle of the classic 16–64k band) keeps dispatch cost
+    /// negligible while still splitting any input worth parallelising.
+    pub morsel_rows: usize,
+    /// When true (the default), morsels are handed out by a shared atomic
+    /// cursor so workers that finish early steal the remaining ones — skewed
+    /// filters no longer leave workers idle. When false, each worker gets
+    /// one static contiguous range, reproducing the PR-1 scheduler exactly.
+    pub stealing: bool,
 }
 
 impl Default for ParallelConfig {
@@ -42,6 +60,8 @@ impl Default for ParallelConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             min_rows_per_thread: 4096,
+            morsel_rows: 32 * 1024,
+            stealing: true,
         }
     }
 }
@@ -61,7 +81,22 @@ impl ParallelConfig {
         ParallelConfig {
             threads: 1,
             min_rows_per_thread: usize::MAX,
+            morsel_rows: 32 * 1024,
+            stealing: false,
         }
+    }
+
+    /// The same configuration with the given morsel size (rows handed out
+    /// per steal; clamped to at least 1).
+    pub fn with_morsel_rows(mut self, rows: usize) -> Self {
+        self.morsel_rows = rows.max(1);
+        self
+    }
+
+    /// The same configuration with work stealing switched on or off.
+    pub fn with_stealing(mut self, stealing: bool) -> Self {
+        self.stealing = stealing;
+        self
     }
 
     /// True if this configuration never spawns workers.
@@ -69,7 +104,7 @@ impl ParallelConfig {
         self.threads <= 1
     }
 
-    /// The number of partitions to use for `rows` probe-side rows.
+    /// The number of workers to use for `rows` input rows.
     pub fn partitions_for(&self, rows: usize) -> usize {
         if self.threads <= 1 || rows == 0 {
             return 1;
@@ -79,25 +114,66 @@ impl ParallelConfig {
     }
 }
 
-/// Splits `0..total` into the contiguous morsel ranges this configuration
-/// prescribes. Returns at least one (possibly empty) range so callers can
-/// treat the sequential case uniformly.
+/// Splits `0..total` into one contiguous range per worker. The remainder is
+/// spread one row per leading partition, so range lengths never differ by
+/// more than one (8193 rows / 8 workers → 1025×1 + 1024×7, not 1025×7 +
+/// 1018). Returns at least one (possibly empty) range so callers can treat
+/// the sequential case uniformly.
 pub fn partition(total: usize, config: ParallelConfig) -> Vec<Range<usize>> {
     let partitions = config.partitions_for(total);
     if partitions <= 1 {
         #[allow(clippy::single_range_in_vec_init)]
         return vec![0..total];
     }
-    let chunk = total.div_ceil(partitions);
-    (0..partitions)
-        .map(|p| (p * chunk)..((p + 1) * chunk).min(total))
-        .filter(|r| !r.is_empty())
+    let base = total / partitions;
+    let remainder = total % partitions;
+    let mut ranges = Vec::with_capacity(partitions);
+    let mut start = 0usize;
+    for p in 0..partitions {
+        let len = base + usize::from(p < remainder);
+        if len == 0 {
+            continue;
+        }
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Splits `0..total` into fixed-size morsels of (at most)
+/// [`ParallelConfig::morsel_rows`] rows each, for work-stealing dispatch.
+/// The morsel size shrinks when needed so every eligible worker gets at
+/// least one morsel; inputs too small to parallelise return a single range.
+pub fn morsels(total: usize, config: ParallelConfig) -> Vec<Range<usize>> {
+    let workers = config.partitions_for(total);
+    if workers <= 1 {
+        #[allow(clippy::single_range_in_vec_init)]
+        return vec![0..total];
+    }
+    let size = config
+        .morsel_rows
+        .max(1)
+        .min(total.div_ceil(workers))
+        .max(1);
+    (0..total.div_ceil(size))
+        .map(|m| (m * size)..((m + 1) * size).min(total))
         .collect()
 }
 
-/// Runs `worker(partition_index, range)` once per range on scoped threads and
-/// returns the partial results **in partition order**. A single range runs on
-/// the calling thread (no spawn).
+/// Plans the morsel ranges for an input: returns the ranges plus whether
+/// they should be dispatched by work stealing ([`steal`]) or statically
+/// ([`scatter`]). A single range means "run sequentially" either way.
+pub fn plan(total: usize, config: ParallelConfig) -> (Vec<Range<usize>>, bool) {
+    if config.stealing {
+        (morsels(total, config), true)
+    } else {
+        (partition(total, config), false)
+    }
+}
+
+/// Runs `worker(partition_index, range)` once per range on scoped threads
+/// (one thread per range) and returns the partial results **in partition
+/// order**. A single range runs on the calling thread (no spawn).
 pub fn scatter<T, F>(ranges: &[Range<usize>], worker: F) -> Vec<T>
 where
     T: Send,
@@ -127,29 +203,149 @@ where
     })
 }
 
-/// Convenience composition of [`partition`] and [`scatter`]: partitions
-/// `0..total` per `config` and fans the morsels out to `worker`.
-pub fn run<T, F>(total: usize, config: ParallelConfig, worker: F) -> Vec<T>
+/// Runs `worker(morsel_index, range)` for every range on a fixed pool of at
+/// most `threads` scoped workers. A shared atomic cursor hands the next
+/// unclaimed morsel to whichever worker asks first, so a worker stuck on a
+/// dense (slow) morsel never blocks the others from draining the rest of
+/// the input. Every partial is tagged with its morsel index and gathered
+/// into a slot table, so the returned partials are **in morsel order** —
+/// merging them is deterministic no matter how the steal race resolved.
+pub fn steal<T, F>(ranges: &[Range<usize>], threads: usize, worker: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, Range<usize>) -> T + Sync,
 {
-    scatter(&partition(total, config), worker)
+    let workers = threads.max(1).min(ranges.len());
+    if workers <= 1 {
+        return ranges
+            .iter()
+            .enumerate()
+            .map(|(i, r)| worker(i, r.clone()))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let worker = &worker;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let m = cursor.fetch_add(1, Ordering::Relaxed);
+                        if m >= ranges.len() {
+                            break;
+                        }
+                        mine.push((m, worker(m, ranges[m].clone())));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("morsel workers do not panic"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = ranges.iter().map(|_| None).collect();
+    for (m, partial) in tagged {
+        slots[m] = Some(partial);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every morsel produced exactly one partial"))
+        .collect()
+}
+
+/// Convenience composition of [`plan`] with [`steal`]/[`scatter`]: splits
+/// `0..total` per `config`, fans the morsels out (stealing or static), and
+/// returns the partials in morsel order.
+pub fn dispatch<T, F>(total: usize, config: ParallelConfig, worker: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    let (ranges, stealing) = plan(total, config);
+    if stealing {
+        steal(&ranges, config.threads, worker)
+    } else {
+        scatter(&ranges, worker)
+    }
+}
+
+/// The shared two-phase hash-partitioned build used by join tables and
+/// pre-built indexes:
+///
+/// 1. **Scan/scatter** — morsel workers walk `0..total` (stealing or static,
+///    per `config`) and call `scatter_rows(range, buckets)` to drop
+///    `(key, row)` pairs into the per-shard bucket the caller's hash
+///    routing selects. Partials come back in morsel order, so each shard's
+///    buckets concatenate with rows still ascending.
+/// 2. **Finalise** — shards are built into independent maps (no two workers
+///    ever touch the same shard, so there is nothing to lock or merge),
+///    using at most the same worker budget as phase 1.
+///
+/// Returns the per-shard maps in shard order; per-key row lists are in
+/// ascending row order, identical to a sequential insert-in-row-order build.
+pub fn build_hash_shards<K, F>(
+    total: usize,
+    config: ParallelConfig,
+    shard_count: usize,
+    scatter_rows: F,
+) -> Vec<crate::hash::FxHashMap<K, Vec<usize>>>
+where
+    K: std::hash::Hash + Eq + Copy + Send + Sync,
+    F: Fn(Range<usize>, &mut [Vec<(K, usize)>]) + Sync,
+{
+    let partials: Vec<Vec<Vec<(K, usize)>>> = dispatch(total, config, |_, range| {
+        let mut buckets: Vec<Vec<(K, usize)>> = vec![Vec::new(); shard_count];
+        scatter_rows(range, &mut buckets);
+        buckets
+    });
+    // Finalise within the configured worker budget: contiguous shard ranges,
+    // one scoped thread each, results (and therefore shards) in order.
+    let finalise = ParallelConfig {
+        threads: config.partitions_for(total).min(shard_count).max(1),
+        min_rows_per_thread: 1,
+        stealing: false,
+        ..config
+    };
+    let groups: Vec<Vec<crate::hash::FxHashMap<K, Vec<usize>>>> =
+        scatter(&partition(shard_count, finalise), |_, shards| {
+            shards
+                .map(|shard| {
+                    let cap: usize = partials.iter().map(|p| p[shard].len()).sum();
+                    let mut map: crate::hash::FxHashMap<K, Vec<usize>> =
+                        crate::hash::FxHashMap::with_capacity_and_hasher(cap, Default::default());
+                    for bucket in partials.iter().map(|p| &p[shard]) {
+                        for (key, row) in bucket {
+                            map.entry(*key).or_default().push(*row);
+                        }
+                    }
+                    map
+                })
+                .collect()
+        });
+    groups.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn config(threads: usize, min_rows: usize) -> ParallelConfig {
+        ParallelConfig {
+            threads,
+            min_rows_per_thread: min_rows,
+            ..ParallelConfig::default()
+        }
+    }
+
     #[test]
     fn partitions_cover_the_input_contiguously() {
-        for total in [0usize, 1, 7, 100, 4097, 100_000] {
+        for total in [0usize, 1, 7, 100, 4097, 8193, 100_000] {
             for threads in [1usize, 2, 3, 8] {
-                let config = ParallelConfig {
-                    threads,
-                    min_rows_per_thread: 64,
-                };
-                let ranges = partition(total, config);
+                let ranges = partition(total, config(threads, 64));
                 assert!(!ranges.is_empty());
                 assert_eq!(ranges[0].start, 0);
                 assert_eq!(ranges.last().unwrap().end, total);
@@ -162,27 +358,65 @@ mod tests {
     }
 
     #[test]
+    fn partition_tails_are_balanced() {
+        // 8193 rows / 8 workers: lengths must be 1025, 1024 × 7 — never a
+        // short tail that idles the last worker.
+        let ranges = partition(8193, config(8, 64));
+        let lengths: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(
+            lengths,
+            vec![1025, 1024, 1024, 1024, 1024, 1024, 1024, 1024]
+        );
+        for total in [10_000usize, 4097, 99_991] {
+            for threads in [2usize, 3, 7, 8] {
+                let ranges = partition(total, config(threads, 1));
+                let min = ranges.iter().map(|r| r.len()).min().unwrap();
+                let max = ranges.iter().map(|r| r.len()).max().unwrap();
+                assert!(
+                    max - min <= 1,
+                    "{total} rows / {threads} workers: {min}..{max}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn small_inputs_do_not_split() {
-        let config = ParallelConfig {
-            threads: 8,
-            min_rows_per_thread: 4096,
-        };
+        let config = config(8, 4096);
         assert_eq!(config.partitions_for(100), 1);
         assert_eq!(config.partitions_for(0), 1);
         assert_eq!(config.partitions_for(10_000), 3);
         assert_eq!(ParallelConfig::with_threads(1).partitions_for(1_000_000), 1);
         assert!(ParallelConfig::sequential().is_sequential());
+        assert!(!ParallelConfig::sequential().stealing);
+    }
+
+    #[test]
+    fn morsels_are_fixed_size_and_cover_the_input() {
+        let cfg = config(4, 16).with_morsel_rows(100);
+        let ranges = morsels(1_050, cfg);
+        assert_eq!(ranges.len(), 11);
+        assert!(ranges[..10].iter().all(|r| r.len() == 100));
+        assert_eq!(ranges[10].len(), 50);
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, 1_050);
+        for pair in ranges.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        // Tiny inputs stay sequential; morsel size shrinks so every worker
+        // gets at least one morsel when the input is worth splitting.
+        assert_eq!(morsels(10, config(4, 4096)).len(), 1);
+        assert!(morsels(64, config(4, 16).with_morsel_rows(1_000_000)).len() >= 4);
     }
 
     #[test]
     fn scatter_returns_results_in_partition_order() {
-        let config = ParallelConfig {
-            threads: 4,
-            min_rows_per_thread: 1,
-        };
-        let sums = run(1000, config, |_, range| range.sum::<usize>());
+        let cfg = config(4, 1);
+        let sums = dispatch(1000, cfg.with_stealing(false), |_, range| {
+            range.sum::<usize>()
+        });
         assert_eq!(sums.iter().sum::<usize>(), (0..1000).sum::<usize>());
-        let firsts = run(1000, config, |_, range| range.start);
+        let firsts = dispatch(1000, cfg.with_stealing(false), |_, range| range.start);
         let mut sorted = firsts.clone();
         sorted.sort_unstable();
         assert_eq!(firsts, sorted, "partition order equals range order");
@@ -190,11 +424,89 @@ mod tests {
 
     #[test]
     fn worker_indexes_match_positions() {
-        let config = ParallelConfig {
-            threads: 3,
-            min_rows_per_thread: 1,
-        };
-        let idx = run(300, config, |i, _| i);
+        let idx = dispatch(300, config(3, 1).with_stealing(false), |i, _| i);
         assert_eq!(idx, (0..idx.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stealing_gathers_partials_in_morsel_order() {
+        let cfg = config(4, 1).with_morsel_rows(37);
+        for total in [0usize, 1, 36, 37, 38, 1_000, 10_007] {
+            let partials = dispatch(total, cfg, |i, range| {
+                (i, range.start, range.sum::<usize>())
+            });
+            // Slot-table gather: partial i sits at position i, ranges ascend.
+            for (pos, (i, _, _)) in partials.iter().enumerate() {
+                assert_eq!(pos, *i);
+            }
+            let starts: Vec<usize> = partials.iter().map(|(_, s, _)| *s).collect();
+            let mut sorted = starts.clone();
+            sorted.sort_unstable();
+            assert_eq!(starts, sorted);
+            let sum: usize = partials.iter().map(|(_, _, s)| s).sum();
+            assert_eq!(sum, (0..total).sum::<usize>(), "total = {total}");
+        }
+    }
+
+    #[test]
+    fn stealing_and_static_dispatch_agree() {
+        let total = 12_345usize;
+        for threads in [1usize, 2, 3, 8] {
+            let stealing = config(threads, 16).with_morsel_rows(256);
+            let fixed = stealing.with_stealing(false);
+            let a: usize = dispatch(total, stealing, |_, r| r.sum::<usize>())
+                .into_iter()
+                .sum();
+            let b: usize = dispatch(total, fixed, |_, r| r.sum::<usize>())
+                .into_iter()
+                .sum();
+            assert_eq!(a, b, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn hash_shard_build_matches_a_sequential_insert() {
+        // Route keys to 4 shards by low bits; per-key row lists must come
+        // back in ascending row order whatever the dispatch mode.
+        for stealing in [false, true] {
+            let cfg = config(3, 16).with_morsel_rows(100).with_stealing(stealing);
+            let shards = build_hash_shards(10_000, cfg, 4, |range, buckets| {
+                for row in range {
+                    let key = (row % 37) as u64;
+                    buckets[(key % 4) as usize].push((key, row));
+                }
+            });
+            assert_eq!(shards.len(), 4);
+            let total: usize = shards.iter().flat_map(|s| s.values()).map(Vec::len).sum();
+            assert_eq!(total, 10_000);
+            for (s, shard) in shards.iter().enumerate() {
+                for (key, rows) in shard {
+                    assert_eq!((key % 4) as usize, s, "key routed to its shard");
+                    assert!(
+                        rows.windows(2).all(|w| w[0] < w[1]),
+                        "rows ascend (stealing={stealing})"
+                    );
+                    assert!(rows.iter().all(|r| (r % 37) as u64 == *key));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_morsels_drain_through_the_shared_cursor() {
+        // One deliberately slow morsel must not serialise the rest: with
+        // stealing, every morsel is still processed exactly once and the
+        // gather stays in morsel order even when later morsels finish first.
+        let cfg = config(4, 1).with_morsel_rows(10);
+        let hits = AtomicUsize::new(0);
+        let partials = steal(&morsels(100, cfg), 4, |i, range| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            hits.fetch_add(1, Ordering::Relaxed);
+            range.len()
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), partials.len());
+        assert_eq!(partials.iter().sum::<usize>(), 100);
     }
 }

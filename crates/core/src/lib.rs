@@ -126,12 +126,17 @@ impl<'a> Provider<'a> {
 
     /// Sets the provider-wide degree of parallelism applied by the compiled
     /// strategies (§9 parallel-execution extension): `CompiledCSharp`,
-    /// `CompiledNative` and `Hybrid` partition their probe-side scan into
-    /// morsels across this many workers. A [`Strategy`] that carries its own
-    /// [`ParallelConfig`] (`CompiledNativeParallel`, or `Hybrid` with a
-    /// non-sequential [`HybridConfig::parallel`]) overrides this default.
-    /// `LinqToObjects` always runs single-threaded — it reproduces the
-    /// paper's baseline enumerable pipeline exactly.
+    /// `CompiledNative` and `Hybrid` split their probe-side scan **and**
+    /// their join hash-table builds into morsels across this many workers.
+    /// The config also carries the scheduler knobs —
+    /// [`ParallelConfig::morsel_rows`] (rows per work-stolen morsel) and
+    /// [`ParallelConfig::stealing`] (shared-cursor dispatch vs static
+    /// ranges) — which apply to every engine the provider dispatches to. A
+    /// [`Strategy`] that carries its own [`ParallelConfig`]
+    /// (`CompiledNativeParallel`, or `Hybrid` with a non-sequential
+    /// [`HybridConfig::parallel`]) overrides this default. `LinqToObjects`
+    /// always runs single-threaded — it reproduces the paper's baseline
+    /// enumerable pipeline exactly.
     ///
     /// The default is [`ParallelConfig::sequential`], which matches the
     /// single-threaded seed engines bit-for-bit.
@@ -730,6 +735,7 @@ mod tests {
                 Strategy::CompiledNativeParallel(ParallelConfig {
                     threads: 4,
                     min_rows_per_thread: 256,
+                    ..ParallelConfig::default()
                 }),
             )
             .unwrap();
@@ -747,6 +753,7 @@ mod tests {
         parallel.set_parallelism(ParallelConfig {
             threads: 4,
             min_rows_per_thread: 8,
+            ..ParallelConfig::default()
         });
         assert_eq!(parallel.parallelism().threads, 4);
         for strategy in [

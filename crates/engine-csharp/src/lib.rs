@@ -228,10 +228,13 @@ pub fn execute(
 
 /// Executes a fused query spec over managed tables with `config.threads`
 /// morsel workers: the generated-C#-style loop runs unchanged per worker
-/// over a contiguous slice of the probe-side object list, and the partial
-/// states (group hash tables, aggregates, top-N buffers, plain rows) merge
-/// in partition order. Join hash tables are built once and shared by memory
-/// copy, exactly like the native engine's parallel path.
+/// over morsels of the probe-side object list (stolen from a shared cursor
+/// or statically partitioned, per [`ParallelConfig::stealing`]), and the
+/// partial states (group hash tables, aggregates, top-N buffers, plain
+/// rows) merge in morsel order. Join hash tables are themselves built with
+/// hash-partitioned parallel workers (string build keys fall back to the
+/// sequential build) and shared across workers behind an `Arc`, exactly
+/// like the native engine's parallel path.
 pub fn execute_parallel(
     spec: &QuerySpec,
     params: &[Value],
@@ -247,7 +250,8 @@ pub fn execute_parallel(
     }
     let schemas: Vec<Schema> = tables.iter().map(|t| t.schema().clone()).collect();
     let builds = tables[1..].to_vec();
-    let base = ExecState::new(spec, params, builds, &schemas)?;
+    let none = vec![None; spec.joins.len()];
+    let base = ExecState::new_parallel(spec, params, builds, &schemas, &none, config)?;
     Ok(consume_partitioned(base, tables[0], config))
 }
 
@@ -386,6 +390,7 @@ mod tests {
                 ParallelConfig {
                     threads,
                     min_rows_per_thread: 64,
+                    ..ParallelConfig::default()
                 },
             )
             .unwrap();

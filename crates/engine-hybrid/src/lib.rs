@@ -81,12 +81,14 @@ pub struct HybridConfig {
     pub transfer: TransferPolicy,
     /// Staging-buffer layout.
     pub layout: StagingLayout,
-    /// Degree of parallelism for staging + native processing. The default
+    /// Degree of parallelism for staging (probe and build sides), the
+    /// partitioned join build and native processing. The default
     /// ([`ParallelConfig::sequential`]) reproduces the paper's
     /// single-threaded behaviour exactly; with more threads each morsel
-    /// worker filters its slice of the managed collection into a
-    /// thread-local staging shard and the partial native states merge in
-    /// partition order.
+    /// worker filters its morsels of the managed collection (work-stolen
+    /// from a shared cursor or static ranges, per
+    /// [`ParallelConfig::stealing`]) into a thread-local staging shard and
+    /// the partial native states merge in morsel order.
     pub parallel: ParallelConfig,
 }
 
@@ -130,6 +132,7 @@ impl HybridConfig {
         self.parallel(ParallelConfig {
             threads: threads.max(1),
             min_rows_per_thread: 1024,
+            ..ParallelConfig::default()
         })
     }
 }
@@ -382,7 +385,7 @@ pub fn execute(
         let table = tables[slot];
         let staging = &slots[slot];
         let store = breakdown.time(phases::STAGING, || {
-            stage_table(
+            stage_table_parallel(
                 table,
                 &staging.schema,
                 &staging.mapping,
@@ -390,6 +393,7 @@ pub fn execute(
                 &join.build_filters,
                 params,
                 config.layout,
+                config.parallel,
             )
         });
         staged_bytes += store.payload_bytes();
@@ -405,7 +409,20 @@ pub fn execute(
     // ------------------------------------------------------------------
     let slot_schemas: Vec<Schema> = slots.iter().map(|s| s.schema.clone()).collect();
     let build_refs: Vec<&StagedTable> = build_stores.iter().collect();
-    let mut state = ExecState::new(&native_spec, params, build_refs, &slot_schemas)?;
+    // Join hash tables over the staged build sides are themselves built
+    // with hash-partitioned parallel workers (string build keys fall back
+    // to the sequential build inside the executor).
+    let none = vec![None; native_spec.joins.len()];
+    let mut state = breakdown.time(phases::BUILD_HASH, || {
+        ExecState::new_parallel(
+            &native_spec,
+            params,
+            build_refs,
+            &slot_schemas,
+            &none,
+            config.parallel,
+        )
+    })?;
 
     let root = tables[0];
     let root_staging = &slots[0];
@@ -468,7 +485,7 @@ pub fn execute(
         run
     };
 
-    let ranges = morsel::partition(root.len(), config.parallel);
+    let (ranges, stealing) = morsel::plan(root.len(), config.parallel);
     if ranges.len() <= 1 {
         // Sequential (or single-morsel) fast path: no fork, no merge.
         let run = run_range(&mut state, 0..root.len());
@@ -477,30 +494,44 @@ pub fn execute(
         breakdown.add(phases::STAGING, run.staging_time);
         breakdown.add(phase, run.native_time);
     } else {
-        // Morsel-parallel staging: every worker filters its contiguous slice
-        // of the managed collection into a thread-local staging shard
-        // (row-wise or columnar) and immediately consumes it with a forked
-        // native state. Join hash tables were built once above and are
-        // shared by memory copy; partial states merge in partition order so
-        // result row order matches the sequential path.
-        let partials = morsel::scatter(&ranges, |_, range| {
+        // Morsel-parallel staging: every worker filters its morsel of the
+        // managed collection into a thread-local staging shard (row-wise or
+        // columnar) and immediately consumes it with a forked native state.
+        // Morsels come from the shared work-stealing cursor (or one static
+        // range per worker when stealing is off); join hash tables were
+        // built once above and are shared behind an `Arc`. Partial states
+        // merge in morsel order, so result row order matches the sequential
+        // path exactly.
+        let work = |_: usize, range: std::ops::Range<usize>| {
             let mut worker_state = state.fork();
             let run = run_range(&mut worker_state, range);
             (worker_state, run)
-        });
-        // Wall-clock per phase is the slowest worker's share; footprint is
-        // the sum of concurrently live shards.
+        };
+        let partials = if stealing {
+            morsel::steal(&ranges, config.parallel.threads, work)
+        } else {
+            morsel::scatter(&ranges, work)
+        };
+        // Per-phase wall-clock is estimated as the slowest single morsel or
+        // the ideal per-worker share of the total, whichever is larger (the
+        // two coincide for static one-range-per-worker partitioning);
+        // footprint is the sum of concurrently live shards.
+        let workers = config.parallel.threads.min(ranges.len()).max(1) as u32;
         let mut max_staging = Duration::ZERO;
         let mut max_native = Duration::ZERO;
+        let mut sum_staging = Duration::ZERO;
+        let mut sum_native = Duration::ZERO;
         for (partial, run) in partials {
             state.merge(partial);
             staged_bytes += run.staged_bytes;
             staged_rows += run.staged_rows;
             max_staging = max_staging.max(run.staging_time);
             max_native = max_native.max(run.native_time);
+            sum_staging += run.staging_time;
+            sum_native += run.native_time;
         }
-        breakdown.add(phases::STAGING, max_staging);
-        breakdown.add(phase, max_native);
+        breakdown.add(phases::STAGING, max_staging.max(sum_staging / workers));
+        breakdown.add(phase, max_native.max(sum_native / workers));
     }
 
     // ------------------------------------------------------------------
@@ -568,6 +599,56 @@ fn stage_table(
         params,
         &mut store,
     );
+    store
+}
+
+/// Stages qualifying rows of a managed build-side table with morsel
+/// workers: the managed-side filter evaluation and column reads (the
+/// expensive part of staging) run in parallel over morsels of the
+/// collection, and the qualifying rows are appended to the staging buffer
+/// in morsel order — so the staged table is byte-identical to what the
+/// sequential [`stage_table`] produces. Sequential configs and tiny tables
+/// take the sequential path directly.
+#[allow(clippy::too_many_arguments)]
+fn stage_table_parallel(
+    table: &HeapTable<'_>,
+    schema: &Schema,
+    mapping: &[(usize, usize)],
+    index_col: Option<usize>,
+    filters: &[ScalarExpr],
+    params: &[Value],
+    layout: StagingLayout,
+    config: ParallelConfig,
+) -> StagedTable {
+    if config.partitions_for(table.len()) <= 1 {
+        return stage_table(table, schema, mapping, index_col, filters, params, layout);
+    }
+    let width = schema.len();
+    let partials: Vec<Vec<Vec<Value>>> = morsel::dispatch(table.len(), config, |_, range| {
+        let mut staged = Vec::new();
+        'rows: for row in range {
+            for f in filters {
+                if !eval_managed_predicate(f, table, row, params) {
+                    continue 'rows;
+                }
+            }
+            let mut buf = vec![Value::Null; width];
+            for (orig, staged_col) in mapping {
+                buf[*staged_col] = table.get_value(row, *orig);
+            }
+            if let Some(idx_col) = index_col {
+                buf[idx_col] = Value::Int64(row as i64);
+            }
+            staged.push(buf);
+        }
+        staged
+    });
+    let mut store = StagedTable::new(schema.clone(), layout);
+    for rows in &partials {
+        for row in rows {
+            store.push_values(row);
+        }
+    }
     store
 }
 
@@ -892,6 +973,7 @@ mod tests {
                 let config = base.parallel(ParallelConfig {
                     threads,
                     min_rows_per_thread: 64,
+                    ..ParallelConfig::default()
                 });
                 let parallel = execute(&spec, &canon.params, &[&table], config).unwrap();
                 assert_eq!(
@@ -950,6 +1032,7 @@ mod tests {
                 min.parallel(ParallelConfig {
                     threads,
                     min_rows_per_thread: 32,
+                    ..ParallelConfig::default()
                 }),
             )
             .unwrap();

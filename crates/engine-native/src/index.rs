@@ -15,7 +15,7 @@
 use crate::RowStore;
 use mrq_codegen::exec::{JoinIndex, TableAccess};
 use mrq_codegen::spec::{JoinSpec, ScalarExpr};
-use mrq_common::{DataType, MrqError, Result, Value};
+use mrq_common::{morsel, DataType, MrqError, ParallelConfig, Result, Value};
 
 /// Encodes an indexable value into the executor's 64-bit key representation.
 /// Must agree with the probe-side encoding used by the fused executor.
@@ -73,6 +73,48 @@ impl HashIndex {
             column,
             dtype: field.dtype,
             index,
+        })
+    }
+
+    /// Builds an index over `column` of `store` with hash-partitioned
+    /// parallel workers: morsels of the table are scanned by the shared
+    /// scheduler ([`mrq_common::morsel`]), each worker scatters `(key, row)`
+    /// pairs into per-shard buckets by [`JoinIndex::shard_index`], and the
+    /// shards are finalised into per-shard maps in parallel with zero merge
+    /// contention. Per-key row lists stay in ascending row order (morsel
+    /// partials are gathered in morsel order), so lookups return exactly
+    /// what [`HashIndex::build`] returns. Sequential configs and tiny
+    /// stores fall back to the sequential build.
+    pub fn build_parallel(store: &RowStore, column: usize, config: ParallelConfig) -> Result<Self> {
+        let workers = config.partitions_for(store.len());
+        if workers <= 1 {
+            return Self::build(store, column);
+        }
+        let field = store
+            .schema()
+            .fields()
+            .get(column)
+            .ok_or_else(|| MrqError::Internal(format!("no column {column} to index")))?;
+        if !indexable(field.dtype) {
+            return Err(MrqError::Unsupported(format!(
+                "cannot build a hash index over a {} column",
+                field.dtype
+            )));
+        }
+        let shard_count = workers.next_power_of_two();
+        let bits = shard_count.trailing_zeros();
+        let shards =
+            morsel::build_hash_shards(store.len(), config, shard_count, |range, buckets| {
+                for row in range {
+                    let key = encode_key(&store.get_value(row, column))
+                        .expect("indexable columns always encode");
+                    buckets[JoinIndex::shard_index(key, bits)].push((key, row));
+                }
+            });
+        Ok(HashIndex {
+            column,
+            dtype: field.dtype,
+            index: JoinIndex::from_shards(shards),
         })
     }
 
@@ -192,6 +234,42 @@ mod tests {
         let index = HashIndex::build(&s, 0).unwrap();
         assert!(index.lookup(&Value::str("not a key")).is_empty());
         assert!(index.lookup(&Value::Null).is_empty());
+    }
+
+    #[test]
+    fn parallel_index_build_matches_sequential() {
+        let schema = Schema::new("T", vec![Field::new("key", DataType::Int64)]);
+        // Skewed key distribution: most rows share key 0.
+        let rows: Vec<Vec<Value>> = (0..5_000i64)
+            .map(|i| vec![Value::Int64(if i % 10 < 8 { 0 } else { i % 97 })])
+            .collect();
+        let s = RowStore::from_rows(schema.clone(), &rows);
+        let reference = HashIndex::build(&s, 0).unwrap();
+        for threads in [1usize, 2, 8] {
+            for stealing in [false, true] {
+                let config = ParallelConfig {
+                    threads,
+                    min_rows_per_thread: 64,
+                    ..ParallelConfig::default()
+                }
+                .with_morsel_rows(128)
+                .with_stealing(stealing);
+                let parallel = HashIndex::build_parallel(&s, 0, config).unwrap();
+                assert_eq!(parallel.len(), reference.len());
+                assert_eq!(parallel.distinct_keys(), reference.distinct_keys());
+                for key in 0..100i64 {
+                    assert_eq!(
+                        parallel.lookup(&Value::Int64(key)),
+                        reference.lookup(&Value::Int64(key)),
+                        "key {key} at {threads} threads, stealing={stealing}"
+                    );
+                }
+            }
+        }
+        // An empty store builds an empty (sequential) index.
+        let empty = RowStore::new(schema);
+        let index = HashIndex::build_parallel(&empty, 0, ParallelConfig::with_threads(8)).unwrap();
+        assert!(index.is_empty());
     }
 
     #[test]

@@ -29,11 +29,13 @@ pub use mrq_common::ParallelConfig;
 /// order. `indexes[j]`, when given and applicable, replaces the hash-table
 /// build of join `j` (see [`HashIndex::serves`]).
 ///
-/// Build-side hash tables are built exactly once; the shared morsel scheduler
-/// ([`mrq_common::morsel`]) then forks the state per worker (a memory copy),
-/// runs the identical fused pipeline over contiguous row ranges and merges
-/// the partial states in partition order, so row order is preserved for
-/// non-sorted outputs.
+/// Build-side hash tables are built exactly once, themselves in parallel
+/// (hash-partitioned shards, see [`ExecState::new_parallel`]); the shared
+/// morsel scheduler ([`mrq_common::morsel`]) then forks the state per
+/// worker (the built tables are shared behind an `Arc`), runs the identical
+/// fused pipeline over work-stolen or static morsels and merges the partial
+/// states in morsel order, so row order is preserved for non-sorted
+/// outputs and results are bit-identical to the sequential engine.
 pub fn execute_parallel(
     spec: &QuerySpec,
     params: &[Value],
@@ -52,7 +54,7 @@ pub fn execute_parallel(
     let join_indexes = resolve_indexes(spec, indexes)?;
     let root = tables[0];
     let builds: Vec<&RowStore> = tables[1..].to_vec();
-    let base = ExecState::new_with_indexes(spec, params, builds, &schemas, &join_indexes)?;
+    let base = ExecState::new_parallel(spec, params, builds, &schemas, &join_indexes, config)?;
     Ok(consume_partitioned(base, root, config))
 }
 
@@ -247,6 +249,7 @@ mod tests {
                 ParallelConfig {
                     threads,
                     min_rows_per_thread: 100,
+                    ..ParallelConfig::default()
                 },
             )
             .unwrap();
@@ -270,6 +273,7 @@ mod tests {
             ParallelConfig {
                 threads: 4,
                 min_rows_per_thread: 64,
+                ..ParallelConfig::default()
             },
         )
         .unwrap();
@@ -309,6 +313,7 @@ mod tests {
         let config = ParallelConfig {
             threads: 8,
             min_rows_per_thread: 4096,
+            ..ParallelConfig::default()
         };
         assert_eq!(config.partitions_for(100), 1);
         assert_eq!(config.partitions_for(0), 1);
@@ -337,6 +342,7 @@ mod tests {
             ParallelConfig {
                 threads: 5,
                 min_rows_per_thread: 1,
+                ..ParallelConfig::default()
             },
         )
         .unwrap();

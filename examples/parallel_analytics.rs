@@ -66,6 +66,7 @@ fn main() {
                 Strategy::CompiledNativeParallel(ParallelConfig {
                     threads,
                     min_rows_per_thread: 2048,
+                    ..ParallelConfig::default()
                 }),
             )
             .expect("parallel Q1");

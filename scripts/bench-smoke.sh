@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Perf-harness smoke test: run the parallel ablation bench once so bitrot in
-# the bench targets (API drift, panics, wrong cardinalities) is caught in CI,
-# and — on hosts with enough cores to express one — enforce the headline
-# speedup claim: hybrid full-materialisation Q1 aggregation at 8 threads must
-# be at least MIN_SPEEDUP x faster than at 1 thread.
+# Perf-harness smoke test: run the parallel ablation bench and the fig11
+# join bench once so bitrot in the bench targets (API drift, panics, wrong
+# cardinalities) is caught in CI, and — on hosts with enough cores to
+# express one — enforce the headline speedup claims:
+#   * hybrid full-materialisation Q1 aggregation at 8 threads must be at
+#     least MIN_SPEEDUP x faster than at 1 thread (scan gate), and
+#   * the fig11 join over the native row store at 8 threads — including the
+#     parallel partitioned hash build — must be at least MIN_SPEEDUP x
+#     faster than at 1 thread (join gate).
 #
 # Usage: scripts/bench-smoke.sh [bench-filter]
 # Env:   MRQ_SF           scale factor for the bench workload (default 0.002)
@@ -15,46 +19,68 @@ cd "$(dirname "$0")/.."
 
 FILTER="${1:-}"
 OUT="$(mktemp)"
-trap 'rm -f "$OUT"' EXIT
+JOIN_OUT="$(mktemp)"
+trap 'rm -f "$OUT" "$JOIN_OUT"' EXIT
 
 echo "== bench-smoke: ablation_parallel (one pass) =="
 cargo bench -q -p mrq-bench --bench ablation_parallel -- ${FILTER:+"$FILTER"} | tee "$OUT"
+
+echo "== bench-smoke: fig11_join (one pass) =="
+cargo bench -q -p mrq-bench --bench fig11_join -- ${FILTER:+"$FILTER"} | tee "$JOIN_OUT"
 
 # Every benchmark line must have produced a time — a bench that silently
 # stopped reporting is bitrot even when it exits 0.
 LINES=$(grep -c "time:" "$OUT" || true)
 if [ "$LINES" -lt 4 ]; then
-    echo "bench-smoke: FAIL — expected >=4 benchmark reports, got $LINES" >&2
+    echo "bench-smoke: FAIL — expected >=4 ablation reports, got $LINES" >&2
     exit 1
 fi
-echo "bench-smoke: $LINES benchmark points reported"
+JOIN_LINES=$(grep -c "time:" "$JOIN_OUT" || true)
+if [ "$JOIN_LINES" -lt 4 ]; then
+    echo "bench-smoke: FAIL — expected >=4 join bench reports, got $JOIN_LINES" >&2
+    exit 1
+fi
+echo "bench-smoke: $LINES + $JOIN_LINES benchmark points reported"
 
-# Speedup enforcement (à la tonic's bench-enforce): compare the mean time of
-# the hybrid full-materialisation Q1 point at 1 vs 8 threads.
+# Speedup enforcement (à la tonic's bench-enforce): compare the min time of
+# a 1-thread point against its 8-thread point (the shim prints
+# "time: [min mean max]"; the min is extracted by stripping up to the "["
+# rather than by field position, so a wide number fusing with the bracket
+# cannot break the parse).
 CPUS=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 ENFORCE="${ENFORCE_SPEEDUP:-auto}"
 if [ "$ENFORCE" = "auto" ]; then
     if [ "$CPUS" -ge 8 ]; then ENFORCE=1; else ENFORCE=0; fi
 fi
+MIN="${MIN_SPEEDUP:-2.0}"
 
-T1=$(awk '/ablation_parallel_q1_hybrid_full\/1_threads/ {print $4}' "$OUT" | head -1)
-T8=$(awk '/ablation_parallel_q1_hybrid_full\/8_threads/ {print $4}' "$OUT" | head -1)
-if [ -z "${T1:-}" ] || [ -z "${T8:-}" ]; then
-    echo "bench-smoke: FAIL — hybrid_full 1/8-thread points missing from output" >&2
-    exit 1
-fi
-SPEEDUP=$(awk -v a="$T1" -v b="$T8" 'BEGIN { printf "%.2f", a / b }')
-echo "bench-smoke: hybrid full Q1 speedup at 8 threads: ${SPEEDUP}x (host has $CPUS CPUs)"
-
-if [ "$ENFORCE" = "1" ]; then
-    MIN="${MIN_SPEEDUP:-2.0}"
-    PASS=$(awk -v s="$SPEEDUP" -v m="$MIN" 'BEGIN { print (s >= m) ? 1 : 0 }')
-    if [ "$PASS" != "1" ]; then
-        echo "bench-smoke: FAIL — speedup ${SPEEDUP}x below required ${MIN}x" >&2
+# gate <file> <pattern-1-thread> <pattern-8-threads> <label>
+gate() {
+    local file="$1" one="$2" eight="$3" label="$4"
+    local t1 t8 speedup pass
+    t1=$(awk -v p="$one" '$0 ~ p && /time:/ { sub(/.*time:[[:space:]]*\[[[:space:]]*/, ""); print $1; exit }' "$file")
+    t8=$(awk -v p="$eight" '$0 ~ p && /time:/ { sub(/.*time:[[:space:]]*\[[[:space:]]*/, ""); print $1; exit }' "$file")
+    if [ -z "${t1:-}" ] || [ -z "${t8:-}" ]; then
+        echo "bench-smoke: FAIL — $label 1/8-thread points missing from output" >&2
         exit 1
     fi
-    echo "bench-smoke: speedup gate (>= ${MIN}x) passed"
-else
-    echo "bench-smoke: speedup gate skipped ($CPUS CPUs cannot express an 8-thread speedup)"
-fi
+    speedup=$(awk -v a="$t1" -v b="$t8" 'BEGIN { printf "%.2f", a / b }')
+    echo "bench-smoke: $label speedup at 8 threads: ${speedup}x (host has $CPUS CPUs)"
+    if [ "$ENFORCE" = "1" ]; then
+        pass=$(awk -v s="$speedup" -v m="$MIN" 'BEGIN { print (s >= m) ? 1 : 0 }')
+        if [ "$pass" != "1" ]; then
+            echo "bench-smoke: FAIL — $label speedup ${speedup}x below required ${MIN}x" >&2
+            exit 1
+        fi
+        echo "bench-smoke: $label speedup gate (>= ${MIN}x) passed"
+    else
+        echo "bench-smoke: $label speedup gate skipped ($CPUS CPUs cannot express an 8-thread speedup)"
+    fi
+}
+
+gate "$OUT" "ablation_parallel_q1_hybrid_full/1_threads" \
+    "ablation_parallel_q1_hybrid_full/8_threads" "hybrid full Q1 (scan)"
+gate "$JOIN_OUT" "fig11_join_parallel/native_1_threads" \
+    "fig11_join_parallel/native_8_threads" "native fig11 join (incl. build)"
+
 echo "bench-smoke: OK"

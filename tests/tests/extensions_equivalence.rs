@@ -60,6 +60,7 @@ fn parallel_native_matches_every_sequential_strategy_on_q1() {
             Strategy::CompiledNativeParallel(ParallelConfig {
                 threads,
                 min_rows_per_thread: 256,
+                ..ParallelConfig::default()
             }),
         )
         .1;
@@ -83,6 +84,7 @@ fn parallel_native_matches_sequential_on_the_q3_join() {
         Strategy::CompiledNativeParallel(ParallelConfig {
             threads: 4,
             min_rows_per_thread: 128,
+            ..ParallelConfig::default()
         }),
     )
     .1;
@@ -116,6 +118,7 @@ fn indexed_join_matches_hash_build_on_the_naive_q3_join() {
         ParallelConfig {
             threads: 4,
             min_rows_per_thread: 128,
+            ..ParallelConfig::default()
         },
     )
     .unwrap();
@@ -216,6 +219,7 @@ fn q6_agrees_across_all_strategies_including_columnar_staging_and_parallel() {
         Strategy::CompiledNativeParallel(ParallelConfig {
             threads: 4,
             min_rows_per_thread: 256,
+            ..ParallelConfig::default()
         }),
     ));
     for (name, strategy) in strategies {

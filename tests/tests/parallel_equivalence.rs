@@ -28,7 +28,17 @@ fn config_for(threads: usize) -> ParallelConfig {
         threads,
         // Low threshold so the tiny test dataset actually splits.
         min_rows_per_thread: 16,
+        ..ParallelConfig::default()
     }
+}
+
+/// Like [`config_for`], but with an explicit stealing mode and a tiny
+/// morsel size so the work-stealing cursor actually hands out many morsels
+/// on the small test datasets.
+fn steal_config(threads: usize, stealing: bool) -> ParallelConfig {
+    config_for(threads)
+        .with_morsel_rows(64)
+        .with_stealing(stealing)
 }
 
 fn sorted_rows(out: &QueryOutput) -> Vec<String> {
@@ -198,4 +208,306 @@ fn engine_entry_points_agree_across_representations() {
     }
     // Sanity: the workload is not trivially empty.
     assert!(!reference.rows.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Join-heavy coverage: parallel partitioned builds + work stealing
+// ---------------------------------------------------------------------------
+
+mod join_fixtures {
+    use mrq_common::{DataType, Decimal, Field, Schema, Value};
+    use mrq_engine_native::RowStore;
+    use mrq_expr::{col, lam, lit, BinaryOp, Expr, Query, SourceId};
+    use mrq_mheap::{ClassDesc, Heap, ListId};
+    use std::collections::HashMap;
+
+    pub fn sales_schema() -> Schema {
+        Schema::new(
+            "Sale",
+            vec![
+                Field::new("id", DataType::Int64),
+                Field::new("city_id", DataType::Int64),
+                Field::new("price", DataType::Decimal),
+            ],
+        )
+    }
+
+    pub fn cities_schema() -> Schema {
+        Schema::new(
+            "City",
+            vec![
+                Field::new("city_id", DataType::Int64),
+                Field::new("population", DataType::Int64),
+            ],
+        )
+    }
+
+    /// Probe side with a heavily skewed build-key distribution: 80% of the
+    /// rows hit city 0, so static range partitions carry wildly different
+    /// probe work — exactly what work stealing is for.
+    pub fn sales_rows(n: i64) -> Vec<Vec<Value>> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::Int64(i),
+                    Value::Int64(if i % 10 < 8 { 0 } else { i % 64 }),
+                    Value::Decimal(Decimal::from_int(i % 97)),
+                ]
+            })
+            .collect()
+    }
+
+    pub fn cities_rows(n: i64) -> Vec<Vec<Value>> {
+        (0..n)
+            .map(|i| vec![Value::Int64(i), Value::Int64(i * 1_000)])
+            .collect()
+    }
+
+    pub fn stores(sales: i64, cities: i64) -> (RowStore, RowStore) {
+        (
+            RowStore::from_rows(sales_schema(), &sales_rows(sales)),
+            RowStore::from_rows(cities_schema(), &cities_rows(cities)),
+        )
+    }
+
+    /// The same data as managed heap objects (for the C# and hybrid paths).
+    pub fn heap(sales: i64, cities: i64) -> (Heap, ListId, ListId) {
+        let mut heap = Heap::new();
+        let sale_class = heap.register_class(ClassDesc::from_schema(&sales_schema()));
+        let city_class = heap.register_class(ClassDesc::from_schema(&cities_schema()));
+        let sales_list = heap.new_list("sales", Some(sale_class));
+        for row in sales_rows(sales) {
+            let obj = heap.alloc(sale_class);
+            heap.set_i64(obj, 0, row[0].as_i64().unwrap());
+            heap.set_i64(obj, 1, row[1].as_i64().unwrap());
+            heap.set_decimal(obj, 2, row[2].as_decimal().unwrap());
+            heap.list_push(sales_list, obj);
+        }
+        let cities_list = heap.new_list("cities", Some(city_class));
+        for row in cities_rows(cities) {
+            let obj = heap.alloc(city_class);
+            heap.set_i64(obj, 0, row[0].as_i64().unwrap());
+            heap.set_i64(obj, 1, row[1].as_i64().unwrap());
+            heap.list_push(cities_list, obj);
+        }
+        (heap, sales_list, cities_list)
+    }
+
+    pub fn catalog() -> HashMap<SourceId, Schema> {
+        let mut map = HashMap::new();
+        map.insert(SourceId(0), sales_schema());
+        map.insert(SourceId(1), cities_schema());
+        map
+    }
+
+    fn joined(filter_build: bool) -> Query {
+        let build = if filter_build {
+            // A build-side filter exercises the filtered parallel scatter.
+            Query::from_source(SourceId(1)).where_(lam(
+                "c",
+                Expr::binary(BinaryOp::Ge, col("c", "population"), lit(2_000i64)),
+            ))
+        } else {
+            Query::from_source(SourceId(1))
+        };
+        Query::from_source(SourceId(0)).join_query(
+            build,
+            lam("s", col("s", "city_id")),
+            lam("c", col("c", "city_id")),
+            lam(
+                "s",
+                lam(
+                    "c",
+                    Expr::Constructor {
+                        name: "SC".into(),
+                        fields: vec![
+                            ("id".into(), col("s", "id")),
+                            ("price".into(), col("s", "price")),
+                            ("population".into(), col("c", "population")),
+                        ],
+                    },
+                ),
+            ),
+        )
+    }
+
+    /// Plain join projection (row order must survive parallel merges).
+    pub fn join_projection() -> Expr {
+        joined(true).into_expr()
+    }
+
+    /// Join + grouped decimal aggregation (exact fixed-point merges) over a
+    /// build side with a filter, sorted for a deterministic output order.
+    pub fn join_aggregation() -> Expr {
+        joined(false)
+            .group_by(lam("r", col("r", "population")))
+            .select(lam(
+                "g",
+                Expr::Constructor {
+                    name: "R".into(),
+                    fields: vec![
+                        (
+                            "population".into(),
+                            Expr::member(Expr::member(mrq_expr::var("g"), "Key"), "population"),
+                        ),
+                        (
+                            "total".into(),
+                            mrq_expr::builder::agg(
+                                mrq_expr::AggFunc::Sum,
+                                "g",
+                                Some(lam("x", col("x", "price"))),
+                            ),
+                        ),
+                        (
+                            "avg".into(),
+                            mrq_expr::builder::agg(
+                                mrq_expr::AggFunc::Average,
+                                "g",
+                                Some(lam("x", col("x", "price"))),
+                            ),
+                        ),
+                        (
+                            "n".into(),
+                            mrq_expr::builder::agg(mrq_expr::AggFunc::Count, "g", None),
+                        ),
+                    ],
+                },
+            ))
+            .order_by(lam("r", col("r", "population")))
+            .into_expr()
+    }
+}
+
+/// Join-heavy workloads (skewed build-key distribution, filtered build side,
+/// grouped decimal aggregates) across every engine entry point, swept over
+/// threads {1, 2, 8} × stealing {off, on}: rows, order and decimal
+/// aggregates must be bit-identical to the sequential engines.
+#[test]
+fn join_builds_match_sequential_with_skew_and_stealing() {
+    use join_fixtures::*;
+    let (sales_store, cities_store) = stores(6_000, 64);
+    let (heap, sales_list, cities_list) = heap(6_000, 64);
+    let sales_heap = HeapTable::new(&heap, sales_list, sales_schema());
+    let cities_heap = HeapTable::new(&heap, cities_list, cities_schema());
+    let heap_refs = [&sales_heap, &cities_heap];
+    let store_refs = [&sales_store, &cities_store];
+
+    for workload in [join_projection(), join_aggregation()] {
+        let canon = mrq_expr::canonicalize(workload);
+        let spec = mrq_codegen::spec::lower(&canon, &catalog()).expect("join lowers");
+        let reference =
+            mrq_engine_csharp::execute(&spec, &canon.params, &heap_refs).expect("sequential C#");
+        let native_reference = mrq_engine_native::execute(&spec, &canon.params, &store_refs)
+            .expect("sequential native");
+        assert_eq!(reference, native_reference, "representations agree");
+        assert!(!reference.rows.is_empty());
+
+        for &threads in &THREADS {
+            for stealing in [false, true] {
+                let config = steal_config(threads, stealing);
+                let context = format!("{threads} threads, stealing={stealing}");
+                let native = mrq_engine_native::execute_parallel(
+                    &spec,
+                    &canon.params,
+                    &store_refs,
+                    &[],
+                    config,
+                )
+                .expect("parallel native");
+                assert_eq!(native, reference, "native {context}");
+                let csharp =
+                    mrq_engine_csharp::execute_parallel(&spec, &canon.params, &heap_refs, config)
+                        .expect("parallel C#");
+                assert_eq!(csharp, reference, "C# {context}");
+                for hybrid_base in [HybridConfig::default(), HybridConfig::buffered()] {
+                    let hybrid = mrq_engine_hybrid::execute(
+                        &spec,
+                        &canon.params,
+                        &heap_refs,
+                        hybrid_base.parallel(config),
+                    )
+                    .expect("parallel hybrid");
+                    assert_eq!(hybrid.output, reference, "hybrid {context}");
+                }
+            }
+        }
+    }
+}
+
+/// An empty build side must produce an empty join result at every thread
+/// count and stealing mode without panicking anywhere in the partitioned
+/// build.
+#[test]
+fn empty_build_side_joins_match_sequential() {
+    use join_fixtures::*;
+    let (sales_store, cities_store) = stores(3_000, 0);
+    let (heap, sales_list, cities_list) = heap(3_000, 0);
+    let sales_heap = HeapTable::new(&heap, sales_list, sales_schema());
+    let cities_heap = HeapTable::new(&heap, cities_list, cities_schema());
+    let heap_refs = [&sales_heap, &cities_heap];
+    let store_refs = [&sales_store, &cities_store];
+
+    for workload in [join_projection(), join_aggregation()] {
+        let canon = mrq_expr::canonicalize(workload);
+        let spec = mrq_codegen::spec::lower(&canon, &catalog()).expect("join lowers");
+        let reference =
+            mrq_engine_csharp::execute(&spec, &canon.params, &heap_refs).expect("sequential C#");
+        assert!(reference.rows.is_empty());
+        for &threads in &THREADS {
+            for stealing in [false, true] {
+                let config = steal_config(threads, stealing);
+                let native = mrq_engine_native::execute_parallel(
+                    &spec,
+                    &canon.params,
+                    &store_refs,
+                    &[],
+                    config,
+                )
+                .expect("parallel native");
+                assert_eq!(native, reference);
+                let csharp =
+                    mrq_engine_csharp::execute_parallel(&spec, &canon.params, &heap_refs, config)
+                        .expect("parallel C#");
+                assert_eq!(csharp, reference);
+                let hybrid = mrq_engine_hybrid::execute(
+                    &spec,
+                    &canon.params,
+                    &heap_refs,
+                    HybridConfig::default().parallel(config),
+                )
+                .expect("parallel hybrid");
+                assert_eq!(hybrid.output, reference);
+            }
+        }
+    }
+}
+
+/// The full TPC-H Q3 (string build keys on the customer side fall back to
+/// the sequential build; integer keys partition) through the provider, with
+/// stealing on and off: bit-identical to the sequential provider.
+#[test]
+fn q3_through_the_provider_matches_with_stealing_on_and_off() {
+    let wb = workbench();
+    let sequential = wb.managed_provider();
+    let reference = sequential
+        .execute(queries::q3(), Strategy::CompiledCSharp)
+        .expect("sequential reference");
+    for &threads in &THREADS {
+        for stealing in [false, true] {
+            let mut provider = wb.managed_provider();
+            provider.set_parallelism(steal_config(threads, stealing));
+            for strategy in [
+                Strategy::CompiledCSharp,
+                Strategy::Hybrid(HybridConfig::default()),
+            ] {
+                let out = provider
+                    .execute(queries::q3(), strategy)
+                    .expect("parallel run");
+                assert_eq!(
+                    reference.rows, out.rows,
+                    "{strategy:?} at {threads} threads, stealing={stealing}"
+                );
+            }
+        }
+    }
 }

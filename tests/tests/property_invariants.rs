@@ -270,6 +270,7 @@ fn parallel_native_equals_sequential() {
             ParallelConfig {
                 threads,
                 min_rows_per_thread: 1,
+                ..ParallelConfig::default()
             },
         )
         .unwrap();
