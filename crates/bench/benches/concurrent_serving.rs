@@ -1,0 +1,67 @@
+//! Concurrent-serving throughput: one shared `Provider`, N client threads.
+//!
+//! Each point runs a fixed batch of `QUERIES_PER_CLIENT` queries *per
+//! client* through one shared provider (every query submitted with
+//! [`mrq_core::Provider::submit`] and joined), so the reported time per
+//! point covers `clients × QUERIES_PER_CLIENT` queries. Throughput in
+//! queries/sec is therefore `clients × QUERIES_PER_CLIENT / time`, and
+//! `scripts/bench-smoke.sh` gates 8-client throughput at ≥ 2× the
+//! single-client point on hosts with enough CPUs to express it.
+//!
+//! Per-query parallelism is deliberately sequential: the clients supply the
+//! parallelism, the persistent worker pool multiplexes them, and the gate
+//! then measures pure serving scalability rather than intra-query speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrq_bench::Workbench;
+use mrq_core::{Provider, Strategy};
+use mrq_tpch::queries;
+
+const QUERIES_PER_CLIENT: usize = 16;
+
+fn bench(c: &mut Criterion) {
+    let wb = Workbench::new(0.002);
+
+    let mut provider = Provider::new();
+    for source in [
+        queries::SRC_LINEITEM,
+        queries::SRC_ORDERS,
+        queries::SRC_CUSTOMER,
+    ] {
+        provider.bind_native(source, &wb.stores[queries::source_table(source)]);
+    }
+    // Warm the compiled-query cache so every point measures serving, not
+    // one-off code generation.
+    provider
+        .execute(queries::q1(), Strategy::CompiledNative)
+        .expect("warm-up");
+
+    let mut group = c.benchmark_group("concurrent_serving_q1");
+    group.sample_size(10);
+    for clients in [1usize, 2, 8] {
+        group.bench_function(format!("{clients}_clients"), |b| {
+            let provider = &provider;
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for _ in 0..clients {
+                        scope.spawn(move || {
+                            for _ in 0..QUERIES_PER_CLIENT {
+                                let rows = provider
+                                    .submit(queries::q1(), Strategy::CompiledNative)
+                                    .join()
+                                    .expect("submitted query")
+                                    .rows
+                                    .len();
+                                assert!(rows > 0);
+                            }
+                        });
+                    }
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

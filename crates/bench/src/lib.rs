@@ -10,6 +10,8 @@
 //! overridden with the `MRQ_SF` environment variable. Relative behaviour —
 //! which strategy wins and by roughly how much — is what the figures compare.
 
+#![warn(missing_docs)]
+
 use mrq_cachesim::CacheSim;
 use mrq_codegen::exec::{QueryOutput, ValueTable};
 use mrq_codegen::spec::{lower, QuerySpec};

@@ -15,6 +15,8 @@
 //! strategies that chase scattered managed objects touch many more distinct
 //! lines than strategies that stream flat buffers.
 
+#![warn(missing_docs)]
+
 use mrq_common::trace::{AccessKind, MemTracer};
 
 pub mod hierarchy;

@@ -1474,7 +1474,10 @@ fn update_agg<T: TableAccess>(
 /// parallelism: the probe side is split into morsels per `config`
 /// ([`mrq_common::morsel`]) — fixed-size ranges handed out by a shared
 /// atomic work-stealing cursor when [`ParallelConfig::stealing`] is on, one
-/// static contiguous range per worker otherwise. Each morsel runs on a fork
+/// static contiguous range per worker otherwise — and dispatched to the
+/// persistent worker pool ([`mrq_common::pool::WorkerPool`]); the calling
+/// thread participates and no thread is spawned per query. Each morsel runs
+/// on a fork
 /// of `base` (the already-built join hash tables are shared behind an
 /// [`Arc`], so a fork is cheap), and the partial states merge back into
 /// `base` **in morsel order** regardless of which worker ran which morsel —

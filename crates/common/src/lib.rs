@@ -10,8 +10,9 @@
 //! * the [`trace::MemTracer`] abstraction used to feed the last-level-cache
 //!   simulator,
 //! * the [`morsel`] scheduler ([`ParallelConfig`], contiguous range
-//!   partitioning, scoped worker fan-out) every parallel execution path
-//!   shares,
+//!   partitioning, work-stealing morsel fan-out) and the persistent
+//!   [`pool::WorkerPool`] it runs on, shared by every parallel execution
+//!   path and by concurrent query submission,
 //! * the [`profile::CostBreakdown`] phase timer used to reproduce the paper's
 //!   cost-breakdown figures (Figures 8, 10 and 12), and
 //! * small utilities (a fast integer hasher, error types).
@@ -23,6 +24,7 @@ pub mod decimal;
 pub mod error;
 pub mod hash;
 pub mod morsel;
+pub mod pool;
 pub mod profile;
 pub mod schema;
 pub mod trace;

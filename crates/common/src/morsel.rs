@@ -13,27 +13,47 @@
 //!    static range per worker ([`partition`]) or fixed-size ranges of
 //!    [`ParallelConfig::morsel_rows`] rows ([`morsels`]) handed out by a
 //!    shared atomic cursor so idle workers steal the remaining work,
-//! 2. run the morsels on a fixed pool of scoped worker threads, producing
-//!    one partial result per morsel (an execution state, a staged buffer
-//!    shard, a scatter bucket, …),
-//! 3. gather the partials **in morsel order** (each morsel is tagged with
-//!    its index and placed into a slot table), so merging stays
-//!    deterministic and order-sensitive outputs are bit-identical to a
-//!    sequential run regardless of which worker ran which morsel.
+//! 2. run the morsels on the **persistent worker pool**
+//!    ([`crate::pool::WorkerPool`]) — long-lived threads shared by every
+//!    query; the calling thread participates, and nothing is spawned per
+//!    query — producing one partial result per morsel (an execution state,
+//!    a staged buffer shard, a scatter bucket, …),
+//! 3. gather the partials **in morsel order** (each morsel writes the slot
+//!    of its index), so merging stays deterministic and order-sensitive
+//!    outputs are bit-identical to a sequential run regardless of which
+//!    worker ran which morsel.
 //!
-//! This module owns steps 1 and 2 ([`partition`], [`morsels`], [`plan`],
-//! [`scatter`], [`steal`], [`dispatch`]) plus the shared two-phase
-//! hash-partitioned build recipe ([`build_hash_shards`]); what a worker
-//! computes and how partials merge stays with each engine.
+//! This module owns steps 1 and 3 and the hand-off to the pool for step 2
+//! ([`partition`], [`morsels`], [`plan`], [`scatter`], [`steal`],
+//! [`dispatch`]) plus the shared two-phase hash-partitioned build recipe
+//! ([`build_hash_shards`]); what a worker computes and how partials merge
+//! stays with each engine, and thread lifecycle/fairness live in
+//! [`crate::pool`].
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Degree-of-parallelism configuration shared by every engine.
 ///
 /// A `threads` value of 1 (the [`ParallelConfig::sequential`] default used
 /// by the provider) always takes the engines' sequential paths, so results
 /// and timings are bit-identical to the unparallelised seed code.
+///
+/// # Examples
+///
+/// ```
+/// use mrq_common::ParallelConfig;
+///
+/// // Sequential: what the provider defaults to — never touches the pool.
+/// assert!(ParallelConfig::sequential().is_sequential());
+///
+/// // 8 workers, 16k-row stolen morsels, stealing on (the default).
+/// let cfg = ParallelConfig::with_threads(8).with_morsel_rows(16 * 1024);
+/// assert_eq!(cfg.threads, 8);
+/// assert!(cfg.stealing);
+///
+/// // Tiny inputs never split: below `min_rows_per_thread`, one partition.
+/// assert_eq!(cfg.partitions_for(100), 1);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelConfig {
     /// Number of worker threads (1 falls back to the sequential path).
@@ -171,89 +191,71 @@ pub fn plan(total: usize, config: ParallelConfig) -> (Vec<Range<usize>>, bool) {
     }
 }
 
-/// Runs `worker(partition_index, range)` once per range on scoped threads
-/// (one thread per range) and returns the partial results **in partition
-/// order**. A single range runs on the calling thread (no spawn).
+/// Runs `worker(partition_index, range)` once per range on the persistent
+/// worker pool ([`crate::pool::WorkerPool::global`]), one worker per range,
+/// and returns the partial results **in partition order**. A single range
+/// runs on the calling thread (no pool round trip).
 pub fn scatter<T, F>(ranges: &[Range<usize>], worker: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, Range<usize>) -> T + Sync,
 {
-    if ranges.len() <= 1 {
-        return ranges
-            .iter()
-            .enumerate()
-            .map(|(i, r)| worker(i, r.clone()))
-            .collect();
-    }
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .enumerate()
-            .map(|(i, range)| {
-                let range = range.clone();
-                let worker = &worker;
-                scope.spawn(move || worker(i, range))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("morsel workers do not panic"))
-            .collect()
-    })
+    run_pooled(ranges, ranges.len(), worker)
 }
 
-/// Runs `worker(morsel_index, range)` for every range on a fixed pool of at
-/// most `threads` scoped workers. A shared atomic cursor hands the next
-/// unclaimed morsel to whichever worker asks first, so a worker stuck on a
-/// dense (slow) morsel never blocks the others from draining the rest of
-/// the input. Every partial is tagged with its morsel index and gathered
-/// into a slot table, so the returned partials are **in morsel order** —
-/// merging them is deterministic no matter how the steal race resolved.
+/// Runs `worker(morsel_index, range)` for every range on the persistent
+/// worker pool, using at most `threads` workers (pool threads plus the
+/// calling thread). The pool's shared cursor hands the next unclaimed
+/// morsel to whichever worker asks first, so a worker stuck on a dense
+/// (slow) morsel never blocks the others from draining the rest of the
+/// input. Every partial lands in the slot of its morsel index, so the
+/// returned partials are **in morsel order** — merging them is
+/// deterministic no matter how the steal race resolved.
 pub fn steal<T, F>(ranges: &[Range<usize>], threads: usize, worker: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, Range<usize>) -> T + Sync,
 {
-    let workers = threads.max(1).min(ranges.len());
-    if workers <= 1 {
+    run_pooled(ranges, threads, worker)
+}
+
+/// The shared pool fan-out behind [`scatter`] and [`steal`]: every range is
+/// one morsel of a [`crate::pool::WorkerPool::run_morsels`] job (the calling
+/// thread participates; no thread is ever spawned per query), and each
+/// partial is written to the slot of its morsel index so the gather is
+/// deterministic. Sequential shapes (zero or one range, one worker) run on
+/// the calling thread without touching the pool.
+fn run_pooled<T, F>(ranges: &[Range<usize>], max_workers: usize, worker: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    if ranges.len() <= 1 || max_workers <= 1 {
         return ranges
             .iter()
             .enumerate()
             .map(|(i, r)| worker(i, r.clone()))
             .collect();
     }
-    let cursor = AtomicUsize::new(0);
-    let tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let cursor = &cursor;
-                let worker = &worker;
-                scope.spawn(move || {
-                    let mut mine = Vec::new();
-                    loop {
-                        let m = cursor.fetch_add(1, Ordering::Relaxed);
-                        if m >= ranges.len() {
-                            break;
-                        }
-                        mine.push((m, worker(m, ranges[m].clone())));
-                    }
-                    mine
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("morsel workers do not panic"))
-            .collect()
+    // One slot per morsel: each index is handed out exactly once by the
+    // pool's cursor, so every lock below is uncontended (noise next to a
+    // multi-thousand-row morsel) and the completion latch inside
+    // `run_morsels` orders all writes before the gather. A `Mutex` rather
+    // than `OnceLock` keeps the public bound at `T: Send` (partials need
+    // not be `Sync`).
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        ranges.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    crate::pool::WorkerPool::global().run_morsels(ranges.len(), max_workers, &|m| {
+        let partial = worker(m, ranges[m].clone());
+        *slots[m].lock().unwrap_or_else(|e| e.into_inner()) = Some(partial);
     });
-    let mut slots: Vec<Option<T>> = ranges.iter().map(|_| None).collect();
-    for (m, partial) in tagged {
-        slots[m] = Some(partial);
-    }
     slots
         .into_iter()
-        .map(|s| s.expect("every morsel produced exactly one partial"))
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every morsel produced exactly one partial")
+        })
         .collect()
 }
 
@@ -303,7 +305,7 @@ where
         buckets
     });
     // Finalise within the configured worker budget: contiguous shard ranges,
-    // one scoped thread each, results (and therefore shards) in order.
+    // one pool worker each, results (and therefore shards) in order.
     let finalise = ParallelConfig {
         threads: config.partitions_for(total).min(shard_count).max(1),
         min_rows_per_thread: 1,
@@ -332,6 +334,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn config(threads: usize, min_rows: usize) -> ParallelConfig {
         ParallelConfig {

@@ -1,0 +1,483 @@
+//! The persistent worker pool behind every parallel code path.
+//!
+//! Earlier revisions spawned scoped threads per query: each parallel scan,
+//! join build or staging pass paid a `thread::spawn`/`join` round trip, and
+//! nothing survived from one query to the next. This module replaces that
+//! with a process-wide pool of long-lived workers that all queries share —
+//! the prerequisite for serving many concurrent clients from one provider
+//! (and, later, for NUMA pinning: workers now exist long enough to pin).
+//!
+//! # Architecture
+//!
+//! A [`WorkerPool`] owns a set of OS threads and one shared FIFO of
+//! *tickets*. A ticket is either
+//!
+//! * a **morsel ticket** — permission to run *one* morsel of a blocking
+//!   [`WorkerPool::run_morsels`] call (the unit every engine's scan, build
+//!   and staging loop decomposes into), or
+//! * a **task ticket** — a detached one-shot job, used by
+//!   `Provider::submit` to run a whole query on the pool.
+//!
+//! ## Fairness
+//!
+//! Workers always pop the *front* ticket and, after finishing a morsel,
+//! requeue its job's ticket at the *back*. Scheduling therefore round-robins
+//! between every job in flight at morsel granularity: a long scan holds at
+//! most as many workers as it has live tickets, and a short probe that
+//! arrives later gets its first worker after at most one morsel's worth of
+//! delay per worker — a long scan cannot starve short probes.
+//!
+//! ## Concurrency capping
+//!
+//! A `run_morsels` job with a degree-of-parallelism budget of `max_workers`
+//! announces `max_workers - 1` tickets (the calling thread is the remaining
+//! worker: it claims morsels from the same cursor while it waits). Because a
+//! ticket is requeued only after its morsel completes, at most
+//! `max_workers - 1` pool workers ever run the job simultaneously — a
+//! query's [`ParallelConfig::threads`](crate::ParallelConfig::threads) stays
+//! an upper bound even when the pool is larger.
+//!
+//! ## Deadlock freedom
+//!
+//! The caller of `run_morsels` participates until the morsel cursor is
+//! exhausted, so every job completes even if no pool worker ever picks it
+//! up. Queries submitted as task tickets run `run_morsels` *on* a worker;
+//! the same self-draining argument applies, so nesting jobs inside tasks
+//! cannot deadlock regardless of pool size.
+//!
+//! ## Lifecycle
+//!
+//! [`WorkerPool::global`] lazily initialises the shared process-wide pool;
+//! it grows on demand (up to a small multiple of the host's CPU count) and
+//! lives for the process. Dedicated pools from [`WorkerPool::new`] shut down
+//! gracefully on drop: accepted tickets are drained, then workers exit and
+//! are joined — nothing accepted is abandoned.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased borrow of the caller's morsel runner.
+///
+/// `run_morsels` erases the closure's lifetime so pool workers (which are
+/// `'static`) can call it; the submitting call blocks until every claimed
+/// morsel has finished and no unclaimed morsel remains, so the borrow never
+/// outlives the frame that owns the closure (the hand-rolled equivalent of
+/// `std::thread::scope`'s guarantee).
+type Runner = &'static (dyn Fn(usize) + Sync);
+
+/// One blocking fan-out: `total` morsels handed out by an atomic cursor.
+struct MorselJob {
+    runner: Runner,
+    /// Number of morsels in the job; cursor values `>= total` mean drained.
+    total: usize,
+    /// The shared steal cursor: `fetch_add(1)` claims the next morsel.
+    cursor: AtomicUsize,
+    /// Morsels not yet *completed* (claimed-and-running or unclaimed).
+    pending: AtomicUsize,
+    /// Set when any morsel panicked; the submitting call re-panics.
+    panicked: AtomicBool,
+    /// Completion latch the submitting thread waits on.
+    done: Mutex<bool>,
+    /// Notified when `pending` reaches zero.
+    done_cv: Condvar,
+}
+
+impl MorselJob {
+    /// Claims and runs morsels from the shared cursor until it is drained.
+    /// Returns after running at least zero morsels; panics are recorded on
+    /// the job rather than unwinding through the pool.
+    fn drain(&self) {
+        loop {
+            let m = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if m >= self.total {
+                return;
+            }
+            self.run_one(m);
+        }
+    }
+
+    /// Runs a single claimed morsel and does the completion bookkeeping.
+    fn run_one(&self, m: usize) {
+        // `m < total`, so the submitting `run_morsels` frame is still
+        // blocked in its wait loop (pending > 0 until we decrement below)
+        // and the runner borrow is live.
+        let runner = self.runner;
+        if catch_unwind(AssertUnwindSafe(|| runner(m))).is_err() {
+            self.panicked.store(true, Ordering::Relaxed);
+        }
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            *self.done.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// True while unclaimed morsels remain (used to decide requeueing).
+    fn has_unclaimed(&self) -> bool {
+        self.cursor.load(Ordering::Relaxed) < self.total
+    }
+}
+
+/// A unit of pool work in the shared FIFO.
+enum Ticket {
+    /// Run one morsel of the job, then requeue if morsels remain.
+    Morsel(Arc<MorselJob>),
+    /// Run a detached one-shot job (a submitted query).
+    Task(Box<dyn FnOnce() + Send + 'static>),
+}
+
+/// Queue state behind the pool mutex.
+struct Queue {
+    tickets: VecDeque<Ticket>,
+    /// Workers spawned so far (monotonic until shutdown).
+    workers: usize,
+    /// Set by `Drop`; workers drain the queue, then exit.
+    shutdown: bool,
+}
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    queue: Mutex<Queue>,
+    work: Condvar,
+    /// Detached task tickets accepted and not yet finished (drives growth).
+    detached: AtomicUsize,
+    /// Hard ceiling on worker count.
+    max_workers: usize,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, Queue> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The long-lived worker body: pop front ticket, run it, repeat.
+    /// Tickets left in the queue at shutdown are drained before exiting, so
+    /// a dropped pool never abandons accepted work.
+    fn worker_loop(&self) {
+        loop {
+            let ticket = {
+                let mut q = self.lock();
+                loop {
+                    if let Some(t) = q.tickets.pop_front() {
+                        break t;
+                    }
+                    if q.shutdown {
+                        return;
+                    }
+                    q = self.work.wait(q).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            match ticket {
+                Ticket::Task(task) => {
+                    // A panicking task must not take the worker down; the
+                    // submitter observes the failure through its own
+                    // completion channel (see `Provider::submit`).
+                    let _ = catch_unwind(AssertUnwindSafe(task));
+                    self.detached.fetch_sub(1, Ordering::Relaxed);
+                }
+                Ticket::Morsel(job) => {
+                    let m = job.cursor.fetch_add(1, Ordering::Relaxed);
+                    if m >= job.total {
+                        // Job drained while the ticket was queued: retire it.
+                        continue;
+                    }
+                    job.run_one(m);
+                    // Requeue *after* running (this is what caps a job's
+                    // concurrency at its ticket count) and at the *back*
+                    // (this is what makes scheduling round-robin fair).
+                    if job.has_unclaimed() {
+                        let mut q = self.lock();
+                        q.tickets.push_back(Ticket::Morsel(job));
+                        drop(q);
+                        self.work.notify_one();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A persistent pool of worker threads shared by every parallel code path.
+///
+/// See the [module docs](self) for the scheduling model. Most code never
+/// constructs one: the morsel scheduler and the provider use
+/// [`WorkerPool::global`]. Dedicated pools are for tests and embedders that
+/// need deterministic shutdown.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `workers` threads spawned eagerly.
+    pub fn new(workers: usize) -> WorkerPool {
+        let pool = WorkerPool::with_max(default_max_workers());
+        pool.ensure_workers(workers);
+        pool
+    }
+
+    /// Creates an empty pool with the given worker ceiling.
+    fn with_max(max_workers: usize) -> WorkerPool {
+        WorkerPool {
+            shared: Arc::new(Shared {
+                queue: Mutex::new(Queue {
+                    tickets: VecDeque::new(),
+                    workers: 0,
+                    shutdown: false,
+                }),
+                work: Condvar::new(),
+                detached: AtomicUsize::new(0),
+                max_workers: max_workers.max(1),
+            }),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The lazily-initialised process-wide pool every query shares. It grows
+    /// on demand as parallel jobs and submitted queries arrive and lives for
+    /// the process (its idle workers sleep on a condvar and cost nothing).
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| WorkerPool::with_max(default_max_workers()))
+    }
+
+    /// Grows the pool to at least `n` workers (clamped to the pool ceiling).
+    /// Never shrinks; idle workers persist across queries by design.
+    pub fn ensure_workers(&self, n: usize) {
+        let n = n.min(self.shared.max_workers);
+        // Reserve the new worker slots under the lock, but spawn outside it:
+        // thread creation is slow enough that holding the queue mutex across
+        // it would stall every worker pop and ticket push in the process.
+        let (first, count) = {
+            let mut q = self.shared.lock();
+            if q.shutdown || q.workers >= n {
+                return;
+            }
+            let first = q.workers;
+            q.workers = n;
+            (first, n - first)
+        };
+        let mut spawned = Vec::with_capacity(count);
+        for i in 0..count {
+            let shared = Arc::clone(&self.shared);
+            let name = format!("mrq-worker-{}", first + i + 1);
+            let handle = std::thread::Builder::new()
+                .name(name)
+                .spawn(move || shared.worker_loop())
+                .expect("spawning a pool worker");
+            spawned.push(handle);
+        }
+        self.handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend(spawned);
+    }
+
+    /// Number of workers currently alive.
+    pub fn worker_count(&self) -> usize {
+        self.shared.lock().workers
+    }
+
+    /// Number of tickets waiting in the queue (diagnostics/tests).
+    pub fn queued(&self) -> usize {
+        self.shared.lock().tickets.len()
+    }
+
+    /// Runs `run(m)` once for every `m in 0..total` using at most
+    /// `max_workers` threads (pool workers plus the calling thread), and
+    /// blocks until all of them finished. Morsels are claimed from a shared
+    /// atomic cursor, so idle threads steal whatever remains.
+    ///
+    /// The calling thread always participates, which makes the call complete
+    /// even on an empty or saturated pool. Panics inside `run` are caught on
+    /// the worker, recorded, and re-raised here after the fan-out finishes.
+    pub fn run_morsels(&self, total: usize, max_workers: usize, run: &(dyn Fn(usize) + Sync)) {
+        if total == 0 {
+            return;
+        }
+        if max_workers <= 1 || total == 1 {
+            // Caller-only fast path: no tickets, no latch.
+            for m in 0..total {
+                run(m);
+            }
+            return;
+        }
+        // SAFETY (lifetime erasure): this frame does not return until the
+        // job's completion latch fires, i.e. until every morsel that could
+        // call `run` has finished; see `Runner`.
+        let runner: Runner = unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), Runner>(run) };
+        let job = Arc::new(MorselJob {
+            runner,
+            total,
+            cursor: AtomicUsize::new(0),
+            pending: AtomicUsize::new(total),
+            panicked: AtomicBool::new(false),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        let tickets = (max_workers - 1).min(total);
+        self.ensure_workers(tickets);
+        {
+            let mut q = self.shared.lock();
+            for _ in 0..tickets {
+                q.tickets.push_back(Ticket::Morsel(Arc::clone(&job)));
+            }
+        }
+        self.shared.work.notify_all();
+        // Participate: claim morsels alongside the pool workers.
+        job.drain();
+        // Wait for stragglers (morsels claimed by workers, still running).
+        let mut done = job.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = job.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+        drop(done);
+        if job.panicked.load(Ordering::Relaxed) {
+            panic!("a pool worker panicked while running a morsel");
+        }
+    }
+
+    /// Queues a detached one-shot task (a submitted query). The pool grows
+    /// towards one worker per task in flight (up to its ceiling), so
+    /// concurrent clients get concurrent workers; beyond the ceiling, tasks
+    /// queue and run as workers free up. Panics inside the task are caught
+    /// and dropped — submitters report failures through their own channel.
+    pub fn spawn(&self, task: Box<dyn FnOnce() + Send + 'static>) {
+        let in_flight = self.shared.detached.fetch_add(1, Ordering::Relaxed) + 1;
+        self.ensure_workers(in_flight);
+        {
+            let mut q = self.shared.lock();
+            q.tickets.push_back(Ticket::Task(task));
+        }
+        self.shared.work.notify_one();
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Graceful shutdown: workers drain every accepted ticket, then exit,
+    /// and are joined before `drop` returns — no accepted work is abandoned
+    /// and no thread outlives the pool.
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.lock();
+            q.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap_or_else(|e| e.into_inner()));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Ceiling for pool growth: enough headroom for concurrent clients to
+/// over-subscribe a little, without letting a submission storm spawn
+/// unbounded threads.
+fn default_max_workers() -> usize {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    (cpus * 4).max(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_morsels_runs_every_index_exactly_once() {
+        let pool = WorkerPool::new(3);
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_morsels(100, 4, &|m| {
+            hits[m].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn completes_on_an_empty_pool_via_caller_participation() {
+        let pool = WorkerPool::with_max(4); // zero workers spawned
+        let sum = AtomicUsize::new(0);
+        pool.run_morsels(50, 8, &|m| {
+            sum.fetch_add(m, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (0..50).sum::<usize>());
+        assert_eq!(pool.worker_count(), 4, "grows to its ceiling on demand");
+    }
+
+    #[test]
+    fn morsel_panics_propagate_to_the_submitter() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_morsels(10, 3, &|m| {
+                if m == 4 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool survives: subsequent jobs still run.
+        let hits = AtomicUsize::new(0);
+        pool.run_morsels(8, 3, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn detached_tasks_run_and_growth_follows_in_flight_count() {
+        let pool = WorkerPool::with_max(8);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..5 {
+            let done = Arc::clone(&done);
+            pool.spawn(Box::new(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        // Spin briefly; tasks are tiny.
+        for _ in 0..1000 {
+            if done.load(Ordering::Relaxed) == 5 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(done.load(Ordering::Relaxed), 5);
+        assert!(pool.worker_count() >= 1);
+    }
+
+    #[test]
+    fn drop_drains_accepted_tickets_before_joining() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(1);
+        for _ in 0..20 {
+            let done = Arc::clone(&done);
+            pool.spawn(Box::new(move || {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                done.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        drop(pool); // must block until all 20 accepted tasks ran
+        assert_eq!(done.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn concurrent_jobs_share_the_pool_fairly() {
+        // Two jobs fan out at once from two submitter threads; both must
+        // complete with every morsel run exactly once.
+        let pool = Arc::new(WorkerPool::new(4));
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || {
+                    let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+                    pool.run_morsels(64, 4, &|m| {
+                        hits[m].fetch_add(1, Ordering::Relaxed);
+                    });
+                    assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+                });
+            }
+        });
+    }
+}

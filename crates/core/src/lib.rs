@@ -22,6 +22,20 @@
 //! chosen engine. Execution is deferred: [`Provider::query`] returns a
 //! [`DeferredQuery`] that does no work until its results are consumed.
 //!
+//! # Concurrent serving
+//!
+//! A `Provider` is [`Sync`]: once its sources are bound, any number of
+//! client threads may call [`Provider::execute`] through a shared reference
+//! simultaneously — the compiled-query cache, result-recycling cache and
+//! statistics are interior-mutable behind locks, and all parallel execution
+//! runs on the process-wide persistent worker pool
+//! ([`mrq_common::pool::WorkerPool`]), never on per-query threads. For
+//! fire-and-forget submission, [`Provider::submit`] queues the whole query
+//! onto that pool and returns a [`QueryHandle`] the client can poll or
+//! join; pool scheduling is round-robin at morsel granularity, so a
+//! long-running scan cannot starve short queries submitted after it. See
+//! `docs/CONCURRENCY.md` for the full model.
+//!
 //! [`QuerySpec`]: mrq_codegen::spec::QuerySpec
 
 #![warn(missing_docs)]
@@ -29,6 +43,7 @@
 use mrq_codegen::emit::{emit_source, Backend, CompileCostModel};
 use mrq_codegen::exec::{QueryOutput, TableAccess, ValueTable};
 use mrq_codegen::spec::{lower, Catalog, QuerySpec};
+use mrq_common::pool::WorkerPool;
 use mrq_common::{MrqError, Result, Schema, Value};
 use mrq_engine_csharp::HeapTable;
 use mrq_engine_hybrid::HybridConfig;
@@ -37,7 +52,9 @@ use mrq_expr::optimize::{optimize, OptimizerConfig, Rewrite};
 use mrq_expr::{canonicalize, CanonicalQuery, Expr, QueryCache, SourceId};
 use mrq_mheap::{Heap, ListId};
 use parking_lot::Mutex;
-use std::sync::Arc;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::Duration;
 
 pub mod recycle;
@@ -106,6 +123,50 @@ pub struct Provider<'a> {
     parallel: ParallelConfig,
     results: Mutex<ResultCache>,
     epoch: std::sync::atomic::AtomicU64,
+    /// Submitted queries still running on the pool; `Drop` waits for zero,
+    /// the second line of defence behind `QueryHandle`'s own drop-wait.
+    in_flight: Arc<InFlight>,
+}
+
+/// Counter + latch for submitted queries in flight on the pool.
+struct InFlight {
+    count: StdMutex<usize>,
+    zero: Condvar,
+}
+
+impl InFlight {
+    fn lock(&self) -> std::sync::MutexGuard<'_, usize> {
+        self.count.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn increment(&self) {
+        *self.lock() += 1;
+    }
+
+    fn decrement(&self) {
+        let mut count = self.lock();
+        *count -= 1;
+        if *count == 0 {
+            drop(count);
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait_for_zero(&self) {
+        let mut count = self.lock();
+        while *count > 0 {
+            count = self.zero.wait(count).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl Drop for Provider<'_> {
+    /// Blocks until every submitted query finished, so a provider can never
+    /// be torn down under a pool task that still references it — even if a
+    /// [`QueryHandle`] was leaked without running its own drop-wait.
+    fn drop(&mut self) {
+        self.in_flight.wait_for_zero();
+    }
 }
 
 impl<'a> Provider<'a> {
@@ -121,6 +182,10 @@ impl<'a> Provider<'a> {
             parallel: ParallelConfig::sequential(),
             results: Mutex::new(ResultCache::new()),
             epoch: std::sync::atomic::AtomicU64::new(0),
+            in_flight: Arc::new(InFlight {
+                count: StdMutex::new(0),
+                zero: Condvar::new(),
+            }),
         }
     }
 
@@ -140,6 +205,26 @@ impl<'a> Provider<'a> {
     ///
     /// The default is [`ParallelConfig::sequential`], which matches the
     /// single-threaded seed engines bit-for-bit.
+    ///
+    /// Workers come from the process-wide persistent pool
+    /// ([`mrq_common::pool::WorkerPool::global`]); raising `threads` grows
+    /// the pool on first use rather than spawning threads per query.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mrq_core::{ParallelConfig, Provider};
+    ///
+    /// let mut provider = Provider::new();
+    /// // Default: sequential — bit-identical to the single-threaded seed.
+    /// assert!(provider.parallelism().is_sequential());
+    ///
+    /// // Opt in to 8-way morsel parallelism with 16k-row stolen morsels.
+    /// provider.set_parallelism(
+    ///     ParallelConfig::with_threads(8).with_morsel_rows(16 * 1024),
+    /// );
+    /// assert_eq!(provider.parallelism().threads, 8);
+    /// ```
     pub fn set_parallelism(&mut self, config: ParallelConfig) -> &mut Self {
         self.parallel = config;
         self
@@ -182,10 +267,9 @@ impl<'a> Provider<'a> {
 
     /// Creates a provider over a managed heap.
     pub fn over_heap(heap: &'a Heap) -> Self {
-        Provider {
-            heap: Some(heap),
-            ..Provider::new()
-        }
+        let mut provider = Provider::new();
+        provider.heap = Some(heap);
+        provider
     }
 
     /// Binds a source id to a managed list (the `QList<T>` wrapper of §3).
@@ -297,6 +381,50 @@ impl<'a> Provider<'a> {
     /// Executes a statement immediately with the given strategy. When result
     /// recycling is enabled, a repeated statement with identical parameters
     /// over unchanged collections is served from the result cache.
+    ///
+    /// Takes `&self`, so a shared provider can serve many client threads at
+    /// once; see [`Provider::submit`] for queued (non-blocking) submission.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mrq_common::{DataType, Field, Schema};
+    /// use mrq_core::{Provider, Strategy};
+    /// use mrq_expr::{col, lam, lit, BinaryOp, Expr, Query, SourceId};
+    /// use mrq_mheap::{ClassDesc, Heap};
+    ///
+    /// // An application collection: four Sale objects on the managed heap.
+    /// let schema = Schema::new(
+    ///     "Sale",
+    ///     vec![
+    ///         Field::new("id", DataType::Int64),
+    ///         Field::new("city", DataType::Str),
+    ///     ],
+    /// );
+    /// let mut heap = Heap::new();
+    /// let class = heap.register_class(ClassDesc::from_schema(&schema));
+    /// let list = heap.new_list("sales", Some(class));
+    /// for i in 0..4i64 {
+    ///     let obj = heap.alloc(class);
+    ///     heap.set_i64(obj, 0, i);
+    ///     heap.set_str(obj, 1, if i % 2 == 0 { "London" } else { "Paris" });
+    ///     heap.list_push(list, obj);
+    /// }
+    ///
+    /// // Bind the collection and run a LINQ-style statement compiled to C#.
+    /// let mut provider = Provider::over_heap(&heap);
+    /// provider.bind_managed(SourceId(0), list, schema);
+    /// let stmt = Query::from_source(SourceId(0))
+    ///     .where_(lam(
+    ///         "s",
+    ///         Expr::binary(BinaryOp::Eq, col("s", "city"), lit("London")),
+    ///     ))
+    ///     .select(lam("s", col("s", "id")))
+    ///     .into_expr();
+    /// let out = provider.execute(stmt, Strategy::CompiledCSharp)?;
+    /// assert_eq!(out.rows.len(), 2);
+    /// # Ok::<(), mrq_common::MrqError>(())
+    /// ```
     pub fn execute(&self, expr: Expr, strategy: Strategy) -> Result<QueryOutput> {
         let (canonical, compiled) = self.compile(expr)?;
         if !self.recycling {
@@ -309,6 +437,85 @@ impl<'a> Provider<'a> {
         let output = self.execute_compiled(&compiled.spec, &canonical.params, strategy)?;
         self.results.lock().insert(key, Arc::new(output.clone()));
         Ok(output)
+    }
+
+    /// Queues a statement for execution on the persistent worker pool and
+    /// returns immediately with a [`QueryHandle`] to poll or join.
+    ///
+    /// This is the concurrent-serving front end: any number of client
+    /// threads may `submit` through a shared `&Provider` at once. Each
+    /// submitted query runs as one pool task (growing the pool towards one
+    /// worker per query in flight, up to its ceiling), and its parallel
+    /// morsels are scheduled round-robin against every other query in
+    /// flight — a long scan cannot starve short probes submitted after it.
+    /// Results are identical to calling [`Provider::execute`] with the same
+    /// statement and strategy.
+    ///
+    /// The handle borrows the provider: dropping it without joining blocks
+    /// until the query finished, so in-flight work never outlives the
+    /// provider or its bound collections.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mrq_common::{DataType, Field, Schema, Value};
+    /// use mrq_core::{Provider, Strategy};
+    /// use mrq_engine_native::RowStore;
+    /// use mrq_expr::{col, lam, lit, BinaryOp, Expr, Query, SourceId};
+    ///
+    /// let schema = Schema::new("N", vec![Field::new("n", DataType::Int64)]);
+    /// let rows: Vec<Vec<Value>> = (0..100).map(|i| vec![Value::Int64(i)]).collect();
+    /// let store = RowStore::from_rows(schema, &rows);
+    /// let mut provider = Provider::new();
+    /// provider.bind_native(SourceId(0), &store);
+    /// let stmt = Query::from_source(SourceId(0))
+    ///     .where_(lam("x", Expr::binary(BinaryOp::Lt, col("x", "n"), lit(10i64))))
+    ///     .select(lam("x", col("x", "n")))
+    ///     .into_expr();
+    ///
+    /// // Queue two instances; join them in either order.
+    /// let a = provider.submit(stmt.clone(), Strategy::CompiledNative);
+    /// let b = provider.submit(stmt, Strategy::CompiledNative);
+    /// assert_eq!(b.join()?.rows.len(), 10);
+    /// assert_eq!(a.join()?.rows.len(), 10);
+    /// # Ok::<(), mrq_common::MrqError>(())
+    /// ```
+    pub fn submit(&self, expr: Expr, strategy: Strategy) -> QueryHandle<'_> {
+        let state = Arc::new(QueryState {
+            slot: StdMutex::new(QuerySlot {
+                finished: false,
+                result: None,
+            }),
+            done: Condvar::new(),
+        });
+        let completion = Arc::clone(&state);
+        self.in_flight.increment();
+        let in_flight = Arc::clone(&self.in_flight);
+        let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            // An engine panic must still complete the handle, or a joining
+            // client would hang forever.
+            let result = catch_unwind(AssertUnwindSafe(|| self.execute(expr, strategy)))
+                .unwrap_or_else(|_| {
+                    Err(MrqError::Internal(
+                        "submitted query panicked on a pool worker".into(),
+                    ))
+                });
+            completion.complete(result);
+            in_flight.decrement();
+        });
+        // SAFETY (lifetime erasure): the pool requires a `'static` task, but
+        // this closure borrows `self`. Two waits keep the borrow alive past
+        // every dereference the task makes: `QueryHandle`'s `join`/`Drop`
+        // block until completion, and — if a handle is leaked without its
+        // destructor running (`mem::forget`) — `Provider::drop` itself waits
+        // for the in-flight count to reach zero before the provider (whose
+        // borrowed bindings outlive it) can be torn down.
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+        WorkerPool::global().spawn(task);
+        QueryHandle {
+            state,
+            _provider: PhantomData,
+        }
     }
 
     /// The recycling identity of one statement instance: canonical shape,
@@ -478,6 +685,111 @@ impl DeferredQuery<'_> {
     pub fn statement(&self) -> String {
         self.expr.to_string()
     }
+}
+
+/// Completion channel between a submitted query task and its handle.
+struct QueryState {
+    slot: StdMutex<QuerySlot>,
+    done: Condvar,
+}
+
+struct QuerySlot {
+    /// True once the task finished (stays true after the result is taken).
+    finished: bool,
+    /// The outcome, present from completion until the handle takes it.
+    result: Option<Result<QueryOutput>>,
+}
+
+impl QueryState {
+    fn lock(&self) -> std::sync::MutexGuard<'_, QuerySlot> {
+        self.slot.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn complete(&self, result: Result<QueryOutput>) {
+        let mut slot = self.lock();
+        slot.result = Some(result);
+        slot.finished = true;
+        drop(slot);
+        self.done.notify_all();
+    }
+
+    /// Blocks until the task finished, then takes the result.
+    fn wait_take(&self) -> Result<QueryOutput> {
+        let mut slot = self.lock();
+        while !slot.finished {
+            slot = self.done.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+        slot.result
+            .take()
+            .expect("a query result is joined at most once")
+    }
+
+    /// Blocks until the task finished without consuming the result.
+    fn wait_finished(&self) {
+        let mut slot = self.lock();
+        while !slot.finished {
+            slot = self.done.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// A query queued on the worker pool by [`Provider::submit`].
+///
+/// The handle borrows the provider for as long as it lives, which is what
+/// lets the queued task safely reference the provider and its bound
+/// collections from a pool worker. Joining consumes the handle; dropping it
+/// without joining blocks until the query finished (the result is then
+/// discarded), mirroring `std::thread::scope`'s completion guarantee. Even
+/// a handle leaked with `mem::forget` cannot outrun the provider: the
+/// provider's own `Drop` waits for every submitted query before returning.
+pub struct QueryHandle<'p> {
+    state: Arc<QueryState>,
+    _provider: PhantomData<&'p ()>,
+}
+
+impl<'p> QueryHandle<'p> {
+    /// True once the query finished (successfully or not). Non-blocking.
+    pub fn is_finished(&self) -> bool {
+        self.state.lock().finished
+    }
+
+    /// Blocks until the query finished and returns its result.
+    pub fn join(self) -> Result<QueryOutput> {
+        let result = self.state.wait_take();
+        // Drop would only re-check the (already fired) completion latch.
+        std::mem::forget(self);
+        result
+    }
+
+    /// Polls for completion: returns the result if the query finished, or
+    /// hands the handle back to try again later. Never blocks.
+    #[allow(clippy::result_large_err)]
+    pub fn try_join(self) -> std::result::Result<Result<QueryOutput>, QueryHandle<'p>> {
+        if self.is_finished() {
+            Ok(self.join())
+        } else {
+            Err(self)
+        }
+    }
+}
+
+impl Drop for QueryHandle<'_> {
+    /// Waits for the in-flight query, so abandoning a handle can never leave
+    /// a pool task referencing a dead provider.
+    fn drop(&mut self) {
+        self.state.wait_finished();
+    }
+}
+
+/// `Provider` must stay shareable across client threads (the concurrent
+/// serving front end depends on it); this fails to compile if a field ever
+/// loses `Sync`.
+#[allow(dead_code)]
+fn _assert_provider_is_sync() {
+    fn is_sync<T: Sync>() {}
+    is_sync::<Provider<'static>>();
+    fn is_send<T: Send>() {}
+    is_send::<QueryHandle<'static>>();
 }
 
 #[cfg(test)]
@@ -778,6 +1090,100 @@ mod tests {
             parallel.execute(statement("London"), strategy).unwrap(),
             reference
         );
+    }
+
+    #[test]
+    fn submitted_queries_join_with_execute_identical_results() {
+        let (heap, list) = heap_with_data();
+        let mut provider = Provider::over_heap(&heap);
+        provider.bind_managed(SourceId(0), list, schema());
+        let reference = provider
+            .execute(statement("London"), Strategy::CompiledCSharp)
+            .unwrap();
+        let handle = provider.submit(statement("London"), Strategy::CompiledCSharp);
+        assert_eq!(handle.join().unwrap(), reference);
+        // Polling: try_join either completes or hands the handle back.
+        let mut pending = provider.submit(statement("Paris"), Strategy::CompiledCSharp);
+        let out = loop {
+            match pending.try_join() {
+                Ok(result) => break result.unwrap(),
+                Err(handle) => {
+                    pending = handle;
+                    std::thread::yield_now();
+                }
+            }
+        };
+        assert_eq!(out.rows.len(), 25);
+    }
+
+    #[test]
+    fn submitted_query_errors_surface_on_join() {
+        let (heap, list) = heap_with_data();
+        let mut provider = Provider::over_heap(&heap);
+        provider.bind_managed(SourceId(0), list, schema());
+        // Native strategy over a managed binding is an error; it must travel
+        // through the pool to the joining client, not panic a worker.
+        let handle = provider.submit(statement("London"), Strategy::CompiledNative);
+        assert!(matches!(
+            handle.join().unwrap_err(),
+            MrqError::Unsupported(_)
+        ));
+    }
+
+    #[test]
+    fn provider_drop_waits_for_leaked_handles() {
+        let (heap, list) = heap_with_data();
+        let mut provider = Provider::over_heap(&heap);
+        provider.bind_managed(SourceId(0), list, schema());
+        // Leak the handle: its drop-wait never runs, so the only thing
+        // keeping the pool task from outliving the provider is the
+        // provider's own in-flight wait on drop.
+        std::mem::forget(provider.submit(statement("London"), Strategy::CompiledCSharp));
+        drop(provider); // must block until the leaked query finished
+    }
+
+    #[test]
+    fn dropped_handles_complete_before_the_provider_unbinds() {
+        let (heap, list) = heap_with_data();
+        let mut provider = Provider::over_heap(&heap);
+        provider.bind_managed(SourceId(0), list, schema());
+        for _ in 0..4 {
+            // Dropping without joining blocks until done; the provider (and
+            // heap) must outlive the in-flight query, which this exercises
+            // under miri-visible rules by dropping immediately.
+            let _ = provider.submit(statement("London"), Strategy::CompiledCSharp);
+        }
+        let stats = provider.stats();
+        assert_eq!(stats.cache_misses, 1, "pattern compiled once, then cached");
+    }
+
+    #[test]
+    fn a_shared_provider_serves_concurrent_clients() {
+        let (heap, list) = heap_with_data();
+        let mut provider = Provider::over_heap(&heap);
+        provider.bind_managed(SourceId(0), list, schema());
+        provider.set_parallelism(ParallelConfig {
+            threads: 2,
+            min_rows_per_thread: 8,
+            ..ParallelConfig::default()
+        });
+        let reference = provider
+            .execute(statement("London"), Strategy::CompiledCSharp)
+            .unwrap();
+        let provider = &provider;
+        let reference = &reference;
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(move || {
+                    for _ in 0..4 {
+                        let out = provider
+                            .execute(statement("London"), Strategy::CompiledCSharp)
+                            .unwrap();
+                        assert_eq!(&out, reference);
+                    }
+                });
+            }
+        });
     }
 
     #[test]

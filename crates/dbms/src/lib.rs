@@ -18,6 +18,8 @@
 //! Both engines implement TPC-H Q1 and Q3 (the paper could not run Q2 in
 //! Hekaton's native mode either and reports a dash; we do the same).
 
+#![warn(missing_docs)]
+
 use mrq_common::{Date, Decimal, Value};
 
 /// A typed column.
@@ -32,7 +34,12 @@ pub enum Column {
     /// Dates.
     Date(Vec<Date>),
     /// Dictionary-encoded strings: codes plus dictionary.
-    Str { codes: Vec<u32>, dict: Vec<String> },
+    Str {
+        /// Per-row index into `dict` (first-seen assignment order).
+        codes: Vec<u32>,
+        /// The distinct string values, indexed by code.
+        dict: Vec<String>,
+    },
 }
 
 impl Column {

@@ -14,6 +14,8 @@
 //! string objects), which is what separates this strategy from the native
 //! one, but control flow is fused exactly like the generated C# of the paper.
 
+#![warn(missing_docs)]
+
 use mrq_codegen::exec::{consume_partitioned, execute_once, ExecState, QueryOutput, TableAccess};
 use mrq_codegen::spec::QuerySpec;
 use mrq_common::trace::{AccessKind, MemTracer};
@@ -227,7 +229,9 @@ pub fn execute(
 }
 
 /// Executes a fused query spec over managed tables with `config.threads`
-/// morsel workers: the generated-C#-style loop runs unchanged per worker
+/// morsel workers from the persistent pool
+/// ([`mrq_common::pool::WorkerPool`]; nothing is spawned per query): the
+/// generated-C#-style loop runs unchanged per worker
 /// over morsels of the probe-side object list (stolen from a shared cursor
 /// or statically partitioned, per [`ParallelConfig::stealing`]), and the
 /// partial states (group hash tables, aggregates, top-N buffers, plain

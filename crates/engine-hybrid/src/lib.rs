@@ -497,7 +497,8 @@ pub fn execute(
         // Morsel-parallel staging: every worker filters its morsel of the
         // managed collection into a thread-local staging shard (row-wise or
         // columnar) and immediately consumes it with a forked native state.
-        // Morsels come from the shared work-stealing cursor (or one static
+        // Workers come from the persistent pool; morsels come from the
+        // shared work-stealing cursor (or one static
         // range per worker when stealing is off); join hash tables were
         // built once above and are shared behind an `Arc`. Partial states
         // merge in morsel order, so result row order matches the sequential

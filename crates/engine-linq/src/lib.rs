@@ -17,6 +17,8 @@
 //! The compiled strategies (the other engine crates) remove exactly these
 //! overheads, which is what the paper's figures measure.
 
+#![warn(missing_docs)]
+
 use mrq_codegen::exec::{QueryOutput, TableAccess};
 use mrq_codegen::spec::{AggSpec, OutputExpr, QuerySpec, ScalarExpr, StrOp};
 use mrq_common::hash::FxHashMap;

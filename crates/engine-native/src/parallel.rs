@@ -4,11 +4,13 @@
 //! notes that its database-centric plan shape makes existing parallelisation
 //! strategies directly applicable. This module provides that extension for
 //! the native strategy: the probe-side scan is range-partitioned across
-//! worker threads by the shared morsel scheduler ([`mrq_common::morsel`]),
-//! each worker runs the same fused pipeline over its partition, and the
-//! partial states (group hash tables, aggregate states, top-N buffers or
-//! plain result rows) are merged at the end. The same scheduler drives the
-//! compiled-C# and hybrid engines' parallel paths.
+//! workers of the persistent pool by the shared morsel scheduler
+//! ([`mrq_common::morsel`] over [`mrq_common::pool::WorkerPool`] — no
+//! thread is spawned per query), each worker runs the same fused pipeline
+//! over its partition, and the partial states (group hash tables, aggregate
+//! states, top-N buffers or plain result rows) are merged at the end. The
+//! same scheduler drives the compiled-C# and hybrid engines' parallel
+//! paths.
 //!
 //! Joins build their hash tables per worker unless a [`HashIndex`] is
 //! supplied for the build side, in which case all workers share the

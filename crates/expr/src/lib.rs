@@ -18,6 +18,8 @@
 //! contains constant folding and parameter extraction, and [`cache`] holds
 //! the compiled-query cache.
 
+#![warn(missing_docs)]
+
 pub mod builder;
 pub mod cache;
 pub mod canonical;

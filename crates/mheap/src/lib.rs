@@ -25,6 +25,8 @@
 //! simulator can observe the scattered access patterns managed objects
 //! produce.
 
+#![warn(missing_docs)]
+
 mod class;
 mod heap;
 mod list;

@@ -86,101 +86,162 @@ pub const CONTAINERS: [&str; 8] = [
 /// One `lineitem` row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Lineitem {
+    /// Foreign key to the owning [`Order`].
     pub l_orderkey: i64,
+    /// Foreign key to the [`Part`].
     pub l_partkey: i64,
+    /// Foreign key to the [`Supplier`].
     pub l_suppkey: i64,
+    /// Line number within the order.
     pub l_linenumber: i32,
+    /// Quantity ordered.
     pub l_quantity: Decimal,
+    /// Extended price (quantity x part retail price).
     pub l_extendedprice: Decimal,
+    /// Discount fraction.
     pub l_discount: Decimal,
+    /// Tax fraction.
     pub l_tax: Decimal,
+    /// Return flag (`R`, `A` or `N`; the Q1 group key).
     pub l_returnflag: String,
+    /// Line status (`O` or `F`; the Q1 group key).
     pub l_linestatus: String,
+    /// Ship date (the Q1/Q3 filter column).
     pub l_shipdate: Date,
+    /// Committed delivery date.
     pub l_commitdate: Date,
+    /// Receipt date.
     pub l_receiptdate: Date,
+    /// Shipping instructions.
     pub l_shipinstruct: String,
+    /// Shipping mode.
     pub l_shipmode: String,
+    /// Filler comment text.
     pub l_comment: String,
 }
 
 /// One `orders` row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Order {
+    /// Primary key.
     pub o_orderkey: i64,
+    /// Foreign key to the [`Customer`].
     pub o_custkey: i64,
+    /// Order status (`O`, `F` or `P`).
     pub o_orderstatus: String,
+    /// Total order price.
     pub o_totalprice: Decimal,
+    /// Order date (the Q3 filter column).
     pub o_orderdate: Date,
+    /// Priority bucket.
     pub o_orderpriority: String,
+    /// Clerk identifier.
     pub o_clerk: String,
+    /// Ship priority (a Q3 output column).
     pub o_shippriority: i32,
+    /// Filler comment text.
     pub o_comment: String,
 }
 
 /// One `customer` row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Customer {
+    /// Primary key.
     pub c_custkey: i64,
+    /// Customer name.
     pub c_name: String,
+    /// Street address.
     pub c_address: String,
+    /// Foreign key to the [`Nation`].
     pub c_nationkey: i32,
+    /// Phone number.
     pub c_phone: String,
+    /// Account balance.
     pub c_acctbal: Decimal,
+    /// Market segment (the Q3 filter column).
     pub c_mktsegment: String,
+    /// Filler comment text.
     pub c_comment: String,
 }
 
 /// One `part` row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Part {
+    /// Primary key.
     pub p_partkey: i64,
+    /// Part name.
     pub p_name: String,
+    /// Manufacturer.
     pub p_mfgr: String,
+    /// Brand.
     pub p_brand: String,
+    /// Type string (the Q2 filter column).
     pub p_type: String,
+    /// Size (the Q2 filter column).
     pub p_size: i32,
+    /// Container kind.
     pub p_container: String,
+    /// Retail price.
     pub p_retailprice: Decimal,
+    /// Filler comment text.
     pub p_comment: String,
 }
 
 /// One `supplier` row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Supplier {
+    /// Primary key.
     pub s_suppkey: i64,
+    /// Supplier name.
     pub s_name: String,
+    /// Street address.
     pub s_address: String,
+    /// Foreign key to the [`Nation`].
     pub s_nationkey: i32,
+    /// Phone number.
     pub s_phone: String,
+    /// Account balance (a Q2 output column).
     pub s_acctbal: Decimal,
+    /// Filler comment text.
     pub s_comment: String,
 }
 
 /// One `partsupp` row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Partsupp {
+    /// Composite key: the part.
     pub ps_partkey: i64,
+    /// Composite key: the supplier.
     pub ps_suppkey: i64,
+    /// Available quantity.
     pub ps_availqty: i32,
+    /// Supply cost (Q2 minimises this).
     pub ps_supplycost: Decimal,
+    /// Filler comment text.
     pub ps_comment: String,
 }
 
 /// One `nation` row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Nation {
+    /// Primary key.
     pub n_nationkey: i32,
+    /// Nation name.
     pub n_name: String,
+    /// Foreign key to the [`Region`].
     pub n_regionkey: i32,
+    /// Filler comment text.
     pub n_comment: String,
 }
 
 /// One `region` row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Region {
+    /// Primary key.
     pub r_regionkey: i32,
+    /// Region name.
     pub r_name: String,
+    /// Filler comment text.
     pub r_comment: String,
 }
 
@@ -217,13 +278,21 @@ impl GenConfig {
 /// A fully generated dataset.
 #[derive(Debug, Clone, Default)]
 pub struct TpchData {
+    /// Rows of the `lineitem` table.
     pub lineitem: Vec<Lineitem>,
+    /// Rows of the `orders` table.
     pub orders: Vec<Order>,
+    /// Rows of the `customer` table.
     pub customer: Vec<Customer>,
+    /// Rows of the `part` table.
     pub part: Vec<Part>,
+    /// Rows of the `supplier` table.
     pub supplier: Vec<Supplier>,
+    /// Rows of the `partsupp` table.
     pub partsupp: Vec<Partsupp>,
+    /// Rows of the `nation` table.
     pub nation: Vec<Nation>,
+    /// Rows of the `region` table.
     pub region: Vec<Region>,
 }
 

@@ -20,6 +20,8 @@
 //!
 //! [`Schema`]: mrq_common::Schema
 
+#![warn(missing_docs)]
+
 pub mod gen;
 pub mod load;
 pub mod queries;

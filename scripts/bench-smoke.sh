@@ -7,11 +7,14 @@
 #     least MIN_SPEEDUP x faster than at 1 thread (scan gate), and
 #   * the fig11 join over the native row store at 8 threads — including the
 #     parallel partitioned hash build — must be at least MIN_SPEEDUP x
-#     faster than at 1 thread (join gate).
+#     faster than at 1 thread (join gate), and
+#   * 8 concurrent clients submitting through one shared Provider on the
+#     persistent worker pool must sustain at least MIN_SPEEDUP x the
+#     queries/sec of a single client (concurrent-serving gate).
 #
 # Usage: scripts/bench-smoke.sh [bench-filter]
 # Env:   MRQ_SF           scale factor for the bench workload (default 0.002)
-#        MIN_SPEEDUP      enforced 8-thread speedup (default 2.0)
+#        MIN_SPEEDUP      enforced 8-thread/8-client speedup (default 2.0)
 #        ENFORCE_SPEEDUP  1 = always enforce, 0 = never, unset = auto
 #                         (enforce only when >= 8 CPUs are available)
 set -euo pipefail
@@ -20,13 +23,17 @@ cd "$(dirname "$0")/.."
 FILTER="${1:-}"
 OUT="$(mktemp)"
 JOIN_OUT="$(mktemp)"
-trap 'rm -f "$OUT" "$JOIN_OUT"' EXIT
+SERVE_OUT="$(mktemp)"
+trap 'rm -f "$OUT" "$JOIN_OUT" "$SERVE_OUT"' EXIT
 
 echo "== bench-smoke: ablation_parallel (one pass) =="
 cargo bench -q -p mrq-bench --bench ablation_parallel -- ${FILTER:+"$FILTER"} | tee "$OUT"
 
 echo "== bench-smoke: fig11_join (one pass) =="
 cargo bench -q -p mrq-bench --bench fig11_join -- ${FILTER:+"$FILTER"} | tee "$JOIN_OUT"
+
+echo "== bench-smoke: concurrent_serving (one pass) =="
+cargo bench -q -p mrq-bench --bench concurrent_serving -- ${FILTER:+"$FILTER"} | tee "$SERVE_OUT"
 
 # Every benchmark line must have produced a time — a bench that silently
 # stopped reporting is bitrot even when it exits 0.
@@ -40,13 +47,34 @@ if [ "$JOIN_LINES" -lt 4 ]; then
     echo "bench-smoke: FAIL — expected >=4 join bench reports, got $JOIN_LINES" >&2
     exit 1
 fi
-echo "bench-smoke: $LINES + $JOIN_LINES benchmark points reported"
+SERVE_LINES=$(grep -c "time:" "$SERVE_OUT" || true)
+if [ "$SERVE_LINES" -lt 3 ]; then
+    echo "bench-smoke: FAIL — expected >=3 concurrent-serving reports, got $SERVE_LINES" >&2
+    exit 1
+fi
+echo "bench-smoke: $LINES + $JOIN_LINES + $SERVE_LINES benchmark points reported"
 
 # Speedup enforcement (à la tonic's bench-enforce): compare the min time of
 # a 1-thread point against its 8-thread point (the shim prints
 # "time: [min mean max]"; the min is extracted by stripping up to the "["
 # rather than by field position, so a wide number fusing with the bracket
-# cannot break the parse).
+# cannot break the parse). The unit token after the min is normalised to
+# milliseconds — the shim always prints ms, but real criterion scales its
+# units, and comparing a "900 us" point against a "7.2 ms" one raw would
+# corrupt the ratio by 1000x.
+
+# min_ms <file> <pattern> — min time of the matching point, in ms.
+min_ms() {
+    awk -v p="$2" '$0 ~ p && /time:/ {
+        sub(/.*time:[[:space:]]*\[[[:space:]]*/, "");
+        t = $1; u = $2;
+        if (u == "ns") t /= 1e6;
+        else if (u == "us" || u == "µs") t /= 1e3;
+        else if (u == "s")  t *= 1e3;
+        # "ms" (the shim) passes through
+        printf "%.6f", t; exit
+    }' "$1"
+}
 CPUS=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 ENFORCE="${ENFORCE_SPEEDUP:-auto}"
 if [ "$ENFORCE" = "auto" ]; then
@@ -58,8 +86,8 @@ MIN="${MIN_SPEEDUP:-2.0}"
 gate() {
     local file="$1" one="$2" eight="$3" label="$4"
     local t1 t8 speedup pass
-    t1=$(awk -v p="$one" '$0 ~ p && /time:/ { sub(/.*time:[[:space:]]*\[[[:space:]]*/, ""); print $1; exit }' "$file")
-    t8=$(awk -v p="$eight" '$0 ~ p && /time:/ { sub(/.*time:[[:space:]]*\[[[:space:]]*/, ""); print $1; exit }' "$file")
+    t1=$(min_ms "$file" "$one")
+    t8=$(min_ms "$file" "$eight")
     if [ -z "${t1:-}" ] || [ -z "${t8:-}" ]; then
         echo "bench-smoke: FAIL — $label 1/8-thread points missing from output" >&2
         exit 1
@@ -82,5 +110,34 @@ gate "$OUT" "ablation_parallel_q1_hybrid_full/1_threads" \
     "ablation_parallel_q1_hybrid_full/8_threads" "hybrid full Q1 (scan)"
 gate "$JOIN_OUT" "fig11_join_parallel/native_1_threads" \
     "fig11_join_parallel/native_8_threads" "native fig11 join (incl. build)"
+
+# Concurrent-serving throughput gate. Each N_clients point runs a fixed
+# per-client batch, so a point's wall time covers N x batch queries:
+# qps(N) = N * batch / t_N, and qps(8) >= MIN x qps(1) iff 8*t1/t8 >= MIN.
+gate_throughput() {
+    local file="$1" one="$2" eight="$3" label="$4"
+    local t1 t8 ratio pass
+    t1=$(min_ms "$file" "$one")
+    t8=$(min_ms "$file" "$eight")
+    if [ -z "${t1:-}" ] || [ -z "${t8:-}" ]; then
+        echo "bench-smoke: FAIL — $label 1/8-client points missing from output" >&2
+        exit 1
+    fi
+    ratio=$(awk -v a="$t1" -v b="$t8" 'BEGIN { printf "%.2f", 8 * a / b }')
+    echo "bench-smoke: $label throughput at 8 clients: ${ratio}x a single client (host has $CPUS CPUs)"
+    if [ "$ENFORCE" = "1" ]; then
+        pass=$(awk -v s="$ratio" -v m="$MIN" 'BEGIN { print (s >= m) ? 1 : 0 }')
+        if [ "$pass" != "1" ]; then
+            echo "bench-smoke: FAIL — $label throughput ${ratio}x below required ${MIN}x" >&2
+            exit 1
+        fi
+        echo "bench-smoke: $label throughput gate (>= ${MIN}x) passed"
+    else
+        echo "bench-smoke: $label throughput gate skipped ($CPUS CPUs cannot express 8-client scaling)"
+    fi
+}
+
+gate_throughput "$SERVE_OUT" "concurrent_serving_q1/1_clients" \
+    "concurrent_serving_q1/8_clients" "shared-provider serving"
 
 echo "bench-smoke: OK"

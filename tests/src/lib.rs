@@ -1,5 +1,7 @@
 //! Shared helpers for the workspace-level integration tests.
 
+#![warn(missing_docs)]
+
 use mrq_tpch::gen::{GenConfig, TpchData};
 
 /// A small deterministic dataset shared by the integration tests.
