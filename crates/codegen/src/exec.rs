@@ -1353,6 +1353,10 @@ impl<'a, T: TableAccess + Sync> ExecState<'a, T> {
     ) -> Result<Self> {
         let mut state = Self::new_unbuilt(spec, params, builds, slot_schemas, indexes)?;
         for (j, slot_index) in indexes.iter().enumerate() {
+            // Lifecycle control: a cancelled/expired query abandons the
+            // remaining join builds here, between one build's shards and
+            // the next's.
+            mrq_common::cancel::checkpoint();
             if let Some(index) = slot_index {
                 Self::check_index_applicable(&spec.joins[j])?;
                 state.join_tables.push(JoinTable::Indexed(index));
@@ -1492,6 +1496,10 @@ pub fn consume_partitioned<'a, T: TableAccess + Sync>(
     root: &T,
     config: ParallelConfig,
 ) -> QueryOutput {
+    // Lifecycle control: last cancellation point between the join builds
+    // and the probe scan (the scan itself then checks between morsels; the
+    // single-range path below runs uninterrupted — documented granularity).
+    mrq_common::cancel::checkpoint();
     let (ranges, stealing) = morsel::plan(root.len(), config);
     if ranges.len() <= 1 {
         base.consume(root);

@@ -26,6 +26,15 @@ pub enum MrqError {
     Codegen(String),
     /// The managed heap ran out of space or an invalid handle was used.
     Heap(String),
+    /// The query was cancelled through its handle before it completed
+    /// (cooperative: the flag is observed between morsels, so a claimed
+    /// morsel always finishes first).
+    Cancelled,
+    /// The query's deadline passed before it completed. Deadlines are
+    /// observed lazily at the same morsel boundaries as cancellation; an
+    /// already-expired deadline resolves at dispatch, before any morsel
+    /// runs.
+    DeadlineExceeded,
     /// Anything else.
     Internal(String),
 }
@@ -40,6 +49,8 @@ impl fmt::Display for MrqError {
             MrqError::Unsupported(what) => write!(f, "unsupported query shape: {what}"),
             MrqError::Codegen(what) => write!(f, "code generation failed: {what}"),
             MrqError::Heap(what) => write!(f, "managed heap error: {what}"),
+            MrqError::Cancelled => write!(f, "query cancelled"),
+            MrqError::DeadlineExceeded => write!(f, "query deadline exceeded"),
             MrqError::Internal(what) => write!(f, "internal error: {what}"),
         }
     }

@@ -13,12 +13,16 @@
 //!   partitioning, work-stealing morsel fan-out) and the persistent
 //!   [`pool::WorkerPool`] it runs on, shared by every parallel execution
 //!   path and by concurrent query submission,
+//! * the query-lifecycle controls layered on both: cooperative [`cancel`]
+//!   tokens with lazy deadlines, and [`qos`] classes scheduled by weighted
+//!   deficit round-robin over per-class ticket queues,
 //! * the [`profile::CostBreakdown`] phase timer used to reproduce the paper's
 //!   cost-breakdown figures (Figures 8, 10 and 12), and
 //! * small utilities (a fast integer hasher, error types).
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod date;
 pub mod decimal;
 pub mod error;
@@ -26,6 +30,7 @@ pub mod hash;
 pub mod morsel;
 pub mod pool;
 pub mod profile;
+pub mod qos;
 pub mod schema;
 pub mod trace;
 pub mod value;
@@ -34,5 +39,6 @@ pub use date::Date;
 pub use decimal::Decimal;
 pub use error::{MrqError, Result};
 pub use morsel::ParallelConfig;
+pub use qos::{QosClass, QosWeights};
 pub use schema::{Field, Schema};
 pub use value::{DataType, Value};

@@ -119,6 +119,44 @@ impl ParallelConfig {
         self
     }
 
+    /// The default configuration with scheduler knobs overridden from the
+    /// environment: `MRQ_THREADS` (worker count), `MRQ_STEALING`
+    /// (`0`/`false`/`off` disables the shared-cursor dispatch) and
+    /// `MRQ_MORSEL_ROWS` (rows per stolen morsel). Unset or unparsable
+    /// variables leave the default untouched.
+    ///
+    /// This is how the CI matrix drives the parallel paths: the test jobs
+    /// export `MRQ_THREADS` × `MRQ_STEALING` and the suites build their
+    /// configs through `from_env`, so every scheduler shape is exercised on
+    /// every push rather than only where a test hardcodes it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mrq_common::ParallelConfig;
+    ///
+    /// // With no MRQ_* variables set this is ParallelConfig::default().
+    /// let config = ParallelConfig::from_env();
+    /// assert!(config.threads >= 1);
+    /// assert!(config.morsel_rows >= 1);
+    /// ```
+    pub fn from_env() -> Self {
+        fn parsed(name: &str) -> Option<usize> {
+            std::env::var(name).ok()?.trim().parse().ok()
+        }
+        let mut config = ParallelConfig::default();
+        if let Some(threads) = parsed("MRQ_THREADS") {
+            config.threads = threads.max(1);
+        }
+        if let Ok(value) = std::env::var("MRQ_STEALING") {
+            config.stealing = !matches!(value.trim(), "0" | "false" | "off");
+        }
+        if let Some(rows) = parsed("MRQ_MORSEL_ROWS") {
+            config.morsel_rows = rows.max(1);
+        }
+        config
+    }
+
     /// True if this configuration never spawns workers.
     pub fn is_sequential(&self) -> bool {
         self.threads <= 1
@@ -230,13 +268,25 @@ where
     T: Send,
     F: Fn(usize, Range<usize>) -> T + Sync,
 {
+    // Lifecycle control ([`crate::cancel`]): a query submitted with a
+    // cancel token/deadline installs a scope on the thread driving it; the
+    // fan-out inherits the token (workers then check it between morsels)
+    // and the query's QoS class (its tickets queue under that class).
     if ranges.len() <= 1 || max_workers <= 1 {
         return ranges
             .iter()
             .enumerate()
-            .map(|(i, r)| worker(i, r.clone()))
+            .map(|(i, r)| {
+                crate::cancel::checkpoint();
+                worker(i, r.clone())
+            })
             .collect();
     }
+    let control = crate::cancel::current();
+    let (class, token) = match &control {
+        Some(control) => (control.class, Some(std::sync::Arc::clone(&control.token))),
+        None => (crate::qos::QosClass::default(), None),
+    };
     // One slot per morsel: each index is handed out exactly once by the
     // pool's cursor, so every lock below is uncontended (noise next to a
     // multi-thousand-row morsel) and the completion latch inside
@@ -245,10 +295,20 @@ where
     // not be `Sync`).
     let slots: Vec<std::sync::Mutex<Option<T>>> =
         ranges.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    crate::pool::WorkerPool::global().run_morsels(ranges.len(), max_workers, &|m| {
-        let partial = worker(m, ranges[m].clone());
-        *slots[m].lock().unwrap_or_else(|e| e.into_inner()) = Some(partial);
-    });
+    crate::pool::WorkerPool::global().run_morsels_as(
+        ranges.len(),
+        max_workers,
+        class,
+        token,
+        &|m| {
+            let partial = worker(m, ranges[m].clone());
+            *slots[m].lock().unwrap_or_else(|e| e.into_inner()) = Some(partial);
+        },
+    );
+    // An abandoned fan-out (cancelled or past deadline) leaves empty slots;
+    // unwind with the reason before the gather can observe them. The
+    // serving layer catches this at the query boundary.
+    crate::cancel::checkpoint();
     slots
         .into_iter()
         .map(|slot| {
@@ -493,6 +553,51 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn from_env_overrides_threads_stealing_and_morsel_rows() {
+        // Narrow env-mutation window; no other test in this crate touches
+        // MRQ_* variables.
+        std::env::set_var("MRQ_THREADS", "3");
+        std::env::set_var("MRQ_STEALING", "0");
+        std::env::set_var("MRQ_MORSEL_ROWS", "1234");
+        let config = ParallelConfig::from_env();
+        std::env::remove_var("MRQ_THREADS");
+        std::env::remove_var("MRQ_STEALING");
+        std::env::remove_var("MRQ_MORSEL_ROWS");
+        assert_eq!(config.threads, 3);
+        assert!(!config.stealing);
+        assert_eq!(config.morsel_rows, 1234);
+        // Unset variables leave the defaults in place.
+        let default = ParallelConfig::from_env();
+        assert_eq!(default.stealing, ParallelConfig::default().stealing);
+        assert_eq!(default.morsel_rows, ParallelConfig::default().morsel_rows);
+    }
+
+    #[test]
+    fn dispatch_under_a_tripped_scope_unwinds_with_the_reason() {
+        use crate::cancel::{self, CancelReason, CancelToken, JobControl};
+        let token = std::sync::Arc::new(CancelToken::new());
+        token.cancel();
+        let control = JobControl {
+            token,
+            class: crate::qos::QosClass::Interactive,
+        };
+        let hits = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cancel::scope(control, || {
+                dispatch(10_000, config(4, 1).with_morsel_rows(64), |_, _| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+        }));
+        let payload = result.expect_err("tripped dispatch must unwind");
+        assert_eq!(
+            *payload.downcast::<CancelReason>().expect("reason payload"),
+            CancelReason::Cancelled
+        );
+        assert_eq!(hits.load(Ordering::Relaxed), 0, "no morsel ran");
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //!
 //! # Architecture
 //!
-//! A [`WorkerPool`] owns a set of OS threads and one shared FIFO of
-//! *tickets*. A ticket is either
+//! A [`WorkerPool`] owns a set of OS threads and one ticket queue per
+//! [`QosClass`], scheduled by weighted deficit round-robin
+//! ([`crate::qos::ClassQueues`]). A ticket is either
 //!
 //! * a **morsel ticket** — permission to run *one* morsel of a blocking
 //!   [`WorkerPool::run_morsels`] call (the unit every engine's scan, build
@@ -20,12 +21,28 @@
 //!
 //! ## Fairness
 //!
-//! Workers always pop the *front* ticket and, after finishing a morsel,
-//! requeue its job's ticket at the *back*. Scheduling therefore round-robins
-//! between every job in flight at morsel granularity: a long scan holds at
-//! most as many workers as it has live tickets, and a short probe that
-//! arrives later gets its first worker after at most one morsel's worth of
-//! delay per worker — a long scan cannot starve short probes.
+//! Across classes, grants follow the weighted deficit round-robin of
+//! [`crate::qos`]: with the default 4:1 weights, Interactive tickets
+//! receive four grants for every Batch grant whenever both classes are
+//! backlogged, and a newly arrived Interactive ticket waits for at most the
+//! Batch class's remaining credit (one grant) before dispatching. Within a
+//! class, workers always pop the *front* ticket and, after finishing a
+//! morsel, requeue its job's ticket at the *back* of its class. Scheduling
+//! therefore round-robins between every job of a class at morsel
+//! granularity: a long scan holds at most as many workers as it has live
+//! tickets, and a short probe that arrives later gets its first worker
+//! after at most one morsel's worth of delay per worker — a long scan
+//! cannot starve short probes.
+//!
+//! ## Cancellation
+//!
+//! A job may carry a [`CancelToken`] (see [`crate::cancel`]). Every morsel
+//! claim checks it: once the token trips — explicit cancel or a lapsed
+//! deadline — remaining morsels are claimed and retired *without running*,
+//! so workers abandon the job within one in-progress morsel and the queue
+//! drains at memory speed. The blocking submitter still waits for the
+//! completion latch (claimed morsels finish; skipped ones just decrement
+//! it), which keeps the lifetime-erasure safety argument unchanged.
 //!
 //! ## Concurrency capping
 //!
@@ -53,11 +70,13 @@
 //! gracefully on drop: accepted tickets are drained, then workers exit and
 //! are joined — nothing accepted is abandoned.
 
-use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
+
+use crate::cancel::CancelToken;
+use crate::qos::{ClassQueues, QosClass, QosWeights};
 
 /// A lifetime-erased borrow of the caller's morsel runner.
 ///
@@ -79,6 +98,11 @@ struct MorselJob {
     pending: AtomicUsize,
     /// Set when any morsel panicked; the submitting call re-panics.
     panicked: AtomicBool,
+    /// The class this job's tickets are queued (and requeued) under.
+    class: QosClass,
+    /// Cooperative cancellation: once tripped, claimed morsels are retired
+    /// without running their runner.
+    token: Option<Arc<CancelToken>>,
     /// Completion latch the submitting thread waits on.
     done: Mutex<bool>,
     /// Notified when `pending` reaches zero.
@@ -88,7 +112,9 @@ struct MorselJob {
 impl MorselJob {
     /// Claims and runs morsels from the shared cursor until it is drained.
     /// Returns after running at least zero morsels; panics are recorded on
-    /// the job rather than unwinding through the pool.
+    /// the job rather than unwinding through the pool. Once the job's
+    /// cancel token trips this degenerates into claim-and-retire, so a
+    /// cancelled job drains at memory speed.
     fn drain(&self) {
         loop {
             let m = self.cursor.fetch_add(1, Ordering::Relaxed);
@@ -99,14 +125,24 @@ impl MorselJob {
         }
     }
 
+    /// True once the job's token tripped (cancelled or past deadline).
+    fn is_cancelled(&self) -> bool {
+        self.token.as_ref().is_some_and(|t| t.is_tripped())
+    }
+
     /// Runs a single claimed morsel and does the completion bookkeeping.
+    /// A claimed morsel of a cancelled job is *retired* instead of run: the
+    /// completion latch must still fire (the submitting frame waits on it),
+    /// but no more work executes.
     fn run_one(&self, m: usize) {
         // `m < total`, so the submitting `run_morsels` frame is still
         // blocked in its wait loop (pending > 0 until we decrement below)
         // and the runner borrow is live.
-        let runner = self.runner;
-        if catch_unwind(AssertUnwindSafe(|| runner(m))).is_err() {
-            self.panicked.store(true, Ordering::Relaxed);
+        if !self.is_cancelled() {
+            let runner = self.runner;
+            if catch_unwind(AssertUnwindSafe(|| runner(m))).is_err() {
+                self.panicked.store(true, Ordering::Relaxed);
+            }
         }
         if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
             *self.done.lock().unwrap_or_else(|e| e.into_inner()) = true;
@@ -130,7 +166,8 @@ enum Ticket {
 
 /// Queue state behind the pool mutex.
 struct Queue {
-    tickets: VecDeque<Ticket>,
+    /// Per-class ticket FIFOs under weighted deficit round-robin.
+    tickets: ClassQueues<Ticket>,
     /// Workers spawned so far (monotonic until shutdown).
     workers: usize,
     /// Set by `Drop`; workers drain the queue, then exit.
@@ -184,12 +221,21 @@ impl Shared {
                         continue;
                     }
                     job.run_one(m);
-                    // Requeue *after* running (this is what caps a job's
-                    // concurrency at its ticket count) and at the *back*
-                    // (this is what makes scheduling round-robin fair).
                     if job.has_unclaimed() {
+                        if job.is_cancelled() {
+                            // Abandon the job: claim-and-retire everything
+                            // left instead of requeueing, so the submitter's
+                            // latch fires now rather than one queue round
+                            // trip per dead morsel later.
+                            job.drain();
+                            continue;
+                        }
+                        // Requeue *after* running (this is what caps a job's
+                        // concurrency at its ticket count) and at the *back*
+                        // of its class (this is what makes scheduling
+                        // round-robin fair within the class).
                         let mut q = self.lock();
-                        q.tickets.push_back(Ticket::Morsel(job));
+                        q.tickets.push_back(job.class, Ticket::Morsel(job));
                         drop(q);
                         self.work.notify_one();
                     }
@@ -211,19 +257,27 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Creates a pool with `workers` threads spawned eagerly.
+    /// Creates a pool with `workers` threads spawned eagerly and the
+    /// default 4:1 Interactive:Batch grant weights.
     pub fn new(workers: usize) -> WorkerPool {
-        let pool = WorkerPool::with_max(default_max_workers());
+        WorkerPool::with_weights(workers, QosWeights::default())
+    }
+
+    /// Creates a pool with `workers` threads spawned eagerly and explicit
+    /// per-class grant weights (see [`crate::qos::QosWeights`]). For
+    /// embedders and tests; the global pool always uses the defaults.
+    pub fn with_weights(workers: usize, weights: QosWeights) -> WorkerPool {
+        let pool = WorkerPool::with_max(default_max_workers(), weights);
         pool.ensure_workers(workers);
         pool
     }
 
     /// Creates an empty pool with the given worker ceiling.
-    fn with_max(max_workers: usize) -> WorkerPool {
+    fn with_max(max_workers: usize, weights: QosWeights) -> WorkerPool {
         WorkerPool {
             shared: Arc::new(Shared {
                 queue: Mutex::new(Queue {
-                    tickets: VecDeque::new(),
+                    tickets: ClassQueues::new(weights),
                     workers: 0,
                     shutdown: false,
                 }),
@@ -240,7 +294,7 @@ impl WorkerPool {
     /// the process (its idle workers sleep on a condvar and cost nothing).
     pub fn global() -> &'static WorkerPool {
         static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
-        GLOBAL.get_or_init(|| WorkerPool::with_max(default_max_workers()))
+        GLOBAL.get_or_init(|| WorkerPool::with_max(default_max_workers(), QosWeights::default()))
     }
 
     /// Grows the pool to at least `n` workers (clamped to the pool ceiling).
@@ -288,25 +342,51 @@ impl WorkerPool {
     /// Runs `run(m)` once for every `m in 0..total` using at most
     /// `max_workers` threads (pool workers plus the calling thread), and
     /// blocks until all of them finished. Morsels are claimed from a shared
-    /// atomic cursor, so idle threads steal whatever remains.
+    /// atomic cursor, so idle threads steal whatever remains. Tickets are
+    /// queued under [`QosClass::Interactive`] with no cancellation; see
+    /// [`WorkerPool::run_morsels_as`] for the controlled variant.
     ///
     /// The calling thread always participates, which makes the call complete
     /// even on an empty or saturated pool. Panics inside `run` are caught on
     /// the worker, recorded, and re-raised here after the fan-out finishes.
     pub fn run_morsels(&self, total: usize, max_workers: usize, run: &(dyn Fn(usize) + Sync)) {
+        self.run_morsels_as(total, max_workers, QosClass::Interactive, None, run);
+    }
+
+    /// [`WorkerPool::run_morsels`] with explicit lifecycle control: tickets
+    /// queue under `class` (weighted against the other classes, see the
+    /// [module docs](self)), and when `token` is given every morsel claim
+    /// checks it — once the token trips, remaining morsels are retired
+    /// unrun and the call returns as soon as in-progress morsels finish.
+    /// The caller is responsible for noticing the trip afterwards (the
+    /// morsel layer does, unwinding with the [`crate::cancel::CancelReason`]).
+    pub fn run_morsels_as(
+        &self,
+        total: usize,
+        max_workers: usize,
+        class: QosClass,
+        token: Option<Arc<CancelToken>>,
+        run: &(dyn Fn(usize) + Sync),
+    ) {
         if total == 0 {
             return;
         }
+        let tripped = || token.as_ref().is_some_and(|t| t.is_tripped());
         if max_workers <= 1 || total == 1 {
-            // Caller-only fast path: no tickets, no latch.
+            // Caller-only fast path: no tickets, no latch — but the same
+            // between-morsels cancellation granularity as the pooled path.
             for m in 0..total {
+                if tripped() {
+                    return;
+                }
                 run(m);
             }
             return;
         }
         // SAFETY (lifetime erasure): this frame does not return until the
         // job's completion latch fires, i.e. until every morsel that could
-        // call `run` has finished; see `Runner`.
+        // call `run` has finished; see `Runner`. (Cancellation only *skips*
+        // runner calls; it never lets the latch fire early.)
         let runner: Runner = unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), Runner>(run) };
         let job = Arc::new(MorselJob {
             runner,
@@ -314,6 +394,8 @@ impl WorkerPool {
             cursor: AtomicUsize::new(0),
             pending: AtomicUsize::new(total),
             panicked: AtomicBool::new(false),
+            class,
+            token,
             done: Mutex::new(false),
             done_cv: Condvar::new(),
         });
@@ -322,7 +404,7 @@ impl WorkerPool {
         {
             let mut q = self.shared.lock();
             for _ in 0..tickets {
-                q.tickets.push_back(Ticket::Morsel(Arc::clone(&job)));
+                q.tickets.push_back(class, Ticket::Morsel(Arc::clone(&job)));
             }
         }
         self.shared.work.notify_all();
@@ -339,17 +421,25 @@ impl WorkerPool {
         }
     }
 
-    /// Queues a detached one-shot task (a submitted query). The pool grows
-    /// towards one worker per task in flight (up to its ceiling), so
-    /// concurrent clients get concurrent workers; beyond the ceiling, tasks
-    /// queue and run as workers free up. Panics inside the task are caught
-    /// and dropped — submitters report failures through their own channel.
+    /// Queues a detached one-shot task (a submitted query) under
+    /// [`QosClass::Interactive`]. See [`WorkerPool::spawn_as`].
     pub fn spawn(&self, task: Box<dyn FnOnce() + Send + 'static>) {
+        self.spawn_as(QosClass::Interactive, task);
+    }
+
+    /// Queues a detached one-shot task (a submitted query) under the given
+    /// class. The pool grows towards one worker per task in flight (up to
+    /// its ceiling), so concurrent clients get concurrent workers; beyond
+    /// the ceiling, tasks queue and run as workers free up — Batch-class
+    /// tasks behind Interactive ones per the class weights. Panics inside
+    /// the task are caught and dropped — submitters report failures through
+    /// their own channel.
+    pub fn spawn_as(&self, class: QosClass, task: Box<dyn FnOnce() + Send + 'static>) {
         let in_flight = self.shared.detached.fetch_add(1, Ordering::Relaxed) + 1;
         self.ensure_workers(in_flight);
         {
             let mut q = self.shared.lock();
-            q.tickets.push_back(Ticket::Task(task));
+            q.tickets.push_back(class, Ticket::Task(task));
         }
         self.shared.work.notify_one();
     }
@@ -398,7 +488,7 @@ mod tests {
 
     #[test]
     fn completes_on_an_empty_pool_via_caller_participation() {
-        let pool = WorkerPool::with_max(4); // zero workers spawned
+        let pool = WorkerPool::with_max(4, QosWeights::default()); // zero workers spawned
         let sum = AtomicUsize::new(0);
         pool.run_morsels(50, 8, &|m| {
             sum.fetch_add(m, Ordering::Relaxed);
@@ -428,7 +518,7 @@ mod tests {
 
     #[test]
     fn detached_tasks_run_and_growth_follows_in_flight_count() {
-        let pool = WorkerPool::with_max(8);
+        let pool = WorkerPool::with_max(8, QosWeights::default());
         let done = Arc::new(AtomicUsize::new(0));
         for _ in 0..5 {
             let done = Arc::clone(&done);
@@ -460,6 +550,107 @@ mod tests {
         }
         drop(pool); // must block until all 20 accepted tasks ran
         assert_eq!(done.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn pre_cancelled_jobs_never_run_a_morsel_and_the_pool_stays_usable() {
+        let pool = WorkerPool::new(2);
+        let token = Arc::new(CancelToken::new());
+        token.cancel();
+        let hits = AtomicUsize::new(0);
+        pool.run_morsels_as(100, 4, QosClass::Batch, Some(Arc::clone(&token)), &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            0,
+            "every morsel retired unrun"
+        );
+        // The pool drains and serves the next (uncancelled) job in full.
+        let ran = AtomicUsize::new(0);
+        pool.run_morsels(32, 4, &|_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn caller_only_path_checks_the_token_between_morsels() {
+        // max_workers = 1 takes the caller-only loop: cancelling inside
+        // morsel 0 must stop the fan-out after exactly one morsel —
+        // deterministic, no other thread involved.
+        let pool = WorkerPool::new(0);
+        let token = Arc::new(CancelToken::new());
+        let hits = AtomicUsize::new(0);
+        let cancel = Arc::clone(&token);
+        pool.run_morsels_as(50, 1, QosClass::Interactive, Some(token), &|m| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            if m == 0 {
+                cancel.cancel();
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn mid_flight_cancellation_completes_the_latch() {
+        // Cancel from inside the first executed morsel of a pooled fan-out:
+        // the call must still return (latch fires via retirement) and later
+        // jobs must run. How many morsels ran before the flag became
+        // visible is timing-dependent; that it *returns* is the invariant.
+        let pool = WorkerPool::new(3);
+        let token = Arc::new(CancelToken::new());
+        let cancel = Arc::clone(&token);
+        let hits = AtomicUsize::new(0);
+        pool.run_morsels_as(256, 4, QosClass::Interactive, Some(token), &|_| {
+            cancel.cancel();
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.load(Ordering::Relaxed) <= 256);
+        let ran = AtomicUsize::new(0);
+        pool.run_morsels(16, 4, &|_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn interactive_tickets_dispatch_within_five_grants_behind_batch() {
+        // The WDRR acceptance bound, on the pool's own ticket type and with
+        // its default 4:1 weights: an Interactive ticket queued behind
+        // saturating Batch work is granted within 5 ticket grants, at every
+        // phase of the Batch credit cycle. Pure queue arithmetic —
+        // deterministic, no threads, no sleeps.
+        let batch_ticket = || Ticket::Task(Box::new(|| {}));
+        for phase in 0..8 {
+            let mut queues: ClassQueues<Ticket> = ClassQueues::new(QosWeights::default());
+            for _ in 0..64 {
+                queues.push_back(QosClass::Batch, batch_ticket());
+            }
+            for _ in 0..phase {
+                assert!(queues.pop_front().is_some());
+            }
+            let marker = Arc::new(AtomicBool::new(false));
+            let flag = Arc::clone(&marker);
+            queues.push_back(
+                QosClass::Interactive,
+                Ticket::Task(Box::new(move || flag.store(true, Ordering::Relaxed))),
+            );
+            let mut granted_at = None;
+            for grant in 1..=5 {
+                if let Some(Ticket::Task(task)) = queues.pop_front() {
+                    task();
+                }
+                if marker.load(Ordering::Relaxed) {
+                    granted_at = Some(grant);
+                    break;
+                }
+            }
+            assert!(
+                granted_at.is_some_and(|g| g <= 5),
+                "phase {phase}: interactive ticket not granted within 5 grants"
+            );
+        }
     }
 
     #[test]

@@ -43,6 +43,7 @@
 use mrq_codegen::emit::{emit_source, Backend, CompileCostModel};
 use mrq_codegen::exec::{QueryOutput, TableAccess, ValueTable};
 use mrq_codegen::spec::{lower, Catalog, QuerySpec};
+use mrq_common::cancel::{self, CancelReason, CancelToken, JobControl};
 use mrq_common::pool::WorkerPool;
 use mrq_common::{MrqError, Result, Schema, Value};
 use mrq_engine_csharp::HeapTable;
@@ -55,10 +56,16 @@ use parking_lot::Mutex;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 pub mod recycle;
 
+/// The error type the serving layer resolves handles to — the same
+/// [`mrq_common::MrqError`] every API in the workspace returns, re-exported
+/// under the name its lifecycle variants ([`QueryError::Cancelled`],
+/// [`QueryError::DeadlineExceeded`]) are discussed by.
+pub use mrq_common::MrqError as QueryError;
+pub use mrq_common::QosClass;
 pub use mrq_engine_hybrid::{Materialization, TransferPolicy};
 pub use mrq_engine_native::ParallelConfig;
 pub use mrq_expr::optimize::OptimizerConfig as QueryOptimizerConfig;
@@ -78,6 +85,48 @@ pub enum Strategy {
     CompiledNativeParallel(ParallelConfig),
     /// Managed staging plus native processing.
     Hybrid(HybridConfig),
+}
+
+/// Per-query lifecycle options for [`Provider::submit_with`]: an optional
+/// deadline and the QoS class the query's pool tickets are scheduled under.
+///
+/// The default is no deadline and [`QosClass::Interactive`] — exactly what
+/// [`Provider::submit`] uses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryOptions {
+    /// Wall-clock budget measured from submission — queue time counts
+    /// against it. The deadline is *armed* in `submit_with` (no timer
+    /// thread) and observed lazily at morsel boundaries; a budget of zero
+    /// always resolves the handle to [`QueryError::DeadlineExceeded`]
+    /// before a single morsel runs.
+    pub deadline: Option<Duration>,
+    /// Scheduling class for the pool's weighted per-class queues (default
+    /// 4:1 Interactive:Batch grant weights; see `docs/CONCURRENCY.md`).
+    pub class: QosClass,
+}
+
+impl QueryOptions {
+    /// The defaults: no deadline, [`QosClass::Interactive`].
+    pub fn new() -> Self {
+        QueryOptions::default()
+    }
+
+    /// Options for throughput work: [`QosClass::Batch`], no deadline.
+    pub fn batch() -> Self {
+        QueryOptions::new().with_class(QosClass::Batch)
+    }
+
+    /// The same options with a wall-clock budget from submission.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// The same options with an explicit scheduling class.
+    pub fn with_class(mut self, class: QosClass) -> Self {
+        self.class = class;
+        self
+    }
 }
 
 /// How a source id is bound to data.
@@ -481,6 +530,79 @@ impl<'a> Provider<'a> {
     /// # Ok::<(), mrq_common::MrqError>(())
     /// ```
     pub fn submit(&self, expr: Expr, strategy: Strategy) -> QueryHandle<'_> {
+        self.submit_with(expr, strategy, QueryOptions::default())
+    }
+
+    /// [`Provider::submit`] with per-query lifecycle control: a deadline
+    /// and/or a QoS scheduling class ([`QueryOptions`]).
+    ///
+    /// A deadline is armed *at submission* as a wall-clock instant on the
+    /// query's cancel token — queue time counts against the budget — and
+    /// observed *lazily* — between morsels, never inside one — so there is
+    /// no timer thread and cancellation latency is bounded by one morsel
+    /// ([`ParallelConfig::morsel_rows`] rows). A query whose deadline
+    /// already passed when its task is granted (a zero
+    /// budget, or queue time that exceeded the budget) resolves to
+    /// [`QueryError::DeadlineExceeded`] without compiling or executing
+    /// anything.
+    ///
+    /// The class picks which of the pool's weighted queues the query's
+    /// tickets — its dispatch and every morsel of its parallel fan-outs —
+    /// are granted from: with the default 4:1 weights,
+    /// [`QosClass::Batch`] work keeps flowing but cedes four grants in five
+    /// to [`QosClass::Interactive`] whenever both are backlogged.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mrq_common::{DataType, Field, Schema, Value};
+    /// use mrq_core::{Provider, QosClass, QueryError, QueryOptions, Strategy};
+    /// use mrq_engine_native::RowStore;
+    /// use mrq_expr::{col, lam, lit, BinaryOp, Expr, Query, SourceId};
+    /// use std::time::Duration;
+    ///
+    /// let schema = Schema::new("N", vec![Field::new("n", DataType::Int64)]);
+    /// let rows: Vec<Vec<Value>> = (0..100).map(|i| vec![Value::Int64(i)]).collect();
+    /// let store = RowStore::from_rows(schema, &rows);
+    /// let mut provider = Provider::new();
+    /// provider.bind_native(SourceId(0), &store);
+    /// let stmt = Query::from_source(SourceId(0))
+    ///     .where_(lam("x", Expr::binary(BinaryOp::Lt, col("x", "n"), lit(10i64))))
+    ///     .select(lam("x", col("x", "n")))
+    ///     .into_expr();
+    ///
+    /// // Batch class with a generous budget: completes normally.
+    /// let opts = QueryOptions::batch().with_deadline(Duration::from_secs(60));
+    /// let handle = provider.submit_with(stmt.clone(), Strategy::CompiledNative, opts);
+    /// assert_eq!(handle.join()?.rows.len(), 10);
+    ///
+    /// // A zero budget is already expired at dispatch: the handle resolves
+    /// // to DeadlineExceeded before a single morsel runs.
+    /// let doomed = QueryOptions::new().with_deadline(Duration::ZERO);
+    /// let handle = provider.submit_with(stmt, Strategy::CompiledNative, doomed);
+    /// assert!(matches!(handle.join(), Err(QueryError::DeadlineExceeded)));
+    /// # Ok::<(), mrq_common::MrqError>(())
+    /// ```
+    pub fn submit_with(
+        &self,
+        expr: Expr,
+        strategy: Strategy,
+        options: QueryOptions,
+    ) -> QueryHandle<'_> {
+        // Arm the deadline now: queue time counts against the budget (the
+        // client's clock started at submission). `checked_add` saturates
+        // absurd budgets to "no deadline" instead of panicking.
+        let deadline = options
+            .deadline
+            .and_then(|budget| Instant::now().checked_add(budget));
+        let token = Arc::new(match deadline {
+            Some(at) => CancelToken::expiring(at),
+            None => CancelToken::new(),
+        });
+        let control = JobControl {
+            token: Arc::clone(&token),
+            class: options.class,
+        };
         let state = Arc::new(QueryState {
             slot: StdMutex::new(QuerySlot {
                 finished: false,
@@ -492,14 +614,28 @@ impl<'a> Provider<'a> {
         self.in_flight.increment();
         let in_flight = Arc::clone(&self.in_flight);
         let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-            // An engine panic must still complete the handle, or a joining
-            // client would hang forever.
-            let result = catch_unwind(AssertUnwindSafe(|| self.execute(expr, strategy)))
-                .unwrap_or_else(|_| {
-                    Err(MrqError::Internal(
-                        "submitted query panicked on a pool worker".into(),
-                    ))
-                });
+            let result = if let Some(reason) = control.token.check() {
+                // Cancelled or expired while queued: resolve the handle
+                // without compiling or executing a single morsel.
+                Err(MrqError::from(reason))
+            } else {
+                // The scope threads the token and class to every morsel
+                // fan-out below; a tripped checkpoint unwinds with the
+                // reason, caught here at the query boundary. An engine
+                // panic must also still complete the handle, or a joining
+                // client would hang forever.
+                match catch_unwind(AssertUnwindSafe(|| {
+                    cancel::scope(control.clone(), || self.execute(expr, strategy))
+                })) {
+                    Ok(result) => result,
+                    Err(payload) => Err(match payload.downcast::<CancelReason>() {
+                        Ok(reason) => MrqError::from(*reason),
+                        Err(_) => {
+                            MrqError::Internal("submitted query panicked on a pool worker".into())
+                        }
+                    }),
+                }
+            };
             completion.complete(result);
             in_flight.decrement();
         });
@@ -511,9 +647,10 @@ impl<'a> Provider<'a> {
         // for the in-flight count to reach zero before the provider (whose
         // borrowed bindings outlive it) can be torn down.
         let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
-        WorkerPool::global().spawn(task);
+        WorkerPool::global().spawn_as(options.class, task);
         QueryHandle {
             state,
+            token,
             _provider: PhantomData,
         }
     }
@@ -733,7 +870,8 @@ impl QueryState {
     }
 }
 
-/// A query queued on the worker pool by [`Provider::submit`].
+/// A query queued on the worker pool by [`Provider::submit`] /
+/// [`Provider::submit_with`].
 ///
 /// The handle borrows the provider for as long as it lives, which is what
 /// lets the queued task safely reference the provider and its bound
@@ -742,8 +880,13 @@ impl QueryState {
 /// discarded), mirroring `std::thread::scope`'s completion guarantee. Even
 /// a handle leaked with `mem::forget` cannot outrun the provider: the
 /// provider's own `Drop` waits for every submitted query before returning.
+///
+/// [`QueryHandle::cancel`] requests cooperative cancellation; the query
+/// abandons its remaining morsels and the handle resolves to
+/// [`QueryError::Cancelled`].
 pub struct QueryHandle<'p> {
     state: Arc<QueryState>,
+    token: Arc<CancelToken>,
     _provider: PhantomData<&'p ()>,
 }
 
@@ -753,11 +896,50 @@ impl<'p> QueryHandle<'p> {
         self.state.lock().finished
     }
 
+    /// Requests cooperative cancellation: flips the query's token, which is
+    /// observed between morsels (and at the engines' phase boundaries) —
+    /// a claimed morsel always finishes, so cancellation latency is bounded
+    /// by one morsel's worth of work, never by the length of the query.
+    /// Idempotent and non-blocking; if the query already completed, the
+    /// completed result stands.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mrq_common::{DataType, Field, Schema, Value};
+    /// use mrq_core::{Provider, QueryError, Strategy};
+    /// use mrq_engine_native::RowStore;
+    /// use mrq_expr::{col, lam, lit, BinaryOp, Expr, Query, SourceId};
+    ///
+    /// let schema = Schema::new("N", vec![Field::new("n", DataType::Int64)]);
+    /// let rows: Vec<Vec<Value>> = (0..100).map(|i| vec![Value::Int64(i)]).collect();
+    /// let store = RowStore::from_rows(schema, &rows);
+    /// let mut provider = Provider::new();
+    /// provider.bind_native(SourceId(0), &store);
+    /// let stmt = Query::from_source(SourceId(0))
+    ///     .where_(lam("x", Expr::binary(BinaryOp::Lt, col("x", "n"), lit(10i64))))
+    ///     .select(lam("x", col("x", "n")))
+    ///     .into_expr();
+    ///
+    /// let handle = provider.submit(stmt, Strategy::CompiledNative);
+    /// handle.cancel(); // cooperative: takes effect at the next boundary
+    /// match handle.join() {
+    ///     // The query won the race and completed before the cancel landed.
+    ///     Ok(out) => assert_eq!(out.rows.len(), 10),
+    ///     // The cancel landed first: morsels were abandoned.
+    ///     Err(QueryError::Cancelled) => {}
+    ///     Err(other) => panic!("unexpected error: {other}"),
+    /// }
+    /// ```
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
     /// Blocks until the query finished and returns its result.
     pub fn join(self) -> Result<QueryOutput> {
         let result = self.state.wait_take();
-        // Drop would only re-check the (already fired) completion latch.
-        std::mem::forget(self);
+        // `self` is dropped here; its drop-wait returns immediately because
+        // the completion latch already fired.
         result
     }
 
@@ -1128,6 +1310,49 @@ mod tests {
             handle.join().unwrap_err(),
             MrqError::Unsupported(_)
         ));
+    }
+
+    #[test]
+    fn expired_deadlines_resolve_before_compilation() {
+        let (heap, list) = heap_with_data();
+        let mut provider = Provider::over_heap(&heap);
+        provider.bind_managed(SourceId(0), list, schema());
+        let options = QueryOptions::new().with_deadline(Duration::ZERO);
+        let handle = provider.submit_with(statement("London"), Strategy::CompiledCSharp, options);
+        assert!(matches!(handle.join(), Err(MrqError::DeadlineExceeded)));
+        // The expired query was resolved at dispatch: it never reached the
+        // compiler, let alone a morsel.
+        let stats = provider.stats();
+        assert_eq!(stats.cache_misses, 0);
+        assert_eq!(stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn batch_class_queries_with_generous_deadlines_complete_normally() {
+        let (heap, list) = heap_with_data();
+        let mut provider = Provider::over_heap(&heap);
+        provider.bind_managed(SourceId(0), list, schema());
+        let reference = provider
+            .execute(statement("London"), Strategy::CompiledCSharp)
+            .unwrap();
+        let options = QueryOptions::batch().with_deadline(Duration::from_secs(600));
+        assert_eq!(options.class, QosClass::Batch);
+        let handle = provider.submit_with(statement("London"), Strategy::CompiledCSharp, options);
+        assert_eq!(handle.join().unwrap(), reference);
+    }
+
+    #[test]
+    fn cancelling_a_finished_query_keeps_its_result() {
+        let (heap, list) = heap_with_data();
+        let mut provider = Provider::over_heap(&heap);
+        provider.bind_managed(SourceId(0), list, schema());
+        let handle = provider.submit(statement("Paris"), Strategy::CompiledCSharp);
+        // Wait for completion, then cancel: the completed result stands.
+        while !handle.is_finished() {
+            std::thread::yield_now();
+        }
+        handle.cancel();
+        assert_eq!(handle.join().unwrap().rows.len(), 25);
     }
 
     #[test]

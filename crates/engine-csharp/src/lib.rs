@@ -256,6 +256,9 @@ pub fn execute_parallel(
     let builds = tables[1..].to_vec();
     let none = vec![None; spec.joins.len()];
     let base = ExecState::new_parallel(spec, params, builds, &schemas, &none, config)?;
+    // Lifecycle control: stop a cancelled/expired query between the join
+    // builds and the probe scan (the scan checks between morsels itself).
+    mrq_common::cancel::checkpoint();
     Ok(consume_partitioned(base, tables[0], config))
 }
 

@@ -485,6 +485,10 @@ pub fn execute(
         run
     };
 
+    // Lifecycle control: a cancelled/expired query stops between the
+    // build-side staging above and the probe-side staging loop below (the
+    // morsel fan-out then checks between morsels).
+    mrq_common::cancel::checkpoint();
     let (ranges, stealing) = morsel::plan(root.len(), config.parallel);
     if ranges.len() <= 1 {
         // Sequential (or single-morsel) fast path: no fork, no merge.

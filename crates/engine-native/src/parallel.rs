@@ -57,6 +57,10 @@ pub fn execute_parallel(
     let root = tables[0];
     let builds: Vec<&RowStore> = tables[1..].to_vec();
     let base = ExecState::new_parallel(spec, params, builds, &schemas, &join_indexes, config)?;
+    // Lifecycle control: a submitted query that was cancelled (or whose
+    // deadline lapsed) during the join builds stops here rather than paying
+    // for the probe scan; the scan itself then checks between morsels.
+    mrq_common::cancel::checkpoint();
     Ok(consume_partitioned(base, root, config))
 }
 

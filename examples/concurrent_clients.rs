@@ -6,13 +6,16 @@
 //! client thread here queues its queries with `Provider::submit`, joins the
 //! `QueryHandle`s, and records per-query latency; the main thread prints a
 //! per-client latency line plus aggregate throughput, and verifies every
-//! client saw results bit-identical to a sequential run.
+//! client saw results bit-identical to a sequential run. A closing section
+//! demonstrates the lifecycle controls: a zero deadline firing at
+//! dispatch, cooperative cancellation, and a Batch-class submission
+//! (`Provider::submit_with` / `QueryHandle::cancel`).
 //!
 //! Run with `cargo run --release --example concurrent_clients`.
 //! Knobs: `MRQ_SF` (scale factor, default 0.01), `MRQ_CLIENTS` (default 8),
 //! `MRQ_QUERIES` (queries per client, default 20).
 
-use mrq_core::{ParallelConfig, Provider, Strategy};
+use mrq_core::{ParallelConfig, Provider, QueryOptions, Strategy};
 use mrq_engine_native::RowStore;
 use mrq_tpch::gen::{GenConfig, TpchData};
 use mrq_tpch::load::{schema_of, value_rows};
@@ -121,4 +124,42 @@ fn main() {
         total_queries as f64 / wall.as_secs_f64(),
     );
     println!("every result bit-identical to the sequential reference ✓");
+
+    // ------------------------------------------------------------------
+    // Lifecycle control: deadlines, cancellation and QoS classes.
+    // ------------------------------------------------------------------
+    println!("\nlifecycle control:");
+
+    // A zero budget is already expired at dispatch: the handle resolves to
+    // DeadlineExceeded before a single morsel runs.
+    let doomed = provider.submit_with(
+        queries::q1(),
+        Strategy::CompiledNative,
+        QueryOptions::new().with_deadline(Duration::ZERO),
+    );
+    println!("  zero deadline      -> {:?}", doomed.join().unwrap_err());
+
+    // Cancellation is cooperative: the query abandons its remaining
+    // morsels at the next boundary (or never starts, if the cancel lands
+    // while it is still queued).
+    let victim = provider.submit(queries::q1(), Strategy::CompiledNative);
+    victim.cancel();
+    match victim.join() {
+        Err(err) => println!("  cancelled query    -> {err:?}"),
+        Ok(_) => println!("  cancelled query    -> completed before the cancel landed"),
+    }
+
+    // Batch-class work keeps flowing, de-weighted 4:1 against Interactive
+    // tickets; a generous deadline completes normally.
+    let batch = provider.submit_with(
+        queries::q1(),
+        Strategy::CompiledNative,
+        QueryOptions::batch().with_deadline(Duration::from_secs(60)),
+    );
+    let out = batch.join().expect("batch-class query");
+    assert_eq!(&out, &references[0]);
+    println!(
+        "  batch + 60s budget -> {} rows, still bit-identical ✓",
+        out.rows.len()
+    );
 }

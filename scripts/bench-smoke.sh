@@ -12,13 +12,141 @@
 #     persistent worker pool must sustain at least MIN_SPEEDUP x the
 #     queries/sec of a single client (concurrent-serving gate).
 #
+# The run also emits BENCH_smoke.json — per-benchmark median nanoseconds
+# plus the host thread count — which CI uploads as an artifact to seed the
+# perf trajectory.
+#
 # Usage: scripts/bench-smoke.sh [bench-filter]
+#        scripts/bench-smoke.sh --self-test   (parser unit checks only)
 # Env:   MRQ_SF           scale factor for the bench workload (default 0.002)
 #        MIN_SPEEDUP      enforced 8-thread/8-client speedup (default 2.0)
 #        ENFORCE_SPEEDUP  1 = always enforce, 0 = never, unset = auto
 #                         (enforce only when >= 8 CPUs are available)
+#        BENCH_JSON       artifact path (default BENCH_smoke.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+CPUS=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+BENCH_JSON="${BENCH_JSON:-BENCH_smoke.json}"
+
+# ---------------------------------------------------------------------------
+# Parsing helpers. Bench lines look like (criterion shim; real criterion
+# scales units and may omit the median):
+#   group/name    time: [  7.0000 ms   8.0000 ms   9.0000 ms]  median: 8.1 ms (10 samples)
+# Group names contain `/` and near-miss names share prefixes
+# (native_1_threads vs native_1_threads_x), so matching is anchored: the
+# line must *begin* with the exact name followed by whitespace, and the
+# time is extracted by regex from the bracket, never by raw field position
+# (a wide number fusing with `[` must not corrupt the parse).
+# ---------------------------------------------------------------------------
+
+# min_ms <file> <name> — min time of the named point, normalised to ms.
+min_ms() {
+    awk -v p="$2" '
+        $0 ~ ("^" p "[[:space:]]") && /time:/ {
+            if (!match($0, /time:[[:space:]]*\[[[:space:]]*[0-9.]+[[:space:]]*[A-Za-zµ]+/)) next;
+            s = substr($0, RSTART, RLENGTH);
+            sub(/time:[[:space:]]*\[[[:space:]]*/, "", s);
+            split(s, a, /[[:space:]]+/);
+            t = a[1] + 0; u = a[2];
+            if (u == "ns") t /= 1e6;
+            else if (u == "us" || u == "µs") t /= 1e3;
+            else if (u == "s")  t *= 1e3;
+            # "ms" (the shim) passes through
+            printf "%.6f", t; exit
+        }' "$1"
+}
+
+# emit_bench_json <output-path> <bench-output-file>... — per-benchmark
+# median in ns (falling back to the bracket min when no median is printed)
+# plus the host thread count.
+emit_bench_json() {
+    local out="$1"; shift
+    {
+        echo "{"
+        echo "  \"threads\": ${CPUS},"
+        echo "  \"unit\": \"ns\","
+        echo "  \"groups\": {"
+        cat "$@" | awk '
+            function to_ns(t, u) {
+                if (u == "ns") return t;
+                if (u == "us" || u == "µs") return t * 1e3;
+                if (u == "s")  return t * 1e9;
+                return t * 1e6; # ms
+            }
+            /time:/ {
+                t = ""; u = "";
+                if (match($0, /median:[[:space:]]*[0-9.]+[[:space:]]*[A-Za-zµ]+/)) {
+                    s = substr($0, RSTART, RLENGTH);
+                    sub(/median:[[:space:]]*/, "", s);
+                } else if (match($0, /time:[[:space:]]*\[[[:space:]]*[0-9.]+[[:space:]]*[A-Za-zµ]+/)) {
+                    s = substr($0, RSTART, RLENGTH);
+                    sub(/time:[[:space:]]*\[[[:space:]]*/, "", s);
+                } else next;
+                split(s, a, /[[:space:]]+/);
+                t = a[1] + 0; u = a[2];
+                entries[++n] = sprintf("    \"%s\": %.1f", $1, to_ns(t, u));
+            }
+            END {
+                for (i = 1; i <= n; i++)
+                    printf "%s%s\n", entries[i], (i < n ? "," : "");
+            }'
+        echo "  }"
+        echo "}"
+    } > "$out"
+}
+
+# ---------------------------------------------------------------------------
+# Parser self-test (run in CI before the real benches): synthetic lines
+# covering the historical failure modes — `/` in group names, near-miss
+# name prefixes, a number fused against the bracket, and unit scaling.
+# ---------------------------------------------------------------------------
+self_test() {
+    local fixture fails=0 json
+    fixture="$(mktemp)"
+    json="$(mktemp)"
+    trap 'rm -f "$fixture" "$json"' RETURN
+    cat > "$fixture" <<'EOF'
+fig11_join_parallel/native_1_threads_wide    time: [    1.0000 ms     1.5000 ms     2.0000 ms]  median: 1.4000 ms (10 samples)
+fig11_join_parallel/native_1_threads         time: [    7.0000 ms     8.0000 ms     9.0000 ms]  median: 8.1000 ms (10 samples)
+fig11_join_parallel/native_8_threads         time: [  900.0000 us   950.0000 us   990.0000 us]  median: 940.0000 us (10 samples)
+concurrent_serving_q1/8_clients time: [12345.6789 ms 12400.0 ms 12500.0 ms]  median: 12390.0 ms (3 samples)
+no_median_group/point                        time: [    2.0000 s      2.5000 s      3.0000 s] (5 samples)
+EOF
+    check() {
+        local label="$1" got="$2" want="$3"
+        if [ "$got" != "$want" ]; then
+            echo "bench-smoke self-test: FAIL — $label: got '$got', want '$want'" >&2
+            fails=$((fails + 1))
+        fi
+    }
+    # Anchored exact-name match: the near-miss prefix line must not shadow.
+    check "slash-in-name exact match" "$(min_ms "$fixture" "fig11_join_parallel/native_1_threads")" "7.000000"
+    check "near-miss prefix still reachable" "$(min_ms "$fixture" "fig11_join_parallel/native_1_threads_wide")" "1.000000"
+    check "us normalised to ms" "$(min_ms "$fixture" "fig11_join_parallel/native_8_threads")" "0.900000"
+    check "seconds normalised to ms" "$(min_ms "$fixture" "no_median_group/point")" "2000.000000"
+    check "wide number against bracket" "$(min_ms "$fixture" "concurrent_serving_q1/8_clients")" "12345.678900"
+    check "absent name yields empty" "$(min_ms "$fixture" "not_a_group/at_all")" ""
+    # JSON emission: medians in ns, min fallback, every point present once.
+    emit_bench_json "$json" "$fixture"
+    grep -q '"fig11_join_parallel/native_1_threads": 8100000.0' "$json" \
+        || { echo "bench-smoke self-test: FAIL — median-ns entry missing" >&2; fails=$((fails + 1)); }
+    grep -q '"fig11_join_parallel/native_8_threads": 940000.0' "$json" \
+        || { echo "bench-smoke self-test: FAIL — us median not scaled to ns" >&2; fails=$((fails + 1)); }
+    grep -q '"no_median_group/point": 2000000000.0' "$json" \
+        || { echo "bench-smoke self-test: FAIL — min fallback missing" >&2; fails=$((fails + 1)); }
+    check "json point count" "$(grep -c '^    "' "$json")" "5"
+    check "json thread count present" "$(grep -c "\"threads\": ${CPUS}," "$json")" "1"
+    if [ "$fails" -ne 0 ]; then
+        exit 1
+    fi
+    echo "bench-smoke self-test: OK"
+}
+
+if [ "${1:-}" = "--self-test" ]; then
+    self_test
+    exit 0
+fi
 
 FILTER="${1:-}"
 OUT="$(mktemp)"
@@ -54,35 +182,20 @@ if [ "$SERVE_LINES" -lt 3 ]; then
 fi
 echo "bench-smoke: $LINES + $JOIN_LINES + $SERVE_LINES benchmark points reported"
 
-# Speedup enforcement (à la tonic's bench-enforce): compare the min time of
-# a 1-thread point against its 8-thread point (the shim prints
-# "time: [min mean max]"; the min is extracted by stripping up to the "["
-# rather than by field position, so a wide number fusing with the bracket
-# cannot break the parse). The unit token after the min is normalised to
-# milliseconds — the shim always prints ms, but real criterion scales its
-# units, and comparing a "900 us" point against a "7.2 ms" one raw would
-# corrupt the ratio by 1000x.
+# Perf-trajectory artifact: per-benchmark median ns + host thread count.
+emit_bench_json "$BENCH_JSON" "$OUT" "$JOIN_OUT" "$SERVE_OUT"
+echo "bench-smoke: wrote $(grep -c '^    "' "$BENCH_JSON") medians to $BENCH_JSON"
 
-# min_ms <file> <pattern> — min time of the matching point, in ms.
-min_ms() {
-    awk -v p="$2" '$0 ~ p && /time:/ {
-        sub(/.*time:[[:space:]]*\[[[:space:]]*/, "");
-        t = $1; u = $2;
-        if (u == "ns") t /= 1e6;
-        else if (u == "us" || u == "µs") t /= 1e3;
-        else if (u == "s")  t *= 1e3;
-        # "ms" (the shim) passes through
-        printf "%.6f", t; exit
-    }' "$1"
-}
-CPUS=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+# Speedup enforcement (à la tonic's bench-enforce): compare the min time of
+# a 1-thread point against its 8-thread point via the anchored `min_ms`
+# parser above.
 ENFORCE="${ENFORCE_SPEEDUP:-auto}"
 if [ "$ENFORCE" = "auto" ]; then
     if [ "$CPUS" -ge 8 ]; then ENFORCE=1; else ENFORCE=0; fi
 fi
 MIN="${MIN_SPEEDUP:-2.0}"
 
-# gate <file> <pattern-1-thread> <pattern-8-threads> <label>
+# gate <file> <name-1-thread> <name-8-threads> <label>
 gate() {
     local file="$1" one="$2" eight="$3" label="$4"
     local t1 t8 speedup pass

@@ -139,11 +139,23 @@ fn report(name: &str, samples: &[Duration]) {
     let min = samples.iter().min().expect("non-empty");
     let max = samples.iter().max().expect("non-empty");
     let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    // The median rides along after the classic [min mean max] block so the
+    // perf-trajectory artifact (`scripts/bench-smoke.sh` →
+    // `BENCH_smoke.json`) gets a robust statistic without disturbing
+    // parsers that stop at the closing bracket.
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let median = if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2
+    };
     println!(
-        "{name:<60} time: [{:>10.4} ms {:>10.4} ms {:>10.4} ms]  ({} samples)",
+        "{name:<60} time: [{:>10.4} ms {:>10.4} ms {:>10.4} ms]  median: {:.4} ms ({} samples)",
         min.as_secs_f64() * 1e3,
         mean.as_secs_f64() * 1e3,
         max.as_secs_f64() * 1e3,
+        median.as_secs_f64() * 1e3,
         samples.len()
     );
 }

@@ -1,0 +1,230 @@
+//! Query-lifecycle control through the serving layer: cooperative
+//! cancellation, deadlines and QoS classes (`Provider::submit_with`,
+//! `QueryHandle::cancel`).
+//!
+//! The contract under test:
+//! * an already-expired deadline resolves the handle at dispatch — the
+//!   query never compiles, never executes a morsel;
+//! * cancelling a long scan resolves the handle to `QueryError::Cancelled`
+//!   while the pool stays fully drainable and usable;
+//! * an uncancelled query running concurrently with a cancelled one on the
+//!   same provider completes bit-identical to its sequential run;
+//! * dropping a cancelled handle without joining cannot deadlock
+//!   `Provider::drop`.
+//!
+//! The "long scan" is sized so that the victim query costs hundreds of
+//! milliseconds of work while the cancel is issued microseconds after
+//! submission — whichever side of the dispatch check the cancel lands on
+//! (before the task starts, or between two of its morsels), the handle must
+//! resolve to `Cancelled`.
+
+use mrq_common::{DataType, Field, Schema, Value};
+use mrq_core::{ParallelConfig, Provider, QosClass, QueryError, QueryOptions, Strategy};
+use mrq_engine_native::RowStore;
+use mrq_expr::{col, lam, lit, BinaryOp, Expr, Query, SourceId};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+const ROWS: i64 = 1_500_000;
+
+fn schema() -> Schema {
+    Schema::new(
+        "N",
+        vec![
+            Field::new("n", DataType::Int64),
+            Field::new("bucket", DataType::Int64),
+        ],
+    )
+}
+
+/// One big shared store: building it costs more than every test in this
+/// file, so it is materialised once per process.
+fn store() -> &'static RowStore {
+    static STORE: OnceLock<RowStore> = OnceLock::new();
+    STORE.get_or_init(|| {
+        let rows: Vec<Vec<Value>> = (0..ROWS)
+            .map(|i| vec![Value::Int64(i), Value::Int64(i % 97)])
+            .collect();
+        RowStore::from_rows(schema(), &rows)
+    })
+}
+
+/// A full-store grouped aggregation: every row is touched, so the scan's
+/// cost scales with `ROWS` and a mid-flight cancel always has morsels left
+/// to abandon.
+fn long_scan() -> Expr {
+    Query::from_source(SourceId(0))
+        .where_(lam(
+            "x",
+            Expr::binary(BinaryOp::Ge, col("x", "n"), lit(0i64)),
+        ))
+        .group_by(lam("x", col("x", "bucket")))
+        .select(lam(
+            "g",
+            Expr::Constructor {
+                name: "R".into(),
+                fields: vec![
+                    (
+                        "bucket".into(),
+                        Expr::member(Expr::member(mrq_expr::var("g"), "Key"), "bucket"),
+                    ),
+                    (
+                        "n".into(),
+                        mrq_expr::builder::agg(mrq_expr::AggFunc::Count, "g", None),
+                    ),
+                ],
+            },
+        ))
+        .order_by(lam("r", col("r", "bucket")))
+        .into_expr()
+}
+
+/// A provider over the shared store with many small morsels, so there are
+/// plenty of cancellation points even on a 1-CPU host.
+fn parallel_provider() -> Provider<'static> {
+    let mut provider = Provider::new();
+    provider.bind_native(SourceId(0), store());
+    provider.set_parallelism(ParallelConfig {
+        threads: 2,
+        min_rows_per_thread: 1024,
+        ..ParallelConfig::default()
+    });
+    provider
+}
+
+fn sequential_reference() -> &'static mrq_codegen::exec::QueryOutput {
+    static REFERENCE: OnceLock<mrq_codegen::exec::QueryOutput> = OnceLock::new();
+    REFERENCE.get_or_init(|| {
+        let mut provider = Provider::new();
+        provider.bind_native(SourceId(0), store());
+        provider
+            .execute(long_scan(), Strategy::CompiledNative)
+            .expect("sequential reference")
+    })
+}
+
+#[test]
+fn zero_deadline_always_fires_before_any_morsel() {
+    let provider = parallel_provider();
+    for _ in 0..4 {
+        let options = QueryOptions::new().with_deadline(Duration::ZERO);
+        let handle = provider.submit_with(long_scan(), Strategy::CompiledNative, options);
+        assert!(matches!(handle.join(), Err(QueryError::DeadlineExceeded)));
+    }
+    // Dispatch resolved every expired query before it reached the
+    // compiler — the observable proof that no morsel (or anything else)
+    // ever executed.
+    assert_eq!(provider.stats().cache_misses, 0);
+    assert_eq!(provider.stats().cache_hits, 0);
+}
+
+#[test]
+fn cancel_before_start_resolves_immediately() {
+    let provider = parallel_provider();
+    let handle = provider.submit_with(long_scan(), Strategy::CompiledNative, QueryOptions::new());
+    // Issued microseconds after submission: the scan (hundreds of ms of
+    // work) cannot have completed, so the only admissible resolution is
+    // Cancelled — at dispatch if the task had not started, at the next
+    // morsel boundary if it had.
+    handle.cancel();
+    assert!(matches!(handle.join(), Err(QueryError::Cancelled)));
+}
+
+#[test]
+fn cancelled_scan_resolves_cancelled_and_uncancelled_peer_stays_bit_identical() {
+    let reference = sequential_reference();
+    let provider = parallel_provider();
+    // Queue the victim first, the peer second: the peer's tickets sit
+    // behind the victim's, so abandoning the victim is also what frees the
+    // pool for the peer.
+    let victim = provider.submit_with(long_scan(), Strategy::CompiledNative, QueryOptions::new());
+    let peer = provider.submit_with(long_scan(), Strategy::CompiledNative, QueryOptions::new());
+    victim.cancel();
+    assert!(matches!(victim.join(), Err(QueryError::Cancelled)));
+    let out = peer.join().expect("uncancelled peer completes");
+    assert_eq!(&out, reference, "peer bit-identical to the sequential run");
+}
+
+#[test]
+fn cancel_mid_query_leaves_the_pool_drainable() {
+    let reference = sequential_reference();
+    let provider = parallel_provider();
+    // Give the victim a head start so the cancel lands mid-execution (if
+    // the pool was busy and it never started, the dispatch check covers
+    // it — either way the pool must come back clean).
+    let victim = provider.submit_with(long_scan(), Strategy::CompiledNative, QueryOptions::new());
+    while !victim.is_finished() && provider.stats().cache_misses == 0 {
+        std::thread::yield_now();
+    }
+    victim.cancel();
+    assert!(matches!(victim.join(), Err(QueryError::Cancelled)));
+    // The pool serves subsequent work in full, through both front ends.
+    let executed = provider
+        .execute(long_scan(), Strategy::CompiledNative)
+        .expect("execute after cancel");
+    assert_eq!(&executed, reference);
+    let submitted = provider
+        .submit(long_scan(), Strategy::CompiledNative)
+        .join()
+        .expect("submit after cancel");
+    assert_eq!(&submitted, reference);
+}
+
+#[test]
+fn dropping_a_cancelled_handle_does_not_deadlock_provider_drop() {
+    let provider = parallel_provider();
+    for _ in 0..3 {
+        let handle =
+            provider.submit_with(long_scan(), Strategy::CompiledNative, QueryOptions::new());
+        handle.cancel();
+        drop(handle); // blocks until the (abandoned) query resolved
+    }
+    drop(provider); // must not hang on in-flight bookkeeping
+}
+
+#[test]
+fn qos_classes_complete_with_identical_results() {
+    let reference = sequential_reference();
+    let provider = parallel_provider();
+    let batch = provider.submit_with(
+        long_scan(),
+        Strategy::CompiledNative,
+        QueryOptions::batch().with_deadline(Duration::from_secs(600)),
+    );
+    let interactive = provider.submit_with(
+        long_scan(),
+        Strategy::CompiledNative,
+        QueryOptions::new().with_class(QosClass::Interactive),
+    );
+    assert_eq!(&interactive.join().expect("interactive"), reference);
+    assert_eq!(&batch.join().expect("batch"), reference);
+}
+
+#[test]
+fn cancellation_reaches_the_interpreted_baseline() {
+    // The LINQ baseline has no morsels; its source enumerable checkpoints
+    // every few thousand enumerated elements instead, so even the
+    // single-threaded interpreted pipeline abandons a cancelled scan.
+    use mrq_mheap::{ClassDesc, Heap};
+    let rows = 400_000i64;
+    let mut heap = Heap::new();
+    let class = heap.register_class(ClassDesc::from_schema(&schema()));
+    let list = heap.new_list("numbers", Some(class));
+    for i in 0..rows {
+        let obj = heap.alloc(class);
+        heap.set_i64(obj, 0, i);
+        heap.set_i64(obj, 1, i % 97);
+        heap.list_push(list, obj);
+    }
+    let mut provider = Provider::over_heap(&heap);
+    provider.bind_managed(SourceId(0), list, schema());
+    let handle = provider.submit_with(long_scan(), Strategy::LinqToObjects, QueryOptions::new());
+    handle.cancel();
+    assert!(matches!(handle.join(), Err(QueryError::Cancelled)));
+    // And with no cancel, the same statement completes.
+    let out = provider
+        .submit(long_scan(), Strategy::LinqToObjects)
+        .join()
+        .expect("uncancelled baseline completes");
+    assert_eq!(out.rows.len(), 97);
+}

@@ -176,6 +176,56 @@ fn native_strategy_matches_sequential_at_every_thread_count() {
     }
 }
 
+/// The CI-matrix hook: the scheduler shape comes from the environment
+/// (`MRQ_THREADS` × `MRQ_STEALING`, read by [`ParallelConfig::from_env`])
+/// rather than from a hardcoded sweep, so every matrix cell exercises the
+/// parallel paths it names on every push. Locally, with no `MRQ_*`
+/// variables set, this runs the host-default configuration.
+#[test]
+fn env_selected_scheduler_config_matches_sequential() {
+    // Keep the env knobs (threads, stealing, morsel size if given) but
+    // lower the split thresholds so the tiny test dataset actually
+    // parallelises; the matrix dimensions are threads and stealing.
+    let mut env_config = ParallelConfig::from_env();
+    env_config.min_rows_per_thread = 16;
+    env_config.morsel_rows = env_config.morsel_rows.min(64);
+    let wb = workbench();
+
+    // Managed strategies through a shared provider.
+    for workload in [queries::q1(), queries::q3()] {
+        let sequential = wb.managed_provider();
+        let mut parallel = wb.managed_provider();
+        parallel.set_parallelism(env_config);
+        for (name, strategy) in [
+            ("csharp", Strategy::CompiledCSharp),
+            ("hybrid", Strategy::Hybrid(HybridConfig::default())),
+        ] {
+            let reference = sequential
+                .execute(workload.clone(), strategy)
+                .expect("sequential reference");
+            let out = parallel.execute(workload.clone(), strategy).expect(name);
+            assert_same(
+                &reference,
+                &out,
+                &format!(
+                    "{name} with env config (threads={}, stealing={})",
+                    env_config.threads, env_config.stealing
+                ),
+            );
+        }
+    }
+
+    // The native engine entry point with the same env-selected shape.
+    let (canon, spec) = wb.lower(queries::q1());
+    let stores = wb.row_stores(&spec);
+    let reference =
+        mrq_engine_native::execute(&spec, &canon.params, &stores).expect("sequential native");
+    let parallel =
+        mrq_engine_native::execute_parallel(&spec, &canon.params, &stores, &[], env_config)
+            .expect("env-config native");
+    assert_eq!(parallel, reference);
+}
+
 /// The direct engine entry points (bypassing the provider) agree with each
 /// other across the heap, staged and native representations at 1/2/8
 /// threads.
