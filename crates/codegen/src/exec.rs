@@ -23,6 +23,12 @@ use std::cmp::Ordering;
 use std::ops::Range;
 use std::sync::Arc;
 
+/// Rows between intra-morsel cooperative-cancellation checkpoints inside
+/// the fused scan/probe and build loops: the workspace-wide cadence from
+/// [`mrq_common::cancel`], which bounds worst-case cancel latency even
+/// when `morsel_rows` is huge or an input never splits.
+const CANCEL_CHECK_ROWS: usize = mrq_common::cancel::CHECK_EVERY_ROWS;
+
 /// Row-major access to one table's data. `row` indexes are dense `0..len()`.
 pub trait TableAccess {
     /// Number of rows.
@@ -1039,6 +1045,9 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
         // slots are irrelevant for build filters/keys.
         let mut rows = vec![0usize; spec.joins.len() + 1];
         'rows: for r in 0..table.len() {
+            if r.is_multiple_of(CANCEL_CHECK_ROWS) {
+                mrq_common::cancel::checkpoint();
+            }
             rows[join.slot] = r;
             let ctx = EvalCtx {
                 root: table, // never consulted: build expressions only use `join.slot`
@@ -1088,6 +1097,9 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
         let mut rows = vec![0usize; join_count + 1];
         'rows: for r in range {
             self.consumed_rows += 1;
+            if self.consumed_rows.is_multiple_of(CANCEL_CHECK_ROWS as u64) {
+                mrq_common::cancel::checkpoint();
+            }
             rows[0] = r;
             {
                 let ctx = EvalCtx {
@@ -1392,6 +1404,9 @@ impl<'a, T: TableAccess + Sync> ExecState<'a, T> {
                 let mut scratch = StringInterner::default(); // never used: no string keys
                 let mut rows = vec![0usize; spec.joins.len() + 1];
                 'rows: for r in range {
+                    if r.is_multiple_of(CANCEL_CHECK_ROWS) {
+                        mrq_common::cancel::checkpoint();
+                    }
                     rows[join.slot] = r;
                     let ctx = EvalCtx {
                         root: table, // never consulted: build expressions only use `join.slot`

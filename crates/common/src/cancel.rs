@@ -34,6 +34,14 @@ use std::time::Instant;
 use crate::qos::QosClass;
 use crate::MrqError;
 
+/// Rows between intra-morsel cooperative-cancellation checkpoints inside
+/// the engines' fused scan/probe, build and staging loops (and the LINQ
+/// baseline's source enumerable). One shared cadence keeps the documented
+/// "~4096 rows" worst-case cancel latency true of every engine; the
+/// power-of-two value keeps the per-row cost to one predictable modulus
+/// branch, and outside a cancel scope each checkpoint is a no-op.
+pub const CHECK_EVERY_ROWS: usize = 4096;
+
 /// Why a query was stopped before completing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CancelReason {

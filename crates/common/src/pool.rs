@@ -22,10 +22,12 @@
 //! ## Fairness
 //!
 //! Across classes, grants follow the weighted deficit round-robin of
-//! [`crate::qos`]: with the default 4:1 weights, Interactive tickets
-//! receive four grants for every Batch grant whenever both classes are
-//! backlogged, and a newly arrived Interactive ticket waits for at most the
-//! Batch class's remaining credit (one grant) before dispatching. Within a
+//! [`crate::qos`]: with the default 8:2:1 weights, Interactive tickets
+//! receive four grants for every Batch grant (and eight for every
+//! Maintenance grant) whenever the classes are backlogged, and a newly
+//! arrived Interactive ticket waits for at most the lower classes'
+//! remaining credit (three grants) before dispatching. Weights are
+//! runtime-tunable via [`WorkerPool::set_weights`]. Within a
 //! class, workers always pop the *front* ticket and, after finishing a
 //! morsel, requeue its job's ticket at the *back* of its class. Scheduling
 //! therefore round-robins between every job of a class at morsel
@@ -43,6 +45,17 @@
 //! drains at memory speed. The blocking submitter still waits for the
 //! completion latch (claimed morsels finish; skipped ones just decrement
 //! it), which keeps the lifetime-erasure safety argument unchanged.
+//!
+//! Cancellation also reaches *inside* a claimed morsel: a controlled job's
+//! runner executes under its [`crate::cancel`] scope on the worker, so the
+//! intra-morsel checkpoints the fused loops plant every few thousand rows
+//! can trip mid-morsel. The resulting unwind carries a
+//! [`CancelReason`] payload and is treated as
+//! retirement, not as a panic: the morsel's latch count still decrements,
+//! so the moment the last in-flight morsel retires the completion latch
+//! fires — which is what wakes a blocked `join` *or a registered async
+//! waker* promptly after a cancel (wake-on-retire), instead of after the
+//! rest of the morsel's rows.
 //!
 //! ## Concurrency capping
 //!
@@ -75,7 +88,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 
-use crate::cancel::CancelToken;
+use crate::cancel::{self, CancelReason, CancelToken, JobControl};
 use crate::qos::{ClassQueues, QosClass, QosWeights};
 
 /// A lifetime-erased borrow of the caller's morsel runner.
@@ -140,8 +153,29 @@ impl MorselJob {
         // and the runner borrow is live.
         if !self.is_cancelled() {
             let runner = self.runner;
-            if catch_unwind(AssertUnwindSafe(|| runner(m))).is_err() {
-                self.panicked.store(true, Ordering::Relaxed);
+            // A controlled job's runner executes under its cancel scope, so
+            // the intra-morsel checkpoints inside the fused loops fire on
+            // pool workers too, not only on the submitting thread (which
+            // installed the scope itself).
+            let result = match &self.token {
+                Some(token) => {
+                    let control = JobControl {
+                        token: Arc::clone(token),
+                        class: self.class,
+                    };
+                    catch_unwind(AssertUnwindSafe(|| cancel::scope(control, || runner(m))))
+                }
+                None => catch_unwind(AssertUnwindSafe(|| runner(m))),
+            };
+            if let Err(payload) = result {
+                // A checkpoint unwind is cancellation, not a crash: the
+                // token tripped mid-morsel and the morsel retires early.
+                // The latch decrement below still runs, so the submitter
+                // (and, through it, any registered waker) is released as
+                // soon as the last in-flight morsel retires.
+                if !payload.is::<CancelReason>() {
+                    self.panicked.store(true, Ordering::Relaxed);
+                }
             }
         }
         if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -258,7 +292,7 @@ pub struct WorkerPool {
 
 impl WorkerPool {
     /// Creates a pool with `workers` threads spawned eagerly and the
-    /// default 4:1 Interactive:Batch grant weights.
+    /// default 8:2:1 Interactive:Batch:Maintenance grant weights.
     pub fn new(workers: usize) -> WorkerPool {
         WorkerPool::with_weights(workers, QosWeights::default())
     }
@@ -332,6 +366,21 @@ impl WorkerPool {
     /// Number of workers currently alive.
     pub fn worker_count(&self) -> usize {
         self.shared.lock().workers
+    }
+
+    /// Replaces the per-class grant weights on the live ticket queue
+    /// ([`ClassQueues::set_weights`]): takes effect at the next grant, with
+    /// every class's credit reset to its new weight so the new ratio
+    /// applies immediately. Queued tickets are untouched. This is the
+    /// runtime-reweighting knob — throttle Batch/Maintenance during a
+    /// traffic spike (or open them up overnight) without draining the pool.
+    pub fn set_weights(&self, weights: QosWeights) {
+        self.shared.lock().tickets.set_weights(weights);
+    }
+
+    /// The current per-class grant weights.
+    pub fn weights(&self) -> QosWeights {
+        self.shared.lock().tickets.weights()
     }
 
     /// Number of tickets waiting in the queue (diagnostics/tests).
@@ -617,15 +666,17 @@ mod tests {
     #[test]
     fn interactive_tickets_dispatch_within_five_grants_behind_batch() {
         // The WDRR acceptance bound, on the pool's own ticket type and with
-        // its default 4:1 weights: an Interactive ticket queued behind
-        // saturating Batch work is granted within 5 ticket grants, at every
-        // phase of the Batch credit cycle. Pure queue arithmetic —
-        // deterministic, no threads, no sleeps.
-        let batch_ticket = || Ticket::Task(Box::new(|| {}));
+        // its default 8:2:1 weights: an Interactive ticket queued behind
+        // saturating Batch and Maintenance work is granted within 5 ticket
+        // grants (one grant plus the lower classes' remaining credit, 2+1),
+        // at every phase of the lower-class credit cycle. Pure queue
+        // arithmetic — deterministic, no threads, no sleeps.
+        let noop_ticket = || Ticket::Task(Box::new(|| {}));
         for phase in 0..8 {
             let mut queues: ClassQueues<Ticket> = ClassQueues::new(QosWeights::default());
             for _ in 0..64 {
-                queues.push_back(QosClass::Batch, batch_ticket());
+                queues.push_back(QosClass::Batch, noop_ticket());
+                queues.push_back(QosClass::Maintenance, noop_ticket());
             }
             for _ in 0..phase {
                 assert!(queues.pop_front().is_some());
@@ -651,6 +702,120 @@ mod tests {
                 "phase {phase}: interactive ticket not granted within 5 grants"
             );
         }
+    }
+
+    #[test]
+    fn reweighting_the_ticket_queue_is_deterministic_and_immediate() {
+        // Runtime QoS reweighting on the pool's own ticket type, as pure
+        // queue arithmetic — no threads, no sleeps. Tag each ticket with
+        // its class through a side channel so the grant order is visible.
+        use std::sync::Mutex as StdMutex;
+        let order: Arc<StdMutex<Vec<QosClass>>> = Arc::new(StdMutex::new(Vec::new()));
+        let ticket = |class: QosClass| {
+            let order = Arc::clone(&order);
+            Ticket::Task(Box::new(move || order.lock().unwrap().push(class)))
+        };
+        let mut queues: ClassQueues<Ticket> = ClassQueues::new(QosWeights::default());
+        for _ in 0..32 {
+            queues.push_back(QosClass::Interactive, ticket(QosClass::Interactive));
+            queues.push_back(QosClass::Batch, ticket(QosClass::Batch));
+            queues.push_back(QosClass::Maintenance, ticket(QosClass::Maintenance));
+        }
+        let grant = |queues: &mut ClassQueues<Ticket>| {
+            if let Some(Ticket::Task(task)) = queues.pop_front() {
+                task();
+            }
+        };
+        // One default round: 8 I, 2 B, 1 M.
+        for _ in 0..11 {
+            grant(&mut queues);
+        }
+        {
+            let seen = order.lock().unwrap();
+            assert_eq!(
+                seen.iter().filter(|c| **c == QosClass::Interactive).count(),
+                8
+            );
+            assert_eq!(seen.iter().filter(|c| **c == QosClass::Batch).count(), 2);
+            assert_eq!(
+                seen.iter().filter(|c| **c == QosClass::Maintenance).count(),
+                1
+            );
+        }
+        // Reweight to 1:1:1: the very next 6 grants alternate I, B, M twice.
+        queues.set_weights(QosWeights::new(1, 1, 1));
+        order.lock().unwrap().clear();
+        for _ in 0..6 {
+            grant(&mut queues);
+        }
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec![
+                QosClass::Interactive,
+                QosClass::Batch,
+                QosClass::Maintenance,
+                QosClass::Interactive,
+                QosClass::Batch,
+                QosClass::Maintenance,
+            ]
+        );
+    }
+
+    #[test]
+    fn pool_reweighting_and_maintenance_class_round_trip() {
+        // API smoke for the live-pool knob: reweight, observe, run work in
+        // every class including Maintenance, restore.
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.weights(), QosWeights::default());
+        pool.set_weights(QosWeights::new(4, 2, 1));
+        assert_eq!(pool.weights(), QosWeights::new(4, 2, 1));
+        let ran = Arc::new(AtomicUsize::new(0));
+        for class in QosClass::ALL {
+            let ran = Arc::clone(&ran);
+            pool.spawn_as(
+                class,
+                Box::new(move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                }),
+            );
+        }
+        let hits = AtomicUsize::new(0);
+        pool.run_morsels_as(16, 2, QosClass::Maintenance, None, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+        drop(pool); // drains the three spawned tasks before joining
+        assert_eq!(ran.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn intra_morsel_checkpoint_unwinds_retire_the_morsel_without_a_panic() {
+        // A runner that trips its own token and immediately checkpoints
+        // unwinds with a CancelReason *inside* the morsel. The pool must
+        // treat that as retirement: the fan-out returns (latch fires), no
+        // "worker panicked" is re-raised, and the job ran at most a handful
+        // of morsels before the trip became visible.
+        let pool = WorkerPool::new(2);
+        let token = Arc::new(CancelToken::new());
+        let cancel_handle = Arc::clone(&token);
+        let hits = AtomicUsize::new(0);
+        pool.run_morsels_as(64, 3, QosClass::Interactive, Some(token), &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            cancel_handle.cancel();
+            // On pool workers the job's scope is installed by run_one; the
+            // submitting thread has no scope here, mirroring how the fused
+            // loops' checkpoints behave inside a morsel.
+            cancel::checkpoint();
+            unreachable!("the checkpoint above must unwind: the token is tripped");
+        });
+        let ran = hits.load(Ordering::Relaxed);
+        assert!(ran >= 1, "at least the first morsel started");
+        // The pool survives and serves the next job in full.
+        let again = AtomicUsize::new(0);
+        pool.run_morsels(8, 3, &|_| {
+            again.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(again.load(Ordering::Relaxed), 8);
     }
 
     #[test]

@@ -13,19 +13,29 @@
 //! Two properties matter for serving:
 //!
 //! * **Bounded interference** — a backlogged Interactive ticket waits for at
-//!   most `batch` (the Batch weight, default 1) grants before it is served:
+//!   most the *remaining credit* of the lower classes before it is served:
 //!   Interactive is scanned first and its credit is always replenished while
-//!   it has no backlog, so only Batch's *remaining* credit can be spent
-//!   first. With the default 4:1 weights that is one morsel of delay.
-//! * **No starvation** — Batch still receives `batch` out of every
-//!   `interactive + batch` grants under full Interactive load; weights set
-//!   the ratio, the round-robin sets the interleaving.
+//!   it has no backlog, so only the Batch and Maintenance remainders can be
+//!   spent first. With the default 8:2:1 weights that is at most three
+//!   grants (three morsels) of delay.
+//! * **No starvation** — every class still receives its weight's share of
+//!   grants under full load from the classes above it; weights set the
+//!   ratio, the round-robin sets the interleaving.
 //!
 //! Within a class, ordering stays exactly the pool's PR-3 policy: FIFO with
 //! morsel tickets requeued at the back, i.e. round-robin between jobs at
 //! morsel granularity.
+//!
+//! Weights are not fixed for the queue's lifetime: [`ClassQueues::set_weights`]
+//! reweights a live queue (the pool exposes it as
+//! [`crate::pool::WorkerPool::set_weights`]), taking effect at the next
+//! grant — an operator can throttle bulk work during a traffic spike
+//! without draining or rebuilding the pool.
 
 use std::collections::VecDeque;
+
+/// Number of scheduling classes (the length of [`QosClass::ALL`]).
+const CLASSES: usize = 3;
 
 /// The scheduling class a query's pool tickets are queued under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -37,37 +47,52 @@ pub enum QosClass {
     /// Throughput work that tolerates queueing behind Interactive tickets;
     /// it is never starved, only de-weighted.
     Batch,
+    /// Background housekeeping (index rebuilds, cache warming, compaction):
+    /// scanned last and weighted below [`QosClass::Batch`], so it only
+    /// soaks up capacity the serving classes leave on the table — yet its
+    /// non-zero weight guarantees it is never starved outright.
+    Maintenance,
 }
 
 impl QosClass {
     /// Every class, in the fixed order grants are scanned.
-    pub const ALL: [QosClass; 2] = [QosClass::Interactive, QosClass::Batch];
+    pub const ALL: [QosClass; CLASSES] = [
+        QosClass::Interactive,
+        QosClass::Batch,
+        QosClass::Maintenance,
+    ];
 
     /// Index of this class into per-class arrays ([`QosClass::ALL`] order).
     fn index(self) -> usize {
         match self {
             QosClass::Interactive => 0,
             QosClass::Batch => 1,
+            QosClass::Maintenance => 2,
         }
     }
 }
 
 /// Per-class grant weights for [`ClassQueues`]: out of every
-/// `interactive + batch` grants under full load, each class receives its
-/// weight's share. The default is 4:1 in favour of Interactive.
+/// `interactive + batch + maintenance` grants under full load, each class
+/// receives its weight's share. The default is 8:2:1 — Interactive keeps
+/// the historical 4× Batch share, and Maintenance trickles below Batch at
+/// one grant in eleven.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QosWeights {
     /// Grants per round for [`QosClass::Interactive`].
     pub interactive: u32,
     /// Grants per round for [`QosClass::Batch`].
     pub batch: u32,
+    /// Grants per round for [`QosClass::Maintenance`].
+    pub maintenance: u32,
 }
 
 impl Default for QosWeights {
     fn default() -> Self {
         QosWeights {
-            interactive: 4,
-            batch: 1,
+            interactive: 8,
+            batch: 2,
+            maintenance: 1,
         }
     }
 }
@@ -75,22 +100,28 @@ impl Default for QosWeights {
 impl QosWeights {
     /// Weights clamped to at least 1 each (a zero weight would starve the
     /// class outright, which deficit round-robin is meant to prevent).
-    pub fn new(interactive: u32, batch: u32) -> Self {
+    pub fn new(interactive: u32, batch: u32, maintenance: u32) -> Self {
         QosWeights {
             interactive: interactive.max(1),
             batch: batch.max(1),
+            maintenance: maintenance.max(1),
         }
+    }
+
+    /// The weights as a per-class array in [`QosClass::ALL`] order.
+    fn as_array(&self) -> [u32; CLASSES] {
+        [self.interactive, self.batch, self.maintenance]
     }
 }
 
 /// One FIFO per [`QosClass`], scheduled by weighted deficit round-robin
 /// with unit ticket cost. Deterministic: the grant sequence is a pure
-/// function of the push/pop history, which is what makes the fairness
-/// bounds unit-testable without threads or sleeps.
+/// function of the push/pop/reweight history, which is what makes the
+/// fairness bounds unit-testable without threads or sleeps.
 #[derive(Debug)]
 pub struct ClassQueues<T> {
-    queues: [VecDeque<T>; 2],
-    credit: [u32; 2],
+    queues: [VecDeque<T>; CLASSES],
+    credit: [u32; CLASSES],
     weights: QosWeights,
 }
 
@@ -101,12 +132,27 @@ impl<T> ClassQueues<T> {
     /// would make [`ClassQueues::pop_front`] spin forever on a backlogged
     /// class that can never earn credit.
     pub fn new(weights: QosWeights) -> Self {
-        let weights = QosWeights::new(weights.interactive, weights.batch);
+        let weights = QosWeights::new(weights.interactive, weights.batch, weights.maintenance);
         ClassQueues {
-            queues: [VecDeque::new(), VecDeque::new()],
-            credit: [weights.interactive, weights.batch],
+            queues: [const { VecDeque::new() }; CLASSES],
+            credit: weights.as_array(),
             weights,
         }
+    }
+
+    /// Replaces the grant weights on a live queue. Takes effect at the next
+    /// grant: every class's credit resets to its new weight (the in-flight
+    /// round restarts), so the new ratio applies immediately rather than
+    /// after the old round drains. Queued tickets are untouched. Weights
+    /// are re-clamped to at least 1, as in [`ClassQueues::new`].
+    pub fn set_weights(&mut self, weights: QosWeights) {
+        self.weights = QosWeights::new(weights.interactive, weights.batch, weights.maintenance);
+        self.credit = self.weights.as_array();
+    }
+
+    /// The current grant weights.
+    pub fn weights(&self) -> QosWeights {
+        self.weights
     }
 
     /// Enqueues an item at the back of its class's FIFO.
@@ -147,7 +193,7 @@ impl<T> ClassQueues<T> {
             // Credits reset (rather than accumulate) because tickets have
             // unit cost — there is no oversized item to amortise, and
             // resetting bounds any burst a class can save up.
-            self.credit = [self.weights.interactive, self.weights.batch];
+            self.credit = self.weights.as_array();
         }
     }
 }
@@ -170,65 +216,134 @@ mod tests {
         }
     }
 
+    fn share(order: &[QosClass], class: QosClass) -> usize {
+        order.iter().filter(|c| **c == class).count()
+    }
+
     #[test]
-    fn default_weights_interleave_four_to_one() {
+    fn default_weights_interleave_eight_two_one() {
         let mut queues = ClassQueues::new(QosWeights::default());
         saturate(&mut queues, QosClass::Interactive, 80);
         saturate(&mut queues, QosClass::Batch, 20);
+        saturate(&mut queues, QosClass::Maintenance, 10);
+        let order = grants(&mut queues, 55);
+        // 5 full rounds of 11 grants: 8 I + 2 B + 1 M each.
+        assert_eq!(share(&order, QosClass::Interactive), 40);
+        assert_eq!(share(&order, QosClass::Batch), 10);
+        assert_eq!(share(&order, QosClass::Maintenance), 5);
+        // And the interleaving is the deterministic 8×I, 2×B, 1×M round.
+        let round: Vec<QosClass> = order[..11].to_vec();
+        assert_eq!(share(&round[..8], QosClass::Interactive), 8);
+        assert_eq!(
+            &round[8..],
+            &[QosClass::Batch, QosClass::Batch, QosClass::Maintenance,]
+        );
+    }
+
+    #[test]
+    fn interactive_keeps_its_four_to_one_batch_share() {
+        // The historical contract: Interactive receives 4× Batch's grants
+        // under mixed backlog, under the new default weights too (8:2).
+        let mut queues = ClassQueues::new(QosWeights::default());
+        saturate(&mut queues, QosClass::Interactive, 800);
+        saturate(&mut queues, QosClass::Batch, 200);
         let order = grants(&mut queues, 100);
-        let batch = order.iter().filter(|c| **c == QosClass::Batch).count();
-        assert_eq!(batch, 20, "batch receives exactly its 1-in-5 share");
-        // And the interleaving is the deterministic I,I,I,I,B round.
-        assert_eq!(
-            &order[..10],
-            &[
-                QosClass::Interactive,
-                QosClass::Interactive,
-                QosClass::Interactive,
-                QosClass::Interactive,
-                QosClass::Batch,
-                QosClass::Interactive,
-                QosClass::Interactive,
-                QosClass::Interactive,
-                QosClass::Interactive,
-                QosClass::Batch,
-            ]
-        );
+        assert_eq!(share(&order, QosClass::Interactive), 80);
+        assert_eq!(share(&order, QosClass::Batch), 20);
     }
 
     #[test]
-    fn batch_is_never_starved_under_interactive_load() {
-        let mut queues = ClassQueues::new(QosWeights::new(4, 1));
+    fn no_class_is_starved_under_load_from_above() {
+        let mut queues = ClassQueues::new(QosWeights::new(4, 2, 1));
         saturate(&mut queues, QosClass::Interactive, 1000);
-        saturate(&mut queues, QosClass::Batch, 5);
-        let order = grants(&mut queues, 25);
+        saturate(&mut queues, QosClass::Batch, 1000);
+        saturate(&mut queues, QosClass::Maintenance, 5);
+        let order = grants(&mut queues, 35);
         assert_eq!(
-            order.iter().filter(|c| **c == QosClass::Batch).count(),
+            share(&order, QosClass::Maintenance),
             5,
-            "all five batch tickets granted within five rounds"
+            "all five maintenance tickets granted within five rounds"
         );
     }
 
     #[test]
-    fn interactive_behind_saturating_batch_dispatches_within_five_grants() {
-        // The acceptance bound: with 4:1 weights, an Interactive ticket
-        // arriving while Batch work saturates the pool is granted within 5
-        // ticket grants — at *every* phase of the batch credit cycle.
-        for batch_grants_before_arrival in 0..10 {
-            let mut queues = ClassQueues::new(QosWeights::new(4, 1));
+    fn maintenance_sits_below_batch() {
+        // Below in both senses: scanned after Batch within a round, and
+        // a strictly smaller share under full three-way backlog.
+        let mut queues = ClassQueues::new(QosWeights::default());
+        saturate(&mut queues, QosClass::Batch, 50);
+        saturate(&mut queues, QosClass::Maintenance, 50);
+        let order = grants(&mut queues, 30);
+        assert!(
+            share(&order, QosClass::Batch) > share(&order, QosClass::Maintenance),
+            "batch outweighs maintenance"
+        );
+        assert_eq!(order[0], QosClass::Batch, "batch is scanned first");
+    }
+
+    #[test]
+    fn interactive_behind_saturating_lower_classes_dispatches_within_five_grants() {
+        // The acceptance bound: an Interactive ticket arriving while Batch
+        // and Maintenance work saturates the pool is granted within 5
+        // ticket grants — at *every* phase of the lower classes' credit
+        // cycle. Worst case is one grant plus the remaining Batch (2) and
+        // Maintenance (1) credit.
+        for lower_grants_before_arrival in 0..12 {
+            let mut queues = ClassQueues::new(QosWeights::default());
             saturate(&mut queues, QosClass::Batch, 100);
-            let drained = grants(&mut queues, batch_grants_before_arrival);
-            assert!(drained.iter().all(|c| *c == QosClass::Batch));
+            saturate(&mut queues, QosClass::Maintenance, 100);
+            let drained = grants(&mut queues, lower_grants_before_arrival);
+            assert!(drained.iter().all(|c| *c != QosClass::Interactive));
             queues.push_back(QosClass::Interactive, QosClass::Interactive);
             let position = (1..=5)
                 .find(|_| queues.pop_front() == Some(QosClass::Interactive))
                 .expect("interactive granted within 5 grants");
             assert!(
                 position <= 5,
-                "arrival after {batch_grants_before_arrival} batch grants: \
+                "arrival after {lower_grants_before_arrival} lower-class grants: \
                  granted at position {position}"
             );
         }
+    }
+
+    #[test]
+    fn set_weights_takes_effect_at_the_next_grant() {
+        let mut queues = ClassQueues::new(QosWeights::new(1, 1, 1));
+        saturate(&mut queues, QosClass::Interactive, 100);
+        saturate(&mut queues, QosClass::Batch, 100);
+        // 1:1 alternation under the initial weights.
+        assert_eq!(
+            grants(&mut queues, 4),
+            vec![
+                QosClass::Interactive,
+                QosClass::Batch,
+                QosClass::Interactive,
+                QosClass::Batch,
+            ]
+        );
+        // Reweight mid-stream: the very next round is 3 I to 1 B.
+        queues.set_weights(QosWeights::new(3, 1, 1));
+        assert_eq!(queues.weights(), QosWeights::new(3, 1, 1));
+        assert_eq!(
+            grants(&mut queues, 8),
+            vec![
+                QosClass::Interactive,
+                QosClass::Interactive,
+                QosClass::Interactive,
+                QosClass::Batch,
+                QosClass::Interactive,
+                QosClass::Interactive,
+                QosClass::Interactive,
+                QosClass::Batch,
+            ]
+        );
+        // Reweighting resets credit, so a half-spent round cannot leak the
+        // old ratio into the new one.
+        queues.set_weights(QosWeights::new(1, 2, 1));
+        assert_eq!(
+            grants(&mut queues, 3),
+            vec![QosClass::Interactive, QosClass::Batch, QosClass::Batch]
+        );
     }
 
     #[test]
@@ -237,7 +352,7 @@ mod tests {
         assert!(queues.pop_front().is_none());
         assert!(queues.is_empty());
         for i in 0..10 {
-            queues.push_back(QosClass::Batch, i);
+            queues.push_back(QosClass::Maintenance, i);
         }
         assert_eq!(queues.len(), 10);
         let drained: Vec<u32> = (0..10).map(|_| queues.pop_front().unwrap()).collect();
@@ -247,21 +362,29 @@ mod tests {
 
     #[test]
     fn zero_weights_are_clamped() {
-        let weights = QosWeights::new(0, 0);
-        assert_eq!(weights, QosWeights::new(1, 1));
+        let weights = QosWeights::new(0, 0, 0);
+        assert_eq!(weights, QosWeights::new(1, 1, 1));
         // Struct-literal construction bypasses QosWeights::new; the queue
         // must re-clamp or a backlogged zero-weight class would spin
-        // pop_front forever.
+        // pop_front forever. set_weights must re-clamp too.
         let mut literal = ClassQueues::new(QosWeights {
             interactive: 4,
             batch: 0,
+            maintenance: 0,
         });
         literal.push_back(QosClass::Batch, QosClass::Batch);
         assert_eq!(literal.pop_front(), Some(QosClass::Batch));
+        literal.set_weights(QosWeights {
+            interactive: 1,
+            batch: 1,
+            maintenance: 0,
+        });
+        literal.push_back(QosClass::Maintenance, QosClass::Maintenance);
+        assert_eq!(literal.pop_front(), Some(QosClass::Maintenance));
         let mut queues = ClassQueues::new(weights);
         saturate(&mut queues, QosClass::Interactive, 2);
         saturate(&mut queues, QosClass::Batch, 2);
-        // 1:1 alternation.
+        // 1:1 alternation (maintenance credit goes unspent: empty queue).
         assert_eq!(
             grants(&mut queues, 4),
             vec![

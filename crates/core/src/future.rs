@@ -1,0 +1,291 @@
+//! The executor-agnostic async front end: [`QueryFuture`] and the
+//! waker-slot + condvar completion latch behind it.
+//!
+//! A submitted query completes exactly once, on a pool worker. Before this
+//! module, the only way to observe that completion was the latch's condvar
+//! (block in `join`) or polling `is_finished` in a loop. [`QueryState`] is
+//! the same latch extended with a *waker slot*: an async caller's
+//! [`Waker`], registered by [`QueryFuture::poll`], is stored next to the
+//! condvar and woken exactly once when the task completes. Blocking `join`
+//! and async `poll` therefore coexist on one latch — a future can be polled
+//! a few times from a mini-executor and then `join`ed synchronously, or the
+//! other way round — and one serving thread can multiplex thousands of
+//! in-flight queries without a blocked OS thread per query.
+//!
+//! Nothing here depends on an executor: [`QueryFuture`] is a plain
+//! [`Future`] + [`Unpin`] type driven by whatever polls it — tokio,
+//! async-std, or the dependency-free `block_on` mini-executor shipped in
+//! `examples/async_server.rs`. See `docs/SERVING.md` for the waker
+//! lifecycle in full.
+
+use mrq_codegen::exec::QueryOutput;
+use mrq_common::cancel::CancelToken;
+use mrq_common::Result;
+use std::future::Future;
+use std::marker::PhantomData;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::task::{Context, Poll, Waker};
+
+/// Completion channel between a submitted query task and its handle or
+/// future: a condvar latch (blocking `join`) plus a waker slot (async
+/// `poll`), completed exactly once by the pool task.
+pub(crate) struct QueryState {
+    slot: Mutex<QuerySlot>,
+    done: Condvar,
+}
+
+struct QuerySlot {
+    /// True once the task finished (stays true after the result is taken).
+    finished: bool,
+    /// The outcome, present from completion until the handle takes it.
+    result: Option<Result<QueryOutput>>,
+    /// The waker of the most recent `poll`, if any. Completion takes and
+    /// wakes it exactly once; re-polling before completion replaces it
+    /// (the latest poll's waker wins, per the `Future` contract).
+    waker: Option<Waker>,
+}
+
+impl QueryState {
+    pub(crate) fn new() -> Arc<QueryState> {
+        Arc::new(QueryState {
+            slot: Mutex::new(QuerySlot {
+                finished: false,
+                result: None,
+                waker: None,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QuerySlot> {
+        self.slot.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Completes the latch: publishes the result, releases every blocked
+    /// `join`, and wakes the registered waker (if any) exactly once. The
+    /// waker is invoked *after* the slot lock is released, so a waker that
+    /// immediately re-polls from another thread cannot deadlock against
+    /// this call.
+    pub(crate) fn complete(&self, result: Result<QueryOutput>) {
+        let waker = {
+            let mut slot = self.lock();
+            slot.result = Some(result);
+            slot.finished = true;
+            slot.waker.take()
+        };
+        self.done.notify_all();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+
+    /// True once the task finished. Non-blocking.
+    pub(crate) fn is_finished(&self) -> bool {
+        self.lock().finished
+    }
+
+    /// Blocks until the task finished, then takes the result.
+    pub(crate) fn wait_take(&self) -> Result<QueryOutput> {
+        let mut slot = self.lock();
+        while !slot.finished {
+            slot = self.done.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+        slot.result
+            .take()
+            .expect("a query result is joined at most once")
+    }
+
+    /// Blocks until the task finished without consuming the result.
+    pub(crate) fn wait_finished(&self) {
+        let mut slot = self.lock();
+        while !slot.finished {
+            slot = self.done.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// One async poll step: takes the result if the task finished, else
+    /// registers (or refreshes) `waker` to be woken on completion.
+    fn poll_take(&self, waker: &Waker) -> Poll<Result<QueryOutput>> {
+        let mut slot = self.lock();
+        if slot.finished {
+            return Poll::Ready(
+                slot.result
+                    .take()
+                    .expect("a QueryFuture must not be polled after it returned Ready"),
+            );
+        }
+        // Re-registration across polls: keep an equivalent waker, replace a
+        // stale one (an executor may migrate the task between polls).
+        match &mut slot.waker {
+            Some(existing) if existing.will_wake(waker) => {}
+            entry => *entry = Some(waker.clone()),
+        }
+        Poll::Pending
+    }
+
+    /// Drops any registered waker (called when a future is dropped before
+    /// completion, so the completing task does not wake a dead task slot).
+    fn clear_waker(&self) {
+        self.lock().waker = None;
+    }
+}
+
+/// A query in flight on the worker pool, as a [`Future`].
+///
+/// Returned by `Provider::submit_async` (borrowed — the future cannot
+/// outlive the provider) and `OwnedProvider::submit_async` (`'static` — the
+/// future can escape the binding scope and be driven from any thread). The
+/// output is exactly what `Provider::execute` would have returned for the
+/// same statement and strategy: `Ok(QueryOutput)` bit-identical to the
+/// sequential engines, or the error — including
+/// [`QueryError::Cancelled`](crate::QueryError::Cancelled) after
+/// [`QueryFuture::cancel`] and
+/// [`QueryError::DeadlineExceeded`](crate::QueryError::DeadlineExceeded)
+/// when the submission's deadline lapses.
+///
+/// The future is [`Unpin`] and executor-agnostic: poll it from any
+/// executor, or skip executors entirely — [`QueryFuture::join`] blocks on
+/// the same completion latch the waker hangs off. Polling it after it
+/// returned [`Poll::Ready`] panics (the result is moved out), like most
+/// one-shot futures.
+///
+/// # Waker lifecycle
+///
+/// Each `poll` stores the caller's [`Waker`] in the completion latch
+/// (replacing a stale one, so re-registration across polls and executor
+/// migrations is safe). The pool task wakes it **exactly once**, when the
+/// query completes — normally, with an error, cancelled, or past its
+/// deadline. Cancelled queries complete within ~4096 rows (the intra-morsel
+/// checkpoint cadence): remaining morsels retire unrun and the retirement
+/// itself fires the latch, so the waker is not left waiting on work that
+/// will never run. Dropping the future unregisters its waker.
+///
+/// # Drop semantics
+///
+/// Dropping an *owned* future (from `OwnedProvider::submit_async`) is
+/// non-blocking and never leaks: the in-flight task holds its own provider
+/// handle, finishes in the background, and releases everything it holds.
+/// Dropping a *borrowed* future blocks until the query finished, exactly
+/// like `QueryHandle` — that wait is what lets the pool task borrow the
+/// provider safely. Either way `Provider::drop` still waits for every
+/// in-flight submission, so teardown can never race a running query.
+///
+/// # Examples
+///
+/// A future driven without any async runtime — a ~15-line `block_on` built
+/// on [`std::task::Wake`] and thread parking (the same mini-executor
+/// `examples/async_server.rs` uses to multiplex many of these on one
+/// thread):
+///
+/// ```
+/// # use mrq_common::{DataType, Field, Schema, Value};
+/// # use mrq_core::{Provider, QueryOptions, Strategy};
+/// # use mrq_engine_native::RowStore;
+/// # use mrq_expr::{col, lam, lit, BinaryOp, Expr, Query, SourceId};
+/// # use std::future::Future;
+/// # use std::pin::pin;
+/// # use std::sync::Arc;
+/// # use std::task::{Context, Poll, Wake, Waker};
+/// # struct Unpark(std::thread::Thread);
+/// # impl Wake for Unpark {
+/// #     fn wake(self: Arc<Self>) {
+/// #         self.0.unpark();
+/// #     }
+/// # }
+/// fn block_on<F: Future>(future: F) -> F::Output {
+///     let waker = Waker::from(Arc::new(Unpark(std::thread::current())));
+///     let mut context = Context::from_waker(&waker);
+///     let mut future = pin!(future);
+///     loop {
+///         match future.as_mut().poll(&mut context) {
+///             Poll::Ready(output) => return output,
+///             Poll::Pending => std::thread::park(),
+///         }
+///     }
+/// }
+///
+/// # let schema = Schema::new("N", vec![Field::new("n", DataType::Int64)]);
+/// # let rows: Vec<Vec<Value>> = (0..100).map(|i| vec![Value::Int64(i)]).collect();
+/// # let store = RowStore::from_rows(schema, &rows);
+/// # let mut provider = Provider::new();
+/// # provider.bind_native(SourceId(0), &store);
+/// # let stmt = Query::from_source(SourceId(0))
+/// #     .where_(lam("x", Expr::binary(BinaryOp::Lt, col("x", "n"), lit(10i64))))
+/// #     .select(lam("x", col("x", "n")))
+/// #     .into_expr();
+/// let future = provider.submit_async(stmt, Strategy::CompiledNative, QueryOptions::new());
+/// let out = block_on(future)?;
+/// assert_eq!(out.rows.len(), 10);
+/// # Ok::<(), mrq_core::QueryError>(())
+/// ```
+pub struct QueryFuture<'p> {
+    state: Arc<QueryState>,
+    token: Arc<CancelToken>,
+    /// `Some` for futures from an `OwnedProvider`: the task keeps its own
+    /// provider handle alive, so dropping the future is non-blocking; this
+    /// clone only marks the future as owned (and is released on drop —
+    /// nothing leaks). `None` for borrowed futures, whose drop must block
+    /// exactly like `QueryHandle`'s.
+    owner: Option<Arc<crate::Provider<'static>>>,
+    _provider: PhantomData<&'p ()>,
+}
+
+impl<'p> QueryFuture<'p> {
+    pub(crate) fn new(
+        state: Arc<QueryState>,
+        token: Arc<CancelToken>,
+        owner: Option<Arc<crate::Provider<'static>>>,
+    ) -> QueryFuture<'p> {
+        QueryFuture {
+            state,
+            token,
+            owner,
+            _provider: PhantomData,
+        }
+    }
+
+    /// True once the query finished (successfully or not). Non-blocking.
+    pub fn is_finished(&self) -> bool {
+        self.state.is_finished()
+    }
+
+    /// Requests cooperative cancellation, exactly like
+    /// [`QueryHandle::cancel`](crate::QueryHandle::cancel): the token trips,
+    /// in-flight morsels stop at the next intra-morsel checkpoint (~4096
+    /// rows), unclaimed morsels retire unrun, and the future resolves to
+    /// [`QueryError::Cancelled`](crate::QueryError::Cancelled) — waking its
+    /// registered waker — unless the query completed first, in which case
+    /// the completed result stands. Idempotent and non-blocking.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// Blocks until the query finished and returns its result — the
+    /// synchronous escape hatch on the same completion latch the waker
+    /// uses. A future polled a few times and then `join`ed behaves
+    /// identically to one driven to `Ready`.
+    pub fn join(self) -> Result<QueryOutput> {
+        self.state.wait_take()
+    }
+}
+
+impl Future for QueryFuture<'_> {
+    type Output = Result<QueryOutput>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        self.state.poll_take(cx.waker())
+    }
+}
+
+impl Drop for QueryFuture<'_> {
+    /// Unregisters the waker; a borrowed future then waits for the query
+    /// (the lifetime-erasure safety contract), while an owned future
+    /// returns immediately — its task self-keeps-alive.
+    fn drop(&mut self) {
+        self.state.clear_waker();
+        if self.owner.is_none() {
+            self.state.wait_finished();
+        }
+    }
+}

@@ -36,6 +36,21 @@
 //! long-running scan cannot starve short queries submitted after it. See
 //! `docs/CONCURRENCY.md` for the full model.
 //!
+//! # Async serving
+//!
+//! [`Provider::submit_async`] returns the same submission as a
+//! [`QueryFuture`] — a plain, executor-agnostic [`std::future::Future`]
+//! whose waker hangs off the query's completion latch, so one driver
+//! thread can multiplex thousands of in-flight queries without blocking a
+//! thread per query. Bindings can be borrowed (futures confined to the
+//! binding scope) or shared (`Arc`-backed, via
+//! [`Provider::over_shared_heap`] / [`Provider::bind_native_shared`] /
+//! [`Provider::bind_values_shared`]); a fully shared provider seals into an
+//! [`OwnedProvider`] whose futures are `'static` and escape the scope
+//! entirely. See `docs/SERVING.md` for the async model and
+//! `examples/async_server.rs` for a dependency-free mini-executor driving
+//! it end to end.
+//!
 //! [`QuerySpec`]: mrq_codegen::spec::QuerySpec
 
 #![warn(missing_docs)]
@@ -58,14 +73,21 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
+use crate::future::QueryState;
+
+mod future;
+mod owned;
 pub mod recycle;
+
+pub use future::QueryFuture;
+pub use owned::OwnedProvider;
 
 /// The error type the serving layer resolves handles to — the same
 /// [`mrq_common::MrqError`] every API in the workspace returns, re-exported
 /// under the name its lifecycle variants ([`QueryError::Cancelled`],
 /// [`QueryError::DeadlineExceeded`]) are discussed by.
 pub use mrq_common::MrqError as QueryError;
-pub use mrq_common::QosClass;
+pub use mrq_common::{QosClass, QosWeights};
 pub use mrq_engine_hybrid::{Materialization, TransferPolicy};
 pub use mrq_engine_native::ParallelConfig;
 pub use mrq_expr::optimize::OptimizerConfig as QueryOptimizerConfig;
@@ -101,7 +123,9 @@ pub struct QueryOptions {
     /// before a single morsel runs.
     pub deadline: Option<Duration>,
     /// Scheduling class for the pool's weighted per-class queues (default
-    /// 4:1 Interactive:Batch grant weights; see `docs/CONCURRENCY.md`).
+    /// 8:2:1 Interactive:Batch:Maintenance grant weights, runtime-tunable
+    /// via [`mrq_common::pool::WorkerPool::set_weights`]; see
+    /// `docs/CONCURRENCY.md`).
     pub class: QosClass,
 }
 
@@ -114,6 +138,13 @@ impl QueryOptions {
     /// Options for throughput work: [`QosClass::Batch`], no deadline.
     pub fn batch() -> Self {
         QueryOptions::new().with_class(QosClass::Batch)
+    }
+
+    /// Options for background housekeeping: [`QosClass::Maintenance`] — the
+    /// class below Batch, granted only what the serving classes leave over
+    /// (but never starved) — with no deadline.
+    pub fn maintenance() -> Self {
+        QueryOptions::new().with_class(QosClass::Maintenance)
     }
 
     /// The same options with a wall-clock budget from submission.
@@ -129,11 +160,29 @@ impl QueryOptions {
     }
 }
 
+/// A borrowed-or-shared reference to bound data. Borrowed bindings pin the
+/// provider (and everything submitted through it) to the owning stack
+/// frame; shared (`Arc`) bindings are what let a fully-shared provider
+/// become `'static` and seal into an [`OwnedProvider`].
+enum SourceRef<'a, T> {
+    Borrowed(&'a T),
+    Shared(Arc<T>),
+}
+
+impl<T> SourceRef<'_, T> {
+    fn get(&self) -> &T {
+        match self {
+            SourceRef::Borrowed(t) => t,
+            SourceRef::Shared(t) => t,
+        }
+    }
+}
+
 /// How a source id is bound to data.
 enum Binding<'a> {
     Managed { list: ListId, schema: Schema },
-    Native(&'a RowStore),
-    Values(&'a ValueTable),
+    Native(SourceRef<'a, RowStore>),
+    Values(SourceRef<'a, ValueTable>),
 }
 
 /// The compiled artefact cached per query pattern.
@@ -163,7 +212,7 @@ pub struct ProviderStats {
 
 /// Binds sources to data and executes query statements.
 pub struct Provider<'a> {
-    heap: Option<&'a Heap>,
+    heap: Option<SourceRef<'a, Heap>>,
     bindings: Vec<(SourceId, Binding<'a>)>,
     cache: QueryCache<CompiledQuery>,
     cost_model: CompileCostModel,
@@ -317,7 +366,17 @@ impl<'a> Provider<'a> {
     /// Creates a provider over a managed heap.
     pub fn over_heap(heap: &'a Heap) -> Self {
         let mut provider = Provider::new();
-        provider.heap = Some(heap);
+        provider.heap = Some(SourceRef::Borrowed(heap));
+        provider
+    }
+
+    /// Creates a provider over a *shared* managed heap: the `'static`
+    /// counterpart of [`Provider::over_heap`], for providers that will be
+    /// sealed into an [`OwnedProvider`]. The provider keeps the `Arc`
+    /// alive; so does every in-flight owned submission.
+    pub fn over_shared_heap(heap: Arc<Heap>) -> Provider<'static> {
+        let mut provider = Provider::new();
+        provider.heap = Some(SourceRef::Shared(heap));
         provider
     }
 
@@ -331,15 +390,41 @@ impl<'a> Provider<'a> {
     /// Binds a source id to a native row store (the array-of-structs case of
     /// §5).
     pub fn bind_native(&mut self, source: SourceId, store: &'a RowStore) -> &mut Self {
-        self.bindings.push((source, Binding::Native(store)));
+        self.bindings
+            .push((source, Binding::Native(SourceRef::Borrowed(store))));
+        self
+    }
+
+    /// Binds a source id to a *shared* native row store. Unlike
+    /// [`Provider::bind_native`], the binding does not borrow: a provider
+    /// whose bindings are all shared (or managed) is `'static` and can seal
+    /// into an [`OwnedProvider`] whose futures escape the binding scope.
+    pub fn bind_native_shared(&mut self, source: SourceId, store: Arc<RowStore>) -> &mut Self {
+        self.bindings
+            .push((source, Binding::Native(SourceRef::Shared(store))));
         self
     }
 
     /// Binds a source id to a materialised value table (used for multi-step
     /// queries such as the decorrelated Q2 inner result).
     pub fn bind_values(&mut self, source: SourceId, table: &'a ValueTable) -> &mut Self {
-        self.bindings.push((source, Binding::Values(table)));
+        self.bindings
+            .push((source, Binding::Values(SourceRef::Borrowed(table))));
         self
+    }
+
+    /// Binds a source id to a *shared* materialised value table (the
+    /// `'static` counterpart of [`Provider::bind_values`]; see
+    /// [`Provider::bind_native_shared`]).
+    pub fn bind_values_shared(&mut self, source: SourceId, table: Arc<ValueTable>) -> &mut Self {
+        self.bindings
+            .push((source, Binding::Values(SourceRef::Shared(table))));
+        self
+    }
+
+    /// The bound managed heap, borrowed or shared.
+    fn heap(&self) -> Option<&Heap> {
+        self.heap.as_ref().map(SourceRef::get)
     }
 
     fn binding(&self, source: SourceId) -> Result<&Binding<'a>> {
@@ -353,8 +438,8 @@ impl<'a> Provider<'a> {
     fn schema_of(&self, source: SourceId) -> Option<Schema> {
         match self.binding(source).ok()? {
             Binding::Managed { schema, .. } => Some(schema.clone()),
-            Binding::Native(store) => Some(store.schema().clone()),
-            Binding::Values(table) => Some(table.schema().clone()),
+            Binding::Native(store) => Some(store.get().schema().clone()),
+            Binding::Values(table) => Some(table.get().schema().clone()),
         }
     }
 
@@ -548,9 +633,10 @@ impl<'a> Provider<'a> {
     ///
     /// The class picks which of the pool's weighted queues the query's
     /// tickets — its dispatch and every morsel of its parallel fan-outs —
-    /// are granted from: with the default 4:1 weights,
-    /// [`QosClass::Batch`] work keeps flowing but cedes four grants in five
-    /// to [`QosClass::Interactive`] whenever both are backlogged.
+    /// are granted from: with the default 8:2:1 weights,
+    /// [`QosClass::Batch`] work keeps flowing but cedes four grants to
+    /// [`QosClass::Interactive`] for each of its own whenever both are
+    /// backlogged, and [`QosClass::Maintenance`] trickles below both.
     ///
     /// # Examples
     ///
@@ -589,9 +675,85 @@ impl<'a> Provider<'a> {
         strategy: Strategy,
         options: QueryOptions,
     ) -> QueryHandle<'_> {
-        // Arm the deadline now: queue time counts against the budget (the
-        // client's clock started at submission). `checked_add` saturates
-        // absurd budgets to "no deadline" instead of panicking.
+        let (state, token) = self.spawn_submitted(expr, strategy, options);
+        QueryHandle {
+            state,
+            token,
+            _provider: PhantomData,
+        }
+    }
+
+    /// Queues a statement for execution on the persistent worker pool and
+    /// returns a [`QueryFuture`]: the async counterpart of
+    /// [`Provider::submit_with`], for waker-driven serving.
+    ///
+    /// The future registers its caller's [`std::task::Waker`] on the
+    /// query's completion latch each time it is polled and is woken exactly
+    /// once, when the query completes — normally, with an error, cancelled
+    /// ([`QueryFuture::cancel`]) or past the [`QueryOptions`] deadline. One
+    /// driver thread can therefore multiplex any number of in-flight
+    /// queries: the queries *run* on the pool's workers regardless of who
+    /// polls, so a mini-executor that just parks between wakes is enough
+    /// (see `examples/async_server.rs`). Blocking [`QueryFuture::join`] and
+    /// async polling coexist on the same latch.
+    ///
+    /// The future borrows the provider, exactly like a [`QueryHandle`]:
+    /// dropping it unresolved blocks until the query finished. For
+    /// `'static` futures that escape the binding scope — and drop without
+    /// blocking — seal the provider into an [`OwnedProvider`] and use
+    /// [`OwnedProvider::submit_async`].
+    ///
+    /// # Examples
+    ///
+    /// Polling by hand (no executor at all): a no-op waker, then a blocking
+    /// `join` on the same future — showing that the two paths coexist.
+    ///
+    /// ```
+    /// use mrq_common::{DataType, Field, Schema, Value};
+    /// use mrq_core::{Provider, QueryOptions, Strategy};
+    /// use mrq_engine_native::RowStore;
+    /// use mrq_expr::{col, lam, lit, BinaryOp, Expr, Query, SourceId};
+    /// use std::future::Future;
+    /// use std::pin::Pin;
+    /// use std::task::{Context, Poll, Waker};
+    ///
+    /// let schema = Schema::new("N", vec![Field::new("n", DataType::Int64)]);
+    /// let rows: Vec<Vec<Value>> = (0..100).map(|i| vec![Value::Int64(i)]).collect();
+    /// let store = RowStore::from_rows(schema, &rows);
+    /// let mut provider = Provider::new();
+    /// provider.bind_native(SourceId(0), &store);
+    /// let stmt = Query::from_source(SourceId(0))
+    ///     .where_(lam("x", Expr::binary(BinaryOp::Lt, col("x", "n"), lit(10i64))))
+    ///     .select(lam("x", col("x", "n")))
+    ///     .into_expr();
+    ///
+    /// let mut future =
+    ///     provider.submit_async(stmt, Strategy::CompiledNative, QueryOptions::new());
+    /// // Poll once; the query may still be queued (Pending) or already done
+    /// // (Ready). QueryFuture is Unpin, so Pin::new on a &mut works.
+    /// let mut context = Context::from_waker(Waker::noop());
+    /// match Pin::new(&mut future).poll(&mut context) {
+    ///     Poll::Ready(result) => assert_eq!(result?.rows.len(), 10),
+    ///     // Not done yet: fall back to the blocking path on the same latch.
+    ///     Poll::Pending => assert_eq!(future.join()?.rows.len(), 10),
+    /// }
+    /// # Ok::<(), mrq_core::QueryError>(())
+    /// ```
+    pub fn submit_async(
+        &self,
+        expr: Expr,
+        strategy: Strategy,
+        options: QueryOptions,
+    ) -> QueryFuture<'_> {
+        let (state, token) = self.spawn_submitted(expr, strategy, options);
+        QueryFuture::new(state, token, None)
+    }
+
+    /// Arms a submission's cancel token (deadline measured from now — queue
+    /// time counts against the budget; `checked_add` saturates absurd
+    /// budgets to "no deadline" instead of panicking) and pairs it with the
+    /// [`JobControl`] every fan-out of the query will inherit.
+    fn arm(options: &QueryOptions) -> (Arc<CancelToken>, JobControl) {
         let deadline = options
             .deadline
             .and_then(|budget| Instant::now().checked_add(budget));
@@ -603,56 +765,75 @@ impl<'a> Provider<'a> {
             token: Arc::clone(&token),
             class: options.class,
         };
-        let state = Arc::new(QueryState {
-            slot: StdMutex::new(QuerySlot {
-                finished: false,
-                result: None,
+        (token, control)
+    }
+
+    /// Runs one submitted query on the calling (pool-worker) thread under
+    /// its [`JobControl`]: the pre-dispatch token check, the cancel scope,
+    /// and the query-boundary catch that turns checkpoint unwinds into
+    /// their lifecycle errors and engine panics into [`MrqError::Internal`]
+    /// — a panicking query must still complete its latch, or a joining
+    /// client (or registered waker) would wait forever.
+    fn run_submitted(
+        &self,
+        control: &JobControl,
+        expr: Expr,
+        strategy: Strategy,
+    ) -> Result<QueryOutput> {
+        if let Some(reason) = control.token.check() {
+            // Cancelled or expired while queued: resolve the handle
+            // without compiling or executing a single morsel.
+            return Err(MrqError::from(reason));
+        }
+        // The scope threads the token and class to every morsel fan-out
+        // below; a tripped checkpoint unwinds with the reason, caught here
+        // at the query boundary.
+        match catch_unwind(AssertUnwindSafe(|| {
+            cancel::scope(control.clone(), || self.execute(expr, strategy))
+        })) {
+            Ok(result) => result,
+            Err(payload) => Err(match payload.downcast::<CancelReason>() {
+                Ok(reason) => MrqError::from(*reason),
+                Err(_) => MrqError::Internal("submitted query panicked on a pool worker".into()),
             }),
-            done: Condvar::new(),
-        });
+        }
+    }
+
+    /// The in-flight accounting latch (shared with [`OwnedProvider`]'s
+    /// spawn path, which lives in a sibling module).
+    fn in_flight_guard(&self) -> &InFlight {
+        &self.in_flight
+    }
+
+    /// The borrowed spawn path shared by [`Provider::submit_with`] and
+    /// [`Provider::submit_async`]: queues the task and returns the
+    /// completion latch + token the handle or future wraps.
+    fn spawn_submitted(
+        &self,
+        expr: Expr,
+        strategy: Strategy,
+        options: QueryOptions,
+    ) -> (Arc<QueryState>, Arc<CancelToken>) {
+        let (token, control) = Self::arm(&options);
+        let state = QueryState::new();
         let completion = Arc::clone(&state);
         self.in_flight.increment();
         let in_flight = Arc::clone(&self.in_flight);
         let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-            let result = if let Some(reason) = control.token.check() {
-                // Cancelled or expired while queued: resolve the handle
-                // without compiling or executing a single morsel.
-                Err(MrqError::from(reason))
-            } else {
-                // The scope threads the token and class to every morsel
-                // fan-out below; a tripped checkpoint unwinds with the
-                // reason, caught here at the query boundary. An engine
-                // panic must also still complete the handle, or a joining
-                // client would hang forever.
-                match catch_unwind(AssertUnwindSafe(|| {
-                    cancel::scope(control.clone(), || self.execute(expr, strategy))
-                })) {
-                    Ok(result) => result,
-                    Err(payload) => Err(match payload.downcast::<CancelReason>() {
-                        Ok(reason) => MrqError::from(*reason),
-                        Err(_) => {
-                            MrqError::Internal("submitted query panicked on a pool worker".into())
-                        }
-                    }),
-                }
-            };
+            let result = self.run_submitted(&control, expr, strategy);
             completion.complete(result);
             in_flight.decrement();
         });
         // SAFETY (lifetime erasure): the pool requires a `'static` task, but
         // this closure borrows `self`. Two waits keep the borrow alive past
-        // every dereference the task makes: `QueryHandle`'s `join`/`Drop`
-        // block until completion, and — if a handle is leaked without its
-        // destructor running (`mem::forget`) — `Provider::drop` itself waits
-        // for the in-flight count to reach zero before the provider (whose
-        // borrowed bindings outlive it) can be torn down.
+        // every dereference the task makes: `QueryHandle`'s/`QueryFuture`'s
+        // `join`/`Drop` block until completion, and — if a handle is leaked
+        // without its destructor running (`mem::forget`) — `Provider::drop`
+        // itself waits for the in-flight count to reach zero before the
+        // provider (whose borrowed bindings outlive it) can be torn down.
         let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
         WorkerPool::global().spawn_as(options.class, task);
-        QueryHandle {
-            state,
-            token,
-            _provider: PhantomData,
-        }
+        (state, token)
     }
 
     /// The recycling identity of one statement instance: canonical shape,
@@ -664,13 +845,13 @@ impl<'a> Provider<'a> {
         for source in sources {
             let rows = match self.binding(source)? {
                 Binding::Managed { list, .. } => {
-                    let heap = self.heap.ok_or_else(|| {
+                    let heap = self.heap().ok_or_else(|| {
                         MrqError::Unsupported("managed bindings need a heap-backed provider".into())
                     })?;
                     heap.list_len(*list)
                 }
-                Binding::Native(store) => store.len(),
-                Binding::Values(table) => table.rows().len(),
+                Binding::Native(store) => store.get().len(),
+                Binding::Values(table) => table.get().rows().len(),
             };
             fingerprint.push((source, rows));
         }
@@ -696,7 +877,7 @@ impl<'a> Provider<'a> {
                 let mut tables = Vec::new();
                 for source in &sources {
                     match self.binding(*source)? {
-                        Binding::Native(store) => tables.push(*store),
+                        Binding::Native(store) => tables.push(store.get()),
                         _ => {
                             return Err(MrqError::Unsupported(format!(
                                 "source {source:?} is not bound to a native row store; \
@@ -720,7 +901,7 @@ impl<'a> Provider<'a> {
                 }
             }
             Strategy::LinqToObjects | Strategy::CompiledCSharp | Strategy::Hybrid(_) => {
-                let heap = self.heap.ok_or_else(|| {
+                let heap = self.heap().ok_or_else(|| {
                     MrqError::Unsupported("managed strategies need a heap-backed provider".into())
                 })?;
                 // Managed strategies accept managed lists; value-table
@@ -824,52 +1005,6 @@ impl DeferredQuery<'_> {
     }
 }
 
-/// Completion channel between a submitted query task and its handle.
-struct QueryState {
-    slot: StdMutex<QuerySlot>,
-    done: Condvar,
-}
-
-struct QuerySlot {
-    /// True once the task finished (stays true after the result is taken).
-    finished: bool,
-    /// The outcome, present from completion until the handle takes it.
-    result: Option<Result<QueryOutput>>,
-}
-
-impl QueryState {
-    fn lock(&self) -> std::sync::MutexGuard<'_, QuerySlot> {
-        self.slot.lock().unwrap_or_else(|e| e.into_inner())
-    }
-
-    fn complete(&self, result: Result<QueryOutput>) {
-        let mut slot = self.lock();
-        slot.result = Some(result);
-        slot.finished = true;
-        drop(slot);
-        self.done.notify_all();
-    }
-
-    /// Blocks until the task finished, then takes the result.
-    fn wait_take(&self) -> Result<QueryOutput> {
-        let mut slot = self.lock();
-        while !slot.finished {
-            slot = self.done.wait(slot).unwrap_or_else(|e| e.into_inner());
-        }
-        slot.result
-            .take()
-            .expect("a query result is joined at most once")
-    }
-
-    /// Blocks until the task finished without consuming the result.
-    fn wait_finished(&self) {
-        let mut slot = self.lock();
-        while !slot.finished {
-            slot = self.done.wait(slot).unwrap_or_else(|e| e.into_inner());
-        }
-    }
-}
-
 /// A query queued on the worker pool by [`Provider::submit`] /
 /// [`Provider::submit_with`].
 ///
@@ -893,7 +1028,7 @@ pub struct QueryHandle<'p> {
 impl<'p> QueryHandle<'p> {
     /// True once the query finished (successfully or not). Non-blocking.
     pub fn is_finished(&self) -> bool {
-        self.state.lock().finished
+        self.state.is_finished()
     }
 
     /// Requests cooperative cancellation: flips the query's token, which is

@@ -1,0 +1,165 @@
+//! The owned-provider handle: an `Arc`-based `'static` path into the
+//! serving layer, so queries — and especially [`QueryFuture`]s — can escape
+//! the binding scope.
+//!
+//! A borrowed [`Provider`] pins every handle and future to the stack frame
+//! that owns the bound collections; safe, but a server cannot hand such a
+//! future to another thread, park it in a connection table, or outlive the
+//! scope that built the provider. [`OwnedProvider`] lifts that limit: the
+//! provider and its bindings live behind one [`Arc`], every in-flight task
+//! holds its own clone, and the futures it returns are `'static` — drive
+//! them from any thread or mini-executor, drop them early without blocking,
+//! and let the last clone standing tear everything down.
+//!
+//! Building one requires `'static` bindings, which is exactly what the
+//! shared-binding constructors provide ([`Provider::over_shared_heap`],
+//! [`Provider::bind_native_shared`], [`Provider::bind_values_shared`]):
+//! bind `Arc<RowStore>` / `Arc<Heap>` / `Arc<ValueTable>` handles instead
+//! of borrows and the borrow checker lets [`Provider::into_shared`] seal
+//! the provider. A provider with any non-`'static` borrow simply cannot be
+//! sealed — the escape hatch is compile-time-gated, not runtime-checked.
+
+use crate::future::{QueryFuture, QueryState};
+use crate::{Provider, QueryOptions, Strategy};
+use mrq_common::pool::WorkerPool;
+use mrq_expr::Expr;
+use std::ops::Deref;
+use std::sync::Arc;
+
+impl Provider<'static> {
+    /// Seals a fully-bound provider into a shareable, `'static`
+    /// [`OwnedProvider`]. Only a provider whose bindings are all owned or
+    /// shared (`Arc`-backed, via [`Provider::over_shared_heap`] /
+    /// [`Provider::bind_native_shared`] / [`Provider::bind_values_shared`],
+    /// plus managed lists, which never borrow) satisfies the `'static`
+    /// bound — borrowed bindings are rejected at compile time.
+    ///
+    /// Configuration is fixed at sealing time: set parallelism, the
+    /// optimizer and recycling before calling this (the shared provider is
+    /// immutable, which is what makes handing it to many threads sound).
+    pub fn into_shared(self) -> OwnedProvider {
+        OwnedProvider {
+            inner: Arc::new(self),
+        }
+    }
+}
+
+/// A shareable `'static` handle to a sealed [`Provider`]: the owned half of
+/// the serving layer.
+///
+/// Cloning is an `Arc` clone; every clone (and every in-flight
+/// [`OwnedProvider::submit_async`] task) keeps the provider and its bound
+/// collections alive. All of [`Provider`]'s read-side API is available
+/// through `Deref` — [`Provider::execute`], [`Provider::submit`],
+/// [`Provider::stats`], … — and `submit_async` here returns a
+/// `QueryFuture<'static>` instead of a borrowed one.
+///
+/// Teardown is ordered by construction: the provider's own `Drop` waits for
+/// in-flight submissions, and a task drops its provider clone only *after*
+/// decrementing the in-flight count, so the last clone — wherever it is
+/// dropped, client thread or pool worker — never deadlocks.
+///
+/// # Examples
+///
+/// A future that outlives the scope that built the provider and is driven
+/// from a different thread:
+///
+/// ```
+/// use mrq_common::{DataType, Field, Schema, Value};
+/// use mrq_core::{OwnedProvider, Provider, QueryOptions, Strategy};
+/// use mrq_engine_native::RowStore;
+/// use mrq_expr::{col, lam, lit, BinaryOp, Expr, Query, SourceId};
+/// use std::sync::Arc;
+///
+/// let schema = Schema::new("N", vec![Field::new("n", DataType::Int64)]);
+/// let rows: Vec<Vec<Value>> = (0..100).map(|i| vec![Value::Int64(i)]).collect();
+/// let store = Arc::new(RowStore::from_rows(schema, &rows));
+///
+/// let provider: OwnedProvider = {
+///     // The binding scope: nothing from it escapes except the Arcs.
+///     let mut provider = Provider::new();
+///     provider.bind_native_shared(SourceId(0), Arc::clone(&store));
+///     provider.into_shared()
+/// };
+///
+/// let stmt = Query::from_source(SourceId(0))
+///     .where_(lam("x", Expr::binary(BinaryOp::Lt, col("x", "n"), lit(10i64))))
+///     .select(lam("x", col("x", "n")))
+///     .into_expr();
+/// let future = provider.submit_async(stmt, Strategy::CompiledNative, QueryOptions::new());
+///
+/// // `future` is 'static: hand it to another thread and join it there.
+/// let rows = std::thread::spawn(move || future.join())
+///     .join()
+///     .expect("driver thread")?
+///     .rows;
+/// assert_eq!(rows.len(), 10);
+/// # Ok::<(), mrq_core::QueryError>(())
+/// ```
+#[derive(Clone)]
+pub struct OwnedProvider {
+    inner: Arc<Provider<'static>>,
+}
+
+impl OwnedProvider {
+    /// Queues a statement on the worker pool and returns a `'static`
+    /// [`QueryFuture`] that can escape this scope entirely.
+    ///
+    /// Semantics match [`Provider::submit_async`] — same waker lifecycle,
+    /// deadline arming at submission, QoS class routing, and bit-identical
+    /// results — with one difference: the spawned task carries its own
+    /// provider clone, so the future's `Drop` is non-blocking. Dropping an
+    /// unresolved future abandons the *result*, not the provider: the task
+    /// finishes (or retires, if cancelled) in the background and releases
+    /// its clone, and `Provider::drop` still waits for it before the
+    /// bindings go away.
+    pub fn submit_async(
+        &self,
+        expr: Expr,
+        strategy: Strategy,
+        options: QueryOptions,
+    ) -> QueryFuture<'static> {
+        let (token, control) = Provider::arm(&options);
+        let state = QueryState::new();
+        let completion = Arc::clone(&state);
+        let provider = Arc::clone(&self.inner);
+        provider.in_flight_guard().increment();
+        let task: Box<dyn FnOnce() + Send + 'static> = Box::new(move || {
+            let result = provider.run_submitted(&control, expr, strategy);
+            completion.complete(result);
+            // Decrement before `provider` (this closure's own keep-alive
+            // clone) drops at the end of the body: if this is the last
+            // clone, `Provider::drop` then observes zero in-flight and
+            // returns instead of waiting on itself.
+            provider.in_flight_guard().decrement();
+        });
+        WorkerPool::global().spawn_as(options.class, task);
+        QueryFuture::new(state, token, Some(Arc::clone(&self.inner)))
+    }
+
+    /// The sealed provider itself (also reachable through `Deref`).
+    pub fn provider(&self) -> &Provider<'static> {
+        &self.inner
+    }
+}
+
+impl Deref for OwnedProvider {
+    type Target = Provider<'static>;
+
+    fn deref(&self) -> &Provider<'static> {
+        &self.inner
+    }
+}
+
+/// The owned serving path must stay fully thread-mobile: handles clone and
+/// cross threads, and the futures they mint are `'static` and `Send`. This
+/// fails to compile if any field regresses.
+#[allow(dead_code)]
+fn _assert_owned_provider_is_send_sync() {
+    fn assert_both<T: Send + Sync>() {}
+    assert_both::<OwnedProvider>();
+    fn assert_send<T: Send>() {}
+    assert_send::<QueryFuture<'static>>();
+    fn assert_unpin<T: Unpin>() {}
+    assert_unpin::<QueryFuture<'static>>();
+}

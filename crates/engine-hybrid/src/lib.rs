@@ -671,6 +671,11 @@ fn stage_range(
     let width = store.schema().len();
     let mut row_buf: Vec<Value> = vec![Value::Null; width];
     'rows: for row in range {
+        // Intra-morsel cancellation cadence, shared with every fused loop:
+        // a no-op outside a cancel scope.
+        if row.is_multiple_of(mrq_common::cancel::CHECK_EVERY_ROWS) {
+            mrq_common::cancel::checkpoint();
+        }
         for f in filters {
             if !eval_managed_predicate(f, table, row, params) {
                 continue 'rows;

@@ -187,13 +187,13 @@ pub fn execute<T: TableAccess>(
     let slots = spec.joins.len() + 1;
 
     // Source enumerable. The baseline pipeline has no morsels, so the
-    // source itself is the cooperative cancellation point: every few
-    // thousand enumerated elements it checks the current scope's token
-    // (a no-op for plain, unsubmitted execution).
+    // source itself is the cooperative cancellation point: at the shared
+    // workspace cadence it checks the current scope's token (a no-op for
+    // plain, unsubmitted execution).
     let mut enumerated = 0usize;
     let mut pipe: Pipe<'_> = Box::new((0..tables[0].len()).map(Item::Single).inspect(move |_| {
         enumerated += 1;
-        if enumerated.is_multiple_of(4096) {
+        if enumerated.is_multiple_of(mrq_common::cancel::CHECK_EVERY_ROWS) {
             mrq_common::cancel::checkpoint();
         }
     }));

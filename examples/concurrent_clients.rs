@@ -149,7 +149,7 @@ fn main() {
         Ok(_) => println!("  cancelled query    -> completed before the cancel landed"),
     }
 
-    // Batch-class work keeps flowing, de-weighted 4:1 against Interactive
+    // Batch-class work keeps flowing, de-weighted 4× against Interactive
     // tickets; a generous deadline completes normally.
     let batch = provider.submit_with(
         queries::q1(),

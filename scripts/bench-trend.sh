@@ -1,0 +1,193 @@
+#!/usr/bin/env bash
+# Perf-trajectory trend check: compare the fresh BENCH_smoke.json (written
+# by scripts/bench-smoke.sh) against the previous run's artifact and fail
+# when any benchmark's median regressed by more than MAX_REGRESSION
+# (default 25%). Closes the loop bench-smoke opened: the artifact is no
+# longer write-only — every CI run measures itself against the last one.
+# CI rolls the baseline forward after every measured run (pass or fail),
+# so the gate is a one-shot alarm per regression, never a sticky red.
+#
+# Comparison rules:
+#   * a point present in both files is gated: fail if cur > prev × (1+MAX);
+#   * a point only in the current file is NEW (reported, never failing);
+#   * a point only in the previous file is REMOVED (reported, never
+#     failing — benches get renamed);
+#   * no previous artifact at all -> the check SKIPS with exit 0 (first
+#     run on a branch, expired cache). Malformed artifacts also skip: a
+#     broken cache must not block CI, and the next run re-seeds it.
+#
+# Usage: scripts/bench-trend.sh [current.json] [previous.json]
+#        scripts/bench-trend.sh --self-test    (parser/gate unit checks)
+# Env:   MAX_REGRESSION   allowed fractional slowdown (default 0.25)
+#        BENCH_JSON       default current artifact (default BENCH_smoke.json)
+#        BENCH_PREV       default previous artifact (default BENCH_prev.json)
+set -euo pipefail
+
+# Default artifact names resolve against the repo root; explicit arguments
+# resolve against the caller's working directory (no cd — this script only
+# reads files).
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+MAX_REGRESSION="${MAX_REGRESSION:-0.25}"
+
+# extract_points <file> — one "name<TAB>median_ns" line per benchmark point,
+# parsed from the emit_bench_json format:  `    "group/name": 12345.0,`
+extract_points() {
+    awk -F'"' '
+        /^    "/ {
+            name = $2;
+            value = $3;
+            gsub(/[:, ]/, "", value);
+            if (name != "" && value + 0 > 0) printf "%s\t%s\n", name, value;
+        }' "$1"
+}
+
+# compare <current> <previous> — prints the per-point trend table and
+# returns non-zero when any shared point regressed beyond the threshold.
+compare() {
+    local cur="$1" prev="$2" status=0
+    local cur_pts prev_pts
+    cur_pts="$(mktemp)"
+    prev_pts="$(mktemp)"
+    extract_points "$cur" > "$cur_pts"
+    extract_points "$prev" > "$prev_pts"
+    if [ ! -s "$cur_pts" ]; then
+        echo "bench-trend: SKIP — current artifact $cur has no points (malformed?)"
+    elif [ ! -s "$prev_pts" ]; then
+        echo "bench-trend: SKIP — previous artifact $prev has no points (malformed?)"
+    else
+        gate_table "$cur_pts" "$prev_pts" || status=$?
+    fi
+    rm -f "$cur_pts" "$prev_pts"
+    return "$status"
+}
+
+# gate_table <cur_pts> <prev_pts> — the per-point trend table + verdict.
+gate_table() {
+    awk -F'\t' -v max="$MAX_REGRESSION" '
+        NR == FNR { prev[$1] = $2; next }
+        {
+            cur[$1] = $2;
+            if ($1 in prev) {
+                ratio = $2 / prev[$1];
+                delta = (ratio - 1) * 100;
+                verdict = "ok";
+                if (ratio > 1 + max) { verdict = "REGRESSED"; failures++; }
+                printf "bench-trend: %-52s %12.0f -> %12.0f ns  %+7.1f%%  %s\n",
+                       $1, prev[$1], $2, delta, verdict;
+            } else {
+                printf "bench-trend: %-52s %12s -> %12.0f ns  %8s  new\n", $1, "-", $2, "";
+            }
+        }
+        END {
+            for (name in prev)
+                if (!(name in cur))
+                    printf "bench-trend: %-52s %12.0f -> %12s ns  %8s  removed\n",
+                           name, prev[name], "-", "";
+            if (failures > 0) {
+                printf "bench-trend: FAIL — %d point(s) regressed beyond %.0f%%\n",
+                       failures, max * 100 > "/dev/stderr";
+                exit 1;
+            }
+            printf "bench-trend: OK — no point regressed beyond %.0f%%\n", max * 100;
+        }' "$2" "$1"
+}
+
+# ---------------------------------------------------------------------------
+# Self-test: synthetic artifacts covering the gate's decision table —
+# within-threshold drift passes, beyond-threshold regression fails,
+# improvements pass, new/removed points never fail, missing or malformed
+# previous artifacts skip.
+# ---------------------------------------------------------------------------
+self_test() {
+    local fails=0
+    local dir="${SELF_TEST_DIR}"
+    cat > "$dir/prev.json" <<'EOF'
+{
+  "threads": 8,
+  "unit": "ns",
+  "groups": {
+    "scan/1_threads": 1000000.0,
+    "scan/8_threads": 200000.0,
+    "join/native": 5000000.0,
+    "gone/point": 123.0
+  }
+}
+EOF
+    cat > "$dir/ok.json" <<'EOF'
+{
+  "threads": 8,
+  "unit": "ns",
+  "groups": {
+    "scan/1_threads": 1200000.0,
+    "scan/8_threads": 150000.0,
+    "join/native": 5000000.0,
+    "fresh/point": 42.0
+  }
+}
+EOF
+    cat > "$dir/bad.json" <<'EOF'
+{
+  "threads": 8,
+  "unit": "ns",
+  "groups": {
+    "scan/1_threads": 1000000.0,
+    "scan/8_threads": 260000.0,
+    "join/native": 5000000.0
+  }
+}
+EOF
+    check() {
+        local label="$1" want="$2" got
+        shift 2
+        if "$@" > /dev/null 2>&1; then got=pass; else got=fail; fi
+        if [ "$got" != "$want" ]; then
+            echo "bench-trend self-test: FAIL — $label: got $got, want $want" >&2
+            fails=$((fails + 1))
+        fi
+    }
+    # +20% drift, a 25% improvement, a flat point, one new, one removed: ok.
+    check "within-threshold drift passes" pass compare "$dir/ok.json" "$dir/prev.json"
+    # One point +30%: the gate must fail.
+    check "beyond-threshold regression fails" fail compare "$dir/bad.json" "$dir/prev.json"
+    # Tighter threshold flips the first case.
+    check "threshold is honoured" fail \
+        env MAX_REGRESSION=0.1 "$0" "$dir/ok.json" "$dir/prev.json"
+    # Missing previous artifact: skip (exit 0), from the entry point.
+    check "missing previous skips" pass "$0" "$dir/ok.json" "$dir/nonexistent.json"
+    # Malformed previous artifact: skip, not fail.
+    echo 'not json at all' > "$dir/garbage.json"
+    check "malformed previous skips" pass compare "$dir/ok.json" "$dir/garbage.json"
+    # The point extractor itself.
+    local points
+    points="$(extract_points "$dir/prev.json" | wc -l | tr -d ' ')"
+    if [ "$points" != "4" ]; then
+        echo "bench-trend self-test: FAIL — expected 4 extracted points, got $points" >&2
+        fails=$((fails + 1))
+    fi
+    if [ "$fails" -ne 0 ]; then
+        exit 1
+    fi
+    echo "bench-trend self-test: OK"
+}
+
+if [ "${1:-}" = "--self-test" ]; then
+    SELF_TEST_DIR="$(mktemp -d)"
+    trap 'rm -rf "${SELF_TEST_DIR:-}"' EXIT
+    self_test
+    exit 0
+fi
+
+CUR="${1:-${BENCH_JSON:-$ROOT/BENCH_smoke.json}}"
+PREV="${2:-${BENCH_PREV:-$ROOT/BENCH_prev.json}}"
+
+if [ ! -f "$CUR" ]; then
+    echo "bench-trend: FAIL — current artifact $CUR not found (run scripts/bench-smoke.sh first)" >&2
+    exit 1
+fi
+if [ ! -f "$PREV" ]; then
+    echo "bench-trend: SKIP — no previous artifact at $PREV (first run seeds the trend)"
+    exit 0
+fi
+echo "bench-trend: $CUR vs $PREV (threshold ${MAX_REGRESSION})"
+compare "$CUR" "$PREV"

@@ -183,6 +183,68 @@ fn dropping_a_cancelled_handle_does_not_deadlock_provider_drop() {
 }
 
 #[test]
+fn intra_morsel_checkpoints_stop_a_giant_morsel_scan() {
+    // Configure morsels so large the whole 1.5M-row scan fits in one or
+    // two: before intra-morsel checkpoints, a claimed morsel always ran to
+    // completion, so a cancel landing mid-morsel paid (up to) the entire
+    // scan before resolving. The fused loops now checkpoint every ~4096
+    // rows, so the cancelled query must resolve in a small fraction of the
+    // full scan's wall time.
+    let mut provider = Provider::new();
+    provider.bind_native(SourceId(0), store());
+    provider.set_parallelism(
+        ParallelConfig {
+            threads: 2,
+            min_rows_per_thread: 1024,
+            ..ParallelConfig::default()
+        }
+        .with_morsel_rows(ROWS as usize),
+    );
+    let full = std::time::Instant::now();
+    let reference = provider
+        .execute(long_scan(), Strategy::CompiledNative)
+        .expect("uncancelled giant-morsel scan");
+    let full = full.elapsed();
+
+    let victim = provider.submit_with(long_scan(), Strategy::CompiledNative, QueryOptions::new());
+    // Let it reach execution (compile observed), then cancel mid-morsel.
+    while !victim.is_finished() && provider.stats().cache_hits == 0 {
+        std::thread::yield_now();
+    }
+    let cancelled_at = std::time::Instant::now();
+    victim.cancel();
+    assert!(matches!(victim.join(), Err(QueryError::Cancelled)));
+    let cancel_latency = cancelled_at.elapsed();
+    // ~4096 rows of work (plus scheduling noise) versus 1.5M: anything
+    // close to the full scan's wall time means the checkpoint never fired.
+    assert!(
+        cancel_latency < full,
+        "cancel took {cancel_latency:?}, the full scan only {full:?} — \
+         intra-morsel checkpoints are not firing"
+    );
+    // The pool is clean and subsequent runs are unaffected.
+    let again = provider
+        .execute(long_scan(), Strategy::CompiledNative)
+        .expect("scan after intra-morsel cancel");
+    assert_eq!(again, reference);
+}
+
+#[test]
+fn maintenance_class_queries_complete_with_identical_results() {
+    let reference = sequential_reference();
+    let provider = parallel_provider();
+    let maintenance = provider.submit_with(
+        long_scan(),
+        Strategy::CompiledNative,
+        QueryOptions::maintenance(),
+    );
+    let interactive =
+        provider.submit_with(long_scan(), Strategy::CompiledNative, QueryOptions::new());
+    assert_eq!(&interactive.join().expect("interactive"), reference);
+    assert_eq!(&maintenance.join().expect("maintenance"), reference);
+}
+
+#[test]
 fn qos_classes_complete_with_identical_results() {
     let reference = sequential_reference();
     let provider = parallel_provider();
