@@ -1,0 +1,95 @@
+//! Compile-once-execute-N vs compile-every-time, per strategy: the
+//! serving-economics claim behind the plan cache (§7.4).
+//!
+//! Each strategy reports two points:
+//!
+//! * `{strategy}_prepared_once` — a plan prepared once outside the timing
+//!   loop ([`mrq_core::Provider::prepare`]); each iteration is one pure
+//!   execution of the cached plan.
+//! * `{strategy}_compile_each` — each iteration drops every compiled
+//!   artefact ([`mrq_core::Provider::clear_compiled`]) and goes through the
+//!   full ad-hoc pipeline: optimize, canonicalize, lower, emit both
+//!   backends, execute.
+//!
+//! The per-execution gap is the amortized compilation cost;
+//! `scripts/bench-smoke.sh` gates `prepared_once` strictly below
+//! `compile_each` for the compiled strategies.
+//!
+//! The workload is deliberately small (Q6 — one filter + one aggregate —
+//! over a tiny scale factor): amortization matters exactly when execution is
+//! short, and at serving-style point-query cost the per-statement pipeline
+//! (optimize, canonicalize, lower, emit) is a visible fraction of each
+//! iteration instead of vanishing under scan time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrq_bench::Workbench;
+use mrq_core::{Provider, Strategy};
+use mrq_engine_hybrid::HybridConfig;
+use mrq_tpch::queries;
+
+fn bench(c: &mut Criterion) {
+    let wb = Workbench::new(0.0005);
+    let stmt = queries::q6();
+
+    let mut group = c.benchmark_group("prepared_amortization");
+    group.sample_size(10);
+
+    // Managed strategies share the heap-backed provider.
+    let managed = wb.managed_provider();
+    for (name, strategy) in [
+        ("linq", Strategy::LinqToObjects),
+        ("csharp", Strategy::CompiledCSharp),
+        ("hybrid", Strategy::Hybrid(HybridConfig::default())),
+    ] {
+        let prepared = managed.prepare(stmt.clone(), strategy).expect("prepare");
+        group.bench_function(format!("{name}_prepared_once"), |b| {
+            b.iter(|| {
+                let rows = prepared.execute(&[]).expect("prepared run").rows.len();
+                assert!(rows > 0);
+            })
+        });
+        group.bench_function(format!("{name}_compile_each"), |b| {
+            b.iter(|| {
+                managed.clear_compiled();
+                let rows = managed
+                    .execute(stmt.clone(), strategy)
+                    .expect("ad-hoc run")
+                    .rows
+                    .len();
+                assert!(rows > 0);
+            })
+        });
+    }
+
+    // The native strategy over row stores.
+    let mut native = Provider::new();
+    native.bind_native(
+        queries::SRC_LINEITEM,
+        &wb.stores[queries::source_table(queries::SRC_LINEITEM)],
+    );
+    let prepared = native
+        .prepare(stmt.clone(), Strategy::CompiledNative)
+        .expect("prepare native");
+    group.bench_function("native_prepared_once", |b| {
+        b.iter(|| {
+            let rows = prepared.execute(&[]).expect("prepared run").rows.len();
+            assert!(rows > 0);
+        })
+    });
+    group.bench_function("native_compile_each", |b| {
+        b.iter(|| {
+            native.clear_compiled();
+            let rows = native
+                .execute(stmt.clone(), Strategy::CompiledNative)
+                .expect("ad-hoc run")
+                .rows
+                .len();
+            assert!(rows > 0);
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

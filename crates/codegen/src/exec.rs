@@ -911,6 +911,9 @@ pub struct ExecState<'a, T: TableAccess> {
     group_aggs: Vec<Vec<AggState>>,
     plain_rows: Vec<Vec<Value>>,
     topn: Option<TopN>,
+    /// Take limit resolved against `params` (a plan shared across executions
+    /// may carry its Take count in a parameter slot rather than in the spec).
+    take: Option<usize>,
     consumed_rows: u64,
     emitted_rows: u64,
 }
@@ -969,10 +972,12 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
                 indexes.len()
             )));
         }
+        spec.check_params(params)?;
+        let take = spec.effective_take(params)?;
         let types = ColumnTypes::new(slot_schemas);
         // OrderBy + Take over a non-grouped pipeline is fused into a bounded
         // top-N buffer; grouped queries sort their (few) groups at the end.
-        let topn = match (spec.take, spec.is_grouped(), spec.sort.is_empty()) {
+        let topn = match (take, spec.is_grouped(), spec.sort.is_empty()) {
             (Some(n), false, false) => Some(TopN::new(n, spec.sort.clone())),
             _ => None,
         };
@@ -988,6 +993,7 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
             group_aggs: Vec::new(),
             plain_rows: Vec::new(),
             topn,
+            take,
             consumed_rows: 0,
             emitted_rows: 0,
         })
@@ -1135,6 +1141,7 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
             group_aggs: self.group_aggs.clone(),
             plain_rows: self.plain_rows.clone(),
             topn: self.topn.clone(),
+            take: self.take,
             consumed_rows: self.consumed_rows,
             emitted_rows: self.emitted_rows,
         }
@@ -1318,7 +1325,7 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
                 Ordering::Equal
             });
         }
-        if let Some(n) = spec.take {
+        if let Some(n) = self.take {
             rows.truncate(n);
         }
         if spec.hidden_outputs > 0 {

@@ -106,6 +106,24 @@ impl ScalarExpr {
         }
     }
 
+    /// Collects every [`ScalarExpr::Param`] slot index referenced by the
+    /// expression (duplicates included; callers take the max).
+    pub fn params(&self, out: &mut Vec<usize>) {
+        match self {
+            ScalarExpr::Param(i) => out.push(*i),
+            ScalarExpr::Binary { left, right, .. } => {
+                left.params(out);
+                right.params(out);
+            }
+            ScalarExpr::Unary { expr, .. } => expr.params(out),
+            ScalarExpr::Str { target, arg, .. } => {
+                target.params(out);
+                arg.params(out);
+            }
+            ScalarExpr::Column(_) | ScalarExpr::Const(_) => {}
+        }
+    }
+
     /// True if every column reference uses the given slot.
     pub fn only_slot(&self, slot: usize) -> bool {
         let mut cols = Vec::new();
@@ -212,8 +230,23 @@ pub struct QuerySpec {
     pub output_schema: Schema,
     /// Sort keys over output columns.
     pub sort: Vec<SortKeySpec>,
-    /// Keep only the first `n` rows of the sorted output.
+    /// Keep only the first `n` rows of the sorted output, as resolved at
+    /// lowering time. When [`QuerySpec::take_param`] is set, engines must
+    /// re-resolve the count from the execution-time parameter vector via
+    /// [`QuerySpec::effective_take`] — this field then only records the
+    /// lowering instance's value.
     pub take: Option<usize>,
+    /// When the `Take` count came from a parameter slot (the canonicaliser
+    /// lifts `Take(5)` literals into slots), the slot index it must be
+    /// re-read from on every execution. A cached or prepared plan executed
+    /// with fresh bindings would otherwise silently reuse the count that
+    /// happened to be bound when the plan was first compiled.
+    pub take_param: Option<usize>,
+    /// Number of parameter slots the plan reads (max referenced slot + 1).
+    /// Engines reject shorter parameter vectors up front instead of
+    /// panicking mid-scan on a pool worker — prepared queries hand
+    /// caller-supplied bindings straight to the engines.
+    pub param_slots: usize,
     /// Number of trailing hidden output columns.
     pub hidden_outputs: usize,
 }
@@ -222,6 +255,85 @@ impl QuerySpec {
     /// True if the query aggregates.
     pub fn is_grouped(&self) -> bool {
         !self.aggregates.is_empty() || !self.group_keys.is_empty()
+    }
+
+    /// Every parameter slot referenced anywhere in the plan: filters, join
+    /// keys, group keys, aggregate inputs, outputs — plus the `Take` slot.
+    pub fn referenced_params(&self) -> Vec<usize> {
+        let mut slots = Vec::new();
+        {
+            let mut push = |e: &ScalarExpr| e.params(&mut slots);
+            for e in &self.root_filters {
+                push(e);
+            }
+            for join in &self.joins {
+                for e in &join.build_filters {
+                    push(e);
+                }
+                for e in &join.build_keys {
+                    push(e);
+                }
+                for e in &join.probe_keys {
+                    push(e);
+                }
+            }
+            for e in &self.post_filters {
+                push(e);
+            }
+            for e in &self.group_keys {
+                push(e);
+            }
+            for agg in &self.aggregates {
+                if let Some(e) = &agg.input {
+                    push(e);
+                }
+            }
+            for (_, o) in &self.output {
+                if let OutputExpr::Scalar(e) = o {
+                    push(e);
+                }
+            }
+        }
+        if let Some(i) = self.take_param {
+            slots.push(i);
+        }
+        slots.sort_unstable();
+        slots.dedup();
+        slots
+    }
+
+    /// Rejects a parameter vector too short for the plan. Every engine
+    /// calls this before touching a row, so a prepared query bound with too
+    /// few values fails with a clean [`MrqError::Codegen`] instead of
+    /// panicking a pool worker mid-scan.
+    pub fn check_params(&self, params: &[Value]) -> Result<()> {
+        if params.len() < self.param_slots {
+            return Err(MrqError::Codegen(format!(
+                "plan reads {} parameter slot(s) but only {} value(s) were bound",
+                self.param_slots,
+                params.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// The `Take` limit for *this* execution: re-resolved from the bound
+    /// parameter vector when the count was lifted into a parameter slot,
+    /// the baked lowering-time value otherwise. Cached plans re-executed
+    /// with different bindings get the binding's count, not the compile
+    /// instance's.
+    pub fn effective_take(&self, params: &[Value]) -> Result<Option<usize>> {
+        let Some(slot) = self.take_param else {
+            return Ok(self.take);
+        };
+        let n = params
+            .get(slot)
+            .and_then(Value::as_i64)
+            .ok_or_else(|| MrqError::Codegen("Take requires an integer count".into()))?;
+        if n < 0 {
+            return Err(MrqError::Codegen("Take count must be non-negative".into()));
+        }
+        Ok(Some(n as usize))
     }
 
     /// Every column of `slot` referenced anywhere in the spec — the implicit
@@ -376,6 +488,8 @@ pub fn lower(query: &CanonicalQuery, catalog: &dyn Catalog) -> Result<QuerySpec>
             output_schema: Schema::new("Result", vec![]),
             sort: Vec::new(),
             take: None,
+            take_param: None,
+            param_slots: 0,
             hidden_outputs: 0,
         },
         binding: Binding::Row(root_map),
@@ -753,7 +867,13 @@ impl<'a> Lowering<'a> {
     fn apply_take(&mut self, args: &[Expr]) -> Result<()> {
         let n = match args.first() {
             Some(Expr::Constant(v)) => v.as_i64(),
-            Some(Expr::QueryParam(i)) => self.params.get(*i).and_then(Value::as_i64),
+            Some(Expr::QueryParam(i)) => {
+                // The count is a parameter slot: record the slot so every
+                // execution re-resolves it from its own bindings (a cached
+                // plan must not freeze the first instance's count).
+                self.spec.take_param = Some(*i);
+                self.params.get(*i).and_then(Value::as_i64)
+            }
             _ => None,
         }
         .ok_or_else(|| MrqError::Codegen("Take requires an integer count".into()))?;
@@ -856,6 +976,11 @@ impl<'a> Lowering<'a> {
             .map(|((name, _), dtype)| mrq_common::Field::new(name.clone(), *dtype))
             .collect();
         self.spec.output_schema = Schema::new("Result", fields);
+        self.spec.param_slots = self
+            .spec
+            .referenced_params()
+            .last()
+            .map_or(0, |max| max + 1);
         Ok(self.spec)
     }
 

@@ -16,6 +16,8 @@
 //! * the query-lifecycle controls layered on both: cooperative [`cancel`]
 //!   tokens with lazy deadlines, and [`qos`] classes scheduled by weighted
 //!   deficit round-robin over per-class ticket queues,
+//! * the sharded concurrent LRU [`plancache`] the provider layer keys
+//!   compiled plans by, with atomic hit/miss/eviction counters,
 //! * the [`profile::CostBreakdown`] phase timer used to reproduce the paper's
 //!   cost-breakdown figures (Figures 8, 10 and 12), and
 //! * small utilities (a fast integer hasher, error types).
@@ -28,6 +30,7 @@ pub mod decimal;
 pub mod error;
 pub mod hash;
 pub mod morsel;
+pub mod plancache;
 pub mod pool;
 pub mod profile;
 pub mod qos;

@@ -54,7 +54,7 @@ use std::ops::Range;
 /// // Tiny inputs never split: below `min_rows_per_thread`, one partition.
 /// assert_eq!(cfg.partitions_for(100), 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ParallelConfig {
     /// Number of worker threads (1 falls back to the sequential path).
     pub threads: usize,

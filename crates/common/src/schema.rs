@@ -8,7 +8,7 @@
 use crate::value::DataType;
 
 /// A named, typed field of a record type.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Field {
     /// Field name, e.g. `l_extendedprice`.
     pub name: String,
@@ -27,7 +27,7 @@ impl Field {
 }
 
 /// An ordered collection of fields describing a record type.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
 pub struct Schema {
     name: String,
     fields: Vec<Field>,

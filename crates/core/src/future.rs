@@ -219,6 +219,35 @@ impl QueryState {
 /// assert_eq!(out.rows.len(), 10);
 /// # Ok::<(), mrq_core::QueryError>(())
 /// ```
+///
+/// Futures from a prepared plan: the statement compiles once
+/// ([`Provider::prepare`](crate::Provider::prepare)), then each
+/// `submit_async` binds fresh parameter values — here the filter cutoff —
+/// and skips straight to execution. Every option (deadline, QoS class,
+/// cancellation) works identically to an ad-hoc submission:
+///
+/// ```
+/// # use mrq_common::{DataType, Field, Schema, Value};
+/// # use mrq_core::{Provider, QueryOptions, Strategy};
+/// # use mrq_engine_native::RowStore;
+/// # use mrq_expr::{col, lam, lit, BinaryOp, Expr, Query, SourceId};
+/// # let schema = Schema::new("N", vec![Field::new("n", DataType::Int64)]);
+/// # let rows: Vec<Vec<Value>> = (0..100).map(|i| vec![Value::Int64(i)]).collect();
+/// # let store = RowStore::from_rows(schema, &rows);
+/// # let mut provider = Provider::new();
+/// # provider.bind_native(SourceId(0), &store);
+/// # let stmt = Query::from_source(SourceId(0))
+/// #     .where_(lam("x", Expr::binary(BinaryOp::Lt, col("x", "n"), lit(10i64))))
+/// #     .select(lam("x", col("x", "n")))
+/// #     .into_expr();
+/// let prepared = provider.prepare(stmt, Strategy::CompiledNative)?;
+/// for cutoff in [10i64, 25, 50] {
+///     let future = prepared.submit_async(&[Value::Int64(cutoff)], QueryOptions::new());
+///     assert_eq!(future.join()?.rows.len(), cutoff as usize);
+/// }
+/// assert_eq!(provider.plan_cache_stats().entries, 1);
+/// # Ok::<(), mrq_core::QueryError>(())
+/// ```
 pub struct QueryFuture<'p> {
     state: Arc<QueryState>,
     token: Arc<CancelToken>,

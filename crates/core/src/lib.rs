@@ -77,10 +77,16 @@ use crate::future::QueryState;
 
 mod future;
 mod owned;
+mod prepared;
 pub mod recycle;
 
 pub use future::QueryFuture;
 pub use owned::OwnedProvider;
+pub use prepared::{OwnedPreparedQuery, PlanCache, PlanKey, PreparedQuery};
+
+/// Sizing knobs and counter snapshots of the shared [`PlanCache`],
+/// re-exported from [`mrq_common::plancache`] under serving-layer names.
+pub use mrq_common::plancache::{CacheConfig as PlanCacheConfig, CacheStats as PlanCacheStats};
 
 /// The error type the serving layer resolves handles to — the same
 /// [`mrq_common::MrqError`] every API in the workspace returns, re-exported
@@ -94,7 +100,12 @@ pub use mrq_expr::optimize::OptimizerConfig as QueryOptimizerConfig;
 pub use recycle::{RecycleStats, ResultCache, ResultKey};
 
 /// Which execution strategy to use for a statement.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// `Eq`/`Hash` cover the strategy's full configuration (including any
+/// embedded [`ParallelConfig`]/[`HybridConfig`]), so a strategy can key
+/// cached plans: the same statement prepared under two strategies occupies
+/// two [`PlanCache`] entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// The interpreted enumerable pipeline (baseline).
     LinqToObjects,
@@ -185,6 +196,18 @@ enum Binding<'a> {
     Values(SourceRef<'a, ValueTable>),
 }
 
+/// One unit of submitted work: an ad-hoc statement (compiled — or pattern-
+/// cache-fetched — on the pool worker) or an already-prepared plan with its
+/// parameters resolved at submission, which the worker only executes.
+enum Job {
+    Statement(Expr),
+    Prepared {
+        shape_hash: u64,
+        plan: Arc<CompiledQuery>,
+        params: Vec<Value>,
+    },
+}
+
 /// The compiled artefact cached per query pattern.
 pub struct CompiledQuery {
     /// The fused query description.
@@ -215,6 +238,10 @@ pub struct Provider<'a> {
     heap: Option<SourceRef<'a, Heap>>,
     bindings: Vec<(SourceId, Binding<'a>)>,
     cache: QueryCache<CompiledQuery>,
+    /// The sharded LRU the prepared-query path keys plans by (expression
+    /// structure + strategy + source schemas). `Arc`-shared so several
+    /// providers can serve one cache ([`Provider::set_plan_cache`]).
+    plan_cache: Arc<PlanCache>,
     cost_model: CompileCostModel,
     optimizer: OptimizerConfig,
     recycling: bool,
@@ -274,6 +301,7 @@ impl<'a> Provider<'a> {
             heap: None,
             bindings: Vec::new(),
             cache: QueryCache::new(),
+            plan_cache: Arc::new(PlanCache::from_env()),
             cost_model: CompileCostModel::default(),
             optimizer: OptimizerConfig::default(),
             recycling: false,
@@ -361,6 +389,38 @@ impl<'a> Provider<'a> {
     pub fn invalidate_results(&self) {
         self.epoch.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         self.results.lock().clear();
+    }
+
+    /// Replaces the plan cache backing [`Provider::prepare`]. The default is
+    /// a private cache sized from the environment
+    /// ([`PlanCacheConfig::from_env`]: `MRQ_PLAN_CACHE_SHARDS` ×
+    /// `MRQ_PLAN_CACHE_CAP`); pass a shared `Arc` to let several providers —
+    /// say, one per schema tenant — serve one cache, or a
+    /// [`PlanCacheConfig::single_shard`] cache for deterministic LRU order.
+    pub fn set_plan_cache(&mut self, cache: Arc<PlanCache>) -> &mut Self {
+        self.plan_cache = cache;
+        self
+    }
+
+    /// The plan cache backing [`Provider::prepare`].
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plan_cache
+    }
+
+    /// Snapshot of the plan cache's hit/miss/eviction counters and entry
+    /// count.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Drops every compiled artefact — both the pattern cache behind
+    /// [`Provider::execute`] and the plan cache behind [`Provider::prepare`]
+    /// (counters are preserved; plans still held by a [`PreparedQuery`]
+    /// stay valid). This is the compile-every-time baseline the
+    /// amortization benchmarks measure against.
+    pub fn clear_compiled(&self) {
+        self.cache.clear();
+        self.plan_cache.clear();
     }
 
     /// Creates a provider over a managed heap.
@@ -561,14 +621,32 @@ impl<'a> Provider<'a> {
     /// ```
     pub fn execute(&self, expr: Expr, strategy: Strategy) -> Result<QueryOutput> {
         let (canonical, compiled) = self.compile(expr)?;
+        self.execute_plan(
+            canonical.shape_hash,
+            &compiled.spec,
+            &canonical.params,
+            strategy,
+        )
+    }
+
+    /// The shared tail of [`Provider::execute`] and the prepared-query path:
+    /// an already-lowered plan with resolved parameters, run through result
+    /// recycling when enabled.
+    fn execute_plan(
+        &self,
+        shape_hash: u64,
+        spec: &QuerySpec,
+        params: &[Value],
+        strategy: Strategy,
+    ) -> Result<QueryOutput> {
         if !self.recycling {
-            return self.execute_compiled(&compiled.spec, &canonical.params, strategy);
+            return self.execute_compiled(spec, params, strategy);
         }
-        let key = self.result_key(&canonical, &compiled.spec)?;
+        let key = self.result_key(shape_hash, params, spec)?;
         if let Some(hit) = self.results.lock().lookup(&key) {
             return Ok((*hit).clone());
         }
-        let output = self.execute_compiled(&compiled.spec, &canonical.params, strategy)?;
+        let output = self.execute_compiled(spec, params, strategy)?;
         self.results.lock().insert(key, Arc::new(output.clone()));
         Ok(output)
     }
@@ -675,7 +753,7 @@ impl<'a> Provider<'a> {
         strategy: Strategy,
         options: QueryOptions,
     ) -> QueryHandle<'_> {
-        let (state, token) = self.spawn_submitted(expr, strategy, options);
+        let (state, token) = self.spawn_submitted(Job::Statement(expr), strategy, options);
         QueryHandle {
             state,
             token,
@@ -745,7 +823,7 @@ impl<'a> Provider<'a> {
         strategy: Strategy,
         options: QueryOptions,
     ) -> QueryFuture<'_> {
-        let (state, token) = self.spawn_submitted(expr, strategy, options);
+        let (state, token) = self.spawn_submitted(Job::Statement(expr), strategy, options);
         QueryFuture::new(state, token, None)
     }
 
@@ -777,7 +855,7 @@ impl<'a> Provider<'a> {
     fn run_submitted(
         &self,
         control: &JobControl,
-        expr: Expr,
+        job: Job,
         strategy: Strategy,
     ) -> Result<QueryOutput> {
         if let Some(reason) = control.token.check() {
@@ -789,7 +867,14 @@ impl<'a> Provider<'a> {
         // below; a tripped checkpoint unwinds with the reason, caught here
         // at the query boundary.
         match catch_unwind(AssertUnwindSafe(|| {
-            cancel::scope(control.clone(), || self.execute(expr, strategy))
+            cancel::scope(control.clone(), || match job {
+                Job::Statement(expr) => self.execute(expr, strategy),
+                Job::Prepared {
+                    shape_hash,
+                    plan,
+                    params,
+                } => self.execute_plan(shape_hash, &plan.spec, &params, strategy),
+            })
         })) {
             Ok(result) => result,
             Err(payload) => Err(match payload.downcast::<CancelReason>() {
@@ -810,7 +895,7 @@ impl<'a> Provider<'a> {
     /// completion latch + token the handle or future wraps.
     fn spawn_submitted(
         &self,
-        expr: Expr,
+        job: Job,
         strategy: Strategy,
         options: QueryOptions,
     ) -> (Arc<QueryState>, Arc<CancelToken>) {
@@ -820,7 +905,7 @@ impl<'a> Provider<'a> {
         self.in_flight.increment();
         let in_flight = Arc::clone(&self.in_flight);
         let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-            let result = self.run_submitted(&control, expr, strategy);
+            let result = self.run_submitted(&control, job, strategy);
             completion.complete(result);
             in_flight.decrement();
         });
@@ -838,7 +923,7 @@ impl<'a> Provider<'a> {
 
     /// The recycling identity of one statement instance: canonical shape,
     /// parameter values, bound-collection fingerprint and invalidation epoch.
-    fn result_key(&self, canonical: &CanonicalQuery, spec: &QuerySpec) -> Result<ResultKey> {
+    fn result_key(&self, shape_hash: u64, params: &[Value], spec: &QuerySpec) -> Result<ResultKey> {
         let mut sources = vec![spec.root];
         sources.extend(spec.joins.iter().map(|j| j.source));
         let mut fingerprint = Vec::with_capacity(sources.len());
@@ -856,8 +941,8 @@ impl<'a> Provider<'a> {
             fingerprint.push((source, rows));
         }
         Ok(ResultKey {
-            shape_hash: canonical.shape_hash,
-            params: canonical.params.clone(),
+            shape_hash,
+            params: params.to_vec(),
             sources: fingerprint,
             epoch: self.epoch.load(std::sync::atomic::Ordering::SeqCst),
         })

@@ -20,7 +20,7 @@
 //! sealed — the escape hatch is compile-time-gated, not runtime-checked.
 
 use crate::future::{QueryFuture, QueryState};
-use crate::{Provider, QueryOptions, Strategy};
+use crate::{Job, Provider, QueryOptions, Strategy};
 use mrq_common::pool::WorkerPool;
 use mrq_expr::Expr;
 use std::ops::Deref;
@@ -119,13 +119,26 @@ impl OwnedProvider {
         strategy: Strategy,
         options: QueryOptions,
     ) -> QueryFuture<'static> {
+        self.spawn_owned(Job::Statement(expr), strategy, options)
+    }
+
+    /// The owned spawn path shared by [`OwnedProvider::submit_async`] and
+    /// [`crate::OwnedPreparedQuery::submit_async`]: the spawned task carries
+    /// its own provider clone, so the returned future is `'static` and its
+    /// `Drop` is non-blocking.
+    pub(crate) fn spawn_owned(
+        &self,
+        job: Job,
+        strategy: Strategy,
+        options: QueryOptions,
+    ) -> QueryFuture<'static> {
         let (token, control) = Provider::arm(&options);
         let state = QueryState::new();
         let completion = Arc::clone(&state);
         let provider = Arc::clone(&self.inner);
         provider.in_flight_guard().increment();
         let task: Box<dyn FnOnce() + Send + 'static> = Box::new(move || {
-            let result = provider.run_submitted(&control, expr, strategy);
+            let result = provider.run_submitted(&control, job, strategy);
             completion.complete(result);
             // Decrement before `provider` (this closure's own keep-alive
             // clone) drops at the end of the body: if this is the last

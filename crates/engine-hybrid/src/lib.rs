@@ -38,7 +38,7 @@ pub mod staging;
 pub use staging::{ColumnBuffer, StagedTable};
 
 /// How probe-side data is materialised into unmanaged memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Materialization {
     /// Stage everything, then process (§6.1.1).
     Full,
@@ -51,7 +51,7 @@ pub enum Materialization {
 }
 
 /// Which columns are shipped to the native side.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TransferPolicy {
     /// Ship every column needed to build results natively.
     Max,
@@ -63,7 +63,7 @@ pub enum TransferPolicy {
 /// How the unmanaged staging buffers are laid out (§6.1.1: the buffer pages
 /// are cast either to arrays of a generated struct type — row-wise — or to
 /// arrays of primitive types — columnar).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
 pub enum StagingLayout {
     /// One generated struct per staged row (the paper's default).
     #[default]
@@ -73,7 +73,7 @@ pub enum StagingLayout {
 }
 
 /// Configuration of a hybrid execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HybridConfig {
     /// Materialisation policy.
     pub materialization: Materialization,
@@ -244,6 +244,9 @@ pub fn execute(
             tables.len()
         )));
     }
+    // Managed-side staging filters evaluate parameters before the ExecState
+    // guard runs, so under-bound prepared executions must fail here.
+    spec.check_params(params)?;
     let mut breakdown = CostBreakdown::new();
     let min_mode = config.transfer == TransferPolicy::Min;
     // Min-mode result reconstruction from managed objects is only defined for

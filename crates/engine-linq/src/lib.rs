@@ -184,6 +184,8 @@ pub fn execute<T: TableAccess>(
             tables.len()
         )));
     }
+    spec.check_params(params)?;
+    let take = spec.effective_take(params)?;
     let slots = spec.joins.len() + 1;
 
     // Source enumerable. The baseline pipeline has no morsels, so the
@@ -323,7 +325,7 @@ pub fn execute<T: TableAccess>(
             std::cmp::Ordering::Equal
         });
     }
-    if let Some(n) = spec.take {
+    if let Some(n) = take {
         rows.truncate(n);
     }
     if spec.hidden_outputs > 0 {

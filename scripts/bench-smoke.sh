@@ -10,7 +10,10 @@
 #     faster than at 1 thread (join gate), and
 #   * 8 concurrent clients submitting through one shared Provider on the
 #     persistent worker pool must sustain at least MIN_SPEEDUP x the
-#     queries/sec of a single client (concurrent-serving gate).
+#     queries/sec of a single client (concurrent-serving gate), and
+#   * for every compiled strategy, executing a prepared plan from the plan
+#     cache must be at least MIN_AMORTIZATION x cheaper per execution than
+#     recompiling the statement each time (plan-cache amortization gate).
 #
 # The run also emits BENCH_smoke.json — per-benchmark median nanoseconds
 # plus the host thread count — which CI uploads as an artifact to seed the
@@ -20,6 +23,7 @@
 #        scripts/bench-smoke.sh --self-test   (parser unit checks only)
 # Env:   MRQ_SF           scale factor for the bench workload (default 0.002)
 #        MIN_SPEEDUP      enforced 8-thread/8-client speedup (default 2.0)
+#        MIN_AMORTIZATION enforced compile-each/prepared-once ratio (default 1.02)
 #        ENFORCE_SPEEDUP  1 = always enforce, 0 = never, unset = auto
 #                         (enforce only when >= 8 CPUs are available)
 #        BENCH_JSON       artifact path (default BENCH_smoke.json)
@@ -152,7 +156,8 @@ FILTER="${1:-}"
 OUT="$(mktemp)"
 JOIN_OUT="$(mktemp)"
 SERVE_OUT="$(mktemp)"
-trap 'rm -f "$OUT" "$JOIN_OUT" "$SERVE_OUT"' EXIT
+AMORT_OUT="$(mktemp)"
+trap 'rm -f "$OUT" "$JOIN_OUT" "$SERVE_OUT" "$AMORT_OUT"' EXIT
 
 echo "== bench-smoke: ablation_parallel (one pass) =="
 cargo bench -q -p mrq-bench --bench ablation_parallel -- ${FILTER:+"$FILTER"} | tee "$OUT"
@@ -162,6 +167,9 @@ cargo bench -q -p mrq-bench --bench fig11_join -- ${FILTER:+"$FILTER"} | tee "$J
 
 echo "== bench-smoke: concurrent_serving (one pass) =="
 cargo bench -q -p mrq-bench --bench concurrent_serving -- ${FILTER:+"$FILTER"} | tee "$SERVE_OUT"
+
+echo "== bench-smoke: prepared_amortization (one pass) =="
+cargo bench -q -p mrq-bench --bench prepared_amortization -- ${FILTER:+"$FILTER"} | tee "$AMORT_OUT"
 
 # Every benchmark line must have produced a time — a bench that silently
 # stopped reporting is bitrot even when it exits 0.
@@ -180,10 +188,15 @@ if [ "$SERVE_LINES" -lt 3 ]; then
     echo "bench-smoke: FAIL — expected >=3 concurrent-serving reports, got $SERVE_LINES" >&2
     exit 1
 fi
-echo "bench-smoke: $LINES + $JOIN_LINES + $SERVE_LINES benchmark points reported"
+AMORT_LINES=$(grep -c "time:" "$AMORT_OUT" || true)
+if [ "$AMORT_LINES" -lt 8 ]; then
+    echo "bench-smoke: FAIL — expected >=8 prepared-amortization reports, got $AMORT_LINES" >&2
+    exit 1
+fi
+echo "bench-smoke: $LINES + $JOIN_LINES + $SERVE_LINES + $AMORT_LINES benchmark points reported"
 
 # Perf-trajectory artifact: per-benchmark median ns + host thread count.
-emit_bench_json "$BENCH_JSON" "$OUT" "$JOIN_OUT" "$SERVE_OUT"
+emit_bench_json "$BENCH_JSON" "$OUT" "$JOIN_OUT" "$SERVE_OUT" "$AMORT_OUT"
 echo "bench-smoke: wrote $(grep -c '^    "' "$BENCH_JSON") medians to $BENCH_JSON"
 
 # Speedup enforcement (à la tonic's bench-enforce): compare the min time of
@@ -252,5 +265,42 @@ gate_throughput() {
 
 gate_throughput "$SERVE_OUT" "concurrent_serving_q1/1_clients" \
     "concurrent_serving_q1/8_clients" "shared-provider serving"
+
+# Plan-cache amortization gate: executing a prepared plan must be strictly
+# cheaper per execution than recompiling the statement each time. Unlike
+# the speedup gates this ratio does not need 8 CPUs to be expressible, but
+# it shares the ENFORCE switch so report-only hosts stay report-only.
+MIN_AMORT="${MIN_AMORTIZATION:-1.02}"
+
+# gate_amortization <file> <prepared-point> <compile-each-point> <label>
+gate_amortization() {
+    local file="$1" prepared="$2" adhoc="$3" label="$4"
+    local tp ta ratio pass
+    tp=$(min_ms "$file" "$prepared")
+    ta=$(min_ms "$file" "$adhoc")
+    if [ -z "${tp:-}" ] || [ -z "${ta:-}" ]; then
+        echo "bench-smoke: FAIL — $label amortization points missing from output" >&2
+        exit 1
+    fi
+    ratio=$(awk -v a="$ta" -v b="$tp" 'BEGIN { printf "%.2f", a / b }')
+    echo "bench-smoke: $label compile-each/prepared-once ratio: ${ratio}x"
+    if [ "$ENFORCE" = "1" ]; then
+        pass=$(awk -v s="$ratio" -v m="$MIN_AMORT" 'BEGIN { print (s >= m) ? 1 : 0 }')
+        if [ "$pass" != "1" ]; then
+            echo "bench-smoke: FAIL — $label prepared execution not cheaper than recompiling (${ratio}x < ${MIN_AMORT}x)" >&2
+            exit 1
+        fi
+        echo "bench-smoke: $label amortization gate (>= ${MIN_AMORT}x) passed"
+    else
+        echo "bench-smoke: $label amortization gate skipped (report-only host)"
+    fi
+}
+
+gate_amortization "$AMORT_OUT" "prepared_amortization/csharp_prepared_once" \
+    "prepared_amortization/csharp_compile_each" "compiled C#"
+gate_amortization "$AMORT_OUT" "prepared_amortization/native_prepared_once" \
+    "prepared_amortization/native_compile_each" "compiled native"
+gate_amortization "$AMORT_OUT" "prepared_amortization/hybrid_prepared_once" \
+    "prepared_amortization/hybrid_compile_each" "hybrid"
 
 echo "bench-smoke: OK"

@@ -7,20 +7,31 @@
 # CI rolls the baseline forward after every measured run (pass or fail),
 # so the gate is a one-shot alarm per regression, never a sticky red.
 #
-# Comparison rules:
-#   * a point present in both files is gated: fail if cur > prev × (1+MAX);
-#   * a point only in the current file is NEW (reported, never failing);
-#   * a point only in the previous file is REMOVED (reported, never
-#     failing — benches get renamed);
-#   * no previous artifact at all -> the check SKIPS with exit 0 (first
-#     run on a branch, expired cache). Malformed artifacts also skip: a
-#     broken cache must not block CI, and the next run re-seeds it.
+# The baseline is either a single previous artifact or a *window*: when
+# the previous path is a directory, every `*.json` artifact in it (CI keeps
+# the last 5) contributes, and each point is gated against the **median**
+# of its values across the window. A single noisy-fast run therefore no
+# longer ratchets the baseline down and flags the next normal run; a point
+# missing from some window files is gated against the median of the files
+# that do have it.
 #
-# Usage: scripts/bench-trend.sh [current.json] [previous.json]
+# Comparison rules:
+#   * a point present in both current and baseline is gated:
+#     fail if cur > baseline × (1+MAX);
+#   * a point only in the current file is NEW (reported, never failing);
+#   * a point only in the baseline is REMOVED (reported, never
+#     failing — benches get renamed);
+#   * no previous artifact at all (missing file, or a directory with no
+#     `*.json`) -> the check SKIPS with exit 0 (first run on a branch,
+#     expired cache). Malformed artifacts also skip: a broken cache must
+#     not block CI, and the next run re-seeds it.
+#
+# Usage: scripts/bench-trend.sh [current.json] [previous.json|history-dir/]
 #        scripts/bench-trend.sh --self-test    (parser/gate unit checks)
 # Env:   MAX_REGRESSION   allowed fractional slowdown (default 0.25)
 #        BENCH_JSON       default current artifact (default BENCH_smoke.json)
-#        BENCH_PREV       default previous artifact (default BENCH_prev.json)
+#        BENCH_PREV       default baseline path (default BENCH_history/ when
+#                         it exists, else BENCH_prev.json)
 set -euo pipefail
 
 # Default artifact names resolve against the repo root; explicit arguments
@@ -42,6 +53,43 @@ extract_points() {
         }' "$1"
 }
 
+# extract_baseline <file-or-dir> — one "name<TAB>median_ns" line per point.
+# A single file passes through extract_points; a directory is a history
+# window, and each point's baseline is the median of its values across the
+# window's *.json artifacts (a point absent from some files is the median
+# of the files that have it).
+extract_baseline() {
+    local prev="$1" f
+    {
+        if [ -d "$prev" ]; then
+            for f in "$prev"/*.json; do
+                [ -e "$f" ] && extract_points "$f"
+            done
+        else
+            extract_points "$prev"
+        fi
+    } | awk -F'\t' '
+        {
+            n[$1]++;
+            v[$1 SUBSEP n[$1]] = $2 + 0;
+        }
+        END {
+            for (name in n) {
+                cnt = n[name];
+                for (i = 1; i <= cnt; i++) a[i] = v[name SUBSEP i];
+                # Insertion sort: the window holds at most a handful of runs.
+                for (i = 2; i <= cnt; i++) {
+                    x = a[i];
+                    for (j = i - 1; j >= 1 && a[j] > x; j--) a[j + 1] = a[j];
+                    a[j + 1] = x;
+                }
+                if (cnt % 2) m = a[(cnt + 1) / 2];
+                else m = (a[cnt / 2] + a[cnt / 2 + 1]) / 2;
+                printf "%s\t%.1f\n", name, m;
+            }
+        }'
+}
+
 # compare <current> <previous> — prints the per-point trend table and
 # returns non-zero when any shared point regressed beyond the threshold.
 compare() {
@@ -50,11 +98,11 @@ compare() {
     cur_pts="$(mktemp)"
     prev_pts="$(mktemp)"
     extract_points "$cur" > "$cur_pts"
-    extract_points "$prev" > "$prev_pts"
+    extract_baseline "$prev" > "$prev_pts"
     if [ ! -s "$cur_pts" ]; then
         echo "bench-trend: SKIP — current artifact $cur has no points (malformed?)"
     elif [ ! -s "$prev_pts" ]; then
-        echo "bench-trend: SKIP — previous artifact $prev has no points (malformed?)"
+        echo "bench-trend: SKIP — baseline $prev has no points (malformed or empty window?)"
     else
         gate_table "$cur_pts" "$prev_pts" || status=$?
     fi
@@ -158,6 +206,52 @@ EOF
     # Malformed previous artifact: skip, not fail.
     echo 'not json at all' > "$dir/garbage.json"
     check "malformed previous skips" pass compare "$dir/ok.json" "$dir/garbage.json"
+    # --- median-of-window baseline (directory form) ---
+    mkdir -p "$dir/window" "$dir/empty_window"
+    cp "$dir/prev.json" "$dir/window/run1.json"
+    cat > "$dir/window/run2.json" <<'EOF'
+{
+  "threads": 8,
+  "unit": "ns",
+  "groups": {
+    "scan/1_threads": 900000.0,
+    "scan/8_threads": 210000.0,
+    "join/native": 5200000.0
+  }
+}
+EOF
+    cat > "$dir/window/run3.json" <<'EOF'
+{
+  "threads": 8,
+  "unit": "ns",
+  "groups": {
+    "scan/1_threads": 40000000.0,
+    "scan/8_threads": 205000.0,
+    "join/native": 4900000.0,
+    "gone/point": 125.0
+  }
+}
+EOF
+    # scan/1_threads median is 1000000 (the 40 ms outlier is discarded), so
+    # ok.json's 1200000 is +20%: within threshold. Against the outlier-free
+    # minimum the window would have flagged nothing either, but against a
+    # single outlier-fast baseline it would — that is the case the median
+    # window exists for.
+    check "window median passes with outlier run" pass compare "$dir/ok.json" "$dir/window"
+    # scan/8_threads median is 205000; bad.json's 260000 is +26.8%: fail.
+    check "window median still gates regressions" fail compare "$dir/bad.json" "$dir/window"
+    # A directory with no artifacts skips like a missing file.
+    check "empty window skips" pass compare "$dir/ok.json" "$dir/empty_window"
+    # Directory baselines work from the entry point too.
+    check "entry point accepts a window dir" pass "$0" "$dir/ok.json" "$dir/window"
+    # Even-sized windows take the mean of the middle pair: gone/point
+    # appears in two files (123, 125) -> 124.
+    local gone
+    gone="$(extract_baseline "$dir/window" | awk -F'\t' '$1 == "gone/point" { print $2 }')"
+    if [ "$gone" != "124.0" ]; then
+        echo "bench-trend self-test: FAIL — even-window median: got '$gone', want '124.0'" >&2
+        fails=$((fails + 1))
+    fi
     # The point extractor itself.
     local points
     points="$(extract_points "$dir/prev.json" | wc -l | tr -d ' ')"
@@ -179,13 +273,21 @@ if [ "${1:-}" = "--self-test" ]; then
 fi
 
 CUR="${1:-${BENCH_JSON:-$ROOT/BENCH_smoke.json}}"
-PREV="${2:-${BENCH_PREV:-$ROOT/BENCH_prev.json}}"
+if [ -n "${2:-}" ]; then
+    PREV="$2"
+elif [ -n "${BENCH_PREV:-}" ]; then
+    PREV="$BENCH_PREV"
+elif [ -d "$ROOT/BENCH_history" ]; then
+    PREV="$ROOT/BENCH_history"
+else
+    PREV="$ROOT/BENCH_prev.json"
+fi
 
 if [ ! -f "$CUR" ]; then
     echo "bench-trend: FAIL — current artifact $CUR not found (run scripts/bench-smoke.sh first)" >&2
     exit 1
 fi
-if [ ! -f "$PREV" ]; then
+if [ ! -e "$PREV" ]; then
     echo "bench-trend: SKIP — no previous artifact at $PREV (first run seeds the trend)"
     exit 0
 fi
