@@ -1408,6 +1408,11 @@ impl<'a, T: TableAccess + Sync> ExecState<'a, T> {
         let bits = shard_count.trailing_zeros();
         let shards =
             morsel::build_hash_shards(table.len(), config, shard_count, |range, buckets| {
+                // Chaos hook inside the morsel itself: an injected failure
+                // here unwinds on a pool worker and must travel the whole
+                // panic-isolation stack (payload capture → job abort →
+                // submitter re-raise → per-query Internal error).
+                mrq_common::fault::point_unwind("join.build.shard");
                 let mut scratch = StringInterner::default(); // never used: no string keys
                 let mut rows = vec![0usize; spec.joins.len() + 1];
                 'rows: for r in range {

@@ -1,0 +1,389 @@
+//! Admission control and QoS-aware load shedding for the serving layer.
+//!
+//! The worker pool and WDRR queues decide *in what order* accepted work
+//! runs; this module decides *whether work is accepted at all*. An
+//! [`AdmissionGate`] is a counting gate over in-flight submissions: every
+//! submission path asks [`AdmissionGate::try_admit`] before doing anything
+//! expensive (compilation, plan-cache lookups, pool tickets), and either
+//! takes a slot or is shed with [`MrqError::Overloaded`] — a cheap,
+//! deterministic rejection the caller can retry after backoff.
+//!
+//! # Shed order
+//!
+//! Shedding is QoS-aware. The gate has one *total* budget
+//! (`max_in_flight + max_queue_depth`), but each [`QosClass`] sees a
+//! different limit carved out of it:
+//!
+//! ```text
+//! limit(class) = total − per_class_reserve × class.shed_tier()
+//!
+//! Interactive  → total                       (tier 0: full budget)
+//! Batch        → total − reserve             (tier 1)
+//! Maintenance  → total − 2 × reserve         (tier 2)
+//! ```
+//!
+//! As load rises, Maintenance submissions hit their (smallest) limit
+//! first, then Batch, and Interactive keeps a reserved share all the way
+//! to the total budget — Maintenance sheds first, Batch second,
+//! Interactive last, deterministically and without any scanning of queue
+//! contents. A single atomic counter plus per-class thresholds is all the
+//! mechanism needed.
+//!
+//! # Defaults and tuning
+//!
+//! The default config is [`AdmissionConfig::unbounded`] — admission is a
+//! no-op until an operator opts in, so embedded/library use is untouched.
+//! [`AdmissionConfig::from_env`] reads `MRQ_MAX_IN_FLIGHT` and
+//! `MRQ_MAX_QUEUE_DEPTH` so deployments can bound a provider without code
+//! changes; when limits are set and no reserve is given, the reserve
+//! defaults to 1/8 of the total budget (minimum 1).
+//!
+//! Accounting is exposed as [`AdmissionStats`] (admitted, shed, peak and
+//! current in-flight), maintained with relaxed atomics on the admit path.
+
+use crate::error::MrqError;
+use crate::qos::QosClass;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Limits for an [`AdmissionGate`].
+///
+/// `max_in_flight` bounds submissions actively consuming pool capacity and
+/// `max_queue_depth` bounds the extra headroom allowed to queue behind
+/// them; the gate enforces their sum as one budget (a submission's journey
+/// from ticket queue to worker is not observable from outside the pool,
+/// and a single counter keeps admission O(1) and race-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum submissions running concurrently. `usize::MAX` disables
+    /// the gate entirely (the default).
+    pub max_in_flight: usize,
+    /// Additional submissions allowed to queue beyond `max_in_flight`.
+    pub max_queue_depth: usize,
+    /// Slots carved out of the total budget per shed tier: Batch stops
+    /// being admitted `per_class_reserve` slots before the budget is
+    /// exhausted, Maintenance twice that, so Interactive always keeps a
+    /// reserved share under overload.
+    pub per_class_reserve: usize,
+}
+
+impl AdmissionConfig {
+    /// No limits: every submission is admitted and the gate only keeps
+    /// statistics. This is the default so library embeddings see no
+    /// behaviour change.
+    pub fn unbounded() -> Self {
+        AdmissionConfig {
+            max_in_flight: usize::MAX,
+            max_queue_depth: 0,
+            per_class_reserve: 0,
+        }
+    }
+
+    /// Bound the gate to `max_in_flight` running plus `max_queue_depth`
+    /// queued submissions, with the reserve defaulted to 1/8 of the total
+    /// budget (minimum 1) so the QoS shed order is active out of the box.
+    pub fn bounded(max_in_flight: usize, max_queue_depth: usize) -> Self {
+        let total = max_in_flight.saturating_add(max_queue_depth);
+        AdmissionConfig {
+            max_in_flight,
+            max_queue_depth,
+            per_class_reserve: (total / 8).max(1),
+        }
+    }
+
+    /// Replace the per-class reserve (use 0 to shed all classes at the
+    /// same threshold).
+    pub fn with_reserve(mut self, per_class_reserve: usize) -> Self {
+        self.per_class_reserve = per_class_reserve;
+        self
+    }
+
+    /// Build a config from the `MRQ_MAX_IN_FLIGHT` and
+    /// `MRQ_MAX_QUEUE_DEPTH` environment variables. Unset, empty, or
+    /// unparsable variables leave the corresponding limit unbounded; if
+    /// neither is set the result is [`AdmissionConfig::unbounded`].
+    pub fn from_env() -> Self {
+        let parse = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|raw| raw.trim().parse::<usize>().ok())
+        };
+        match (parse("MRQ_MAX_IN_FLIGHT"), parse("MRQ_MAX_QUEUE_DEPTH")) {
+            (None, None) => AdmissionConfig::unbounded(),
+            (in_flight, queue) => {
+                AdmissionConfig::bounded(in_flight.unwrap_or(usize::MAX), queue.unwrap_or(0))
+            }
+        }
+    }
+
+    /// The total submission budget (`max_in_flight + max_queue_depth`,
+    /// saturating).
+    pub fn total_slots(&self) -> usize {
+        self.max_in_flight.saturating_add(self.max_queue_depth)
+    }
+
+    /// The in-flight limit that applies to `class`: the total budget minus
+    /// one reserve per shed tier (saturating at zero, so a reserve larger
+    /// than the budget simply sheds the lower classes immediately).
+    pub fn class_limit(&self, class: QosClass) -> usize {
+        self.total_slots()
+            .saturating_sub(self.per_class_reserve.saturating_mul(class.shed_tier()))
+    }
+
+    /// Whether this config admits everything (no class has a finite
+    /// limit).
+    pub fn is_unbounded(&self) -> bool {
+        self.max_in_flight == usize::MAX
+    }
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig::unbounded()
+    }
+}
+
+/// A point-in-time snapshot of an [`AdmissionGate`]'s accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionStats {
+    /// Submissions that took a slot.
+    pub admitted: u64,
+    /// Submissions rejected with [`MrqError::Overloaded`].
+    pub shed: u64,
+    /// Highest concurrent in-flight count ever observed.
+    pub peak_in_flight: usize,
+    /// Submissions currently holding a slot.
+    pub in_flight: usize,
+}
+
+/// The counting gate itself: a config plus atomic accounting. One gate
+/// guards one provider's submission paths; admit/release are O(1)
+/// lock-free operations.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    config: AdmissionConfig,
+    in_flight: AtomicUsize,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    peak: AtomicUsize,
+}
+
+impl AdmissionGate {
+    /// Create a gate enforcing `config`.
+    pub fn new(config: AdmissionConfig) -> Self {
+        AdmissionGate {
+            config,
+            in_flight: AtomicUsize::new(0),
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    /// Replace the limits on a live gate. In-flight accounting carries
+    /// over: slots admitted under the old config still count against the
+    /// new limits until they release, and the statistics counters are not
+    /// reset.
+    pub fn set_config(&mut self, config: AdmissionConfig) {
+        self.config = config;
+    }
+
+    /// The limits currently enforced.
+    pub fn config(&self) -> AdmissionConfig {
+        self.config
+    }
+
+    /// Try to take a slot for a submission of class `class`.
+    ///
+    /// On success the caller owns one slot and must pair this call with
+    /// exactly one [`AdmissionGate::release`] when the submission
+    /// finishes (including when it fails or is cancelled). On overload
+    /// the submission is shed: nothing is held and the returned
+    /// [`MrqError::Overloaded`] carries the observed in-flight count and
+    /// the class limit that rejected it.
+    pub fn try_admit(&self, class: QosClass) -> Result<(), MrqError> {
+        let limit = self.config.class_limit(class);
+        let mut current = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            if current >= limit {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(MrqError::Overloaded {
+                    in_flight: current,
+                    limit,
+                });
+            }
+            match self.in_flight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.admitted.fetch_add(1, Ordering::Relaxed);
+                    self.peak.fetch_max(current + 1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Return a slot taken by a successful [`AdmissionGate::try_admit`].
+    pub fn release(&self) {
+        let previous = self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(previous > 0, "admission release without a matching admit");
+    }
+
+    /// Snapshot the gate's accounting.
+    pub fn stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            peak_in_flight: self.peak.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for AdmissionGate {
+    fn default() -> Self {
+        AdmissionGate::new(AdmissionConfig::from_env())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_gate_admits_everything_and_counts() {
+        let gate = AdmissionGate::new(AdmissionConfig::unbounded());
+        for class in QosClass::ALL {
+            for _ in 0..100 {
+                gate.try_admit(class).unwrap();
+            }
+        }
+        let stats = gate.stats();
+        assert_eq!(stats.admitted, 300);
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.in_flight, 300);
+        assert_eq!(stats.peak_in_flight, 300);
+        for _ in 0..300 {
+            gate.release();
+        }
+        assert_eq!(gate.stats().in_flight, 0);
+        assert_eq!(gate.stats().peak_in_flight, 300);
+    }
+
+    #[test]
+    fn class_limits_follow_the_shed_tiers() {
+        let config = AdmissionConfig::bounded(4, 2).with_reserve(1);
+        assert_eq!(config.total_slots(), 6);
+        assert_eq!(config.class_limit(QosClass::Interactive), 6);
+        assert_eq!(config.class_limit(QosClass::Batch), 5);
+        assert_eq!(config.class_limit(QosClass::Maintenance), 4);
+    }
+
+    #[test]
+    fn bounded_default_reserve_is_an_eighth_of_the_budget() {
+        assert_eq!(AdmissionConfig::bounded(56, 8).per_class_reserve, 8);
+        // Tiny budgets still reserve at least one slot for Interactive.
+        assert_eq!(AdmissionConfig::bounded(2, 0).per_class_reserve, 1);
+    }
+
+    /// The satellite determinism test: a synthetic burst, pure queue
+    /// arithmetic, no sleeps. Maintenance sheds first, then Batch, then
+    /// Interactive, with exact accounting at each step.
+    #[test]
+    fn synthetic_burst_sheds_maintenance_then_batch_then_interactive() {
+        let gate = AdmissionGate::new(AdmissionConfig::bounded(4, 2).with_reserve(1));
+
+        // Fill to the Maintenance limit (4): all admitted.
+        for _ in 0..4 {
+            gate.try_admit(QosClass::Maintenance).unwrap();
+        }
+        // Maintenance is now shed while Batch and Interactive still fit.
+        assert_eq!(
+            gate.try_admit(QosClass::Maintenance),
+            Err(MrqError::Overloaded {
+                in_flight: 4,
+                limit: 4
+            })
+        );
+        gate.try_admit(QosClass::Batch).unwrap(); // 5 in flight
+        assert_eq!(
+            gate.try_admit(QosClass::Batch),
+            Err(MrqError::Overloaded {
+                in_flight: 5,
+                limit: 5
+            })
+        );
+        gate.try_admit(QosClass::Interactive).unwrap(); // 6 in flight
+        assert_eq!(
+            gate.try_admit(QosClass::Interactive),
+            Err(MrqError::Overloaded {
+                in_flight: 6,
+                limit: 6
+            })
+        );
+
+        let stats = gate.stats();
+        assert_eq!(stats.admitted, 6);
+        assert_eq!(stats.shed, 3);
+        assert_eq!(stats.in_flight, 6);
+        assert_eq!(stats.peak_in_flight, 6);
+
+        // Releasing one slot re-opens Interactive first (limit 6), not
+        // Maintenance (limit 4): the freed slot is still above the
+        // Maintenance threshold.
+        gate.release();
+        assert!(gate.try_admit(QosClass::Maintenance).is_err());
+        gate.try_admit(QosClass::Interactive).unwrap();
+
+        // Drain fully: Maintenance is admitted again below its limit.
+        for _ in 0..6 {
+            gate.release();
+        }
+        gate.try_admit(QosClass::Maintenance).unwrap();
+        assert_eq!(gate.stats().in_flight, 1);
+    }
+
+    #[test]
+    fn zero_budget_sheds_every_class() {
+        let gate = AdmissionGate::new(AdmissionConfig::bounded(0, 0).with_reserve(0));
+        for class in QosClass::ALL {
+            assert_eq!(
+                gate.try_admit(class),
+                Err(MrqError::Overloaded {
+                    in_flight: 0,
+                    limit: 0
+                })
+            );
+        }
+        assert_eq!(gate.stats().shed, 3);
+        assert_eq!(gate.stats().admitted, 0);
+    }
+
+    #[test]
+    fn reconfiguring_a_live_gate_keeps_in_flight_accounting() {
+        let mut gate = AdmissionGate::new(AdmissionConfig::unbounded());
+        gate.try_admit(QosClass::Interactive).unwrap();
+        gate.try_admit(QosClass::Interactive).unwrap();
+        gate.set_config(AdmissionConfig::bounded(2, 0).with_reserve(0));
+        // The two pre-existing slots count against the new limit.
+        assert!(gate.try_admit(QosClass::Interactive).is_err());
+        gate.release();
+        gate.try_admit(QosClass::Interactive).unwrap();
+    }
+
+    #[test]
+    fn env_config_parses_when_present() {
+        // `from_env` itself is exercised without mutating the process
+        // environment (other tests run concurrently): unset vars mean
+        // unbounded.
+        if std::env::var("MRQ_MAX_IN_FLIGHT").is_err()
+            && std::env::var("MRQ_MAX_QUEUE_DEPTH").is_err()
+        {
+            assert!(AdmissionConfig::from_env().is_unbounded());
+        }
+    }
+}

@@ -35,6 +35,17 @@ pub enum MrqError {
     /// already-expired deadline resolves at dispatch, before any morsel
     /// runs.
     DeadlineExceeded,
+    /// The serving layer refused the submission at admission: the number
+    /// of in-flight submissions had reached the limit for the query's QoS
+    /// class (see `mrq_common::admission`). Shedding happens before any
+    /// compilation or plan-cache traffic, so a rejected statement costs
+    /// almost nothing and the caller can retry once load subsides.
+    Overloaded {
+        /// In-flight submissions observed when the request was shed.
+        in_flight: usize,
+        /// The admission limit that applied to the request's QoS class.
+        limit: usize,
+    },
     /// Anything else.
     Internal(String),
 }
@@ -51,12 +62,37 @@ impl fmt::Display for MrqError {
             MrqError::Heap(what) => write!(f, "managed heap error: {what}"),
             MrqError::Cancelled => write!(f, "query cancelled"),
             MrqError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            MrqError::Overloaded { in_flight, limit } => write!(
+                f,
+                "server overloaded: {in_flight} submissions in flight (class limit {limit})"
+            ),
             MrqError::Internal(what) => write!(f, "internal error: {what}"),
         }
     }
 }
 
 impl std::error::Error for MrqError {}
+
+/// Extract a human-readable message from a panic payload.
+///
+/// `std::panic::catch_unwind` hands back a `Box<dyn Any + Send>`; in
+/// practice the payload is a `String` (from `panic!("{x}")` or from the
+/// fault-injection layer's `resume_unwind`) or a `&'static str` (from
+/// `panic!("literal")`). Anything else gets a fixed fallback so callers
+/// never lose the fact that a panic happened.
+///
+/// The serving layer uses this at every catch site so the *original*
+/// panic message — not a generic "a worker panicked" string — survives
+/// into the [`MrqError::Internal`] surfaced to the submitter.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(message) => *message,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(message) => (*message).to_string(),
+            Err(_) => "panic with a non-string payload".to_string(),
+        },
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -80,5 +116,26 @@ mod tests {
     fn errors_are_cloneable_and_comparable() {
         let e = MrqError::Unsupported("user-defined constructor".into());
         assert_eq!(e.clone(), e);
+    }
+
+    #[test]
+    fn overloaded_reports_both_numbers() {
+        let e = MrqError::Overloaded {
+            in_flight: 64,
+            limit: 48,
+        };
+        let text = e.to_string();
+        assert!(text.contains("64"), "{text}");
+        assert!(text.contains("48"), "{text}");
+    }
+
+    #[test]
+    fn panic_messages_survive_all_payload_shapes() {
+        let owned: Box<dyn std::any::Any + Send> = Box::new("boom".to_string());
+        assert_eq!(panic_message(owned), "boom");
+        let literal: Box<dyn std::any::Any + Send> = Box::new("bang");
+        assert_eq!(panic_message(literal), "bang");
+        let other: Box<dyn std::any::Any + Send> = Box::new(42usize);
+        assert_eq!(panic_message(other), "panic with a non-string payload");
     }
 }

@@ -1,0 +1,430 @@
+//! Deterministic fault injection for the serving core.
+//!
+//! Real overload, real races, and real worker crashes never manifest on a
+//! small deterministic test box — so the robustness paths (panic
+//! isolation, admission shedding, poison recovery) would otherwise ship
+//! untested. This module plants *named fault points* at the interesting
+//! phase boundaries of the serving stack; each point is a no-op unless
+//! armed, and arming is **counter-based, never random**: a fault fires on
+//! the Nth traversal of its point, so every chaos test replays
+//! identically.
+//!
+//! # Fault points
+//!
+//! A fault point is one line at a phase boundary:
+//!
+//! ```ignore
+//! mrq_common::fault::point("staging.merge")?;
+//! ```
+//!
+//! [`point`] returns `Ok(())` without taking any lock when nothing is
+//! armed (a single relaxed atomic load), so production and default test
+//! cells pay nothing. [`point_unwind`] is the variant for infallible
+//! contexts (e.g. inside a morsel runner): an injected `err` there
+//! degrades to a panic carrying the same message, which the pool's panic
+//! isolation converts back into a clean per-query error — deliberately
+//! exercising the full containment stack. The registered point names are
+//! listed in [`POINTS`].
+//!
+//! # Arming
+//!
+//! Programmatic: [`arm`]`("pool.dispatch", FaultAction::Panic, 3)` fires a
+//! panic on the third traversal. From the environment:
+//!
+//! ```text
+//! MRQ_FAULTS="pool.dispatch:panic@3,plancache.insert:err@1,staging.merge:delay"
+//! ```
+//!
+//! Grammar: comma-separated `name:action[@N]` entries; `action` is one of
+//! `panic`, `err`, `delay`, `hold`; `@N` (default 1) is the 1-based hit
+//! number the fault fires on. The variable is parsed once, on first
+//! traversal of any point.
+//!
+//! Actions:
+//!
+//! * `panic` — unwinds with a `String` payload (via `resume_unwind`, so
+//!   the panic hook prints nothing), exactly once on the Nth hit.
+//! * `err` — returns [`MrqError::Internal`] from the point, once.
+//! * `delay` — sleeps ~2 ms, once; useful for widening windows in cells
+//!   that still expect every query to succeed.
+//! * `hold` — parks every traversal from the Nth onward on a condvar
+//!   until [`release`] or [`disarm_all`]; this is how tests freeze
+//!   admitted submissions at a precise point with no sleeps at all.
+//!
+//! The registry is process-global (the worker pool it instruments is
+//! too); chaos tests that arm faults serialise on a lock and disarm on
+//! exit.
+
+use crate::error::{MrqError, Result};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// Every fault point compiled into the workspace, for docs and for chaos
+/// tests that want to sweep them all.
+pub const POINTS: &[&str] = &[
+    "pool.dispatch",
+    "plancache.insert",
+    "staging.merge",
+    "future.complete",
+    "join.build.shard",
+    "engine.native.probe",
+    "engine.csharp.probe",
+    "engine.linq.scan",
+];
+
+/// What an armed fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Unwind with a `String` payload naming the point.
+    Panic,
+    /// Return [`MrqError::Internal`] from the fault point.
+    Err,
+    /// Sleep ~2 ms and continue.
+    Delay,
+    /// Block at the point until [`release`] / [`disarm_all`].
+    Hold,
+}
+
+#[derive(Debug)]
+struct ArmedFault {
+    action: FaultAction,
+    /// 1-based hit number the fault fires on.
+    fire_at: u64,
+    /// Traversals observed so far.
+    hits: u64,
+    /// One-shot actions flip this after firing and become inert.
+    fired: bool,
+}
+
+struct Registry {
+    faults: Mutex<HashMap<String, ArmedFault>>,
+    released: Condvar,
+    /// Fast-path gate: the number of armed faults that can still fire
+    /// (unfired one-shots plus holds). Zero means [`point`] returns
+    /// without locking.
+    live: AtomicUsize,
+}
+
+impl Registry {
+    fn lock(&self) -> MutexGuard<'_, HashMap<String, ArmedFault>> {
+        // A panic injected while the map is locked must not disable the
+        // whole harness.
+        self.faults.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Recompute the fast-path counter from the map; call under the lock
+    /// after every mutation.
+    fn recount(&self, faults: &HashMap<String, ArmedFault>) {
+        let live = faults.values().filter(|f| !f.fired).count();
+        self.live.store(live, Ordering::Release);
+    }
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let registry = Registry {
+            faults: Mutex::new(HashMap::new()),
+            released: Condvar::new(),
+            live: AtomicUsize::new(0),
+        };
+        if let Ok(spec) = std::env::var("MRQ_FAULTS") {
+            // A malformed env spec is reported lazily by `arm_spec` in
+            // tests; at runtime we prefer a no-op harness over a crash.
+            let _ = arm_spec_into(&registry, &spec);
+        }
+        registry
+    })
+}
+
+fn arm_spec_into(registry: &Registry, spec: &str) -> Result<()> {
+    let mut parsed = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (name, rest) = entry.split_once(':').ok_or_else(|| {
+            MrqError::Internal(format!("MRQ_FAULTS entry `{entry}` is missing `:action`"))
+        })?;
+        let (action, fire_at) = match rest.split_once('@') {
+            Some((action, n)) => {
+                let n: u64 = n.parse().map_err(|_| {
+                    MrqError::Internal(format!("MRQ_FAULTS entry `{entry}` has a bad hit count"))
+                })?;
+                (action, n.max(1))
+            }
+            None => (rest, 1),
+        };
+        let action = match action {
+            "panic" => FaultAction::Panic,
+            "err" => FaultAction::Err,
+            "delay" => FaultAction::Delay,
+            "hold" => FaultAction::Hold,
+            other => {
+                return Err(MrqError::Internal(format!(
+                    "MRQ_FAULTS action `{other}` is not one of panic/err/delay/hold"
+                )))
+            }
+        };
+        parsed.push((name.trim().to_string(), action, fire_at));
+    }
+    let mut faults = registry.lock();
+    for (name, action, fire_at) in parsed {
+        faults.insert(
+            name,
+            ArmedFault {
+                action,
+                fire_at,
+                hits: 0,
+                fired: false,
+            },
+        );
+    }
+    registry.recount(&faults);
+    Ok(())
+}
+
+/// Arm `name` to perform `action` on its `fire_at`-th traversal (1-based;
+/// 0 is treated as 1). Re-arming an already-armed point resets its hit
+/// counter.
+pub fn arm(name: &str, action: FaultAction, fire_at: u64) {
+    let registry = registry();
+    let mut faults = registry.lock();
+    faults.insert(
+        name.to_string(),
+        ArmedFault {
+            action,
+            fire_at: fire_at.max(1),
+            hits: 0,
+            fired: false,
+        },
+    );
+    registry.recount(&faults);
+}
+
+/// Arm a comma-separated `name:action[@N]` spec (the `MRQ_FAULTS`
+/// grammar). Returns an error — arming nothing — if the spec is
+/// malformed.
+pub fn arm_spec(spec: &str) -> Result<()> {
+    arm_spec_into(registry(), spec)
+}
+
+/// Disarm every fault and wake any traversals parked in a `hold`.
+pub fn disarm_all() {
+    let registry = registry();
+    let mut faults = registry.lock();
+    faults.clear();
+    registry.recount(&faults);
+    registry.released.notify_all();
+}
+
+/// Disarm `name` (waking its held traversals, if any). Unknown names are
+/// a no-op.
+pub fn release(name: &str) {
+    let registry = registry();
+    let mut faults = registry.lock();
+    faults.remove(name);
+    registry.recount(&faults);
+    registry.released.notify_all();
+}
+
+/// How many times `name` has been traversed since it was (last) armed.
+/// Returns 0 for unarmed points.
+pub fn hits(name: &str) -> u64 {
+    registry().lock().get(name).map_or(0, |f| f.hits)
+}
+
+/// Whether `name` has fired its one-shot action.
+pub fn fired(name: &str) -> bool {
+    registry().lock().get(name).is_some_and(|f| f.fired)
+}
+
+/// The number of armed faults that can still fire.
+pub fn armed_count() -> usize {
+    registry().live.load(Ordering::Acquire)
+}
+
+/// A fault point. No-op (one relaxed atomic load) unless a fault is
+/// armed; otherwise fires the armed action when this traversal is the
+/// designated hit.
+#[inline]
+pub fn point(name: &str) -> Result<()> {
+    let registry = registry();
+    if registry.live.load(Ordering::Relaxed) == 0 {
+        return Ok(());
+    }
+    hit(registry, name)
+}
+
+/// Fault point for infallible contexts (morsel runners, completion
+/// paths): an injected `err` is escalated to a panic carrying the same
+/// message, which the panic-isolation layer downgrades back to a clean
+/// per-query [`MrqError::Internal`].
+#[inline]
+pub fn point_unwind(name: &str) {
+    if let Err(error) = point(name) {
+        std::panic::resume_unwind(Box::new(error.to_string()));
+    }
+}
+
+#[cold]
+fn hit(registry: &'static Registry, name: &str) -> Result<()> {
+    let mut faults = registry.lock();
+    let Some(fault) = faults.get_mut(name) else {
+        return Ok(());
+    };
+    fault.hits += 1;
+    let action = fault.action;
+    if action == FaultAction::Hold {
+        if fault.hits < fault.fire_at {
+            return Ok(());
+        }
+        // Park until this point is released or everything is disarmed.
+        while faults.contains_key(name) {
+            faults = registry
+                .released
+                .wait(faults)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        return Ok(());
+    }
+    if fault.fired || fault.hits != fault.fire_at {
+        return Ok(());
+    }
+    fault.fired = true;
+    registry.recount(&faults);
+    drop(faults);
+    match action {
+        FaultAction::Panic => {
+            std::panic::resume_unwind(Box::new(format!("injected panic at fault point `{name}`")))
+        }
+        FaultAction::Err => Err(MrqError::Internal(format!(
+            "injected fault at fault point `{name}`"
+        ))),
+        FaultAction::Delay => {
+            std::thread::sleep(Duration::from_millis(2));
+            Ok(())
+        }
+        FaultAction::Hold => unreachable!("hold is handled above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global; tests that arm faults serialise
+    /// here and leave the registry clean.
+    fn scoped() -> impl Drop {
+        static SERIAL: Mutex<()> = Mutex::new(());
+        struct Guard(#[allow(dead_code)] MutexGuard<'static, ()>);
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                disarm_all();
+            }
+        }
+        let guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        disarm_all();
+        Guard(guard)
+    }
+
+    #[test]
+    fn unarmed_points_are_noops() {
+        let _guard = scoped();
+        assert_eq!(armed_count(), 0);
+        for name in POINTS {
+            assert_eq!(point(name), Ok(()));
+            point_unwind(name);
+        }
+        // Unarmed points do not even count hits.
+        assert_eq!(hits("pool.dispatch"), 0);
+    }
+
+    #[test]
+    fn err_fires_exactly_on_the_nth_hit() {
+        let _guard = scoped();
+        arm("pool.dispatch", FaultAction::Err, 3);
+        assert_eq!(point("pool.dispatch"), Ok(()));
+        assert_eq!(point("pool.dispatch"), Ok(()));
+        let error = point("pool.dispatch").unwrap_err();
+        assert_eq!(
+            error,
+            MrqError::Internal("injected fault at fault point `pool.dispatch`".into())
+        );
+        // One-shot: later traversals pass, and once nothing can fire the
+        // lock-free fast path re-opens (so hits stop being counted too).
+        assert_eq!(point("pool.dispatch"), Ok(()));
+        assert!(fired("pool.dispatch"));
+        assert_eq!(hits("pool.dispatch"), 3);
+        assert_eq!(armed_count(), 0);
+    }
+
+    #[test]
+    fn panic_unwinds_with_a_named_string_payload() {
+        let _guard = scoped();
+        arm("staging.merge", FaultAction::Panic, 1);
+        let payload = std::panic::catch_unwind(|| point("staging.merge")).unwrap_err();
+        assert_eq!(
+            crate::error::panic_message(payload),
+            "injected panic at fault point `staging.merge`"
+        );
+    }
+
+    #[test]
+    fn point_unwind_escalates_err_to_a_panic() {
+        let _guard = scoped();
+        arm("join.build.shard", FaultAction::Err, 1);
+        let payload = std::panic::catch_unwind(|| point_unwind("join.build.shard")).unwrap_err();
+        let message = crate::error::panic_message(payload);
+        assert!(message.contains("join.build.shard"), "{message}");
+    }
+
+    #[test]
+    fn delay_passes_and_fires_once() {
+        let _guard = scoped();
+        arm("future.complete", FaultAction::Delay, 1);
+        assert_eq!(point("future.complete"), Ok(()));
+        assert!(fired("future.complete"));
+        assert_eq!(point("future.complete"), Ok(()));
+    }
+
+    #[test]
+    fn hold_parks_until_released() {
+        let _guard = scoped();
+        arm("pool.dispatch", FaultAction::Hold, 1);
+        let parked = std::thread::spawn(|| {
+            point("pool.dispatch").unwrap();
+            true
+        });
+        // Deterministic rendezvous: wait until the traversal is counted,
+        // which happens before it parks.
+        while hits("pool.dispatch") == 0 {
+            std::thread::yield_now();
+        }
+        release("pool.dispatch");
+        assert!(parked.join().unwrap());
+    }
+
+    #[test]
+    fn spec_grammar_round_trips() {
+        let _guard = scoped();
+        arm_spec("pool.dispatch:panic@3, plancache.insert:err , staging.merge:delay@2").unwrap();
+        assert_eq!(armed_count(), 3);
+        // Default hit count is 1.
+        let error = point("plancache.insert").unwrap_err().to_string();
+        assert!(error.contains("plancache.insert"), "{error}");
+        assert_eq!(armed_count(), 2);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        let _guard = scoped();
+        assert!(arm_spec("no-action-here").is_err());
+        assert!(arm_spec("a:explode").is_err());
+        assert!(arm_spec("a:panic@x").is_err());
+        assert_eq!(armed_count(), 0);
+    }
+}

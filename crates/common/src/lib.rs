@@ -18,16 +18,21 @@
 //!   deficit round-robin over per-class ticket queues,
 //! * the sharded concurrent LRU [`plancache`] the provider layer keys
 //!   compiled plans by, with atomic hit/miss/eviction counters,
+//! * the robustness layer under the serving core: [`admission`] gates
+//!   (QoS-aware load shedding with [`MrqError::Overloaded`]) and the
+//!   deterministic [`fault`]-injection registry used by the chaos suite,
 //! * the [`profile::CostBreakdown`] phase timer used to reproduce the paper's
 //!   cost-breakdown figures (Figures 8, 10 and 12), and
 //! * small utilities (a fast integer hasher, error types).
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod cancel;
 pub mod date;
 pub mod decimal;
 pub mod error;
+pub mod fault;
 pub mod hash;
 pub mod morsel;
 pub mod plancache;
@@ -38,9 +43,10 @@ pub mod schema;
 pub mod trace;
 pub mod value;
 
+pub use admission::{AdmissionConfig, AdmissionGate, AdmissionStats};
 pub use date::Date;
 pub use decimal::Decimal;
-pub use error::{MrqError, Result};
+pub use error::{panic_message, MrqError, Result};
 pub use morsel::ParallelConfig;
 pub use qos::{QosClass, QosWeights};
 pub use schema::{Field, Schema};

@@ -15,7 +15,13 @@
 //!   refresh recency);
 //! * **Counted**: hits, misses and evictions are atomic counters exposed as
 //!   a [`CacheStats`] snapshot, so hit rates can be asserted exactly in
-//!   tests and reported by serving dashboards.
+//!   tests and reported by serving dashboards;
+//! * **Poison-tolerant**: every shard-lock acquisition recovers a poisoned
+//!   mutex via `into_inner()`. A panic inside the lock (a panicking key
+//!   comparison, or an injected fault) can unwind mid-operation, but shard
+//!   state is only ever mutated in already-consistent steps, so later
+//!   lookups and inserts on that shard keep working — one query fails, the
+//!   cache does not (exercised by the chaos/poison tests).
 //!
 //! The cache is generic over key and value so the provider layer can key it
 //! by (expression structure, strategy, source schema) without this crate

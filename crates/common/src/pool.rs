@@ -57,6 +57,21 @@
 //! waker* promptly after a cancel (wake-on-retire), instead of after the
 //! rest of the morsel's rows.
 //!
+//! ## Panic isolation
+//!
+//! A panicking morsel must not take down the worker that ran it, the
+//! sibling queries sharing the pool, or — since PR 7 — the submitting
+//! caller's process either. The catch site records the *first* panic's
+//! payload message on the job and flips its failed flag; from that moment
+//! the job is treated exactly like a cancelled one (remaining morsels are
+//! claimed and retired unrun, the queue drains at memory speed), and the
+//! submitting `run_morsels` frame re-raises the unwind with the **original
+//! payload string** once the latch fires. The serving layer catches that
+//! unwind at the query boundary and surfaces it as a per-query
+//! `MrqError::Internal(payload)` through `QueryHandle::join` /
+//! `QueryFuture` — one query fails, its neighbours and the pool itself
+//! stay serviceable.
+//!
 //! ## Concurrency capping
 //!
 //! A `run_morsels` job with a degree-of-parallelism budget of `max_workers`
@@ -109,8 +124,13 @@ struct MorselJob {
     cursor: AtomicUsize,
     /// Morsels not yet *completed* (claimed-and-running or unclaimed).
     pending: AtomicUsize,
-    /// Set when any morsel panicked; the submitting call re-panics.
-    panicked: AtomicBool,
+    /// Set when any morsel panicked; the job aborts (remaining morsels
+    /// retire unrun) and the submitting call re-raises the captured
+    /// payload.
+    failed: AtomicBool,
+    /// The first panicking morsel's payload message (first panic wins;
+    /// later ones are retired morsels anyway).
+    panic_msg: Mutex<Option<String>>,
     /// The class this job's tickets are queued (and requeued) under.
     class: QosClass,
     /// Cooperative cancellation: once tripped, claimed morsels are retired
@@ -143,6 +163,14 @@ impl MorselJob {
         self.token.as_ref().is_some_and(|t| t.is_tripped())
     }
 
+    /// True once the job stopped doing useful work — cancelled *or*
+    /// failed by a panicking morsel. Both retire remaining morsels unrun:
+    /// after a panic the job's result is already decided, so running more
+    /// morsels only burns pool capacity the sibling queries need.
+    fn is_aborted(&self) -> bool {
+        self.failed.load(Ordering::Acquire) || self.is_cancelled()
+    }
+
     /// Runs a single claimed morsel and does the completion bookkeeping.
     /// A claimed morsel of a cancelled job is *retired* instead of run: the
     /// completion latch must still fire (the submitting frame waits on it),
@@ -151,7 +179,7 @@ impl MorselJob {
         // `m < total`, so the submitting `run_morsels` frame is still
         // blocked in its wait loop (pending > 0 until we decrement below)
         // and the runner borrow is live.
-        if !self.is_cancelled() {
+        if !self.is_aborted() {
             let runner = self.runner;
             // A controlled job's runner executes under its cancel scope, so
             // the intra-morsel checkpoints inside the fused loops fire on
@@ -174,7 +202,13 @@ impl MorselJob {
                 // (and, through it, any registered waker) is released as
                 // soon as the last in-flight morsel retires.
                 if !payload.is::<CancelReason>() {
-                    self.panicked.store(true, Ordering::Relaxed);
+                    let message = crate::error::panic_message(payload);
+                    let mut slot = self.panic_msg.lock().unwrap_or_else(|e| e.into_inner());
+                    if slot.is_none() {
+                        *slot = Some(message);
+                    }
+                    drop(slot);
+                    self.failed.store(true, Ordering::Release);
                 }
             }
         }
@@ -256,11 +290,12 @@ impl Shared {
                     }
                     job.run_one(m);
                     if job.has_unclaimed() {
-                        if job.is_cancelled() {
-                            // Abandon the job: claim-and-retire everything
-                            // left instead of requeueing, so the submitter's
-                            // latch fires now rather than one queue round
-                            // trip per dead morsel later.
+                        if job.is_aborted() {
+                            // Abandon the job (cancelled or failed):
+                            // claim-and-retire everything left instead of
+                            // requeueing, so the submitter's latch fires now
+                            // rather than one queue round trip per dead
+                            // morsel later.
                             job.drain();
                             continue;
                         }
@@ -397,7 +432,9 @@ impl WorkerPool {
     ///
     /// The calling thread always participates, which makes the call complete
     /// even on an empty or saturated pool. Panics inside `run` are caught on
-    /// the worker, recorded, and re-raised here after the fan-out finishes.
+    /// the worker, the remaining morsels retire unrun, and the unwind is
+    /// re-raised here with the original panic payload message once the
+    /// fan-out's latch fires.
     pub fn run_morsels(&self, total: usize, max_workers: usize, run: &(dyn Fn(usize) + Sync)) {
         self.run_morsels_as(total, max_workers, QosClass::Interactive, None, run);
     }
@@ -442,7 +479,8 @@ impl WorkerPool {
             total,
             cursor: AtomicUsize::new(0),
             pending: AtomicUsize::new(total),
-            panicked: AtomicBool::new(false),
+            failed: AtomicBool::new(false),
+            panic_msg: Mutex::new(None),
             class,
             token,
             done: Mutex::new(false),
@@ -465,8 +503,19 @@ impl WorkerPool {
             done = job.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
         }
         drop(done);
-        if job.panicked.load(Ordering::Relaxed) {
-            panic!("a pool worker panicked while running a morsel");
+        if job.failed.load(Ordering::Acquire) {
+            let message = job
+                .panic_msg
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .unwrap_or_else(|| "a pool worker panicked while running a morsel".to_string());
+            // Re-raise with the *original* payload message so callers (and
+            // the serving layer's query-boundary catch) see what actually
+            // went wrong, not a generic pool message. `resume_unwind` skips
+            // the panic hook — the original panic already printed through
+            // it at the catch site's thread.
+            std::panic::resume_unwind(Box::new(message));
         }
     }
 
@@ -547,7 +596,7 @@ mod tests {
     }
 
     #[test]
-    fn morsel_panics_propagate_to_the_submitter() {
+    fn morsel_panics_propagate_to_the_submitter_with_their_payload() {
         let pool = WorkerPool::new(2);
         let result = catch_unwind(AssertUnwindSafe(|| {
             pool.run_morsels(10, 3, &|m| {
@@ -556,13 +605,54 @@ mod tests {
                 }
             });
         }));
-        assert!(result.is_err());
+        // The submitter sees the *original* payload, not a generic pool
+        // message.
+        let payload = result.unwrap_err();
+        assert_eq!(crate::error::panic_message(payload), "boom");
         // The pool survives: subsequent jobs still run.
         let hits = AtomicUsize::new(0);
         pool.run_morsels(8, 3, &|_| {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn a_failed_job_retires_its_remaining_morsels_unrun() {
+        // Drive a MorselJob directly on one thread so the schedule is
+        // exact: morsel 0 runs, morsel 1 panics (caught), morsels 2 and 3
+        // must retire unrun, and the completion latch must still fire.
+        let hits = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&hits);
+        let runner: Runner = Box::leak(Box::new(move |m: usize| {
+            if m == 1 {
+                panic!("shard 1 exploded");
+            }
+            counter.fetch_add(1, Ordering::Relaxed);
+        }));
+        let job = MorselJob {
+            runner,
+            total: 4,
+            cursor: AtomicUsize::new(0),
+            pending: AtomicUsize::new(4),
+            failed: AtomicBool::new(false),
+            panic_msg: Mutex::new(None),
+            class: QosClass::Interactive,
+            token: None,
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        };
+        job.drain();
+        assert!(job.failed.load(Ordering::Acquire));
+        assert_eq!(hits.load(Ordering::Relaxed), 1, "morsels 2 and 3 retired");
+        assert_eq!(
+            job.panic_msg.lock().unwrap().as_deref(),
+            Some("shard 1 exploded")
+        );
+        assert!(
+            *job.done.lock().unwrap(),
+            "the latch fired despite the failure"
+        );
     }
 
     #[test]

@@ -62,6 +62,20 @@ impl QosClass {
         QosClass::Maintenance,
     ];
 
+    /// How many admission reserves stand between this class and the full
+    /// submission budget: under overload, classes with a higher tier hit
+    /// their (smaller) limit first and are shed first. The fixed order is
+    /// Maintenance (tier 2) → Batch (tier 1) → Interactive (tier 0), the
+    /// mirror of the dispatch-priority order above — work we schedule last
+    /// is also the work we shed first (see `crate::admission`).
+    pub fn shed_tier(self) -> usize {
+        match self {
+            QosClass::Interactive => 0,
+            QosClass::Batch => 1,
+            QosClass::Maintenance => 2,
+        }
+    }
+
     /// Index of this class into per-class arrays ([`QosClass::ALL`] order).
     fn index(self) -> usize {
         match self {

@@ -58,6 +58,20 @@ impl QueryState {
         })
     }
 
+    /// A latch that is already resolved to `result`: what a shed
+    /// submission's handle or future wraps. No task exists; `join`/`poll`
+    /// return immediately and drop-waits are trivially satisfied.
+    pub(crate) fn completed(result: Result<QueryOutput>) -> Arc<QueryState> {
+        Arc::new(QueryState {
+            slot: Mutex::new(QuerySlot {
+                finished: true,
+                result: Some(result),
+                waker: None,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
     fn lock(&self) -> MutexGuard<'_, QuerySlot> {
         self.slot.lock().unwrap_or_else(|e| e.into_inner())
     }
@@ -67,7 +81,23 @@ impl QueryState {
     /// waker is invoked *after* the slot lock is released, so a waker that
     /// immediately re-polls from another thread cannot deadlock against
     /// this call.
+    ///
+    /// Completion is panic-isolated: this latch is the last line between a
+    /// finished task and a joiner blocked forever, so the
+    /// `future.complete` fault point (and any panic it injects) is caught
+    /// here and folded into the published result rather than allowed to
+    /// skip the notify.
     pub(crate) fn complete(&self, result: Result<QueryOutput>) {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let result = match catch_unwind(AssertUnwindSafe(|| {
+            mrq_common::fault::point("future.complete")
+        })) {
+            Ok(Ok(())) => result,
+            Ok(Err(injected)) => Err(injected),
+            Err(payload) => Err(mrq_common::MrqError::Internal(mrq_common::panic_message(
+                payload,
+            ))),
+        };
         let waker = {
             let mut slot = self.lock();
             slot.result = Some(result);

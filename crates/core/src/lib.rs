@@ -60,6 +60,7 @@ use mrq_codegen::exec::{QueryOutput, TableAccess, ValueTable};
 use mrq_codegen::spec::{lower, Catalog, QuerySpec};
 use mrq_common::cancel::{self, CancelReason, CancelToken, JobControl};
 use mrq_common::pool::WorkerPool;
+use mrq_common::{fault, panic_message, AdmissionGate};
 use mrq_common::{MrqError, Result, Schema, Value};
 use mrq_engine_csharp::HeapTable;
 use mrq_engine_hybrid::HybridConfig;
@@ -93,6 +94,7 @@ pub use mrq_common::plancache::{CacheConfig as PlanCacheConfig, CacheStats as Pl
 /// under the name its lifecycle variants ([`QueryError::Cancelled`],
 /// [`QueryError::DeadlineExceeded`]) are discussed by.
 pub use mrq_common::MrqError as QueryError;
+pub use mrq_common::{AdmissionConfig, AdmissionStats};
 pub use mrq_common::{QosClass, QosWeights};
 pub use mrq_engine_hybrid::{Materialization, TransferPolicy};
 pub use mrq_engine_native::ParallelConfig;
@@ -251,6 +253,11 @@ pub struct Provider<'a> {
     /// Submitted queries still running on the pool; `Drop` waits for zero,
     /// the second line of defence behind `QueryHandle`'s own drop-wait.
     in_flight: Arc<InFlight>,
+    /// The admission gate every submission path consults *before* arming,
+    /// compiling, or touching any cache: over the configured limits a
+    /// submission is shed with [`QueryError::Overloaded`] instead of
+    /// spawned. Unbounded by default (see [`Provider::set_admission`]).
+    admission: AdmissionGate,
 }
 
 /// Counter + latch for submitted queries in flight on the pool.
@@ -312,6 +319,7 @@ impl<'a> Provider<'a> {
                 count: StdMutex::new(0),
                 zero: Condvar::new(),
             }),
+            admission: AdmissionGate::default(),
         }
     }
 
@@ -359,6 +367,46 @@ impl<'a> Provider<'a> {
     /// The provider-wide degree of parallelism.
     pub fn parallelism(&self) -> ParallelConfig {
         self.parallel
+    }
+
+    /// Bounds concurrent submissions with an [`AdmissionConfig`]: once the
+    /// limit for a QoS class is reached, further `submit`/`submit_with`/
+    /// `submit_async` calls (and their prepared/owned counterparts) of
+    /// that class resolve immediately to [`QueryError::Overloaded`] — no
+    /// task is spawned, nothing is compiled, and no plan-cache traffic
+    /// happens for the shed statement. Shedding is QoS-aware: Maintenance
+    /// sheds first, then Batch, while Interactive keeps a reserved share
+    /// of the budget (see `mrq_common::admission` for the exact
+    /// arithmetic).
+    ///
+    /// The default is [`AdmissionConfig::from_env`] — unbounded unless
+    /// `MRQ_MAX_IN_FLIGHT` / `MRQ_MAX_QUEUE_DEPTH` are set. Blocking
+    /// [`Provider::execute`] calls are not gated; the gate protects the
+    /// pool-backed submission paths a server exposes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mrq_core::{AdmissionConfig, Provider};
+    ///
+    /// let mut provider = Provider::new();
+    /// provider.set_admission(AdmissionConfig::bounded(64, 16));
+    /// assert_eq!(provider.admission().total_slots(), 80);
+    /// ```
+    pub fn set_admission(&mut self, config: AdmissionConfig) -> &mut Self {
+        self.admission.set_config(config);
+        self
+    }
+
+    /// The admission limits currently enforced.
+    pub fn admission(&self) -> AdmissionConfig {
+        self.admission.config()
+    }
+
+    /// Admission accounting: submissions admitted, submissions shed with
+    /// [`QueryError::Overloaded`], and the peak/current in-flight counts.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission.stats()
     }
 
     /// Sets the heuristic-rewrite configuration applied before lowering
@@ -867,6 +915,7 @@ impl<'a> Provider<'a> {
         // below; a tripped checkpoint unwinds with the reason, caught here
         // at the query boundary.
         match catch_unwind(AssertUnwindSafe(|| {
+            fault::point("pool.dispatch")?;
             cancel::scope(control.clone(), || match job {
                 Job::Statement(expr) => self.execute(expr, strategy),
                 Job::Prepared {
@@ -879,7 +928,11 @@ impl<'a> Provider<'a> {
             Ok(result) => result,
             Err(payload) => Err(match payload.downcast::<CancelReason>() {
                 Ok(reason) => MrqError::from(*reason),
-                Err(_) => MrqError::Internal("submitted query panicked on a pool worker".into()),
+                // Engine panics — and panics re-raised by the pool's
+                // morsel-failure path — surface as a per-query error that
+                // keeps the *original* payload message, so the client
+                // learns what actually broke, not just that something did.
+                Err(payload) => MrqError::Internal(panic_message(payload)),
             }),
         }
     }
@@ -890,15 +943,45 @@ impl<'a> Provider<'a> {
         &self.in_flight
     }
 
+    /// The admission check shared by the borrowed and owned spawn paths:
+    /// `Ok` takes a slot the finished task must release; `Err` is the
+    /// pre-completed state a shed submission's handle/future resolves to.
+    /// Runs before [`Provider::arm`], before any compilation, and before
+    /// any cache traffic — shedding must stay cheap under exactly the
+    /// load that makes it necessary.
+    pub(crate) fn admit_submission(
+        &self,
+        options: &QueryOptions,
+    ) -> std::result::Result<(), (Arc<QueryState>, Arc<CancelToken>)> {
+        match self.admission.try_admit(options.class) {
+            Ok(()) => Ok(()),
+            Err(overloaded) => Err((
+                QueryState::completed(Err(overloaded)),
+                Arc::new(CancelToken::new()),
+            )),
+        }
+    }
+
+    /// Releases the admission slot taken by [`Provider::admit_submission`]
+    /// (called from the task bodies in both spawn paths).
+    pub(crate) fn release_submission(&self) {
+        self.admission.release();
+    }
+
     /// The borrowed spawn path shared by [`Provider::submit_with`] and
     /// [`Provider::submit_async`]: queues the task and returns the
-    /// completion latch + token the handle or future wraps.
+    /// completion latch + token the handle or future wraps. Over the
+    /// admission limits, no task is queued at all — the returned state is
+    /// already resolved to [`QueryError::Overloaded`].
     fn spawn_submitted(
         &self,
         job: Job,
         strategy: Strategy,
         options: QueryOptions,
     ) -> (Arc<QueryState>, Arc<CancelToken>) {
+        if let Err(shed) = self.admit_submission(&options) {
+            return shed;
+        }
         let (token, control) = Self::arm(&options);
         let state = QueryState::new();
         let completion = Arc::clone(&state);
@@ -907,6 +990,10 @@ impl<'a> Provider<'a> {
         let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
             let result = self.run_submitted(&control, job, strategy);
             completion.complete(result);
+            // Release the admission slot before the in-flight decrement:
+            // once the count hits zero `Provider::drop` may return and the
+            // borrow of `self` below would dangle.
+            self.release_submission();
             in_flight.decrement();
         });
         // SAFETY (lifetime erasure): the pool requires a `'static` task, but

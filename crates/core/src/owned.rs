@@ -132,6 +132,12 @@ impl OwnedProvider {
         strategy: Strategy,
         options: QueryOptions,
     ) -> QueryFuture<'static> {
+        // Admission first, like the borrowed path: a shed submission
+        // spawns no task and compiles nothing — the future is already
+        // resolved to `Overloaded`.
+        if let Err((state, token)) = self.inner.admit_submission(&options) {
+            return QueryFuture::new(state, token, Some(Arc::clone(&self.inner)));
+        }
         let (token, control) = Provider::arm(&options);
         let state = QueryState::new();
         let completion = Arc::clone(&state);
@@ -140,6 +146,7 @@ impl OwnedProvider {
         let task: Box<dyn FnOnce() + Send + 'static> = Box::new(move || {
             let result = provider.run_submitted(&control, job, strategy);
             completion.complete(result);
+            provider.release_submission();
             // Decrement before `provider` (this closure's own keep-alive
             // clone) drops at the end of the body: if this is the last
             // clone, `Provider::drop` then observes zero in-flight and

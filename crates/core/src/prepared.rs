@@ -156,19 +156,30 @@ impl<'a> Provider<'a> {
             schemas,
         };
         let catalog = ProviderCatalog { provider: self };
-        let plan = self.plan_cache.get_or_insert_with(&key, || {
-            let start = Instant::now();
-            let spec = lower(&canonical, &catalog)?;
-            let csharp_source = emit_source(&spec, Backend::CSharp);
-            let c_source = emit_source(&spec, Backend::C);
-            Ok::<_, MrqError>(Arc::new(CompiledQuery {
-                spec,
-                csharp_source,
-                c_source,
-                rewrites,
-                generation_time: start.elapsed(),
-            }))
-        })?;
+        // The compile-and-insert composite is panic-isolated: a panic in
+        // lowering/codegen (or injected at the `plancache.insert` fault
+        // point) becomes a clean per-statement error, and the cache — whose
+        // shard locks recover from poisoning — keeps serving other shapes.
+        let compiled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.plan_cache.get_or_insert_with(&key, || {
+                mrq_common::fault::point("plancache.insert")?;
+                let start = Instant::now();
+                let spec = lower(&canonical, &catalog)?;
+                let csharp_source = emit_source(&spec, Backend::CSharp);
+                let c_source = emit_source(&spec, Backend::C);
+                Ok::<_, MrqError>(Arc::new(CompiledQuery {
+                    spec,
+                    csharp_source,
+                    c_source,
+                    rewrites,
+                    generation_time: start.elapsed(),
+                }))
+            })
+        }));
+        let plan = match compiled {
+            Ok(plan) => plan?,
+            Err(payload) => return Err(MrqError::Internal(mrq_common::panic_message(payload))),
+        };
         Ok(PreparedQuery {
             provider: self,
             plan,

@@ -217,6 +217,7 @@ pub fn execute(
     params: &[Value],
     tables: &[&HeapTable<'_>],
 ) -> Result<QueryOutput> {
+    mrq_common::fault::point("engine.csharp.probe")?;
     if tables.len() != spec.joins.len() + 1 {
         return Err(MrqError::Internal(format!(
             "expected {} tables, got {}",
@@ -245,6 +246,7 @@ pub fn execute_parallel(
     tables: &[&HeapTable<'_>],
     config: ParallelConfig,
 ) -> Result<QueryOutput> {
+    mrq_common::fault::point("engine.csharp.probe")?;
     if tables.len() != spec.joins.len() + 1 {
         return Err(MrqError::Internal(format!(
             "expected {} tables, got {}",

@@ -542,6 +542,11 @@ pub fn execute(
         breakdown.add(phase, max_native.max(sum_native / workers));
     }
 
+    // The staging→native boundary: every staged shard has merged into the
+    // final state. Chaos tests inject here to prove a failure between
+    // staging and finishing leaves peers and the pool untouched.
+    mrq_common::fault::point("staging.merge")?;
+
     // ------------------------------------------------------------------
     // Finish natively, then (Min mode) rebuild result objects from the
     // original managed collections.

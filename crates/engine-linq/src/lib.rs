@@ -177,6 +177,7 @@ pub fn execute<T: TableAccess>(
     params: &[Value],
     tables: &[&T],
 ) -> Result<QueryOutput> {
+    mrq_common::fault::point("engine.linq.scan")?;
     if tables.len() != spec.joins.len() + 1 {
         return Err(MrqError::Internal(format!(
             "expected {} tables, got {}",

@@ -296,6 +296,7 @@ impl TableAccess for TracedRowStore<'_> {
 /// Executes a fused query spec over row stores. `tables[0]` is the probe
 /// side; subsequent tables follow `spec.joins` order.
 pub fn execute(spec: &QuerySpec, params: &[Value], tables: &[&RowStore]) -> Result<QueryOutput> {
+    mrq_common::fault::point("engine.native.probe")?;
     if tables.len() != spec.joins.len() + 1 {
         return Err(MrqError::Internal(format!(
             "expected {} tables, got {}",

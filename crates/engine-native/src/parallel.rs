@@ -45,6 +45,7 @@ pub fn execute_parallel(
     indexes: &[Option<&HashIndex>],
     config: ParallelConfig,
 ) -> Result<QueryOutput> {
+    mrq_common::fault::point("engine.native.probe")?;
     if tables.len() != spec.joins.len() + 1 {
         return Err(MrqError::Internal(format!(
             "expected {} tables, got {}",

@@ -21,15 +21,23 @@
 //! 5. a **prepared** Q1 (`OwnedProvider::prepare`, one plan in the sharded
 //!    plan cache) serves a sweep of shipdate cutoffs by re-binding the
 //!    cached plan per request — each future again bit-identical to the
-//!    ad-hoc execution of the same statement.
+//!    ad-hoc execution of the same statement;
+//! 6. a second, admission-*bounded* provider takes a burst past its
+//!    `max_in_flight`: Maintenance sheds first, then Batch, Interactive
+//!    keeps its reserve — shed futures resolve immediately to
+//!    `Overloaded` without compiling anything, and every admitted query
+//!    still completes bit-identically (a `hold` fault at the dispatch
+//!    boundary makes the burst deterministic).
 //!
 //! Run with `cargo run --release --example async_server`.
 //! Knobs: `MRQ_SF` (scale factor, default 0.01), `MRQ_CLIENTS` (default 12).
 
 use mrq_codegen::exec::QueryOutput;
+use mrq_common::fault::{self, FaultAction};
 use mrq_common::Value;
 use mrq_core::{
-    OwnedProvider, ParallelConfig, Provider, QueryError, QueryFuture, QueryOptions, Strategy,
+    AdmissionConfig, OwnedProvider, ParallelConfig, Provider, QueryError, QueryFuture,
+    QueryOptions, Strategy,
 };
 use mrq_engine_native::RowStore;
 use mrq_expr::optimize::{optimize, OptimizerConfig};
@@ -165,22 +173,32 @@ fn main() {
     println!("generating TPC-H data at scale factor {scale} ...");
     let data = TpchData::generate(GenConfig::scale(scale));
 
-    // The binding scope: shared (Arc) stores, a provider bound over them,
-    // sealed into an OwnedProvider. Only the Arcs escape — the borrow
-    // checker verifies nothing else does, which is exactly what makes the
-    // futures below 'static.
-    let provider: OwnedProvider = {
-        let mut provider = Provider::new();
-        for (source, table) in [
-            (queries::SRC_LINEITEM, "lineitem"),
-            (queries::SRC_ORDERS, "orders"),
-            (queries::SRC_CUSTOMER, "customer"),
-        ] {
-            let store = Arc::new(RowStore::from_rows(
+    // Shared (Arc) stores: both providers below bind clones of these.
+    let stores: Vec<_> = [
+        (queries::SRC_LINEITEM, "lineitem"),
+        (queries::SRC_ORDERS, "orders"),
+        (queries::SRC_CUSTOMER, "customer"),
+    ]
+    .into_iter()
+    .map(|(source, table)| {
+        (
+            source,
+            Arc::new(RowStore::from_rows(
                 schema_of(table),
                 &value_rows(&data, table),
-            ));
-            provider.bind_native_shared(source, store);
+            )),
+        )
+    })
+    .collect();
+
+    // The binding scope: a provider bound over the shared stores, sealed
+    // into an OwnedProvider. Only the Arcs escape — the borrow checker
+    // verifies nothing else does, which is exactly what makes the futures
+    // below 'static.
+    let provider: OwnedProvider = {
+        let mut provider = Provider::new();
+        for (source, store) in &stores {
+            provider.bind_native_shared(*source, Arc::clone(store));
         }
         // Per-query parallelism stays modest: the clients provide the
         // concurrency; the pool multiplexes all of them.
@@ -286,6 +304,71 @@ fn main() {
         stats.hits,
         stats.misses,
     );
+
+    // Overload protection: a second provider over the same stores, sealed
+    // with a *bounded* admission gate — 4 in-flight slots plus 2 queue
+    // slots, reserving 1 slot per tier below Interactive. Class limits:
+    // Interactive 6, Batch 5, Maintenance 4. A `hold` at the dispatch
+    // boundary freezes every admitted task before it compiles, so the
+    // burst's shed decisions (and stats) are fully deterministic.
+    println!("overload protection (admission control):");
+    let bounded: OwnedProvider = {
+        let mut provider = Provider::new();
+        for (source, store) in &stores {
+            provider.bind_native_shared(*source, Arc::clone(store));
+        }
+        provider.set_parallelism(ParallelConfig::with_threads(2));
+        provider.set_admission(AdmissionConfig::bounded(4, 2).with_reserve(1));
+        provider.into_shared()
+    };
+    fault::disarm_all();
+    fault::arm("pool.dispatch", FaultAction::Hold, 1);
+    let burst: Vec<(&str, QueryOptions)> = (0..5)
+        .map(|_| ("maintenance", QueryOptions::maintenance()))
+        .chain((0..3).map(|_| ("batch", QueryOptions::batch())))
+        .chain((0..2).map(|_| ("interactive", QueryOptions::new())))
+        .collect();
+    let burst_futures: Vec<QueryFuture<'static>> = burst
+        .iter()
+        .map(|(_, options)| {
+            bounded.submit_async(workloads[0].1.clone(), Strategy::CompiledNative, *options)
+        })
+        .collect();
+    let admission = bounded.admission_stats();
+    println!(
+        "  burst of {} statements -> {} admitted, {} shed (peak {} in flight)",
+        burst.len(),
+        admission.admitted,
+        admission.shed,
+        admission.peak_in_flight,
+    );
+    // Maintenance sheds first, then Batch; Interactive keeps its reserve.
+    assert_eq!(
+        (admission.admitted, admission.shed, admission.peak_in_flight),
+        (6, 4, 6)
+    );
+    // Shed (and still-held) statements generated zero compilation traffic.
+    assert_eq!(bounded.stats().cache_misses, 0);
+    fault::release("pool.dispatch");
+    let (burst_results, _) = drive_all(burst_futures);
+    let mut completed = 0usize;
+    for ((class, _), result) in burst.iter().zip(&burst_results) {
+        match result {
+            Ok(out) => {
+                assert_eq!(
+                    out, &references[0],
+                    "an admitted burst query drifted from sequential execute"
+                );
+                completed += 1;
+            }
+            Err(QueryError::Overloaded { in_flight, limit }) => println!(
+                "  shed {class:<11} -> Overloaded ({in_flight} in flight, class limit {limit})"
+            ),
+            Err(other) => panic!("unexpected burst error: {other:?}"),
+        }
+    }
+    println!("  {completed} admitted queries completed bit-identical after release ✓\n");
+    drop(bounded);
 
     // Lifecycle through the async path.
     println!("lifecycle through futures:");

@@ -1,0 +1,440 @@
+//! Chaos suite: deterministic fault injection against the serving core.
+//!
+//! Every named fault point in `mrq_common::fault::POINTS` is armed in turn
+//! with both failing actions (`err` and `panic`); in each round the victim
+//! query fails cleanly with an error naming the point, a concurrent peer
+//! whose execution path never traverses the armed point returns rows
+//! bit-identical to the sequential reference, the pool drains, and a
+//! subsequent identical query on the same provider succeeds. Arming is
+//! counter-based (a fault fires on the Nth traversal), so every test here
+//! replays identically — no timing, no randomness, no sleeps.
+//!
+//! The `hold` action freezes admitted submissions *at* the dispatch
+//! boundary, which is what lets the overload tests assert exact
+//! [`AdmissionStats`] and zero compilation traffic for shed statements
+//! without a single sleep.
+//!
+//! The fault registry is process-global (so is the worker pool it
+//! instruments), so these tests serialise on a lock and disarm everything
+//! on entry and exit — including faults armed via `MRQ_FAULTS` by the CI
+//! fault-injection cell.
+
+use mrq_bench::Workbench;
+use mrq_codegen::exec::QueryOutput;
+use mrq_common::fault::{self, FaultAction};
+use mrq_common::{AdmissionConfig, MrqError, ParallelConfig};
+use mrq_core::{Provider, QueryOptions, Strategy};
+use mrq_engine_hybrid::HybridConfig;
+use mrq_expr::Expr;
+use mrq_tpch::queries;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serialises chaos tests on the process-global fault registry and leaves
+/// it clean on both entry and exit (even if the test panics).
+fn scoped() -> impl Drop {
+    static SERIAL: Mutex<()> = Mutex::new(());
+    struct Guard(#[allow(dead_code)] MutexGuard<'static, ()>);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            fault::disarm_all();
+        }
+    }
+    let guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    fault::disarm_all();
+    Guard(guard)
+}
+
+fn workbench() -> Workbench {
+    Workbench::new(0.002)
+}
+
+/// A provider with every source of `workload` bound to native row stores.
+fn native_provider<'a>(wb: &'a Workbench, workload: &Expr) -> Provider<'a> {
+    let canon = mrq_expr::canonicalize(workload.clone());
+    let spec = mrq_codegen::spec::lower(&canon, &wb.catalog(None)).expect("workload lowers");
+    let mut provider = Provider::new();
+    let mut sources = vec![spec.root];
+    sources.extend(spec.joins.iter().map(|j| j.source));
+    for s in &sources {
+        provider.bind_native(*s, &wb.stores[queries::source_table(*s)]);
+    }
+    provider
+}
+
+/// Small-enough thresholds that the tiny test dataset actually splits into
+/// several morsels per join build table.
+fn par(threads: usize) -> ParallelConfig {
+    ParallelConfig {
+        threads,
+        min_rows_per_thread: 16,
+        ..ParallelConfig::default()
+    }
+    .with_morsel_rows(64)
+}
+
+fn assert_rows(reference: &QueryOutput, out: &QueryOutput, context: &str) {
+    assert_eq!(reference.schema, out.schema, "{context}: schema");
+    assert_eq!(reference.rows, out.rows, "{context}: rows");
+}
+
+/// The two actions that make a victim fail; swept by every point test.
+const FAILING: [FaultAction; 2] = [FaultAction::Err, FaultAction::Panic];
+
+/// Points on the submitted-native path: the dispatch boundary, the engine
+/// probe, and the completion latch. The peer is a compiled-C# query on a
+/// separate managed provider — blocking `execute` never traverses
+/// `pool.dispatch` or `future.complete`, and the C# engine never traverses
+/// `engine.native.probe`.
+#[test]
+fn submitted_native_faults_fail_only_the_victim() {
+    let _guard = scoped();
+    let wb = workbench();
+    let workload = queries::q1();
+    let native = native_provider(&wb, &workload);
+    let managed = wb.managed_provider();
+    let native_ref = native
+        .execute(workload.clone(), Strategy::CompiledNative)
+        .expect("native reference");
+    let peer_ref = managed
+        .execute(workload.clone(), Strategy::CompiledCSharp)
+        .expect("peer reference");
+    for point in ["pool.dispatch", "engine.native.probe", "future.complete"] {
+        for action in FAILING {
+            fault::arm(point, action, 1);
+            let victim = native.submit(workload.clone(), Strategy::CompiledNative);
+            // The peer runs while the fault is live.
+            let peer = managed
+                .execute(workload.clone(), Strategy::CompiledCSharp)
+                .expect("peer survives");
+            assert_rows(&peer_ref, &peer, &format!("{point}/{action:?}: peer"));
+            let error = victim
+                .join()
+                .expect_err("the victim fails cleanly")
+                .to_string();
+            assert!(error.contains(point), "{point}/{action:?}: {error}");
+            fault::disarm_all();
+            // The pool drained and the same provider serves again.
+            let retry = native
+                .submit(workload.clone(), Strategy::CompiledNative)
+                .join()
+                .expect("post-fault retry");
+            assert_rows(&native_ref, &retry, &format!("{point}/{action:?}: retry"));
+        }
+    }
+}
+
+/// Points on the managed engines: the LINQ scan, the compiled-C# probe,
+/// and the hybrid staging→native hand-off. The peer strategy is chosen so
+/// its path never traverses the armed point.
+#[test]
+fn managed_engine_faults_fail_only_the_victim() {
+    let _guard = scoped();
+    let wb = workbench();
+    let workload = queries::q1();
+    let managed = wb.managed_provider();
+    let reference = managed
+        .execute(workload.clone(), Strategy::CompiledCSharp)
+        .expect("reference");
+    let cases: [(&str, Strategy, Strategy); 3] = [
+        (
+            "engine.linq.scan",
+            Strategy::LinqToObjects,
+            Strategy::CompiledCSharp,
+        ),
+        (
+            "engine.csharp.probe",
+            Strategy::CompiledCSharp,
+            Strategy::LinqToObjects,
+        ),
+        (
+            "staging.merge",
+            Strategy::Hybrid(HybridConfig::default()),
+            Strategy::CompiledCSharp,
+        ),
+    ];
+    for (point, victim_strategy, peer_strategy) in cases {
+        for action in FAILING {
+            fault::arm(point, action, 1);
+            let victim = managed.submit(workload.clone(), victim_strategy);
+            let peer = managed
+                .execute(workload.clone(), peer_strategy)
+                .expect("peer survives");
+            assert_rows(&reference, &peer, &format!("{point}/{action:?}: peer"));
+            let error = victim
+                .join()
+                .expect_err("the victim fails cleanly")
+                .to_string();
+            assert!(error.contains(point), "{point}/{action:?}: {error}");
+            fault::disarm_all();
+            let retry = managed
+                .submit(workload.clone(), victim_strategy)
+                .join()
+                .expect("post-fault retry");
+            assert_rows(&reference, &retry, &format!("{point}/{action:?}: retry"));
+        }
+    }
+}
+
+/// `plancache.insert` fires inside the compile closure of
+/// `Provider::prepare`: the statement fails cleanly, nothing is cached,
+/// and the next prepare on the same provider compiles and caches normally.
+#[test]
+fn plan_cache_insert_faults_leave_the_cache_consistent() {
+    let _guard = scoped();
+    let wb = workbench();
+    let workload = queries::q1();
+    let native = native_provider(&wb, &workload);
+    for action in FAILING {
+        fault::arm("plancache.insert", action, 1);
+        let error = match native.prepare(workload.clone(), Strategy::CompiledNative) {
+            Err(error) => error.to_string(),
+            Ok(_) => panic!("prepare must fail while {action:?} is armed"),
+        };
+        assert!(error.contains("plancache.insert"), "{action:?}: {error}");
+        // The failed compile cached nothing.
+        assert_eq!(native.plan_cache_stats().entries, 0, "{action:?}");
+        fault::disarm_all();
+    }
+    // Recovery: prepare compiles, caches, and executes.
+    let prepared = native
+        .prepare(workload.clone(), Strategy::CompiledNative)
+        .expect("post-fault prepare");
+    let out = prepared.execute(&[]).expect("prepared executes");
+    let reference = native
+        .execute(workload.clone(), Strategy::CompiledNative)
+        .expect("reference");
+    assert_rows(&reference, &out, "recovered prepare");
+    assert_eq!(native.plan_cache_stats().entries, 1);
+}
+
+/// `join.build.shard` fires *inside a morsel on a pool worker* during the
+/// parallel hash-join build, exercising the whole containment stack: the
+/// worker's catch site captures the payload, the job retires its remaining
+/// morsels, and the submitter gets a clean error naming the point. The
+/// sequential peer never builds shards in parallel.
+#[test]
+fn pool_worker_panics_during_join_builds_are_contained() {
+    let _guard = scoped();
+    let wb = workbench();
+    let workload = queries::q3();
+    let native = native_provider(&wb, &workload);
+    let reference = native
+        .execute(workload.clone(), Strategy::CompiledNative)
+        .expect("sequential reference");
+    let parallel = Strategy::CompiledNativeParallel(par(2));
+    for action in FAILING {
+        fault::arm("join.build.shard", action, 1);
+        let victim = native.submit(workload.clone(), parallel);
+        // Sequential peer on the same provider: no parallel shard build.
+        let peer = native
+            .execute(workload.clone(), Strategy::CompiledNative)
+            .expect("sequential peer survives");
+        assert_rows(&reference, &peer, &format!("{action:?}: peer"));
+        let error = victim
+            .join()
+            .expect_err("the victim fails cleanly")
+            .to_string();
+        assert!(error.contains("join.build.shard"), "{action:?}: {error}");
+        fault::disarm_all();
+        // The pool stays serviceable for the same parallel plan.
+        let retry = native
+            .submit(workload.clone(), parallel)
+            .join()
+            .expect("post-panic parallel retry");
+        assert_rows(&reference, &retry, &format!("{action:?}: retry"));
+    }
+}
+
+/// Delay faults (the CI fault cell's configuration) perturb timing but
+/// never results: every query still succeeds bit-identically.
+#[test]
+fn delay_faults_never_change_results() {
+    let _guard = scoped();
+    let wb = workbench();
+    let workload = queries::q1();
+    let native = native_provider(&wb, &workload);
+    let reference = native
+        .execute(workload.clone(), Strategy::CompiledNative)
+        .expect("reference");
+    fault::arm_spec("pool.dispatch:delay, engine.native.probe:delay, future.complete:delay")
+        .expect("benign spec arms");
+    let out = native
+        .submit(workload.clone(), Strategy::CompiledNative)
+        .join()
+        .expect("delayed query succeeds");
+    assert_rows(&reference, &out, "delayed");
+    assert!(fault::fired("pool.dispatch"));
+}
+
+/// With nothing armed every point is a no-op — the exact state of the
+/// default CI cells.
+#[test]
+fn disarmed_points_are_invisible() {
+    let _guard = scoped();
+    assert_eq!(fault::armed_count(), 0);
+    let wb = workbench();
+    let workload = queries::q1();
+    let native = native_provider(&wb, &workload);
+    let reference = native
+        .execute(workload.clone(), Strategy::CompiledNative)
+        .expect("reference");
+    let out = native
+        .submit(workload.clone(), Strategy::CompiledNative)
+        .join()
+        .expect("submitted");
+    assert_rows(&reference, &out, "disarmed");
+    assert_eq!(fault::hits("pool.dispatch"), 0);
+}
+
+/// The acceptance burst: a `hold` at `pool.dispatch` freezes every
+/// admitted submission at the dispatch boundary (before compilation), so
+/// the burst's admission outcomes, the exact [`mrq_core::AdmissionStats`],
+/// and the zero-compilation guarantee for shed statements are all asserted
+/// deterministically — then the hold is released and every admitted query
+/// completes bit-identically.
+#[test]
+fn overload_burst_sheds_by_class_with_exact_stats() {
+    let _guard = scoped();
+    let wb = workbench();
+    let workload = queries::q1();
+    let mut native = native_provider(&wb, &workload);
+    let reference = native
+        .execute(workload.clone(), Strategy::CompiledNative)
+        .expect("reference");
+    let compiled_before = native.stats().cache_misses;
+
+    // 4 in-flight slots + 2 queue slots, reserve 1 per tier below
+    // Interactive: class limits are Interactive 6, Batch 5, Maintenance 4.
+    native.set_admission(AdmissionConfig::bounded(4, 2).with_reserve(1));
+    fault::arm("pool.dispatch", FaultAction::Hold, 1);
+
+    // (options, expected admission outcomes in submission order): `None`
+    // is admitted, `Some((in_flight, limit))` is shed with those numbers.
+    type Outcomes = &'static [Option<(usize, usize)>];
+    let burst: [(QueryOptions, Outcomes); 3] = [
+        (
+            QueryOptions::maintenance(),
+            &[None, None, None, None, Some((4, 4))],
+        ),
+        (QueryOptions::batch(), &[None, Some((5, 5))]),
+        (QueryOptions::new(), &[None, Some((6, 6))]),
+    ];
+    let mut admitted = Vec::new();
+    for (options, outcomes) in burst {
+        for expected in outcomes {
+            let handle = native.submit_with(workload.clone(), Strategy::CompiledNative, options);
+            match expected {
+                // Shed handles resolve immediately, without blocking.
+                Some((in_flight, limit)) => match handle.try_join() {
+                    Ok(Err(MrqError::Overloaded {
+                        in_flight: seen,
+                        limit: seen_limit,
+                    })) => {
+                        assert_eq!((seen, seen_limit), (*in_flight, *limit));
+                    }
+                    Ok(other) => panic!("expected an immediate Overloaded, got {other:?}"),
+                    Err(_) => panic!("a shed handle must resolve immediately"),
+                },
+                None => admitted.push(handle),
+            }
+        }
+    }
+
+    // Exact, deterministic stats: admission is decided synchronously at
+    // submission and the hold pins every admitted task pre-compilation.
+    let stats = native.admission_stats();
+    assert_eq!(stats.admitted, 6);
+    assert_eq!(stats.shed, 3);
+    assert_eq!(stats.peak_in_flight, 6);
+    assert_eq!(stats.in_flight, 6);
+    // Nothing compiled yet — shed (and held) statements generated zero
+    // compilation traffic.
+    assert_eq!(native.stats().cache_misses, compiled_before);
+
+    fault::release("pool.dispatch");
+    for handle in admitted {
+        let out = handle.join().expect("admitted queries complete");
+        assert_rows(&reference, &out, "admitted after release");
+    }
+    // In-flight drains to zero (the gate releases right after completion).
+    while native.admission_stats().in_flight != 0 {
+        std::thread::yield_now();
+    }
+    // The gate reopened: the same bounded provider serves again.
+    let again = native
+        .submit(workload.clone(), Strategy::CompiledNative)
+        .join()
+        .expect("post-burst query");
+    assert_rows(&reference, &again, "post-burst");
+    assert_eq!(native.admission_stats().admitted, 7);
+}
+
+/// Shed statements never touch the plan cache: with a zero admission
+/// budget, prepared and ad-hoc submissions are rejected before any cache
+/// lookup or compilation, leaving every counter untouched.
+#[test]
+fn shed_statements_never_touch_the_plan_cache() {
+    let _guard = scoped();
+    let wb = workbench();
+    let workload = queries::q1();
+    let mut native = native_provider(&wb, &workload);
+    let reference = {
+        let prepared = native
+            .prepare(workload.clone(), Strategy::CompiledNative)
+            .expect("warm prepare");
+        prepared.execute(&[]).expect("warm execute")
+    };
+    let warm = native.plan_cache_stats();
+
+    native.set_admission(AdmissionConfig::bounded(0, 0).with_reserve(0));
+    {
+        // Re-preparing is a pure cache hit; submissions through it shed.
+        let prepared = native
+            .prepare(workload.clone(), Strategy::CompiledNative)
+            .expect("prepare is not admission-gated");
+        for _ in 0..16 {
+            let error = prepared.submit(&[]).join().expect_err("shed");
+            assert!(
+                matches!(
+                    error,
+                    MrqError::Overloaded {
+                        in_flight: 0,
+                        limit: 0
+                    }
+                ),
+                "{error}"
+            );
+        }
+        // Ad-hoc submissions shed before the pattern cache too.
+        let error = native
+            .submit(workload.clone(), Strategy::CompiledNative)
+            .join()
+            .expect_err("ad-hoc shed");
+        assert!(matches!(error, MrqError::Overloaded { .. }), "{error}");
+    }
+    let cold = native.plan_cache_stats();
+    assert_eq!(
+        cold.misses, warm.misses,
+        "shed submissions caused no misses"
+    );
+    assert_eq!(
+        cold.hits,
+        warm.hits + 1,
+        "only the re-prepare hit the cache"
+    );
+    assert_eq!(cold.entries, warm.entries);
+    assert_eq!(native.admission_stats().shed, 17);
+
+    // Lifting the limit restores service on the same provider.
+    native.set_admission(AdmissionConfig::unbounded());
+    let out = {
+        let prepared = native
+            .prepare(workload.clone(), Strategy::CompiledNative)
+            .expect("prepare after reopen");
+        prepared
+            .submit(&[])
+            .join()
+            .expect("submission after reopen")
+    };
+    assert_rows(&reference, &out, "after reopen");
+}

@@ -390,3 +390,62 @@ fn owned_prepared_async_executions_agree_with_blocking() {
     }
     assert_eq!(provider.plan_cache_stats().entries, 1);
 }
+
+/// Poison recovery: a panic raised *inside* a shard's mutex (here from a
+/// key whose `PartialEq` explodes mid-`touch`) must not take the cache
+/// down. Later operations on the same shard recover the poisoned lock,
+/// keep serving hits, keep counting consistently, and accept new entries.
+#[test]
+fn a_poisoned_shard_recovers_and_keeps_serving() {
+    use mrq_common::plancache::{CacheConfig, ShardedLru};
+    use std::hash::{Hash, Hasher};
+
+    /// Hashes only by `id` (so every key lands in the one shard) and
+    /// panics out of `PartialEq` when armed — poisoning the shard mutex
+    /// at the exact point `touch` holds it.
+    #[derive(Clone)]
+    struct BombKey {
+        id: u64,
+        armed: bool,
+    }
+    impl Hash for BombKey {
+        fn hash<H: Hasher>(&self, state: &mut H) {
+            self.id.hash(state);
+        }
+    }
+    impl PartialEq for BombKey {
+        fn eq(&self, other: &Self) -> bool {
+            if self.armed || other.armed {
+                panic!("key comparison exploded under the shard lock");
+            }
+            self.id == other.id
+        }
+    }
+    impl Eq for BombKey {}
+
+    fn key(id: u64) -> BombKey {
+        BombKey { id, armed: false }
+    }
+
+    let cache: ShardedLru<BombKey, u64> = ShardedLru::new(CacheConfig::single_shard(4));
+    cache.insert(key(1), Arc::new(10));
+    cache.insert(key(2), Arc::new(20));
+    assert_eq!(cache.get(&key(1)).as_deref(), Some(&10));
+
+    // Poison the shard: the armed key panics while `touch` holds the lock.
+    let armed = BombKey { id: 3, armed: true };
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cache.get(&armed)));
+    assert!(panicked.is_err(), "the armed key must panic");
+
+    // The poisoned mutex is recovered on the next lock: existing entries
+    // still hit, stats stay exact, and new entries still insert.
+    assert_eq!(cache.get(&key(1)).as_deref(), Some(&10));
+    assert_eq!(cache.get(&key(2)).as_deref(), Some(&20));
+    cache.insert(key(3), Arc::new(30));
+    assert_eq!(cache.get(&key(3)).as_deref(), Some(&30));
+    let stats = cache.stats();
+    assert_eq!(stats.hits, 4, "one hit before the poison, three after");
+    assert_eq!(stats.misses, 0, "the panicking lookup counted nothing");
+    assert_eq!(stats.entries, 3);
+    assert_eq!(stats.evictions, 0);
+}
