@@ -16,7 +16,7 @@ use mrq_cachesim::CacheSim;
 use mrq_codegen::exec::{QueryOutput, ValueTable};
 use mrq_codegen::spec::{lower, QuerySpec};
 use mrq_common::profile::CostBreakdown;
-use mrq_common::Schema;
+use mrq_common::{ParallelConfig, Schema, WorkStats};
 use mrq_core::{Provider, Strategy};
 use mrq_dbms::ColumnTable;
 use mrq_engine_csharp::{HeapTable, TracedHeapTable};
@@ -1037,6 +1037,205 @@ pub fn compile_costs(bench: &Workbench) -> Vec<(String, Duration, Duration, Dura
     out
 }
 
+// ---------------------------------------------------------------------------
+// Counted bench mode: deterministic work replay.
+//
+// Wall-clock benches (the Criterion benches above plus scripts/bench-smoke.sh)
+// measure *time*, which is noisy: the same binary on the same host jitters by
+// several percent run to run, so the trend gate must tolerate 25% drift before
+// it calls a regression. The counted mode replays the same workload shapes but
+// reports *work* — the per-query [`WorkStats`] counters threaded through every
+// engine's fused loops, plus simulated cache-hierarchy traffic. Both are pure
+// functions of (dataset, query, configuration): the TPC-H generator is seeded,
+// simulated addresses use fixed bases, and every parallel point pins an
+// explicit [`ParallelConfig`], so two runs of the counted report are
+// byte-identical on any host and `scripts/bench-trend.sh --strict` can gate
+// them at 1% instead of 25%.
+// ---------------------------------------------------------------------------
+
+/// One point of the counted report: a stable `group/point/counter` name and
+/// an exact count. Unlike [`Point`] there is no elapsed time — the value is
+/// reproducible work, not a measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountedPoint {
+    /// Stable point name (`counted_q1/linq/rows_scanned`).
+    pub name: String,
+    /// Exact count.
+    pub value: u64,
+}
+
+/// Scale factor for counted runs: `MRQ_SF` when set, else 0.002 — the same
+/// default `scripts/bench-smoke.sh` uses, so counted and wall-clock artifacts
+/// describe the same workload. Changing the factor changes every counter, so
+/// a trend baseline is only meaningful at a fixed factor.
+pub fn counted_scale_factor() -> f64 {
+    std::env::var("MRQ_SF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.002)
+}
+
+/// The strategies of the counted report, with shell-friendly slugs. Every
+/// entry pins a deterministic configuration: the hybrids stage sequentially
+/// ([`HybridConfig::default`]/[`HybridConfig::buffered`]) so no counter
+/// depends on the host's core count.
+fn counted_strategies() -> Vec<(&'static str, Strategy)> {
+    vec![
+        ("linq", Strategy::LinqToObjects),
+        ("csharp", Strategy::CompiledCSharp),
+        ("native", Strategy::CompiledNative),
+        ("hybrid_full", Strategy::Hybrid(HybridConfig::default())),
+        ("hybrid_buffer", Strategy::Hybrid(HybridConfig::buffered())),
+    ]
+}
+
+fn push_work(out: &mut Vec<CountedPoint>, group: &str, point: &str, work: &WorkStats) {
+    for (counter, value) in work.as_pairs() {
+        out.push(CountedPoint {
+            name: format!("{group}/{point}/{counter}"),
+            value,
+        });
+    }
+}
+
+/// The deterministic counted report: the smoke benches' workload shapes
+/// (Q1, Q6, the Figure 11 join and the prepared-amortization loop) replayed
+/// through the per-query work counters, plus the Figure 14 simulated cache
+/// hierarchy. Every value is an exact count; repeated runs are
+/// byte-identical.
+pub fn counted_report(bench: &Workbench) -> Vec<CountedPoint> {
+    let mut out = Vec::new();
+
+    // Q1 and Q6 across the five standard strategies (all sequential).
+    for (group, expr) in [("counted_q1", queries::q1()), ("counted_q6", queries::q6())] {
+        let (canon, spec) = bench.lower(expr);
+        for (slug, strategy) in counted_strategies() {
+            let (_, output) = run_strategy(bench, &canon, &spec, strategy);
+            push_work(&mut out, group, slug, output.work_stats());
+        }
+    }
+
+    // The Figure 11 join shape, per strategy, plus the native engine under
+    // explicit 1/2/8-thread morsel configurations. Only `morsels_executed`
+    // may differ across the thread points (it counts execution chunks); the
+    // determinism suite holds every other counter invariant, and each point
+    // is still an exact function of (rows, config) — never of the host.
+    let ship_after = bench.data.shipdate_for_selectivity(0.5);
+    let order_before = bench.data.orderdate_for_selectivity(0.5);
+    let (canon, spec) = bench.lower(queries::join_micro("BUILDING", ship_after, order_before));
+    for (slug, strategy) in counted_strategies() {
+        let (_, output) = run_strategy(bench, &canon, &spec, strategy);
+        push_work(&mut out, "counted_fig11_join", slug, output.work_stats());
+    }
+    for threads in [1usize, 2, 8] {
+        let config = ParallelConfig {
+            threads,
+            min_rows_per_thread: 512,
+            morsel_rows: 32 * 1024,
+            stealing: true,
+        };
+        let (_, output) = run_strategy(
+            bench,
+            &canon,
+            &spec,
+            Strategy::CompiledNativeParallel(config),
+        );
+        push_work(
+            &mut out,
+            "counted_fig11_join",
+            &format!("native_{threads}_threads"),
+            output.work_stats(),
+        );
+    }
+
+    // Prepared re-execution (the amortization bench's shape): a plan
+    // prepared once must repeat *identical* execution work on every run —
+    // compilation happens outside the counters entirely.
+    let stmt = queries::q6();
+    let managed = bench.managed_provider();
+    for (slug, strategy) in [
+        ("csharp", Strategy::CompiledCSharp),
+        ("hybrid", Strategy::Hybrid(HybridConfig::default())),
+    ] {
+        let prepared = managed.prepare(stmt.clone(), strategy).expect("prepare");
+        prepared.execute(&[]).expect("first prepared run");
+        let first = managed.last_work_stats();
+        prepared.execute(&[]).expect("second prepared run");
+        let second = managed.last_work_stats();
+        assert_eq!(
+            first, second,
+            "prepared re-execution must repeat identical work"
+        );
+        push_work(&mut out, "counted_prepared", slug, &second);
+    }
+    let mut native = Provider::new();
+    native.bind_native(
+        queries::SRC_LINEITEM,
+        &bench.stores[queries::source_table(queries::SRC_LINEITEM)],
+    );
+    let prepared = native
+        .prepare(stmt, Strategy::CompiledNative)
+        .expect("prepare native");
+    prepared.execute(&[]).expect("first prepared run");
+    let first = native.last_work_stats();
+    prepared.execute(&[]).expect("second prepared run");
+    let second = native.last_work_stats();
+    assert_eq!(
+        first, second,
+        "prepared re-execution must repeat identical work"
+    );
+    push_work(&mut out, "counted_prepared", "native", &second);
+
+    // Simulated cache hierarchy (Figure 14): deterministic because both the
+    // managed heap and the row stores hand out fixed simulated addresses.
+    for (name, query, l1, l2, llc) in fig14_hierarchy(bench, true) {
+        let slug = match name.as_str() {
+            "LINQ-to-Objects" => "linq",
+            "C# Code" => "csharp",
+            _ => "native",
+        };
+        let group = if query == "Q1" {
+            "counted_cache_q1"
+        } else {
+            "counted_cache_q3"
+        };
+        for (level, stats) in [("l1", l1), ("l2", l2), ("llc", llc)] {
+            out.push(CountedPoint {
+                name: format!("{group}/{slug}/{level}_accesses"),
+                value: stats.accesses,
+            });
+            out.push(CountedPoint {
+                name: format!("{group}/{slug}/{level}_misses"),
+                value: stats.misses,
+            });
+        }
+    }
+
+    out
+}
+
+/// Renders counted points in the `BENCH_smoke.json` artifact shape —
+/// `    "group/point/counter": value,` lines inside a `groups` object — so
+/// `scripts/bench-trend.sh` parses counted artifacts with the same extractor
+/// it uses for wall-clock medians. The unit is `"count"` and no host
+/// information is included: the file is byte-identical across machines.
+///
+/// Zero-valued counters are emitted (they keep the byte-level diff exhaustive)
+/// but the trend extractor skips them; a counter moving off zero therefore
+/// reports as `new` rather than as a gated regression.
+pub fn render_counted_json(points: &[CountedPoint], scale_factor: f64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scale_factor\": {scale_factor},\n"));
+    out.push_str("  \"unit\": \"count\",\n");
+    out.push_str("  \"groups\": {\n");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 < points.len() { "," } else { "" };
+        out.push_str(&format!("    \"{}\": {}{}\n", p.name, p.value, sep));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
 /// Renders a set of points as a fixed-width table grouped by x value.
 pub fn render_points(title: &str, points: &[Point], baseline: &str) -> String {
     let mut out = format!("== {title} ==\n");
@@ -1065,4 +1264,42 @@ pub fn render_points(title: &str, points: &[Point], baseline: &str) -> String {
         }
     }
     out
+}
+
+#[cfg(test)]
+mod counted_tests {
+    use super::*;
+
+    #[test]
+    fn render_matches_the_trend_extractor_shape() {
+        let points = vec![
+            CountedPoint {
+                name: "counted_q1/linq/rows_scanned".to_string(),
+                value: 12000,
+            },
+            CountedPoint {
+                name: "counted_q1/linq/staging_copies".to_string(),
+                value: 0,
+            },
+        ];
+        let json = render_counted_json(&points, 0.002);
+        // Exactly the `    "name": value,` shape bench-trend's awk extractor
+        // anchors on: four-space indent, no separator on the last entry.
+        assert!(json.contains("    \"counted_q1/linq/rows_scanned\": 12000,\n"));
+        assert!(json.contains("    \"counted_q1/linq/staging_copies\": 0\n"));
+        assert!(json.contains("\"unit\": \"count\""));
+        assert!(json.ends_with("  }\n}\n"));
+    }
+
+    #[test]
+    fn render_is_a_pure_function_of_its_points() {
+        let points = vec![CountedPoint {
+            name: "g/p/c".to_string(),
+            value: 7,
+        }];
+        assert_eq!(
+            render_counted_json(&points, 0.002),
+            render_counted_json(&points, 0.002)
+        );
+    }
 }

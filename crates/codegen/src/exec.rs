@@ -16,7 +16,7 @@
 use crate::spec::{AggSpec, OutputExpr, QuerySpec, ScalarExpr, SortKeySpec, StrOp};
 use mrq_common::hash::{hash_u64, hash_u64_pair, FxHashMap};
 use mrq_common::{
-    morsel, DataType, Date, Decimal, MrqError, ParallelConfig, Result, Schema, Value,
+    morsel, DataType, Date, Decimal, MrqError, ParallelConfig, Result, Schema, Value, WorkStats,
 };
 use mrq_expr::{AggFunc, BinaryOp, UnaryOp};
 use std::cmp::Ordering;
@@ -123,15 +123,36 @@ impl TableAccess for ValueTable {
 
 /// The materialised result of a query: schema plus result rows (the "result
 /// objects" every strategy ultimately constructs for the application).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct QueryOutput {
     /// Schema of the result columns.
     pub schema: Schema,
     /// Result rows.
     pub rows: Vec<Vec<Value>>,
+    /// Deterministic work counters accumulated while producing this result
+    /// (see [`mrq_common::workcount`]).
+    pub work: WorkStats,
+}
+
+/// Equality compares the *result* (schema + rows) only. Work counters are
+/// intentionally excluded: different strategies — and different scheduler
+/// shapes — legitimately do different amounts of work to produce identical
+/// results, and the equivalence suites assert exactly that identity.
+impl PartialEq for QueryOutput {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.rows == other.rows
+    }
 }
 
 impl QueryOutput {
+    /// The deterministic work counters accumulated while producing this
+    /// result. For a fixed query, data and strategy, every counter except
+    /// [`WorkStats::morsels_executed`] is invariant across thread counts
+    /// and stealing modes (see [`mrq_common::workcount`]).
+    pub fn work_stats(&self) -> &WorkStats {
+        &self.work
+    }
+
     /// Renders a small fixed-width table (examples and the figures binary).
     pub fn render(&self, max_rows: usize) -> String {
         let mut out = String::new();
@@ -916,6 +937,10 @@ pub struct ExecState<'a, T: TableAccess> {
     take: Option<usize>,
     consumed_rows: u64,
     emitted_rows: u64,
+    /// Deterministic work counters for this (possibly partial) state. Forks
+    /// start at zero and [`ExecState::merge`] adds, so per-query totals are
+    /// independent of how the scan was partitioned across workers.
+    work: WorkStats,
 }
 
 impl<'a, T: TableAccess> ExecState<'a, T> {
@@ -996,6 +1021,7 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
             take,
             consumed_rows: 0,
             emitted_rows: 0,
+            work: WorkStats::default(),
         })
     }
 
@@ -1051,6 +1077,7 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
         // slots are irrelevant for build filters/keys.
         let mut rows = vec![0usize; spec.joins.len() + 1];
         'rows: for r in 0..table.len() {
+            self.work.scanned_row();
             if r.is_multiple_of(CANCEL_CHECK_ROWS) {
                 mrq_common::cancel::checkpoint();
             }
@@ -1071,6 +1098,7 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
                 key.push(ctx.key_part(k, &self.types, &mut self.interner));
             }
             map.entry(key).or_default().push(r);
+            self.work.built_insert();
         }
         map
     }
@@ -1099,10 +1127,12 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
     /// ranges (morsels), gives each worker its own state, and merges them
     /// with [`ExecState::merge`].
     pub fn consume_range(&mut self, root: &T, range: Range<usize>) {
+        self.work.executed_morsel();
         let join_count = self.spec.joins.len();
         let mut rows = vec![0usize; join_count + 1];
         'rows: for r in range {
             self.consumed_rows += 1;
+            self.work.scanned_row();
             if self.consumed_rows.is_multiple_of(CANCEL_CHECK_ROWS as u64) {
                 mrq_common::cancel::checkpoint();
             }
@@ -1144,6 +1174,9 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
             take: self.take,
             consumed_rows: self.consumed_rows,
             emitted_rows: self.emitted_rows,
+            // Forks start from zero so merged totals count every unit of
+            // work exactly once — the base keeps the build-phase counters.
+            work: WorkStats::default(),
         }
     }
 
@@ -1157,6 +1190,7 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
         );
         self.consumed_rows += other.consumed_rows;
         self.emitted_rows += other.emitted_rows;
+        self.work.add(&other.work);
         if self.spec.is_grouped() {
             for (keys, aggs) in other.group_keys.into_iter().zip(other.group_aggs) {
                 let mut key = KeyBuf::new();
@@ -1211,6 +1245,7 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
                 key.push(ctx.key_part(k, &self.types, &mut self.interner));
             }
         }
+        self.work.probed(key.len as u64);
         let matches = match self.join_tables[level].lookup(&key) {
             Some(m) => m.to_vec(),
             None => return,
@@ -1235,6 +1270,7 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
             }
         }
         self.emitted_rows += 1;
+        self.work.materialized_row();
         if self.spec.is_grouped() {
             let mut key = KeyBuf::new();
             for k in &self.spec.group_keys {
@@ -1288,6 +1324,7 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
     /// hidden sort columns.
     pub fn finish(self) -> QueryOutput {
         let spec = self.spec;
+        let work = self.work;
         let fused_topn = self.topn.is_some();
         let mut rows: Vec<Vec<Value>> = if spec.is_grouped() {
             self.group_keys
@@ -1337,6 +1374,7 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
         QueryOutput {
             schema: spec.output_schema.clone(),
             rows,
+            work,
         }
     }
 
@@ -1348,6 +1386,19 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
     /// Number of rows that survived filters and joins so far.
     pub fn emitted_rows(&self) -> u64 {
         self.emitted_rows
+    }
+
+    /// The deterministic work counters accumulated so far. Readable between
+    /// [`ExecState::consume`] calls, so callers observing a long-running or
+    /// cancelled query see partial, monotonically non-decreasing stats.
+    pub fn work(&self) -> &WorkStats {
+        &self.work
+    }
+
+    /// Adds externally-accounted work (used by engines that do work outside
+    /// the fused loops, e.g. the hybrid engine's staging copies).
+    pub fn record_work(&mut self, extra: &WorkStats) {
+        self.work.add(extra);
     }
 }
 
@@ -1386,7 +1437,22 @@ impl<'a, T: TableAccess + Sync> ExecState<'a, T> {
                 && config.partitions_for(state.builds[j].len()) > 1
                 && !join.build_keys.iter().any(|k| state.key_interns_strings(k));
             let table = if parallel {
-                state.build_join_shards(j, config)
+                let table = state.build_join_shards(j, config);
+                // Work accounting for the fan-out is derived *after* the
+                // build, from the finished shards: the totals (rows scanned
+                // = build side length, inserts = rows surviving build
+                // filters) are then identical to a sequential build no
+                // matter how many workers scanned — the determinism
+                // contract of `mrq_common::workcount`.
+                let inserts: usize = table
+                    .shards
+                    .iter()
+                    .flat_map(|s| s.values())
+                    .map(Vec::len)
+                    .sum();
+                state.work.scanned_rows(state.builds[j].len() as u64);
+                state.work.built_inserts(inserts as u64);
+                table
             } else {
                 BuiltJoinTable::single(state.build_join_map(j))
             };

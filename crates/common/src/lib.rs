@@ -9,6 +9,9 @@
 //! * relational [`Schema`] / [`Field`] descriptions,
 //! * the [`trace::MemTracer`] abstraction used to feed the last-level-cache
 //!   simulator,
+//! * the deterministic [`workcount::WorkCounters`] threaded through every
+//!   engine's fused loops (the counted-work bench mode and its CI gate are
+//!   built on these),
 //! * the [`morsel`] scheduler ([`ParallelConfig`], contiguous range
 //!   partitioning, work-stealing morsel fan-out) and the persistent
 //!   [`pool::WorkerPool`] it runs on, shared by every parallel execution
@@ -42,6 +45,7 @@ pub mod qos;
 pub mod schema;
 pub mod trace;
 pub mod value;
+pub mod workcount;
 
 pub use admission::{AdmissionConfig, AdmissionGate, AdmissionStats};
 pub use date::Date;
@@ -51,3 +55,4 @@ pub use morsel::ParallelConfig;
 pub use qos::{QosClass, QosWeights};
 pub use schema::{Field, Schema};
 pub use value::{DataType, Value};
+pub use workcount::{WorkCounters, WorkStats};

@@ -61,7 +61,7 @@ use mrq_codegen::spec::{lower, Catalog, QuerySpec};
 use mrq_common::cancel::{self, CancelReason, CancelToken, JobControl};
 use mrq_common::pool::WorkerPool;
 use mrq_common::{fault, panic_message, AdmissionGate};
-use mrq_common::{MrqError, Result, Schema, Value};
+use mrq_common::{MrqError, Result, Schema, Value, WorkStats};
 use mrq_engine_csharp::HeapTable;
 use mrq_engine_hybrid::HybridConfig;
 use mrq_engine_native::RowStore;
@@ -258,6 +258,17 @@ pub struct Provider<'a> {
     /// submission is shed with [`QueryError::Overloaded`] instead of
     /// spawned. Unbounded by default (see [`Provider::set_admission`]).
     admission: AdmissionGate,
+    /// Deterministic work accounting: the stats of the most recent execution
+    /// plus the running total across every execution this provider served
+    /// (see [`Provider::last_work_stats`]).
+    work: Mutex<WorkTally>,
+}
+
+/// Last-execution + cumulative [`WorkStats`] behind the provider's lock.
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkTally {
+    last: WorkStats,
+    cumulative: WorkStats,
 }
 
 /// Counter + latch for submitted queries in flight on the pool.
@@ -320,6 +331,7 @@ impl<'a> Provider<'a> {
                 zero: Condvar::new(),
             }),
             admission: AdmissionGate::default(),
+            work: Mutex::new(WorkTally::default()),
         }
     }
 
@@ -692,11 +704,39 @@ impl<'a> Provider<'a> {
         }
         let key = self.result_key(shape_hash, params, spec)?;
         if let Some(hit) = self.results.lock().lookup(&key) {
-            return Ok((*hit).clone());
+            // A recycled result required no execution work: its stats are
+            // zero, and that zero is what `last_work_stats` records.
+            let mut output = (*hit).clone();
+            output.work = WorkStats::default();
+            self.record_work(&output.work);
+            return Ok(output);
         }
         let output = self.execute_compiled(spec, params, strategy)?;
         self.results.lock().insert(key, Arc::new(output.clone()));
         Ok(output)
+    }
+
+    /// Records one execution's work counters: `last` is replaced, the
+    /// cumulative total accumulates.
+    fn record_work(&self, work: &WorkStats) {
+        let mut tally = self.work.lock();
+        tally.last = *work;
+        tally.cumulative.add(work);
+    }
+
+    /// The deterministic [`WorkStats`] of the most recently completed
+    /// execution on this provider (zero before the first execution, and
+    /// zero again after a result-recycling hit, which does no work). See
+    /// [`mrq_common::workcount`] for the counter semantics and the
+    /// determinism contract.
+    pub fn last_work_stats(&self) -> WorkStats {
+        self.work.lock().last
+    }
+
+    /// The running total of [`WorkStats`] across every execution this
+    /// provider completed (all strategies, ad-hoc and prepared).
+    pub fn cumulative_work_stats(&self) -> WorkStats {
+        self.work.lock().cumulative
     }
 
     /// Queues a statement for execution on the persistent worker pool and
@@ -1037,6 +1077,18 @@ impl<'a> Provider<'a> {
 
     /// Executes an already-lowered spec with bound parameters.
     pub fn execute_compiled(
+        &self,
+        spec: &QuerySpec,
+        params: &[Value],
+        strategy: Strategy,
+    ) -> Result<QueryOutput> {
+        let output = self.execute_compiled_inner(spec, params, strategy)?;
+        self.record_work(&output.work);
+        Ok(output)
+    }
+
+    /// The strategy dispatch behind [`Provider::execute_compiled`].
+    fn execute_compiled_inner(
         &self,
         spec: &QuerySpec,
         params: &[Value],

@@ -120,6 +120,7 @@ mod tests {
         Arc::new(QueryOutput {
             schema: Schema::new("R", vec![]),
             rows: vec![vec![Value::Int64(n)]],
+            work: Default::default(),
         })
     }
 

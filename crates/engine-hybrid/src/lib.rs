@@ -30,7 +30,9 @@
 use mrq_codegen::exec::{ExecState, QueryOutput, TableAccess};
 use mrq_codegen::spec::{ColumnRef, OutputExpr, QuerySpec, ScalarExpr};
 use mrq_common::profile::{phases, CostBreakdown};
-use mrq_common::{morsel, DataType, Field, MrqError, ParallelConfig, Result, Schema, Value};
+use mrq_common::{
+    morsel, DataType, Field, MrqError, ParallelConfig, Result, Schema, Value, WorkStats,
+};
 use mrq_engine_csharp::HeapTable;
 use std::time::{Duration, Instant};
 
@@ -382,6 +384,12 @@ pub fn execute(
     // ------------------------------------------------------------------
     let mut staged_bytes = 0usize;
     let mut staged_rows = 0usize;
+    // Managed-side work accounting (`mrq_common::workcount`): the staging
+    // scans and copies happen outside the native executor's fused loops, so
+    // they are tallied here and folded into the execution state below.
+    // Totals are derived from input/output lengths, not per-worker counts,
+    // so they are identical whatever `config.parallel` says.
+    let mut staging_work = WorkStats::default();
     let mut build_stores: Vec<StagedTable> = Vec::new();
     for (j, join) in spec.joins.iter().enumerate() {
         let slot = join.slot;
@@ -401,6 +409,8 @@ pub fn execute(
         });
         staged_bytes += store.payload_bytes();
         staged_rows += store.len();
+        staging_work.scanned_rows(table.len() as u64);
+        staging_work.staged_rows(store.len() as u64);
         build_stores.push(store);
         let _ = j;
     }
@@ -426,6 +436,7 @@ pub fn execute(
             config.parallel,
         )
     })?;
+    state.record_work(&staging_work);
 
     let root = tables[0];
     let root_staging = &slots[0];
@@ -477,6 +488,15 @@ pub fn execute(
             run.staging_time += start.elapsed();
             run.staged_bytes = run.staged_bytes.max(buffer.payload_bytes());
             run.staged_rows += buffer.len();
+            // Managed probe-side staging work: rows scanned from the managed
+            // collection plus rows copied into the shard. The chunked
+            // `consume` below then accounts the native scan of the staged
+            // rows itself.
+            worker_state.record_work(&WorkStats {
+                rows_scanned: (end - cursor) as u64,
+                staging_copies: buffer.len() as u64,
+                ..WorkStats::default()
+            });
             let start = Instant::now();
             worker_state.consume(&buffer);
             run.native_time += start.elapsed();
@@ -755,6 +775,7 @@ fn rebuild_min_output(
     output_slots: &[usize],
     native_out: QueryOutput,
 ) -> Result<QueryOutput> {
+    let work = native_out.work;
     let mut rows = Vec::with_capacity(native_out.rows.len());
     for native_row in &native_out.rows {
         // Map slot -> original row index.
@@ -783,6 +804,7 @@ fn rebuild_min_output(
     Ok(QueryOutput {
         schema: spec.output_schema.clone(),
         rows,
+        work,
     })
 }
 

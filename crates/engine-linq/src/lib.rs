@@ -22,8 +22,9 @@
 use mrq_codegen::exec::{QueryOutput, TableAccess};
 use mrq_codegen::spec::{AggSpec, OutputExpr, QuerySpec, ScalarExpr, StrOp};
 use mrq_common::hash::FxHashMap;
-use mrq_common::{DataType, MrqError, Result, Value};
+use mrq_common::{DataType, MrqError, Result, Value, WorkCounters};
 use mrq_expr::AggFunc;
+use std::cell::Cell;
 use std::rc::Rc;
 
 /// One element flowing through the enumerable pipeline: the row index of the
@@ -189,12 +190,24 @@ pub fn execute<T: TableAccess>(
     let take = spec.effective_take(params)?;
     let slots = spec.joins.len() + 1;
 
+    // Deterministic work accounting (`mrq_common::workcount`): the pipeline
+    // closures below share these counters by reference, and the totals land
+    // on the output. `Cell`s rather than a mutable borrow because several
+    // boxed operator closures are alive at once.
+    let rows_scanned = Cell::new(0u64);
+    let probe_lookups = Cell::new(0u64);
+    let key_comparisons = Cell::new(0u64);
+    let rows_materialized = Cell::new(0u64);
+    let mut build_inserts = 0u64;
+    let scanned = &rows_scanned;
+
     // Source enumerable. The baseline pipeline has no morsels, so the
     // source itself is the cooperative cancellation point: at the shared
     // workspace cadence it checks the current scope's token (a no-op for
     // plain, unsubmitted execution).
     let mut enumerated = 0usize;
     let mut pipe: Pipe<'_> = Box::new((0..tables[0].len()).map(Item::Single).inspect(move |_| {
+        scanned.set(scanned.get() + 1);
         enumerated += 1;
         if enumerated.is_multiple_of(mrq_common::cancel::CHECK_EVERY_ROWS) {
             mrq_common::cancel::checkpoint();
@@ -216,6 +229,7 @@ pub fn execute<T: TableAccess>(
         let mut lookup: FxHashMap<Vec<String>, Vec<usize>> = FxHashMap::default();
         let build_table = tables[join.slot];
         'inner: for row in 0..build_table.len() {
+            rows_scanned.set(rows_scanned.get() + 1);
             let inner_item = Item::Single(row);
             // Build-side elements are evaluated against their own slot; wrap
             // the row index so column lookups resolve to the build table.
@@ -231,16 +245,21 @@ pub fn execute<T: TableAccess>(
                 .map(|k| eval(k, tables, &probe_item, params).to_string())
                 .collect();
             lookup.entry(key).or_default().push(row);
+            build_inserts += 1;
             let _ = inner_item;
         }
         let lookup = Rc::new(lookup);
         let probe_keys = join.probe_keys.clone();
         let slot = join.slot;
+        let probes = &probe_lookups;
+        let comparisons = &key_comparisons;
         pipe = Box::new(pipe.flat_map(move |item| {
             let key: Vec<String> = probe_keys
                 .iter()
                 .map(|k| eval(k, tables, &item, params).to_string())
                 .collect();
+            probes.set(probes.get() + 1);
+            comparisons.set(comparisons.get() + key.len() as u64);
             let matches = lookup.get(&key).cloned().unwrap_or_default();
             let base: Vec<usize> = match &item {
                 Item::Single(r) => {
@@ -270,6 +289,7 @@ pub fn execute<T: TableAccess>(
         let mut order: Vec<Vec<String>> = Vec::new();
         let mut groups: FxHashMap<Vec<String>, (Vec<Value>, Vec<Item>)> = FxHashMap::default();
         for item in pipe {
+            rows_materialized.set(rows_materialized.get() + 1);
             let key_values: Vec<Value> = spec
                 .group_keys
                 .iter()
@@ -302,6 +322,7 @@ pub fn execute<T: TableAccess>(
             .collect()
     } else {
         pipe.map(|item| {
+            rows_materialized.set(rows_materialized.get() + 1);
             spec.output
                 .iter()
                 .map(|(_, o)| match o {
@@ -338,6 +359,16 @@ pub fn execute<T: TableAccess>(
     Ok(QueryOutput {
         schema: spec.output_schema.clone(),
         rows,
+        work: WorkCounters {
+            rows_scanned: rows_scanned.get(),
+            build_inserts,
+            probe_lookups: probe_lookups.get(),
+            key_comparisons: key_comparisons.get(),
+            rows_materialized: rows_materialized.get(),
+            // The baseline is one single-threaded pass — never partitioned.
+            morsels_executed: 1,
+            staging_copies: 0,
+        },
     })
 }
 

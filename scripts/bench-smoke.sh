@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Perf-harness smoke test: run the parallel ablation bench and the fig11
-# join bench once so bitrot in the bench targets (API drift, panics, wrong
-# cardinalities) is caught in CI, and — on hosts with enough cores to
-# express one — enforce the headline speedup claims:
+# Perf-harness smoke test: run the smoke benches so bitrot in the bench
+# targets (API drift, panics, wrong cardinalities) is caught in CI, and —
+# on hosts with enough cores to express one — enforce the headline speedup
+# claims:
 #   * hybrid full-materialisation Q1 aggregation at 8 threads must be at
 #     least MIN_SPEEDUP x faster than at 1 thread (scan gate), and
 #   * the fig11 join over the native row store at 8 threads — including the
@@ -15,13 +15,25 @@
 #     cache must be at least MIN_AMORTIZATION x cheaper per execution than
 #     recompiling the statement each time (plan-cache amortization gate).
 #
+# The benches run INTERLEAVED: BENCH_ROUNDS round-robin passes over the
+# bench list in cargo-harness order, so every round runs every bench (all
+# of its configs) once. Host-wide drift — thermal ramps, noisy neighbours,
+# a background compile — then lands on every variant instead of biasing
+# whichever bench happened to run last, and the per-point aggregate (the
+# median across rounds) converges on the undisturbed value.
+#
 # The run also emits BENCH_smoke.json — per-benchmark median nanoseconds
-# plus the host thread count — which CI uploads as an artifact to seed the
-# perf trajectory.
+# (median across rounds of each round's median) plus the host thread count —
+# which CI uploads as an artifact to seed the perf trajectory. The exact
+# counted twin of that artifact, BENCH_counted.json, is produced by
+# `cargo run -p mrq-bench --release --bin counted`; `--check-counted`
+# validates its shape for the CI bench-counted job.
 #
 # Usage: scripts/bench-smoke.sh [bench-filter]
-#        scripts/bench-smoke.sh --self-test   (parser unit checks only)
+#        scripts/bench-smoke.sh --self-test            (parser unit checks only)
+#        scripts/bench-smoke.sh --check-counted FILE   (validate a counted artifact)
 # Env:   MRQ_SF           scale factor for the bench workload (default 0.002)
+#        BENCH_ROUNDS     interleaved round-robin passes (default 2)
 #        MIN_SPEEDUP      enforced 8-thread/8-client speedup (default 2.0)
 #        MIN_AMORTIZATION enforced compile-each/prepared-once ratio (default 1.02)
 #        ENFORCE_SPEEDUP  1 = always enforce, 0 = never, unset = auto
@@ -32,6 +44,10 @@ cd "$(dirname "$0")/.."
 
 CPUS=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 BENCH_JSON="${BENCH_JSON:-BENCH_smoke.json}"
+ROUNDS="${BENCH_ROUNDS:-2}"
+
+# The smoke benches, in the cargo-harness order every round replays.
+BENCHES=(ablation_parallel fig11_join concurrent_serving prepared_amortization)
 
 # ---------------------------------------------------------------------------
 # Parsing helpers. Bench lines look like (criterion shim; real criterion
@@ -42,9 +58,12 @@ BENCH_JSON="${BENCH_JSON:-BENCH_smoke.json}"
 # line must *begin* with the exact name followed by whitespace, and the
 # time is extracted by regex from the bracket, never by raw field position
 # (a wide number fusing with `[` must not corrupt the parse).
+# Interleaved rounds report each point once per round, so a point may match
+# several lines in one file; min_ms takes the minimum across all of them.
 # ---------------------------------------------------------------------------
 
-# min_ms <file> <name> — min time of the named point, normalised to ms.
+# min_ms <file> <name> — min time of the named point across every round,
+# normalised to ms.
 min_ms() {
     awk -v p="$2" '
         $0 ~ ("^" p "[[:space:]]") && /time:/ {
@@ -57,13 +76,15 @@ min_ms() {
             else if (u == "us" || u == "µs") t /= 1e3;
             else if (u == "s")  t *= 1e3;
             # "ms" (the shim) passes through
-            printf "%.6f", t; exit
-        }' "$1"
+            if (!seen || t < best) { best = t; seen = 1 }
+        }
+        END { if (seen) printf "%.6f", best }' "$1"
 }
 
 # emit_bench_json <output-path> <bench-output-file>... — per-benchmark
 # median in ns (falling back to the bracket min when no median is printed)
-# plus the host thread count.
+# plus the host thread count. A point reported by several rounds contributes
+# the median of its per-round values, in first-seen order.
 emit_bench_json() {
     local out="$1"; shift
     {
@@ -89,31 +110,115 @@ emit_bench_json() {
                 } else next;
                 split(s, a, /[[:space:]]+/);
                 t = a[1] + 0; u = a[2];
-                entries[++n] = sprintf("    \"%s\": %.1f", $1, to_ns(t, u));
+                name = $1;
+                if (!(name in count)) order[++names] = name;
+                # mawk loses a pre-increment side effect inside a subscript
+                # expression, so bump the counter in its own statement.
+                count[name]++;
+                v[name SUBSEP count[name]] = to_ns(t, u);
             }
             END {
-                for (i = 1; i <= n; i++)
-                    printf "%s%s\n", entries[i], (i < n ? "," : "");
+                for (i = 1; i <= names; i++) {
+                    name = order[i]; cnt = count[name];
+                    for (j = 1; j <= cnt; j++) a[j] = v[name SUBSEP j];
+                    # Insertion sort: at most a handful of rounds per point.
+                    for (j = 2; j <= cnt; j++) {
+                        x = a[j];
+                        for (k = j - 1; k >= 1 && a[k] > x; k--) a[k + 1] = a[k];
+                        a[k + 1] = x;
+                    }
+                    if (cnt % 2) m = a[(cnt + 1) / 2];
+                    else m = (a[cnt / 2] + a[cnt / 2 + 1]) / 2;
+                    printf "    \"%s\": %.1f%s\n", name, m, (i < names ? "," : "");
+                }
             }'
         echo "  }"
         echo "}"
     } > "$out"
 }
 
+# check_counted <file> — validate a BENCH_counted.json artifact: counted
+# unit, at least one point, every point an integer count, no duplicate
+# names. Returns non-zero (never exits) so the self-test can probe it.
+check_counted() {
+    local file="$1" points bad dup
+    if [ ! -f "$file" ]; then
+        echo "bench-smoke: counted check FAIL — $file not found" >&2
+        return 1
+    fi
+    if ! grep -q '"unit": "count"' "$file"; then
+        echo "bench-smoke: counted check FAIL — $file is not a counted artifact (unit != count)" >&2
+        return 1
+    fi
+    points=$(grep -c '^    "' "$file" || true)
+    if [ "$points" -lt 1 ]; then
+        echo "bench-smoke: counted check FAIL — $file has no points" >&2
+        return 1
+    fi
+    # Counted values are exact integers; a float means wall-clock noise
+    # leaked into the deterministic artifact.
+    bad=$(grep '^    "' "$file" | grep -Evc '^    "[^"]+": [0-9]+,?$' || true)
+    if [ "$bad" -ne 0 ]; then
+        echo "bench-smoke: counted check FAIL — $file has $bad non-integer point(s)" >&2
+        return 1
+    fi
+    dup=$(grep '^    "' "$file" | awk -F'"' '{ print $2 }' | sort | uniq -d)
+    if [ -n "$dup" ]; then
+        echo "bench-smoke: counted check FAIL — duplicate point name(s) in $file:" >&2
+        echo "$dup" >&2
+        return 1
+    fi
+    echo "bench-smoke: counted artifact $file OK ($points integer points)"
+}
+
+# ---------------------------------------------------------------------------
+# Bench execution: BENCH_CMD_OVERRIDE lets the self-test replace the cargo
+# invocation with a stub that records sequencing.
+# ---------------------------------------------------------------------------
+
+# run_bench <bench> — one cargo-harness pass over one bench target.
+run_bench() {
+    if [ -n "${BENCH_CMD_OVERRIDE:-}" ]; then
+        "$BENCH_CMD_OVERRIDE" "$1"
+    else
+        cargo bench -q -p mrq-bench --bench "$1" -- ${FILTER:+"$FILTER"}
+    fi
+}
+
+# run_interleaved <outdir> — ROUNDS round-robin passes over BENCHES in
+# cargo-harness order; each bench's rounds append to "$outdir/<bench>.out".
+run_interleaved() {
+    local outdir="$1" round bench
+    for bench in "${BENCHES[@]}"; do
+        : > "$outdir/$bench.out"
+    done
+    for round in $(seq 1 "$ROUNDS"); do
+        for bench in "${BENCHES[@]}"; do
+            echo "== bench-smoke: $bench (round $round/$ROUNDS) =="
+            run_bench "$bench" | tee -a "$outdir/$bench.out"
+        done
+    done
+}
+
 # ---------------------------------------------------------------------------
 # Parser self-test (run in CI before the real benches): synthetic lines
 # covering the historical failure modes — `/` in group names, near-miss
-# name prefixes, a number fused against the bracket, and unit scaling.
+# name prefixes, a number fused against the bracket, unit scaling — plus
+# the interleaved additions: per-round duplicates aggregate to the median,
+# the round-robin runner really alternates benches, and counted artifacts
+# parse and validate.
 # ---------------------------------------------------------------------------
 self_test() {
-    local fixture fails=0 json
+    local fixture fails=0 json seqdir
     fixture="$(mktemp)"
     json="$(mktemp)"
-    trap 'rm -f "$fixture" "$json"' RETURN
+    seqdir="$(mktemp -d)"
+    trap 'rm -f "$fixture" "$json"; rm -rf "$seqdir"' RETURN
     cat > "$fixture" <<'EOF'
 fig11_join_parallel/native_1_threads_wide    time: [    1.0000 ms     1.5000 ms     2.0000 ms]  median: 1.4000 ms (10 samples)
 fig11_join_parallel/native_1_threads         time: [    7.0000 ms     8.0000 ms     9.0000 ms]  median: 8.1000 ms (10 samples)
 fig11_join_parallel/native_8_threads         time: [  900.0000 us   950.0000 us   990.0000 us]  median: 940.0000 us (10 samples)
+fig11_join_parallel/native_8_threads         time: [  910.0000 us   965.0000 us   995.0000 us]  median: 960.0000 us (10 samples)
 concurrent_serving_q1/8_clients time: [12345.6789 ms 12400.0 ms 12500.0 ms]  median: 12390.0 ms (3 samples)
 no_median_group/point                        time: [    2.0000 s      2.5000 s      3.0000 s] (5 samples)
 EOF
@@ -127,20 +232,57 @@ EOF
     # Anchored exact-name match: the near-miss prefix line must not shadow.
     check "slash-in-name exact match" "$(min_ms "$fixture" "fig11_join_parallel/native_1_threads")" "7.000000"
     check "near-miss prefix still reachable" "$(min_ms "$fixture" "fig11_join_parallel/native_1_threads_wide")" "1.000000"
-    check "us normalised to ms" "$(min_ms "$fixture" "fig11_join_parallel/native_8_threads")" "0.900000"
+    # Two rounds reported the 8-thread point; min_ms takes the global min.
+    check "us normalised to ms, min across rounds" "$(min_ms "$fixture" "fig11_join_parallel/native_8_threads")" "0.900000"
     check "seconds normalised to ms" "$(min_ms "$fixture" "no_median_group/point")" "2000.000000"
     check "wide number against bracket" "$(min_ms "$fixture" "concurrent_serving_q1/8_clients")" "12345.678900"
     check "absent name yields empty" "$(min_ms "$fixture" "not_a_group/at_all")" ""
-    # JSON emission: medians in ns, min fallback, every point present once.
+    # JSON emission: medians in ns, min fallback, every point present once —
+    # a point reported by two rounds collapses to the median of its rounds.
     emit_bench_json "$json" "$fixture"
     grep -q '"fig11_join_parallel/native_1_threads": 8100000.0' "$json" \
         || { echo "bench-smoke self-test: FAIL — median-ns entry missing" >&2; fails=$((fails + 1)); }
-    grep -q '"fig11_join_parallel/native_8_threads": 940000.0' "$json" \
-        || { echo "bench-smoke self-test: FAIL — us median not scaled to ns" >&2; fails=$((fails + 1)); }
+    grep -q '"fig11_join_parallel/native_8_threads": 950000.0' "$json" \
+        || { echo "bench-smoke self-test: FAIL — cross-round median not aggregated" >&2; fails=$((fails + 1)); }
     grep -q '"no_median_group/point": 2000000000.0' "$json" \
         || { echo "bench-smoke self-test: FAIL — min fallback missing" >&2; fails=$((fails + 1)); }
     check "json point count" "$(grep -c '^    "' "$json")" "5"
     check "json thread count present" "$(grep -c "\"threads\": ${CPUS}," "$json")" "1"
+    # Interleaved sequencing: with a stubbed bench command, two rounds over
+    # the bench list must alternate A B C D A B C D — never group a bench's
+    # rounds back to back — and every bench's file must hold every round.
+    stub_bench() { echo "ran $1"; echo "$1" >> "$seqdir/sequence"; }
+    (
+        BENCH_CMD_OVERRIDE=stub_bench
+        ROUNDS=2
+        run_interleaved "$seqdir" > /dev/null
+    )
+    check "round-robin order" "$(paste -sd' ' "$seqdir/sequence")" \
+        "ablation_parallel fig11_join concurrent_serving prepared_amortization ablation_parallel fig11_join concurrent_serving prepared_amortization"
+    check "per-bench file holds every round" "$(grep -c "ran fig11_join" "$seqdir/fig11_join.out")" "2"
+    # Counted-artifact validation: a well-formed counted JSON passes; float
+    # values, duplicate names and wall-clock artifacts are rejected.
+    cat > "$seqdir/counted_ok.json" <<'EOF'
+{
+  "scale_factor": 0.002,
+  "unit": "count",
+  "groups": {
+    "counted_q1/linq/rows_scanned": 11864,
+    "counted_q1/linq/staging_copies": 0
+  }
+}
+EOF
+    sed 's/11864/11864.5/' "$seqdir/counted_ok.json" > "$seqdir/counted_float.json"
+    sed 's/staging_copies/rows_scanned/' "$seqdir/counted_ok.json" > "$seqdir/counted_dup.json"
+    sed 's/"count"/"ns"/' "$seqdir/counted_ok.json" > "$seqdir/counted_unit.json"
+    counted_verdict() {
+        if check_counted "$1" > /dev/null 2>&1; then echo pass; else echo fail; fi
+    }
+    check "valid counted artifact accepted" "$(counted_verdict "$seqdir/counted_ok.json")" "pass"
+    check "float counted value rejected" "$(counted_verdict "$seqdir/counted_float.json")" "fail"
+    check "duplicate counted name rejected" "$(counted_verdict "$seqdir/counted_dup.json")" "fail"
+    check "wall-clock unit rejected" "$(counted_verdict "$seqdir/counted_unit.json")" "fail"
+    check "missing counted artifact rejected" "$(counted_verdict "$seqdir/does_not_exist.json")" "fail"
     if [ "$fails" -ne 0 ]; then
         exit 1
     fi
@@ -152,48 +294,45 @@ if [ "${1:-}" = "--self-test" ]; then
     exit 0
 fi
 
+if [ "${1:-}" = "--check-counted" ]; then
+    check_counted "${2:?usage: bench-smoke.sh --check-counted FILE}"
+    exit $?
+fi
+
 FILTER="${1:-}"
-OUT="$(mktemp)"
-JOIN_OUT="$(mktemp)"
-SERVE_OUT="$(mktemp)"
-AMORT_OUT="$(mktemp)"
-trap 'rm -f "$OUT" "$JOIN_OUT" "$SERVE_OUT" "$AMORT_OUT"' EXIT
+OUTDIR="$(mktemp -d)"
+trap 'rm -rf "$OUTDIR"' EXIT
 
-echo "== bench-smoke: ablation_parallel (one pass) =="
-cargo bench -q -p mrq-bench --bench ablation_parallel -- ${FILTER:+"$FILTER"} | tee "$OUT"
+run_interleaved "$OUTDIR"
 
-echo "== bench-smoke: fig11_join (one pass) =="
-cargo bench -q -p mrq-bench --bench fig11_join -- ${FILTER:+"$FILTER"} | tee "$JOIN_OUT"
+OUT="$OUTDIR/ablation_parallel.out"
+JOIN_OUT="$OUTDIR/fig11_join.out"
+SERVE_OUT="$OUTDIR/concurrent_serving.out"
+AMORT_OUT="$OUTDIR/prepared_amortization.out"
 
-echo "== bench-smoke: concurrent_serving (one pass) =="
-cargo bench -q -p mrq-bench --bench concurrent_serving -- ${FILTER:+"$FILTER"} | tee "$SERVE_OUT"
-
-echo "== bench-smoke: prepared_amortization (one pass) =="
-cargo bench -q -p mrq-bench --bench prepared_amortization -- ${FILTER:+"$FILTER"} | tee "$AMORT_OUT"
-
-# Every benchmark line must have produced a time — a bench that silently
-# stopped reporting is bitrot even when it exits 0.
+# Every benchmark line must have produced a time in every round — a bench
+# that silently stopped reporting is bitrot even when it exits 0.
 LINES=$(grep -c "time:" "$OUT" || true)
-if [ "$LINES" -lt 4 ]; then
-    echo "bench-smoke: FAIL — expected >=4 ablation reports, got $LINES" >&2
+if [ "$LINES" -lt $((4 * ROUNDS)) ]; then
+    echo "bench-smoke: FAIL — expected >=$((4 * ROUNDS)) ablation reports, got $LINES" >&2
     exit 1
 fi
 JOIN_LINES=$(grep -c "time:" "$JOIN_OUT" || true)
-if [ "$JOIN_LINES" -lt 4 ]; then
-    echo "bench-smoke: FAIL — expected >=4 join bench reports, got $JOIN_LINES" >&2
+if [ "$JOIN_LINES" -lt $((4 * ROUNDS)) ]; then
+    echo "bench-smoke: FAIL — expected >=$((4 * ROUNDS)) join bench reports, got $JOIN_LINES" >&2
     exit 1
 fi
 SERVE_LINES=$(grep -c "time:" "$SERVE_OUT" || true)
-if [ "$SERVE_LINES" -lt 3 ]; then
-    echo "bench-smoke: FAIL — expected >=3 concurrent-serving reports, got $SERVE_LINES" >&2
+if [ "$SERVE_LINES" -lt $((3 * ROUNDS)) ]; then
+    echo "bench-smoke: FAIL — expected >=$((3 * ROUNDS)) concurrent-serving reports, got $SERVE_LINES" >&2
     exit 1
 fi
 AMORT_LINES=$(grep -c "time:" "$AMORT_OUT" || true)
-if [ "$AMORT_LINES" -lt 8 ]; then
-    echo "bench-smoke: FAIL — expected >=8 prepared-amortization reports, got $AMORT_LINES" >&2
+if [ "$AMORT_LINES" -lt $((8 * ROUNDS)) ]; then
+    echo "bench-smoke: FAIL — expected >=$((8 * ROUNDS)) prepared-amortization reports, got $AMORT_LINES" >&2
     exit 1
 fi
-echo "bench-smoke: $LINES + $JOIN_LINES + $SERVE_LINES + $AMORT_LINES benchmark points reported"
+echo "bench-smoke: $LINES + $JOIN_LINES + $SERVE_LINES + $AMORT_LINES benchmark points reported over $ROUNDS round(s)"
 
 # Perf-trajectory artifact: per-benchmark median ns + host thread count.
 emit_bench_json "$BENCH_JSON" "$OUT" "$JOIN_OUT" "$SERVE_OUT" "$AMORT_OUT"
@@ -201,7 +340,8 @@ echo "bench-smoke: wrote $(grep -c '^    "' "$BENCH_JSON") medians to $BENCH_JSO
 
 # Speedup enforcement (à la tonic's bench-enforce): compare the min time of
 # a 1-thread point against its 8-thread point via the anchored `min_ms`
-# parser above.
+# parser above. With interleaved rounds the min is taken across rounds on
+# both sides, which strips one-sided noise spikes from the ratio.
 ENFORCE="${ENFORCE_SPEEDUP:-auto}"
 if [ "$ENFORCE" = "auto" ]; then
     if [ "$CPUS" -ge 8 ]; then ENFORCE=1; else ENFORCE=0; fi

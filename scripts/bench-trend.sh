@@ -26,9 +26,19 @@
 #     expired cache). Malformed artifacts also skip: a broken cache must
 #     not block CI, and the next run re-seeds it.
 #
-# Usage: scripts/bench-trend.sh [current.json] [previous.json|history-dir/]
+# Strict mode (`--strict`) is for *counted* artifacts (BENCH_counted.json,
+# emitted by `cargo run -p mrq-bench --release --bin counted`): those values
+# are exact work counts, not noisy wall-clock medians, so the allowed drift
+# tightens from 25% to 1% — any real change in per-query work trips the gate
+# while formatting-level jitter (there is none in counted artifacts) cannot.
+# An explicit MAX_REGRESSION still overrides the strict default. Note the
+# gate stays one-sided: a point *decreasing* reports as an improvement, and
+# the rolled window adopts it as the new baseline.
+#
+# Usage: scripts/bench-trend.sh [--strict] [current.json] [previous.json|history-dir/]
 #        scripts/bench-trend.sh --self-test    (parser/gate unit checks)
-# Env:   MAX_REGRESSION   allowed fractional slowdown (default 0.25)
+# Env:   MAX_REGRESSION   allowed fractional slowdown (default 0.25,
+#                         or 0.01 under --strict)
 #        BENCH_JSON       default current artifact (default BENCH_smoke.json)
 #        BENCH_PREV       default baseline path (default BENCH_history/ when
 #                         it exists, else BENCH_prev.json)
@@ -39,7 +49,14 @@ set -euo pipefail
 # reads files).
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
-MAX_REGRESSION="${MAX_REGRESSION:-0.25}"
+# --strict must precede positional arguments; it only changes the default
+# threshold, so an explicit MAX_REGRESSION always wins.
+MAX_DEFAULT=0.25
+if [ "${1:-}" = "--strict" ]; then
+    MAX_DEFAULT=0.01
+    shift
+fi
+MAX_REGRESSION="${MAX_REGRESSION:-$MAX_DEFAULT}"
 
 # extract_points <file> — one "name<TAB>median_ns" line per benchmark point,
 # parsed from the emit_bench_json format:  `    "group/name": 12345.0,`
@@ -259,6 +276,35 @@ EOF
         echo "bench-trend self-test: FAIL — expected 4 extracted points, got $points" >&2
         fails=$((fails + 1))
     fi
+    # --- strict mode (counted artifacts) ---
+    # Counted values are exact integers; strict tightens the gate to 1%.
+    cat > "$dir/counted_prev.json" <<'EOF'
+{
+  "scale_factor": 0.002,
+  "unit": "count",
+  "groups": {
+    "counted_q1/native/rows_scanned": 10000,
+    "counted_fig11_join/native/probe_lookups": 6000
+  }
+}
+EOF
+    sed 's/10000/10200/' "$dir/counted_prev.json" > "$dir/counted_2pct.json"
+    sed 's/10000/10050/' "$dir/counted_prev.json" > "$dir/counted_halfpct.json"
+    # A 2% count regression is far inside the wall-clock tolerance but must
+    # fail the strict gate; identical and sub-percent artifacts pass.
+    check "strict rejects a 2% regression" fail \
+        "$0" --strict "$dir/counted_2pct.json" "$dir/counted_prev.json"
+    check "strict passes identical counted artifacts" pass \
+        "$0" --strict "$dir/counted_prev.json" "$dir/counted_prev.json"
+    check "strict tolerates sub-percent drift" pass \
+        "$0" --strict "$dir/counted_halfpct.json" "$dir/counted_prev.json"
+    # The default gate would have waved the 2% drift through — that is the
+    # gap strict mode exists to close.
+    check "default gate passes the same 2% drift" pass \
+        "$0" "$dir/counted_2pct.json" "$dir/counted_prev.json"
+    # An explicit MAX_REGRESSION overrides the strict default.
+    check "explicit threshold overrides strict" pass \
+        env MAX_REGRESSION=0.25 "$0" --strict "$dir/counted_2pct.json" "$dir/counted_prev.json"
     if [ "$fails" -ne 0 ]; then
         exit 1
     fi

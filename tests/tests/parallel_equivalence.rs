@@ -204,13 +204,17 @@ fn env_selected_scheduler_config_matches_sequential() {
                 .execute(workload.clone(), strategy)
                 .expect("sequential reference");
             let out = parallel.execute(workload.clone(), strategy).expect(name);
-            assert_same(
-                &reference,
-                &out,
-                &format!(
-                    "{name} with env config (threads={}, stealing={})",
-                    env_config.threads, env_config.stealing
-                ),
+            let context = format!(
+                "{name} with env config (threads={}, stealing={})",
+                env_config.threads, env_config.stealing
+            );
+            assert_same(&reference, &out, &context);
+            // Every matrix cell also pins the counted-work contract: the
+            // scheduler shape it names may only change `morsels_executed`.
+            assert_eq!(
+                parallel.last_work_stats().partition_invariant(),
+                sequential.last_work_stats().partition_invariant(),
+                "{context}: work counters"
             );
         }
     }
@@ -224,6 +228,11 @@ fn env_selected_scheduler_config_matches_sequential() {
         mrq_engine_native::execute_parallel(&spec, &canon.params, &stores, &[], env_config)
             .expect("env-config native");
     assert_eq!(parallel, reference);
+    assert_eq!(
+        parallel.work_stats().partition_invariant(),
+        reference.work_stats().partition_invariant(),
+        "native env-config work counters"
+    );
 }
 
 /// The direct engine entry points (bypassing the provider) agree with each
