@@ -14,7 +14,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mrq_bench::Workbench;
-use mrq_core::{Provider, Strategy};
+use mrq_core::{Provider, QueryOptions, Strategy};
 use mrq_tpch::queries;
 
 const QUERIES_PER_CLIENT: usize = 16;
@@ -47,7 +47,11 @@ fn bench(c: &mut Criterion) {
                         scope.spawn(move || {
                             for _ in 0..QUERIES_PER_CLIENT {
                                 let rows = provider
-                                    .submit(queries::q1(), Strategy::CompiledNative)
+                                    .submit(
+                                        queries::q1(),
+                                        Strategy::CompiledNative,
+                                        QueryOptions::default(),
+                                    )
                                     .join()
                                     .expect("submitted query")
                                     .rows

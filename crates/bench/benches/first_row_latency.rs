@@ -1,0 +1,97 @@
+//! First-row latency: time-to-first-row (TTFR) through `QueryStream`
+//! versus time-to-last-row (TTLR) through a materialising `submit`.
+//!
+//! Both points run the same full-store streamable scan on the same
+//! provider. The TTLR point joins the handle — it pays for every row before
+//! the caller sees any. The TTFR point drains exactly one streamed batch
+//! and drops the stream, which cancels the remainder at the next
+//! checkpoint; its cost is the first batch plus one checkpoint of unwind.
+//! On a scan this size the stream delivers its first rows in a small
+//! fraction of the full scan, and `scripts/bench-smoke.sh` gates
+//! `TTFR < 0.5 × TTLR`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mrq_common::{DataType, Field, Schema, Value};
+use mrq_core::{ParallelConfig, Provider, QueryOptions, Strategy};
+use mrq_engine_native::RowStore;
+use mrq_expr::{col, lam, lit, BinaryOp, Expr, Query, SourceId};
+
+const ROWS: i64 = 1_000_000;
+const BATCH_ROWS: usize = 4096;
+
+fn schema() -> Schema {
+    Schema::new(
+        "N",
+        vec![
+            Field::new("n", DataType::Int64),
+            Field::new("bucket", DataType::Int64),
+        ],
+    )
+}
+
+/// A full-store streamable scan: every row passes the filter and is
+/// projected, so TTLR scales with `ROWS` while TTFR stays one batch deep.
+fn scan() -> Expr {
+    Query::from_source(SourceId(0))
+        .where_(lam(
+            "x",
+            Expr::binary(BinaryOp::Ge, col("x", "n"), lit(0i64)),
+        ))
+        .select(lam("x", col("x", "n")))
+        .into_expr()
+}
+
+fn bench(c: &mut Criterion) {
+    let rows: Vec<Vec<Value>> = (0..ROWS)
+        .map(|i| vec![Value::Int64(i), Value::Int64(i % 97)])
+        .collect();
+    let store = RowStore::from_rows(schema(), &rows);
+    drop(rows);
+
+    let mut provider = Provider::new();
+    provider.bind_native(SourceId(0), &store);
+    provider.set_parallelism(ParallelConfig {
+        threads: 2,
+        min_rows_per_thread: 1024,
+        ..ParallelConfig::default()
+    });
+    // Warm the compiled-query cache so both points measure execution, not
+    // one-off code generation.
+    provider
+        .execute(scan(), Strategy::CompiledNative)
+        .expect("warm-up");
+
+    let mut group = c.benchmark_group("first_row_latency");
+    group.sample_size(10);
+    group.bench_function("scan_ttfr", |b| {
+        b.iter(|| {
+            let mut stream = provider.submit_stream(
+                scan(),
+                Strategy::CompiledNative,
+                QueryOptions::default().with_stream_batch_rows(BATCH_ROWS),
+            );
+            let first = stream
+                .next_batch()
+                .expect("first batch")
+                .expect("streamed rows");
+            assert_eq!(first.len(), BATCH_ROWS);
+            black_box(first.len())
+            // Dropping the stream cancels the rest of the scan; the drop
+            // wait (bounded by one checkpoint) is part of the measured cost.
+        })
+    });
+    group.bench_function("scan_ttlr", |b| {
+        b.iter(|| {
+            let out = provider
+                .submit(scan(), Strategy::CompiledNative, QueryOptions::default())
+                .join()
+                .expect("materialised scan");
+            assert_eq!(out.rows.len(), ROWS as usize);
+            black_box(out.rows.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -17,7 +17,7 @@ use mrq_codegen::exec::{QueryOutput, ValueTable};
 use mrq_codegen::spec::{lower, QuerySpec};
 use mrq_common::profile::CostBreakdown;
 use mrq_common::{ParallelConfig, Schema, WorkStats};
-use mrq_core::{Provider, Strategy};
+use mrq_core::{Provider, QueryOptions, Strategy};
 use mrq_dbms::ColumnTable;
 use mrq_engine_csharp::{HeapTable, TracedHeapTable};
 use mrq_engine_hybrid::{HybridConfig, Materialization, TransferPolicy};
@@ -1185,6 +1185,41 @@ pub fn counted_report(bench: &Workbench) -> Vec<CountedPoint> {
         "prepared re-execution must repeat identical work"
     );
     push_work(&mut out, "counted_prepared", "native", &second);
+
+    // Streamed replay: the streaming tests' scan shape drained through
+    // `submit_stream` with a pinned batch size. The sink re-chunks rows into
+    // full `stream_batch_rows` batches regardless of the morsel schedule, so
+    // `batches_streamed`/`rows_streamed` are exact functions of the row count
+    // — every strategy here runs sequentially and every counter is stable.
+    let scan = queries::scan_micro(bench.data.shipdate_for_selectivity(0.5));
+    let stream_options = QueryOptions::default().with_stream_batch_rows(64);
+    let managed = bench.managed_provider();
+    for (slug, strategy) in [
+        ("linq", Strategy::LinqToObjects),
+        ("csharp", Strategy::CompiledCSharp),
+        ("hybrid", Strategy::Hybrid(HybridConfig::default())),
+    ] {
+        let stream = managed.submit_stream(scan.clone(), strategy, stream_options);
+        for batch in stream {
+            batch.expect("streamed counted batch");
+        }
+        push_work(
+            &mut out,
+            "counted_streaming",
+            slug,
+            &managed.last_work_stats(),
+        );
+    }
+    let stream = native.submit_stream(scan, Strategy::CompiledNative, stream_options);
+    for batch in stream {
+        batch.expect("streamed counted batch");
+    }
+    push_work(
+        &mut out,
+        "counted_streaming",
+        "native",
+        &native.last_work_stats(),
+    );
 
     // Simulated cache hierarchy (Figure 14): deterministic because both the
     // managed heap and the row stores hand out fixed simulated addresses.

@@ -16,7 +16,8 @@
 use crate::spec::{AggSpec, OutputExpr, QuerySpec, ScalarExpr, SortKeySpec, StrOp};
 use mrq_common::hash::{hash_u64, hash_u64_pair, FxHashMap};
 use mrq_common::{
-    morsel, DataType, Date, Decimal, MrqError, ParallelConfig, Result, Schema, Value, WorkStats,
+    morsel, DataType, Date, Decimal, MrqError, ParallelConfig, Result, Schema, StreamSink, Value,
+    WorkStats,
 };
 use mrq_expr::{AggFunc, BinaryOp, UnaryOp};
 use std::cmp::Ordering;
@@ -941,6 +942,12 @@ pub struct ExecState<'a, T: TableAccess> {
     /// start at zero and [`ExecState::merge`] adds, so per-query totals are
     /// independent of how the scan was partitioned across workers.
     work: WorkStats,
+    /// Streaming sink for incremental row publication, attached by
+    /// [`ExecState::attach_stream_sink`] on streamable shapes only. Forks
+    /// never inherit it — in a parallel run the sink lives with the ordered
+    /// gather ([`morsel::run_ordered`]), not with individual workers, so
+    /// rows are published strictly in morsel order.
+    sink: Option<StreamSink>,
 }
 
 impl<'a, T: TableAccess> ExecState<'a, T> {
@@ -1022,7 +1029,68 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
             consumed_rows: 0,
             emitted_rows: 0,
             work: WorkStats::default(),
+            sink: None,
         })
+    }
+
+    /// Whether this execution's shape can publish rows incrementally:
+    /// exactly the pipelines whose output order is the probe scan order.
+    /// Grouping, sorting (fused or final), `Take` truncation and hidden
+    /// sort columns all require the complete row set before the first
+    /// output row is known, so those shapes deliver everything as the
+    /// residual `QueryOutput` instead.
+    pub fn streamable(&self) -> bool {
+        !self.spec.is_grouped()
+            && self.topn.is_none()
+            && self.spec.sort.is_empty()
+            && self.take.is_none()
+            && self.spec.hidden_outputs == 0
+    }
+
+    /// Attaches `sink` for incremental publication if the shape is
+    /// streamable (see [`ExecState::streamable`]); returns whether it was
+    /// attached. Non-streamable shapes simply keep buffering — the serving
+    /// layer flushes their full output as the stream's residual, so the
+    /// client-visible row sequence is identical either way.
+    pub fn attach_stream_sink(&mut self, sink: StreamSink) -> bool {
+        if self.streamable() {
+            self.sink = Some(sink);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Detaches and returns the stream sink, if any (the parallel gather
+    /// takes it from the base state so forks run sink-free and publication
+    /// happens only at the ordered frontier).
+    pub fn take_sink(&mut self) -> Option<StreamSink> {
+        self.sink.take()
+    }
+
+    /// Publishes this state's buffered plain rows to `sink`, draining them.
+    /// Used by the ordered parallel gather (and the hybrid engine's staged
+    /// variant) when each partial reaches the publication frontier; channel
+    /// counters account the streamed rows, so work counters are untouched
+    /// here. A `false` from the sink (receiver gone / token tripped) just
+    /// stops publishing — the cooperative cancel checkpoint unwinds the
+    /// query itself.
+    pub fn flush_rows_to(&mut self, sink: &StreamSink) {
+        if !self.plain_rows.is_empty() {
+            sink.send_rows(&mut self.plain_rows);
+        }
+    }
+
+    /// Publishes buffered rows to the attached sink, if any (the sequential
+    /// in-loop flush; parallel forks have no sink and buffer until the
+    /// ordered gather publishes them).
+    #[inline]
+    fn flush_streamed(&mut self) {
+        if let Some(sink) = &self.sink {
+            if !self.plain_rows.is_empty() {
+                sink.send_rows(&mut self.plain_rows);
+            }
+        }
     }
 
     /// Disables the OrderBy+Take fusion (used by ablation benchmarks and by
@@ -1135,6 +1203,10 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
             self.work.scanned_row();
             if self.consumed_rows.is_multiple_of(CANCEL_CHECK_ROWS as u64) {
                 mrq_common::cancel::checkpoint();
+                // Streamed sequential runs publish at the same cadence the
+                // cancel checkpoints use, so first-row latency is bounded by
+                // one checkpoint interval, not by the scan length.
+                self.flush_streamed();
             }
             rows[0] = r;
             {
@@ -1152,6 +1224,7 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
             }
             self.probe_level(root, 0, &mut rows);
         }
+        self.flush_streamed();
     }
 
     /// A copy of this state that shares no mutable data with the original.
@@ -1177,6 +1250,8 @@ impl<'a, T: TableAccess> ExecState<'a, T> {
             // Forks start from zero so merged totals count every unit of
             // work exactly once — the base keeps the build-phase counters.
             work: WorkStats::default(),
+            // Workers buffer; only the ordered gather publishes.
+            sink: None,
         }
     }
 
@@ -1593,20 +1668,40 @@ pub fn consume_partitioned<'a, T: TableAccess + Sync>(
     // and the probe scan (the scan itself then checks between morsels; the
     // single-range path below runs uninterrupted — documented granularity).
     mrq_common::cancel::checkpoint();
+    // Streaming: this runs on the thread driving the query (the one the
+    // serving layer installed the stream scope on), so read the sink here,
+    // once — workers and forks never consult the thread-local.
+    if base.sink.is_none() {
+        if let Some(sink) = mrq_common::stream::current() {
+            base.attach_stream_sink(sink);
+        }
+    }
     let (ranges, stealing) = morsel::plan(root.len(), config);
     if ranges.len() <= 1 {
         base.consume(root);
         return base.finish();
     }
+    // Streaming: the sink moves from the base to the ordered gather, so
+    // forks run sink-free (buffering their morsel's rows) and publication
+    // happens only at the in-order frontier — the row sequence the consumer
+    // sees is exactly the sequential merge order.
+    let sink = base.take_sink();
     let worker = |_: usize, range: Range<usize>| {
         let mut state = base.fork();
         state.consume_range(root, range);
         state
     };
-    let partials = if stealing {
-        morsel::steal(&ranges, config.threads, worker)
+    let max_workers = if stealing {
+        config.threads
     } else {
-        morsel::scatter(&ranges, worker)
+        ranges.len()
+    };
+    let partials = match &sink {
+        Some(sink) => morsel::run_ordered(&ranges, max_workers, worker, |_, partial| {
+            partial.flush_rows_to(sink)
+        }),
+        None if stealing => morsel::steal(&ranges, max_workers, worker),
+        None => morsel::scatter(&ranges, worker),
     };
     for partial in partials {
         base.merge(partial);
@@ -1616,6 +1711,11 @@ pub fn consume_partitioned<'a, T: TableAccess + Sync>(
 
 /// Convenience wrapper: executes a spec in one shot over fully materialised
 /// tables. `tables[0]` is the root, `tables[1..]` follow `spec.joins` order.
+///
+/// Runs on the thread driving the query, so if the serving layer installed
+/// a stream scope ([`mrq_common::stream`]) and the shape is streamable,
+/// rows are published incrementally at checkpoint cadence; everything not
+/// yet published comes back in the returned output as the residual.
 pub fn execute_once<T: TableAccess>(
     spec: &QuerySpec,
     params: &[Value],
@@ -1624,6 +1724,9 @@ pub fn execute_once<T: TableAccess>(
 ) -> Result<QueryOutput> {
     let builds = tables[1..].to_vec();
     let mut state = ExecState::new(spec, params, builds, slot_schemas)?;
+    if let Some(sink) = mrq_common::stream::current() {
+        state.attach_stream_sink(sink);
+    }
     state.consume(tables[0]);
     Ok(state.finish())
 }

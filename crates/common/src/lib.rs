@@ -19,6 +19,9 @@
 //! * the query-lifecycle controls layered on both: cooperative [`cancel`]
 //!   tokens with lazy deadlines, and [`qos`] classes scheduled by weighted
 //!   deficit round-robin over per-class ticket queues,
+//! * the bounded in-order [`stream`] channel streamed queries publish row
+//!   batches through (deterministic re-chunking, backpressure, and the
+//!   [`stream::WakerSlot`] async latch shared with `mrq-core`'s futures),
 //! * the sharded concurrent LRU [`plancache`] the provider layer keys
 //!   compiled plans by, with atomic hit/miss/eviction counters,
 //! * the robustness layer under the serving core: [`admission`] gates
@@ -43,6 +46,7 @@ pub mod pool;
 pub mod profile;
 pub mod qos;
 pub mod schema;
+pub mod stream;
 pub mod trace;
 pub mod value;
 pub mod workcount;
@@ -54,5 +58,6 @@ pub use error::{panic_message, MrqError, Result};
 pub use morsel::ParallelConfig;
 pub use qos::{QosClass, QosWeights};
 pub use schema::{Field, Schema};
+pub use stream::{RowBatch, StreamReceiver, StreamSink, WakerSlot};
 pub use value::{DataType, Value};
 pub use workcount::{WorkCounters, WorkStats};

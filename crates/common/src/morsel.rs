@@ -319,6 +319,94 @@ where
         .collect()
 }
 
+/// [`steal`]/[`scatter`] with **incremental in-order publication**: the
+/// same pool fan-out and deterministic slot-table gather, plus a `publish`
+/// callback invoked on every partial *in morsel order, as soon as all
+/// earlier slots have been published* — not at the end of the fan-out.
+/// This is the streaming gather: slot `m` becomes visible the moment slots
+/// `0..m` are done, so a consumer sees the sequential row order while later
+/// morsels still run.
+///
+/// `publish` receives `&mut T` so it can drain the publishable part of the
+/// partial (e.g. materialized rows) and leave the rest for the final merge;
+/// the partials are still returned in morsel order afterwards. The worker
+/// that completes the lowest unpublished slot advances the frontier over
+/// every contiguously completed slot while holding the frontier lock —
+/// meaning a `publish` that blocks (a bounded channel under backpressure)
+/// stalls the frontier and, transitively, every worker that finishes its
+/// morsel meanwhile: that is the intended backpressure path, and it stays
+/// cancellable because channel sends re-check the query's token.
+///
+/// With zero/one ranges or one worker this publishes inline on the calling
+/// thread between morsels, pool untouched — the sequential shape.
+pub fn run_ordered<T, F, P>(
+    ranges: &[Range<usize>],
+    max_workers: usize,
+    worker: F,
+    publish: P,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+    P: Fn(usize, &mut T) + Sync,
+{
+    if ranges.len() <= 1 || max_workers <= 1 {
+        return ranges
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                crate::cancel::checkpoint();
+                let mut partial = worker(i, r.clone());
+                publish(i, &mut partial);
+                partial
+            })
+            .collect();
+    }
+    let control = crate::cancel::current();
+    let (class, token) = match &control {
+        Some(control) => (control.class, Some(std::sync::Arc::clone(&control.token))),
+        None => (crate::qos::QosClass::default(), None),
+    };
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        ranges.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    // The publication frontier: index of the first slot not yet published.
+    // Only the holder of this lock publishes, so `publish` calls are
+    // serialized and strictly ascending — the in-order guarantee.
+    let frontier = std::sync::Mutex::new(0usize);
+    crate::pool::WorkerPool::global().run_morsels_as(
+        ranges.len(),
+        max_workers,
+        class,
+        token,
+        &|m| {
+            let partial = worker(m, ranges[m].clone());
+            *slots[m].lock().unwrap_or_else(|e| e.into_inner()) = Some(partial);
+            // Advance the frontier over every contiguously completed slot.
+            // The slot store above happens-before this attempt, so whichever
+            // worker completes the lowest missing slot publishes the run.
+            let mut next = frontier.lock().unwrap_or_else(|e| e.into_inner());
+            while *next < slots.len() {
+                let mut slot = slots[*next].lock().unwrap_or_else(|e| e.into_inner());
+                match slot.as_mut() {
+                    Some(partial) => publish(*next, partial),
+                    None => break,
+                }
+                drop(slot);
+                *next += 1;
+            }
+        },
+    );
+    crate::cancel::checkpoint();
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every morsel produced exactly one partial")
+        })
+        .collect()
+}
+
 /// Convenience composition of [`plan`] with [`steal`]/[`scatter`]: splits
 /// `0..total` per `config`, fans the morsels out (stealing or static), and
 /// returns the partials in morsel order.
@@ -508,6 +596,37 @@ mod tests {
             assert_eq!(starts, sorted);
             let sum: usize = partials.iter().map(|(_, _, s)| s).sum();
             assert_eq!(sum, (0..total).sum::<usize>(), "total = {total}");
+        }
+    }
+
+    #[test]
+    fn run_ordered_publishes_every_slot_in_ascending_order() {
+        for workers in [1usize, 2, 4, 8] {
+            let ranges: Vec<Range<usize>> = (0..9).map(|i| i * 13..(i + 1) * 13).collect();
+            let published = std::sync::Mutex::new(Vec::new());
+            let partials = run_ordered(
+                &ranges,
+                workers,
+                |m, range| (m, range.sum::<usize>()),
+                |m, partial: &mut (usize, usize)| {
+                    // Drain the publishable half; the final gather must still
+                    // see the partial (with the drained part zeroed).
+                    let sum = std::mem::take(&mut partial.1);
+                    published
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((m, sum));
+                },
+            );
+            let published = published.into_inner().unwrap_or_else(|e| e.into_inner());
+            let order: Vec<usize> = published.iter().map(|(m, _)| *m).collect();
+            assert_eq!(order, (0..9).collect::<Vec<_>>(), "workers = {workers}");
+            let total: usize = published.iter().map(|(_, s)| *s).sum();
+            assert_eq!(total, (0..9 * 13).sum::<usize>());
+            for (pos, (m, drained)) in partials.iter().enumerate() {
+                assert_eq!(pos, *m, "slot-table order preserved");
+                assert_eq!(*drained, 0, "publish drained each partial once");
+            }
         }
     }
 

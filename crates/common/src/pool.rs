@@ -90,6 +90,17 @@
 //! the same self-draining argument applies, so nesting jobs inside tasks
 //! cannot deadlock regardless of pool size.
 //!
+//! ## Streaming backpressure
+//!
+//! A streamed query's morsel runner ([`crate::morsel::run_ordered`]) may
+//! *block inside a morsel* while publishing rows to a full bounded channel
+//! ([`crate::stream`]). From the pool's perspective that is just a long
+//! morsel: the worker is held, the job's ticket is not requeued until the
+//! morsel ends, and sibling jobs keep dispatching on the remaining workers
+//! under the usual WDRR fairness — a lagging consumer slows its own query,
+//! not the pool. The wait itself re-checks the query's [`CancelToken`] on
+//! a short tick, so cancellation and deadlines still cut through.
+//!
 //! ## Lifecycle
 //!
 //! [`WorkerPool::global`] lazily initialises the shared process-wide pool;

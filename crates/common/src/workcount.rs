@@ -5,9 +5,9 @@
 //! alternative (in the spirit of callgrind-style instruction counting):
 //! every fused loop increments a small set of [`WorkCounters`] — rows
 //! scanned, hash-build inserts, probe lookups, key comparisons, rows
-//! materialized, morsels executed, staging copies — and the per-worker
-//! counters aggregate per query into the [`WorkStats`] surfaced on the
-//! final query output.
+//! materialized, morsels executed, staging copies, batches/rows streamed —
+//! and the per-worker counters aggregate per query into the [`WorkStats`]
+//! surfaced on the final query output.
 //!
 //! # Determinism contract
 //!
@@ -51,6 +51,14 @@ pub struct WorkCounters {
     pub morsels_executed: u64,
     /// Rows copied into hybrid staging buffers (§6 staging cost).
     pub staging_copies: u64,
+    /// Row batches published through a streamed query's channel (the final
+    /// short batch counts). Partition-invariant: batches are re-chunked
+    /// from the total ordered row sequence by [`crate::stream`], so the
+    /// count depends only on rows and `stream_batch_rows`, not scheduling.
+    pub batches_streamed: u64,
+    /// Rows published through a streamed query's channel (streamed prefix;
+    /// rows returned as the residual `QueryOutput` are not counted here).
+    pub rows_streamed: u64,
 }
 
 /// The aggregated per-query view of [`WorkCounters`] (same representation;
@@ -68,6 +76,8 @@ impl WorkCounters {
             rows_materialized: 0,
             morsels_executed: 0,
             staging_copies: 0,
+            batches_streamed: 0,
+            rows_streamed: 0,
         }
     }
 
@@ -122,6 +132,14 @@ impl WorkCounters {
         self.staging_copies += n;
     }
 
+    /// Records a streamed query's channel totals: `batches` published
+    /// batches carrying `rows` rows (folded in once, at stream close).
+    #[inline]
+    pub fn streamed(&mut self, batches: u64, rows: u64) {
+        self.batches_streamed += batches;
+        self.rows_streamed += rows;
+    }
+
     /// Folds another counter set into this one (parallel merge).
     pub fn add(&mut self, other: &WorkCounters) {
         self.rows_scanned += other.rows_scanned;
@@ -131,6 +149,8 @@ impl WorkCounters {
         self.rows_materialized += other.rows_materialized;
         self.morsels_executed += other.morsels_executed;
         self.staging_copies += other.staging_copies;
+        self.batches_streamed += other.batches_streamed;
+        self.rows_streamed += other.rows_streamed;
     }
 
     /// This counter set with the partitioning-dependent counter
@@ -157,7 +177,7 @@ impl WorkCounters {
     /// The counters as stable `(name, value)` pairs, in declaration order —
     /// the counted bench mode and tests iterate these so metric names stay
     /// in one place.
-    pub fn as_pairs(&self) -> [(&'static str, u64); 7] {
+    pub fn as_pairs(&self) -> [(&'static str, u64); 9] {
         [
             ("rows_scanned", self.rows_scanned),
             ("build_inserts", self.build_inserts),
@@ -166,6 +186,8 @@ impl WorkCounters {
             ("rows_materialized", self.rows_materialized),
             ("morsels_executed", self.morsels_executed),
             ("staging_copies", self.staging_copies),
+            ("batches_streamed", self.batches_streamed),
+            ("rows_streamed", self.rows_streamed),
         ]
     }
 }
@@ -183,6 +205,7 @@ mod tests {
         a.materialized_row();
         a.executed_morsel();
         a.staged_rows(5);
+        a.streamed(2, 7);
         let mut b = a;
         b.add(&a);
         for ((name, doubled), (_, single)) in b.as_pairs().iter().zip(a.as_pairs().iter()) {
@@ -197,9 +220,14 @@ mod tests {
         w.scanned_rows(10);
         w.executed_morsel();
         w.executed_morsel();
+        w.streamed(1, 10);
         let inv = w.partition_invariant();
         assert_eq!(inv.morsels_executed, 0);
         assert_eq!(inv.rows_scanned, 10);
+        // Streaming counters are re-chunked from the total row sequence,
+        // so they survive the partition-invariant projection.
+        assert_eq!(inv.batches_streamed, 1);
+        assert_eq!(inv.rows_streamed, 10);
         assert!(!w.is_zero());
         assert!(WorkCounters::new().is_zero());
     }
@@ -213,8 +241,9 @@ mod tests {
         w.materialized_row();
         w.executed_morsel();
         w.staged_rows(6);
-        // 1 + 2 + 1 + 4 + 1 + 1 + 6: if a field were missing from
+        w.streamed(2, 7);
+        // 1 + 2 + 1 + 4 + 1 + 1 + 6 + 2 + 7: if a field were missing from
         // `as_pairs` (or double-counted) the total would not match.
-        assert_eq!(w.total(), 16);
+        assert_eq!(w.total(), 25);
     }
 }

@@ -20,7 +20,7 @@
 
 use mrq_codegen::exec::QueryOutput;
 use mrq_common::cancel::CancelToken;
-use mrq_common::Result;
+use mrq_common::{Result, WakerSlot};
 use std::future::Future;
 use std::marker::PhantomData;
 use std::pin::Pin;
@@ -42,8 +42,9 @@ struct QuerySlot {
     result: Option<Result<QueryOutput>>,
     /// The waker of the most recent `poll`, if any. Completion takes and
     /// wakes it exactly once; re-polling before completion replaces it
-    /// (the latest poll's waker wins, per the `Future` contract).
-    waker: Option<Waker>,
+    /// (the latest poll's waker wins, per the `Future` contract). The same
+    /// [`WakerSlot`] type backs the stream channel's per-batch wakes.
+    waker: WakerSlot,
 }
 
 impl QueryState {
@@ -52,7 +53,7 @@ impl QueryState {
             slot: Mutex::new(QuerySlot {
                 finished: false,
                 result: None,
-                waker: None,
+                waker: WakerSlot::new(),
             }),
             done: Condvar::new(),
         })
@@ -66,7 +67,7 @@ impl QueryState {
             slot: Mutex::new(QuerySlot {
                 finished: true,
                 result: Some(result),
-                waker: None,
+                waker: WakerSlot::new(),
             }),
             done: Condvar::new(),
         })
@@ -145,19 +146,17 @@ impl QueryState {
                     .expect("a QueryFuture must not be polled after it returned Ready"),
             );
         }
-        // Re-registration across polls: keep an equivalent waker, replace a
-        // stale one (an executor may migrate the task between polls).
-        match &mut slot.waker {
-            Some(existing) if existing.will_wake(waker) => {}
-            entry => *entry = Some(waker.clone()),
-        }
+        // Re-registration across polls: the slot keeps an equivalent waker,
+        // replaces a stale one (an executor may migrate the task between
+        // polls).
+        slot.waker.register(waker);
         Poll::Pending
     }
 
     /// Drops any registered waker (called when a future is dropped before
     /// completion, so the completing task does not wake a dead task slot).
     fn clear_waker(&self) {
-        self.lock().waker = None;
+        self.lock().waker.clear();
     }
 }
 

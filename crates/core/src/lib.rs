@@ -60,6 +60,7 @@ use mrq_codegen::exec::{QueryOutput, TableAccess, ValueTable};
 use mrq_codegen::spec::{lower, Catalog, QuerySpec};
 use mrq_common::cancel::{self, CancelReason, CancelToken, JobControl};
 use mrq_common::pool::WorkerPool;
+use mrq_common::stream::{StreamReceiver, StreamSink};
 use mrq_common::{fault, panic_message, AdmissionGate};
 use mrq_common::{MrqError, Result, Schema, Value, WorkStats};
 use mrq_engine_csharp::HeapTable;
@@ -80,10 +81,16 @@ mod future;
 mod owned;
 mod prepared;
 pub mod recycle;
+pub mod stream;
 
 pub use future::QueryFuture;
 pub use owned::OwnedProvider;
 pub use prepared::{OwnedPreparedQuery, PlanCache, PlanKey, PreparedQuery};
+pub use stream::QueryStream;
+
+/// The row-batch payload type [`QueryStream`] yields, re-exported from
+/// [`mrq_common::stream`].
+pub use mrq_common::stream::RowBatch;
 
 /// Sizing knobs and counter snapshots of the shared [`PlanCache`],
 /// re-exported from [`mrq_common::plancache`] under serving-layer names.
@@ -122,15 +129,26 @@ pub enum Strategy {
     Hybrid(HybridConfig),
 }
 
-/// Per-query lifecycle options for [`Provider::submit_with`]: an optional
-/// deadline and the QoS class the query's pool tickets are scheduled under.
+/// Per-query options for every submission front end —
+/// [`Provider::submit`] / [`Provider::submit_async`] /
+/// [`Provider::submit_stream`] and their prepared and owned mirrors: an
+/// optional deadline, the QoS class the query's pool tickets are scheduled
+/// under, and the streamed-batch size.
 ///
-/// The default is no deadline and [`QosClass::Interactive`] — exactly what
-/// [`Provider::submit`] uses.
-#[derive(Debug, Clone, Copy, Default)]
+/// # Defaults (documented here, nowhere else)
+///
+/// [`QueryOptions::default`] (= [`QueryOptions::new`]) is:
+///
+/// * `deadline: None` — no wall-clock budget,
+/// * `class: QosClass::Interactive` — the highest-weight serving class,
+/// * `stream_batch_rows:` [`mrq_common::stream::default_batch_rows`] — the
+///   `MRQ_STREAM_BATCH_ROWS` environment override if set to a positive
+///   integer, else [`mrq_common::stream::DEFAULT_BATCH_ROWS`] (4096, the
+///   cancel-checkpoint cadence). Only streamed submissions consult it.
+#[derive(Debug, Clone, Copy)]
 pub struct QueryOptions {
     /// Wall-clock budget measured from submission — queue time counts
-    /// against it. The deadline is *armed* in `submit_with` (no timer
+    /// against it. The deadline is *armed* at submission (no timer
     /// thread) and observed lazily at morsel boundaries; a budget of zero
     /// always resolves the handle to [`QueryError::DeadlineExceeded`]
     /// before a single morsel runs.
@@ -140,10 +158,25 @@ pub struct QueryOptions {
     /// via [`mrq_common::pool::WorkerPool::set_weights`]; see
     /// `docs/CONCURRENCY.md`).
     pub class: QosClass,
+    /// Rows per batch in a [`Provider::submit_stream`] channel (clamped to
+    /// at least 1). Smaller batches lower time-to-first-row and tighten
+    /// backpressure; larger batches amortize channel hand-offs. Ignored by
+    /// non-streamed submissions.
+    pub stream_batch_rows: usize,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            deadline: None,
+            class: QosClass::default(),
+            stream_batch_rows: mrq_common::stream::default_batch_rows(),
+        }
+    }
 }
 
 impl QueryOptions {
-    /// The defaults: no deadline, [`QosClass::Interactive`].
+    /// The defaults — see the [struct docs](QueryOptions#defaults-documented-here-nowhere-else).
     pub fn new() -> Self {
         QueryOptions::default()
     }
@@ -169,6 +202,14 @@ impl QueryOptions {
     /// The same options with an explicit scheduling class.
     pub fn with_class(mut self, class: QosClass) -> Self {
         self.class = class;
+        self
+    }
+
+    /// The same options with an explicit streamed-batch size (rows per
+    /// [`QueryStream`] batch; values below 1 are clamped to 1 at channel
+    /// creation).
+    pub fn with_stream_batch_rows(mut self, rows: usize) -> Self {
+        self.stream_batch_rows = rows;
         self
     }
 }
@@ -382,8 +423,8 @@ impl<'a> Provider<'a> {
     }
 
     /// Bounds concurrent submissions with an [`AdmissionConfig`]: once the
-    /// limit for a QoS class is reached, further `submit`/`submit_with`/
-    /// `submit_async` calls (and their prepared/owned counterparts) of
+    /// limit for a QoS class is reached, further `submit`/`submit_async`/
+    /// `submit_stream` calls (and their prepared/owned counterparts) of
     /// that class resolve immediately to [`QueryError::Overloaded`] — no
     /// task is spawned, nothing is compiled, and no plan-cache traffic
     /// happens for the shed statement. Shedding is QoS-aware: Maintenance
@@ -699,7 +740,11 @@ impl<'a> Provider<'a> {
         params: &[Value],
         strategy: Strategy,
     ) -> Result<QueryOutput> {
-        if !self.recycling {
+        // A streamed execution bypasses result recycling entirely: its
+        // output rows are drained into the channel as they are produced, so
+        // caching the residual would poison the cache with a partial result,
+        // and serving a cache hit would stream nothing.
+        if !self.recycling || mrq_common::stream::current().is_some() {
             return self.execute_compiled(spec, params, strategy);
         }
         let key = self.result_key(shape_hash, params, spec)?;
@@ -751,49 +796,25 @@ impl<'a> Provider<'a> {
     /// Results are identical to calling [`Provider::execute`] with the same
     /// statement and strategy.
     ///
+    /// `options` carries the per-query lifecycle controls ([`QueryOptions`]
+    /// — pass `QueryOptions::default()` for none); the same signature shape
+    /// is mirrored on [`OwnedProvider`], [`PreparedQuery`] and
+    /// [`OwnedPreparedQuery`], and by the async ([`Provider::submit_async`])
+    /// and streaming ([`Provider::submit_stream`]) front ends.
+    ///
     /// The handle borrows the provider: dropping it without joining blocks
     /// until the query finished, so in-flight work never outlives the
     /// provider or its bound collections.
     ///
-    /// # Examples
-    ///
-    /// ```
-    /// use mrq_common::{DataType, Field, Schema, Value};
-    /// use mrq_core::{Provider, Strategy};
-    /// use mrq_engine_native::RowStore;
-    /// use mrq_expr::{col, lam, lit, BinaryOp, Expr, Query, SourceId};
-    ///
-    /// let schema = Schema::new("N", vec![Field::new("n", DataType::Int64)]);
-    /// let rows: Vec<Vec<Value>> = (0..100).map(|i| vec![Value::Int64(i)]).collect();
-    /// let store = RowStore::from_rows(schema, &rows);
-    /// let mut provider = Provider::new();
-    /// provider.bind_native(SourceId(0), &store);
-    /// let stmt = Query::from_source(SourceId(0))
-    ///     .where_(lam("x", Expr::binary(BinaryOp::Lt, col("x", "n"), lit(10i64))))
-    ///     .select(lam("x", col("x", "n")))
-    ///     .into_expr();
-    ///
-    /// // Queue two instances; join them in either order.
-    /// let a = provider.submit(stmt.clone(), Strategy::CompiledNative);
-    /// let b = provider.submit(stmt, Strategy::CompiledNative);
-    /// assert_eq!(b.join()?.rows.len(), 10);
-    /// assert_eq!(a.join()?.rows.len(), 10);
-    /// # Ok::<(), mrq_common::MrqError>(())
-    /// ```
-    pub fn submit(&self, expr: Expr, strategy: Strategy) -> QueryHandle<'_> {
-        self.submit_with(expr, strategy, QueryOptions::default())
-    }
-
-    /// [`Provider::submit`] with per-query lifecycle control: a deadline
-    /// and/or a QoS scheduling class ([`QueryOptions`]).
+    /// # Deadlines and scheduling class
     ///
     /// A deadline is armed *at submission* as a wall-clock instant on the
     /// query's cancel token — queue time counts against the budget — and
     /// observed *lazily* — between morsels, never inside one — so there is
     /// no timer thread and cancellation latency is bounded by one morsel
     /// ([`ParallelConfig::morsel_rows`] rows). A query whose deadline
-    /// already passed when its task is granted (a zero
-    /// budget, or queue time that exceeded the budget) resolves to
+    /// already passed when its task is granted (a zero budget, or queue
+    /// time that exceeded the budget) resolves to
     /// [`QueryError::DeadlineExceeded`] without compiling or executing
     /// anything.
     ///
@@ -808,7 +829,7 @@ impl<'a> Provider<'a> {
     ///
     /// ```
     /// use mrq_common::{DataType, Field, Schema, Value};
-    /// use mrq_core::{Provider, QosClass, QueryError, QueryOptions, Strategy};
+    /// use mrq_core::{Provider, QueryError, QueryOptions, Strategy};
     /// use mrq_engine_native::RowStore;
     /// use mrq_expr::{col, lam, lit, BinaryOp, Expr, Query, SourceId};
     /// use std::time::Duration;
@@ -823,24 +844,25 @@ impl<'a> Provider<'a> {
     ///     .select(lam("x", col("x", "n")))
     ///     .into_expr();
     ///
+    /// // Queue two instances; join them in either order.
+    /// let a = provider.submit(stmt.clone(), Strategy::CompiledNative, QueryOptions::default());
+    /// let b = provider.submit(stmt.clone(), Strategy::CompiledNative, QueryOptions::default());
+    /// assert_eq!(b.join()?.rows.len(), 10);
+    /// assert_eq!(a.join()?.rows.len(), 10);
+    ///
     /// // Batch class with a generous budget: completes normally.
     /// let opts = QueryOptions::batch().with_deadline(Duration::from_secs(60));
-    /// let handle = provider.submit_with(stmt.clone(), Strategy::CompiledNative, opts);
+    /// let handle = provider.submit(stmt.clone(), Strategy::CompiledNative, opts);
     /// assert_eq!(handle.join()?.rows.len(), 10);
     ///
     /// // A zero budget is already expired at dispatch: the handle resolves
     /// // to DeadlineExceeded before a single morsel runs.
     /// let doomed = QueryOptions::new().with_deadline(Duration::ZERO);
-    /// let handle = provider.submit_with(stmt, Strategy::CompiledNative, doomed);
+    /// let handle = provider.submit(stmt, Strategy::CompiledNative, doomed);
     /// assert!(matches!(handle.join(), Err(QueryError::DeadlineExceeded)));
     /// # Ok::<(), mrq_common::MrqError>(())
     /// ```
-    pub fn submit_with(
-        &self,
-        expr: Expr,
-        strategy: Strategy,
-        options: QueryOptions,
-    ) -> QueryHandle<'_> {
+    pub fn submit(&self, expr: Expr, strategy: Strategy, options: QueryOptions) -> QueryHandle<'_> {
         let (state, token) = self.spawn_submitted(Job::Statement(expr), strategy, options);
         QueryHandle {
             state,
@@ -849,9 +871,25 @@ impl<'a> Provider<'a> {
         }
     }
 
+    /// Deprecated spelling of [`Provider::submit`] from before the
+    /// submission API took [`QueryOptions`] everywhere; kept for one
+    /// release.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `submit(expr, strategy, options)` instead"
+    )]
+    pub fn submit_with(
+        &self,
+        expr: Expr,
+        strategy: Strategy,
+        options: QueryOptions,
+    ) -> QueryHandle<'_> {
+        self.submit(expr, strategy, options)
+    }
+
     /// Queues a statement for execution on the persistent worker pool and
     /// returns a [`QueryFuture`]: the async counterpart of
-    /// [`Provider::submit_with`], for waker-driven serving.
+    /// [`Provider::submit`], for waker-driven serving.
     ///
     /// The future registers its caller's [`std::task::Waker`] on the
     /// query's completion latch each time it is polled and is woken exactly
@@ -915,6 +953,66 @@ impl<'a> Provider<'a> {
         QueryFuture::new(state, token, None)
     }
 
+    /// Queues a statement and returns a [`QueryStream`] that yields its
+    /// result as in-order row batches *while the query executes*, instead
+    /// of one materialised [`QueryOutput`] at the end.
+    ///
+    /// Batches arrive in exactly the order [`Provider::execute`] would
+    /// return the rows — the engines publish completed morsels at an
+    /// ordered frontier, so concatenating every batch reproduces the
+    /// materialised result bit for bit, for every strategy and scheduler
+    /// configuration. Batch size is [`QueryOptions::stream_batch_rows`];
+    /// the channel holds a bounded number of batches, so a consumer that
+    /// stops reading exerts backpressure (workers pause at their next
+    /// checkpoint) rather than letting results pile up in memory.
+    ///
+    /// Shapes whose output cannot exist before the end of execution —
+    /// grouped aggregation, sorted or Take-limited results, hybrid
+    /// Min/Max-transfer — still work: they deliver everything as one final
+    /// flush at completion, with the same contents.
+    ///
+    /// Dropping the stream cancels the query through its
+    /// [`CancelToken`] and waits for it to unwind — the streaming analogue
+    /// of [`QueryHandle`]'s drop-wait — so in-flight work never outlives
+    /// the provider's bindings.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mrq_common::{DataType, Field, Schema, Value};
+    /// use mrq_core::{Provider, QueryOptions, Strategy};
+    /// use mrq_engine_native::RowStore;
+    /// use mrq_expr::{col, lam, lit, BinaryOp, Expr, Query, SourceId};
+    ///
+    /// let schema = Schema::new("N", vec![Field::new("n", DataType::Int64)]);
+    /// let rows: Vec<Vec<Value>> = (0..100).map(|i| vec![Value::Int64(i)]).collect();
+    /// let store = RowStore::from_rows(schema, &rows);
+    /// let mut provider = Provider::new();
+    /// provider.bind_native(SourceId(0), &store);
+    /// let stmt = Query::from_source(SourceId(0))
+    ///     .where_(lam("x", Expr::binary(BinaryOp::Lt, col("x", "n"), lit(10i64))))
+    ///     .select(lam("x", col("x", "n")))
+    ///     .into_expr();
+    ///
+    /// let options = QueryOptions::default().with_stream_batch_rows(4);
+    /// let stream = provider.submit_stream(stmt, Strategy::CompiledNative, options);
+    /// let mut total = 0;
+    /// for batch in stream {
+    ///     total += batch?.len();
+    /// }
+    /// assert_eq!(total, 10);
+    /// # Ok::<(), mrq_common::MrqError>(())
+    /// ```
+    pub fn submit_stream(
+        &self,
+        expr: Expr,
+        strategy: Strategy,
+        options: QueryOptions,
+    ) -> QueryStream<'_> {
+        let (state, token, receiver) = self.spawn_streamed(Job::Statement(expr), strategy, options);
+        QueryStream::new(state, token, receiver, None)
+    }
+
     /// Arms a submission's cancel token (deadline measured from now — queue
     /// time counts against the budget; `checked_add` saturates absurd
     /// budgets to "no deadline" instead of panicking) and pairs it with the
@@ -940,11 +1038,16 @@ impl<'a> Provider<'a> {
     /// their lifecycle errors and engine panics into [`MrqError::Internal`]
     /// — a panicking query must still complete its latch, or a joining
     /// client (or registered waker) would wait forever.
+    ///
+    /// When `sink` is set the query runs inside a stream scope: streamable
+    /// shapes publish row batches through it while executing, and the
+    /// returned [`QueryOutput`] holds only the unpublished residual rows.
     fn run_submitted(
         &self,
         control: &JobControl,
         job: Job,
         strategy: Strategy,
+        sink: Option<&StreamSink>,
     ) -> Result<QueryOutput> {
         if let Some(reason) = control.token.check() {
             // Cancelled or expired while queued: resolve the handle
@@ -956,13 +1059,19 @@ impl<'a> Provider<'a> {
         // at the query boundary.
         match catch_unwind(AssertUnwindSafe(|| {
             fault::point("pool.dispatch")?;
-            cancel::scope(control.clone(), || match job {
-                Job::Statement(expr) => self.execute(expr, strategy),
-                Job::Prepared {
-                    shape_hash,
-                    plan,
-                    params,
-                } => self.execute_plan(shape_hash, &plan.spec, &params, strategy),
+            cancel::scope(control.clone(), || {
+                let run = || match job {
+                    Job::Statement(expr) => self.execute(expr, strategy),
+                    Job::Prepared {
+                        shape_hash,
+                        plan,
+                        params,
+                    } => self.execute_plan(shape_hash, &plan.spec, &params, strategy),
+                };
+                match sink {
+                    Some(sink) => mrq_common::stream::scope(sink.clone(), run),
+                    None => run(),
+                }
             })
         })) {
             Ok(result) => result,
@@ -985,21 +1094,26 @@ impl<'a> Provider<'a> {
 
     /// The admission check shared by the borrowed and owned spawn paths:
     /// `Ok` takes a slot the finished task must release; `Err` is the
-    /// pre-completed state a shed submission's handle/future resolves to.
-    /// Runs before [`Provider::arm`], before any compilation, and before
-    /// any cache traffic — shedding must stay cheap under exactly the
-    /// load that makes it necessary.
+    /// [`QueryError::Overloaded`] error a shed submission's handle, future
+    /// or stream resolves to (each caller packages it — a pre-completed
+    /// state, a closed channel — without queueing any task). Runs before
+    /// [`Provider::arm`], before any compilation, and before any cache
+    /// traffic — shedding must stay cheap under exactly the load that
+    /// makes it necessary.
     pub(crate) fn admit_submission(
         &self,
         options: &QueryOptions,
-    ) -> std::result::Result<(), (Arc<QueryState>, Arc<CancelToken>)> {
-        match self.admission.try_admit(options.class) {
-            Ok(()) => Ok(()),
-            Err(overloaded) => Err((
-                QueryState::completed(Err(overloaded)),
-                Arc::new(CancelToken::new()),
-            )),
-        }
+    ) -> std::result::Result<(), MrqError> {
+        self.admission.try_admit(options.class)
+    }
+
+    /// Packages an admission rejection as the pre-completed latch + inert
+    /// token a shed handle or future resolves from.
+    pub(crate) fn shed(error: MrqError) -> (Arc<QueryState>, Arc<CancelToken>) {
+        (
+            QueryState::completed(Err(error)),
+            Arc::new(CancelToken::new()),
+        )
     }
 
     /// Releases the admission slot taken by [`Provider::admit_submission`]
@@ -1008,7 +1122,7 @@ impl<'a> Provider<'a> {
         self.admission.release();
     }
 
-    /// The borrowed spawn path shared by [`Provider::submit_with`] and
+    /// The borrowed spawn path shared by [`Provider::submit`] and
     /// [`Provider::submit_async`]: queues the task and returns the
     /// completion latch + token the handle or future wraps. Over the
     /// admission limits, no task is queued at all — the returned state is
@@ -1019,8 +1133,8 @@ impl<'a> Provider<'a> {
         strategy: Strategy,
         options: QueryOptions,
     ) -> (Arc<QueryState>, Arc<CancelToken>) {
-        if let Err(shed) = self.admit_submission(&options) {
-            return shed;
+        if let Err(error) = self.admit_submission(&options) {
+            return Self::shed(error);
         }
         let (token, control) = Self::arm(&options);
         let state = QueryState::new();
@@ -1028,7 +1142,7 @@ impl<'a> Provider<'a> {
         self.in_flight.increment();
         let in_flight = Arc::clone(&self.in_flight);
         let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-            let result = self.run_submitted(&control, job, strategy);
+            let result = self.run_submitted(&control, job, strategy, None);
             completion.complete(result);
             // Release the admission slot before the in-flight decrement:
             // once the count hits zero `Provider::drop` may return and the
@@ -1046,6 +1160,77 @@ impl<'a> Provider<'a> {
         let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
         WorkerPool::global().spawn_as(options.class, task);
         (state, token)
+    }
+
+    /// Finishes one streamed query: sends the residual rows the engine did
+    /// not publish while executing, folds the channel's batch/row tallies
+    /// into the output's [`WorkCounters`] (and this provider's work stats —
+    /// [`Provider::record_work`] already ran inside `execute` *without*
+    /// them, because the channel owns those counts until the stream
+    /// closes), and closes the channel — with the query's error, if any,
+    /// delivered after every batch published before the failure.
+    fn finish_stream(&self, sink: &StreamSink, result: Result<QueryOutput>) -> Result<QueryOutput> {
+        let mut result = result;
+        if let Ok(out) = &mut result {
+            let mut residual = std::mem::take(&mut out.rows);
+            sink.send_rows(&mut residual);
+        }
+        let error = result.as_ref().err().cloned();
+        sink.close(error);
+        let (batches, rows) = sink.counters();
+        if let Ok(out) = &mut result {
+            out.work.streamed(batches, rows);
+            self.record_stream_work(batches, rows);
+        }
+        result
+    }
+
+    /// Folds a finished stream's channel tallies into both work-stat
+    /// registers (last + cumulative), which were recorded pre-close without
+    /// them.
+    fn record_stream_work(&self, batches: u64, rows: u64) {
+        let mut tally = self.work.lock();
+        tally.last.streamed(batches, rows);
+        tally.cumulative.streamed(batches, rows);
+    }
+
+    /// The borrowed spawn path behind [`Provider::submit_stream`]: like
+    /// [`Provider::spawn_submitted`] but the task runs inside a stream
+    /// scope wired to a bounded channel, and the receiver half is returned
+    /// for the [`QueryStream`] to drain.
+    fn spawn_streamed(
+        &self,
+        job: Job,
+        strategy: Strategy,
+        options: QueryOptions,
+    ) -> (Arc<QueryState>, Arc<CancelToken>, StreamReceiver) {
+        if let Err(error) = self.admit_submission(&options) {
+            let (state, token) = Self::shed(error.clone());
+            let (sink, receiver) = mrq_common::stream::channel(1, Arc::clone(&token));
+            sink.close(Some(error));
+            return (state, token, receiver);
+        }
+        let (token, control) = Self::arm(&options);
+        let (sink, receiver) =
+            mrq_common::stream::channel(options.stream_batch_rows, Arc::clone(&token));
+        let state = QueryState::new();
+        let completion = Arc::clone(&state);
+        self.in_flight.increment();
+        let in_flight = Arc::clone(&self.in_flight);
+        let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            let result = self.run_submitted(&control, job, strategy, Some(&sink));
+            let result = self.finish_stream(&sink, result);
+            completion.complete(result);
+            // Same release-before-decrement ordering as `spawn_submitted`.
+            self.release_submission();
+            in_flight.decrement();
+        });
+        // SAFETY (lifetime erasure): identical to `spawn_submitted` — the
+        // `QueryStream`'s `Drop` cancels and waits on the completion latch,
+        // and `Provider::drop` waits for the in-flight count regardless.
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+        WorkerPool::global().spawn_as(options.class, task);
+        (state, token, receiver)
     }
 
     /// The recycling identity of one statement instance: canonical shape,
@@ -1229,8 +1414,8 @@ impl DeferredQuery<'_> {
     }
 }
 
-/// A query queued on the worker pool by [`Provider::submit`] /
-/// [`Provider::submit_with`].
+/// A query queued on the worker pool by [`Provider::submit`] and its
+/// prepared/owned counterparts.
 ///
 /// The handle borrows the provider for as long as it lives, which is what
 /// lets the queued task safely reference the provider and its bound
@@ -1266,7 +1451,7 @@ impl<'p> QueryHandle<'p> {
     ///
     /// ```
     /// use mrq_common::{DataType, Field, Schema, Value};
-    /// use mrq_core::{Provider, QueryError, Strategy};
+    /// use mrq_core::{Provider, QueryError, QueryOptions, Strategy};
     /// use mrq_engine_native::RowStore;
     /// use mrq_expr::{col, lam, lit, BinaryOp, Expr, Query, SourceId};
     ///
@@ -1280,7 +1465,7 @@ impl<'p> QueryHandle<'p> {
     ///     .select(lam("x", col("x", "n")))
     ///     .into_expr();
     ///
-    /// let handle = provider.submit(stmt, Strategy::CompiledNative);
+    /// let handle = provider.submit(stmt, Strategy::CompiledNative, QueryOptions::default());
     /// handle.cancel(); // cooperative: takes effect at the next boundary
     /// match handle.join() {
     ///     // The query won the race and completed before the cancel landed.
@@ -1641,10 +1826,18 @@ mod tests {
         let reference = provider
             .execute(statement("London"), Strategy::CompiledCSharp)
             .unwrap();
-        let handle = provider.submit(statement("London"), Strategy::CompiledCSharp);
+        let handle = provider.submit(
+            statement("London"),
+            Strategy::CompiledCSharp,
+            QueryOptions::default(),
+        );
         assert_eq!(handle.join().unwrap(), reference);
         // Polling: try_join either completes or hands the handle back.
-        let mut pending = provider.submit(statement("Paris"), Strategy::CompiledCSharp);
+        let mut pending = provider.submit(
+            statement("Paris"),
+            Strategy::CompiledCSharp,
+            QueryOptions::default(),
+        );
         let out = loop {
             match pending.try_join() {
                 Ok(result) => break result.unwrap(),
@@ -1664,7 +1857,11 @@ mod tests {
         provider.bind_managed(SourceId(0), list, schema());
         // Native strategy over a managed binding is an error; it must travel
         // through the pool to the joining client, not panic a worker.
-        let handle = provider.submit(statement("London"), Strategy::CompiledNative);
+        let handle = provider.submit(
+            statement("London"),
+            Strategy::CompiledNative,
+            QueryOptions::default(),
+        );
         assert!(matches!(
             handle.join().unwrap_err(),
             MrqError::Unsupported(_)
@@ -1677,7 +1874,7 @@ mod tests {
         let mut provider = Provider::over_heap(&heap);
         provider.bind_managed(SourceId(0), list, schema());
         let options = QueryOptions::new().with_deadline(Duration::ZERO);
-        let handle = provider.submit_with(statement("London"), Strategy::CompiledCSharp, options);
+        let handle = provider.submit(statement("London"), Strategy::CompiledCSharp, options);
         assert!(matches!(handle.join(), Err(MrqError::DeadlineExceeded)));
         // The expired query was resolved at dispatch: it never reached the
         // compiler, let alone a morsel.
@@ -1696,7 +1893,7 @@ mod tests {
             .unwrap();
         let options = QueryOptions::batch().with_deadline(Duration::from_secs(600));
         assert_eq!(options.class, QosClass::Batch);
-        let handle = provider.submit_with(statement("London"), Strategy::CompiledCSharp, options);
+        let handle = provider.submit(statement("London"), Strategy::CompiledCSharp, options);
         assert_eq!(handle.join().unwrap(), reference);
     }
 
@@ -1705,7 +1902,11 @@ mod tests {
         let (heap, list) = heap_with_data();
         let mut provider = Provider::over_heap(&heap);
         provider.bind_managed(SourceId(0), list, schema());
-        let handle = provider.submit(statement("Paris"), Strategy::CompiledCSharp);
+        let handle = provider.submit(
+            statement("Paris"),
+            Strategy::CompiledCSharp,
+            QueryOptions::default(),
+        );
         // Wait for completion, then cancel: the completed result stands.
         while !handle.is_finished() {
             std::thread::yield_now();
@@ -1722,7 +1923,11 @@ mod tests {
         // Leak the handle: its drop-wait never runs, so the only thing
         // keeping the pool task from outliving the provider is the
         // provider's own in-flight wait on drop.
-        std::mem::forget(provider.submit(statement("London"), Strategy::CompiledCSharp));
+        std::mem::forget(provider.submit(
+            statement("London"),
+            Strategy::CompiledCSharp,
+            QueryOptions::default(),
+        ));
         drop(provider); // must block until the leaked query finished
     }
 
@@ -1735,7 +1940,11 @@ mod tests {
             // Dropping without joining blocks until done; the provider (and
             // heap) must outlive the in-flight query, which this exercises
             // under miri-visible rules by dropping immediately.
-            let _ = provider.submit(statement("London"), Strategy::CompiledCSharp);
+            let _ = provider.submit(
+                statement("London"),
+                Strategy::CompiledCSharp,
+                QueryOptions::default(),
+            );
         }
         let stats = provider.stats();
         assert_eq!(stats.cache_misses, 1, "pattern compiled once, then cached");

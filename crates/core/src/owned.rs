@@ -20,9 +20,13 @@
 //! sealed — the escape hatch is compile-time-gated, not runtime-checked.
 
 use crate::future::{QueryFuture, QueryState};
-use crate::{Job, Provider, QueryOptions, Strategy};
+use crate::stream::QueryStream;
+use crate::{Job, Provider, QueryHandle, QueryOptions, Strategy};
+use mrq_common::cancel::CancelToken;
 use mrq_common::pool::WorkerPool;
+use mrq_common::stream::StreamReceiver;
 use mrq_expr::Expr;
+use std::marker::PhantomData;
 use std::ops::Deref;
 use std::sync::Arc;
 
@@ -103,6 +107,28 @@ pub struct OwnedProvider {
 
 impl OwnedProvider {
     /// Queues a statement on the worker pool and returns a `'static`
+    /// [`QueryHandle`] that can escape this scope entirely.
+    ///
+    /// Same unified signature as [`Provider::submit`] and identical
+    /// semantics, except the spawned task carries its own provider clone —
+    /// so the handle can cross threads and outlive the sealing scope.
+    /// Dropping the handle without joining still blocks until the query
+    /// finished, like every `QueryHandle`.
+    pub fn submit(
+        &self,
+        expr: Expr,
+        strategy: Strategy,
+        options: QueryOptions,
+    ) -> QueryHandle<'static> {
+        let (state, token) = self.spawn_owned_parts(Job::Statement(expr), strategy, options);
+        QueryHandle {
+            state,
+            token,
+            _provider: PhantomData,
+        }
+    }
+
+    /// Queues a statement on the worker pool and returns a `'static`
     /// [`QueryFuture`] that can escape this scope entirely.
     ///
     /// Semantics match [`Provider::submit_async`] — same waker lifecycle,
@@ -122,6 +148,24 @@ impl OwnedProvider {
         self.spawn_owned(Job::Statement(expr), strategy, options)
     }
 
+    /// Queues a statement and returns a `'static` [`QueryStream`] of
+    /// in-order row batches, the owned counterpart of
+    /// [`Provider::submit_stream`] — same ordered-frontier publication,
+    /// deterministic batching and backpressure, but the stream can cross
+    /// threads, and dropping it mid-way cancels the query *without
+    /// blocking*: the task holds its own provider clone and unwinds in the
+    /// background.
+    pub fn submit_stream(
+        &self,
+        expr: Expr,
+        strategy: Strategy,
+        options: QueryOptions,
+    ) -> QueryStream<'static> {
+        let (state, token, receiver) =
+            self.spawn_streamed_owned(Job::Statement(expr), strategy, options);
+        QueryStream::new(state, token, receiver, Some(Arc::clone(&self.inner)))
+    }
+
     /// The owned spawn path shared by [`OwnedProvider::submit_async`] and
     /// [`crate::OwnedPreparedQuery::submit_async`]: the spawned task carries
     /// its own provider clone, so the returned future is `'static` and its
@@ -132,11 +176,24 @@ impl OwnedProvider {
         strategy: Strategy,
         options: QueryOptions,
     ) -> QueryFuture<'static> {
+        let (state, token) = self.spawn_owned_parts(job, strategy, options);
+        QueryFuture::new(state, token, Some(Arc::clone(&self.inner)))
+    }
+
+    /// The owned spawn machinery behind [`OwnedProvider::submit`] and
+    /// [`OwnedProvider::spawn_owned`]: latch + token, with the task keeping
+    /// its own provider clone alive.
+    pub(crate) fn spawn_owned_parts(
+        &self,
+        job: Job,
+        strategy: Strategy,
+        options: QueryOptions,
+    ) -> (Arc<QueryState>, Arc<CancelToken>) {
         // Admission first, like the borrowed path: a shed submission
-        // spawns no task and compiles nothing — the future is already
+        // spawns no task and compiles nothing — the latch is already
         // resolved to `Overloaded`.
-        if let Err((state, token)) = self.inner.admit_submission(&options) {
-            return QueryFuture::new(state, token, Some(Arc::clone(&self.inner)));
+        if let Err(error) = self.inner.admit_submission(&options) {
+            return Provider::shed(error);
         }
         let (token, control) = Provider::arm(&options);
         let state = QueryState::new();
@@ -144,7 +201,7 @@ impl OwnedProvider {
         let provider = Arc::clone(&self.inner);
         provider.in_flight_guard().increment();
         let task: Box<dyn FnOnce() + Send + 'static> = Box::new(move || {
-            let result = provider.run_submitted(&control, job, strategy);
+            let result = provider.run_submitted(&control, job, strategy, None);
             completion.complete(result);
             provider.release_submission();
             // Decrement before `provider` (this closure's own keep-alive
@@ -154,12 +211,55 @@ impl OwnedProvider {
             provider.in_flight_guard().decrement();
         });
         WorkerPool::global().spawn_as(options.class, task);
-        QueryFuture::new(state, token, Some(Arc::clone(&self.inner)))
+        (state, token)
+    }
+
+    /// The owned streaming spawn path shared by
+    /// [`OwnedProvider::submit_stream`] and
+    /// [`crate::OwnedPreparedQuery::submit_stream`]: like
+    /// [`OwnedProvider::spawn_owned_parts`] but the task runs inside a
+    /// stream scope wired to a bounded channel.
+    pub(crate) fn spawn_streamed_owned(
+        &self,
+        job: Job,
+        strategy: Strategy,
+        options: QueryOptions,
+    ) -> (Arc<QueryState>, Arc<CancelToken>, StreamReceiver) {
+        if let Err(error) = self.inner.admit_submission(&options) {
+            let (state, token) = Provider::shed(error.clone());
+            let (sink, receiver) = mrq_common::stream::channel(1, Arc::clone(&token));
+            sink.close(Some(error));
+            return (state, token, receiver);
+        }
+        let (token, control) = Provider::arm(&options);
+        let (sink, receiver) =
+            mrq_common::stream::channel(options.stream_batch_rows, Arc::clone(&token));
+        let state = QueryState::new();
+        let completion = Arc::clone(&state);
+        let provider = Arc::clone(&self.inner);
+        provider.in_flight_guard().increment();
+        let task: Box<dyn FnOnce() + Send + 'static> = Box::new(move || {
+            let result = provider.run_submitted(&control, job, strategy, Some(&sink));
+            let result = provider.finish_stream(&sink, result);
+            completion.complete(result);
+            provider.release_submission();
+            // Same decrement-before-clone-drop ordering as
+            // `spawn_owned_parts`.
+            provider.in_flight_guard().decrement();
+        });
+        WorkerPool::global().spawn_as(options.class, task);
+        (state, token, receiver)
     }
 
     /// The sealed provider itself (also reachable through `Deref`).
     pub fn provider(&self) -> &Provider<'static> {
         &self.inner
+    }
+
+    /// A clone of the keep-alive `Arc` — what an owned stream or future
+    /// stores to mark itself non-blocking on drop.
+    pub(crate) fn shared_arc(&self) -> Arc<Provider<'static>> {
+        Arc::clone(&self.inner)
     }
 }
 
@@ -180,6 +280,8 @@ fn _assert_owned_provider_is_send_sync() {
     assert_both::<OwnedProvider>();
     fn assert_send<T: Send>() {}
     assert_send::<QueryFuture<'static>>();
+    assert_send::<QueryStream<'static>>();
     fn assert_unpin<T: Unpin>() {}
     assert_unpin::<QueryFuture<'static>>();
+    assert_unpin::<QueryStream<'static>>();
 }

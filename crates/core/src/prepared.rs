@@ -16,8 +16,9 @@
 //!   `MRQ_PLAN_CACHE_SHARDS` / `MRQ_PLAN_CACHE_CAP`);
 //! * the returned [`PreparedQuery`] executes the plan with caller-supplied
 //!   bindings — blocking ([`PreparedQuery::execute`]), queued on the worker
-//!   pool ([`PreparedQuery::submit`]) or as a waker-driven future
-//!   ([`PreparedQuery::submit_async`]) — under exactly the same
+//!   pool ([`PreparedQuery::submit`]), as a waker-driven future
+//!   ([`PreparedQuery::submit_async`]) or as an incremental batch stream
+//!   ([`PreparedQuery::submit_stream`]) — under exactly the same
 //!   [`QueryOptions`] lifecycle (cancel, deadline, QoS class) as ad-hoc
 //!   submission;
 //! * [`OwnedProvider::prepare`] is the `'static` counterpart for sealed
@@ -29,6 +30,7 @@
 //! asserts this for every strategy × scheduler shape.
 
 use crate::future::QueryFuture;
+use crate::stream::QueryStream;
 use crate::{
     CompiledQuery, Job, OwnedProvider, Provider, ProviderCatalog, QueryHandle, QueryOptions,
     Strategy,
@@ -200,15 +202,15 @@ impl<'a> Provider<'a> {
 /// plan reads is an error, not a panic — every engine checks arity before
 /// touching a slot.
 ///
-/// All three front ends accept bindings:
+/// All four front ends accept bindings:
 /// [`execute`](PreparedQuery::execute) runs on the calling thread;
-/// [`submit`](PreparedQuery::submit) /
-/// [`submit_with`](PreparedQuery::submit_with) queue on the worker pool and
-/// return a [`QueryHandle`]; [`submit_async`](PreparedQuery::submit_async)
-/// returns a [`QueryFuture`]. The submitted paths skip compilation on the
-/// worker — the plan rides along — but are otherwise identical to ad-hoc
-/// submission, including [`QueryOptions`] deadlines, cancellation and QoS
-/// classes.
+/// [`submit`](PreparedQuery::submit) queues on the worker pool and returns
+/// a [`QueryHandle`]; [`submit_async`](PreparedQuery::submit_async) returns
+/// a [`QueryFuture`]; [`submit_stream`](PreparedQuery::submit_stream)
+/// returns a [`QueryStream`] of in-order row batches. The submitted paths
+/// skip compilation on the worker — the plan rides along — but are
+/// otherwise identical to ad-hoc submission, including [`QueryOptions`]
+/// deadlines, cancellation and QoS classes.
 pub struct PreparedQuery<'p, 'a> {
     provider: &'p Provider<'a>,
     plan: Arc<CompiledQuery>,
@@ -282,18 +284,12 @@ impl<'p, 'a> PreparedQuery<'p, 'a> {
         )
     }
 
-    /// Queues one execution with the given bindings on the worker pool
-    /// (default [`QueryOptions`]) and returns immediately with a
-    /// [`QueryHandle`].
-    pub fn submit(&self, bindings: &[Value]) -> QueryHandle<'p> {
-        self.submit_with(bindings, QueryOptions::default())
-    }
-
-    /// [`PreparedQuery::submit`] with explicit lifecycle options: deadline
-    /// armed at submission, QoS class routing — identical semantics to
-    /// [`Provider::submit_with`], minus the compilation (the plan rides
-    /// along with the task).
-    pub fn submit_with(&self, bindings: &[Value], options: QueryOptions) -> QueryHandle<'p> {
+    /// Queues one execution with the given bindings on the worker pool and
+    /// returns immediately with a [`QueryHandle`] — identical semantics to
+    /// [`Provider::submit`] (deadline armed at submission, QoS class
+    /// routing), minus the compilation (the plan rides along with the
+    /// task). Pass `QueryOptions::default()` for no lifecycle controls.
+    pub fn submit(&self, bindings: &[Value], options: QueryOptions) -> QueryHandle<'p> {
         let (state, token) =
             self.provider
                 .spawn_submitted(self.job(bindings), self.strategy, options);
@@ -304,15 +300,36 @@ impl<'p, 'a> PreparedQuery<'p, 'a> {
         }
     }
 
+    /// Deprecated spelling of [`PreparedQuery::submit`] from before the
+    /// submission API took [`QueryOptions`] everywhere; kept for one
+    /// release.
+    #[deprecated(since = "0.9.0", note = "use `submit(bindings, options)` instead")]
+    pub fn submit_with(&self, bindings: &[Value], options: QueryOptions) -> QueryHandle<'p> {
+        self.submit(bindings, options)
+    }
+
     /// Queues one execution with the given bindings and returns a
     /// waker-driven [`QueryFuture`] — the async counterpart of
-    /// [`PreparedQuery::submit_with`], matching [`Provider::submit_async`]'s
+    /// [`PreparedQuery::submit`], matching [`Provider::submit_async`]'s
     /// lifecycle exactly.
     pub fn submit_async(&self, bindings: &[Value], options: QueryOptions) -> QueryFuture<'p> {
         let (state, token) =
             self.provider
                 .spawn_submitted(self.job(bindings), self.strategy, options);
         QueryFuture::new(state, token, None)
+    }
+
+    /// Queues one execution with the given bindings and returns a
+    /// [`QueryStream`] of in-order row batches — the prepared counterpart
+    /// of [`Provider::submit_stream`], with the same ordered-frontier
+    /// publication, deterministic batching and backpressure. Note that a
+    /// streamed execution bypasses result recycling (its rows leave through
+    /// the channel, so there is no complete output to cache or recycle).
+    pub fn submit_stream(&self, bindings: &[Value], options: QueryOptions) -> QueryStream<'p> {
+        let (state, token, receiver) =
+            self.provider
+                .spawn_streamed(self.job(bindings), self.strategy, options);
+        QueryStream::new(state, token, receiver, None)
     }
 }
 
@@ -367,6 +384,21 @@ impl OwnedPreparedQuery {
         self.strategy
     }
 
+    /// The job one submission carries: the shared plan plus the caller's
+    /// bindings (or the prepare-time defaults for an empty slice).
+    fn job(&self, bindings: &[Value]) -> Job {
+        let params = if bindings.is_empty() {
+            self.defaults.clone()
+        } else {
+            bindings.to_vec()
+        };
+        Job::Prepared {
+            shape_hash: self.shape_hash,
+            plan: Arc::clone(&self.plan),
+            params,
+        }
+    }
+
     /// Executes the prepared plan with the given bindings on the calling
     /// thread.
     pub fn execute(&self, bindings: &[Value]) -> Result<QueryOutput> {
@@ -384,20 +416,38 @@ impl OwnedPreparedQuery {
     }
 
     /// Queues one execution with the given bindings and returns a `'static`
+    /// [`QueryHandle`] — the prepared counterpart of
+    /// [`OwnedProvider::submit`], with the same unified
+    /// `(bindings, options)` signature as [`PreparedQuery::submit`].
+    pub fn submit(&self, bindings: &[Value], options: QueryOptions) -> QueryHandle<'static> {
+        let (state, token) =
+            self.provider
+                .spawn_owned_parts(self.job(bindings), self.strategy, options);
+        QueryHandle {
+            state,
+            token,
+            _provider: PhantomData,
+        }
+    }
+
+    /// Queues one execution with the given bindings and returns a `'static`
     /// [`QueryFuture`] that can escape this scope entirely — the prepared
     /// counterpart of [`OwnedProvider::submit_async`], with the same
     /// non-blocking-drop semantics.
     pub fn submit_async(&self, bindings: &[Value], options: QueryOptions) -> QueryFuture<'static> {
-        let params = if bindings.is_empty() {
-            self.defaults.clone()
-        } else {
-            bindings.to_vec()
-        };
-        let job = Job::Prepared {
-            shape_hash: self.shape_hash,
-            plan: Arc::clone(&self.plan),
-            params,
-        };
-        self.provider.spawn_owned(job, self.strategy, options)
+        self.provider
+            .spawn_owned(self.job(bindings), self.strategy, options)
+    }
+
+    /// Queues one execution with the given bindings and returns a `'static`
+    /// [`QueryStream`] of in-order row batches — the prepared counterpart
+    /// of [`OwnedProvider::submit_stream`]: dropping it mid-way cancels the
+    /// query without blocking, because the task keeps its own provider
+    /// clone alive.
+    pub fn submit_stream(&self, bindings: &[Value], options: QueryOptions) -> QueryStream<'static> {
+        let (state, token, receiver) =
+            self.provider
+                .spawn_streamed_owned(self.job(bindings), self.strategy, options);
+        QueryStream::new(state, token, receiver, Some(self.provider.shared_arc()))
     }
 }

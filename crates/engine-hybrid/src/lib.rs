@@ -438,6 +438,17 @@ pub fn execute(
     })?;
     state.record_work(&staging_work);
 
+    // Streaming: attach the serving layer's sink (if any) for incremental
+    // publication while later morsels still stage. Min-transfer native rows
+    // are `__idx_*` heap handles, not final output rows — they must be
+    // rebuilt from the managed collections after the native pass — so Min
+    // mode always delivers through the stream's residual output instead.
+    if !min_mode {
+        if let Some(sink) = mrq_common::stream::current() {
+            state.attach_stream_sink(sink);
+        }
+    }
+
     let root = tables[0];
     let root_staging = &slots[0];
     let phase = native_phase(spec);
@@ -530,15 +541,27 @@ pub fn execute(
         // built once above and are shared behind an `Arc`. Partial states
         // merge in morsel order, so result row order matches the sequential
         // path exactly.
+        // Streaming: the sink moves from the base state to the ordered
+        // gather (forks never inherit it), so each shard's rows publish the
+        // moment every earlier morsel has published — the same in-order
+        // frontier the merge below reproduces.
+        let sink = state.take_sink();
         let work = |_: usize, range: std::ops::Range<usize>| {
             let mut worker_state = state.fork();
             let run = run_range(&mut worker_state, range);
             (worker_state, run)
         };
-        let partials = if stealing {
-            morsel::steal(&ranges, config.parallel.threads, work)
+        let max_workers = if stealing {
+            config.parallel.threads
         } else {
-            morsel::scatter(&ranges, work)
+            ranges.len()
+        };
+        let partials = match &sink {
+            Some(sink) => morsel::run_ordered(&ranges, max_workers, work, |_, partial| {
+                partial.0.flush_rows_to(sink)
+            }),
+            None if stealing => morsel::steal(&ranges, max_workers, work),
+            None => morsel::scatter(&ranges, work),
         };
         // Per-phase wall-clock is estimated as the slowest single morsel or
         // the ideal per-worker share of the total, whichever is larger (the

@@ -321,17 +321,39 @@ pub fn execute<T: TableAccess>(
             })
             .collect()
     } else {
-        pipe.map(|item| {
+        // Streamable shape (no sort, no Take, no hidden columns): when the
+        // serving layer installed a stream scope, publish the collected rows
+        // at the same cadence the source's cancel checkpoints use, so the
+        // baseline bounds first-row latency exactly like the compiled
+        // engines. Blocking shapes below keep buffering; their full result
+        // ships as the stream's residual.
+        let sink = if spec.sort.is_empty() && take.is_none() && spec.hidden_outputs == 0 {
+            mrq_common::stream::current()
+        } else {
+            None
+        };
+        let mut out: Vec<Vec<Value>> = Vec::new();
+        for item in pipe {
             rows_materialized.set(rows_materialized.get() + 1);
-            spec.output
-                .iter()
-                .map(|(_, o)| match o {
-                    OutputExpr::Scalar(e) => eval(e, tables, &item, params),
-                    _ => unreachable!("non-grouped query"),
-                })
-                .collect()
-        })
-        .collect()
+            out.push(
+                spec.output
+                    .iter()
+                    .map(|(_, o)| match o {
+                        OutputExpr::Scalar(e) => eval(e, tables, &item, params),
+                        _ => unreachable!("non-grouped query"),
+                    })
+                    .collect(),
+            );
+            if let Some(sink) = &sink {
+                if out.len() >= mrq_common::cancel::CHECK_EVERY_ROWS {
+                    sink.send_rows(&mut out);
+                }
+            }
+        }
+        if let Some(sink) = &sink {
+            sink.send_rows(&mut out);
+        }
+        out
     };
 
     // OrderBy sorts the full result, even under Take (§2.3).
@@ -367,7 +389,9 @@ pub fn execute<T: TableAccess>(
             rows_materialized: rows_materialized.get(),
             // The baseline is one single-threaded pass — never partitioned.
             morsels_executed: 1,
-            staging_copies: 0,
+            // Streamed batch/row totals are folded in by the serving layer
+            // from the channel's own counters at stream close.
+            ..WorkCounters::default()
         },
     })
 }

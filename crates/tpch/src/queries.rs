@@ -217,6 +217,32 @@ pub fn aggregation_micro(cutoff: Date, num_aggregates: usize) -> Expr {
         .into_expr()
 }
 
+/// A streamable scan: filter `lineitem` by ship date and project the same
+/// columns as [`sort_micro`], with no grouping, sort or take. Rows can leave
+/// the engine as soon as their morsel completes at the ordered frontier, so
+/// this is the workload the streaming tests and the first-row-latency bench
+/// share.
+pub fn scan_micro(cutoff: Date) -> Expr {
+    Query::from_source(SRC_LINEITEM)
+        .where_(lam(
+            "l",
+            Expr::binary(BinaryOp::Le, col("l", "l_shipdate"), lit(cutoff)),
+        ))
+        .select(lam(
+            "l",
+            Expr::Constructor {
+                name: "ScanRow".into(),
+                fields: vec![
+                    ("l_orderkey".into(), col("l", "l_orderkey")),
+                    ("l_extendedprice".into(), col("l", "l_extendedprice")),
+                    ("l_quantity".into(), col("l", "l_quantity")),
+                    ("l_shipdate".into(), col("l", "l_shipdate")),
+                ],
+            },
+        ))
+        .into_expr()
+}
+
 /// The sorting micro-benchmark of §7.2: filter `lineitem` by ship date and
 /// sort by `l_extendedprice`. The projection keeps the columns the paper's
 /// result objects carry.

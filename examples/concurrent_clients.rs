@@ -9,7 +9,7 @@
 //! client saw results bit-identical to a sequential run. A closing section
 //! demonstrates the lifecycle controls: a zero deadline firing at
 //! dispatch, cooperative cancellation, and a Batch-class submission
-//! (`Provider::submit_with` / `QueryHandle::cancel`).
+//! (`QueryOptions` / `QueryHandle::cancel`).
 //!
 //! Run with `cargo run --release --example concurrent_clients`.
 //! Knobs: `MRQ_SF` (scale factor, default 0.01), `MRQ_CLIENTS` (default 8),
@@ -84,7 +84,11 @@ fn main() {
                         let (name, workload) = &workloads[(client + q) % workloads.len()];
                         let start = Instant::now();
                         let out = provider
-                            .submit(workload.clone(), Strategy::CompiledNative)
+                            .submit(
+                                workload.clone(),
+                                Strategy::CompiledNative,
+                                QueryOptions::default(),
+                            )
                             .join()
                             .expect("submitted query");
                         latencies.push(start.elapsed());
@@ -132,7 +136,7 @@ fn main() {
 
     // A zero budget is already expired at dispatch: the handle resolves to
     // DeadlineExceeded before a single morsel runs.
-    let doomed = provider.submit_with(
+    let doomed = provider.submit(
         queries::q1(),
         Strategy::CompiledNative,
         QueryOptions::new().with_deadline(Duration::ZERO),
@@ -142,7 +146,11 @@ fn main() {
     // Cancellation is cooperative: the query abandons its remaining
     // morsels at the next boundary (or never starts, if the cancel lands
     // while it is still queued).
-    let victim = provider.submit(queries::q1(), Strategy::CompiledNative);
+    let victim = provider.submit(
+        queries::q1(),
+        Strategy::CompiledNative,
+        QueryOptions::default(),
+    );
     victim.cancel();
     match victim.join() {
         Err(err) => println!("  cancelled query    -> {err:?}"),
@@ -151,7 +159,7 @@ fn main() {
 
     // Batch-class work keeps flowing, de-weighted 4× against Interactive
     // tickets; a generous deadline completes normally.
-    let batch = provider.submit_with(
+    let batch = provider.submit(
         queries::q1(),
         Strategy::CompiledNative,
         QueryOptions::batch().with_deadline(Duration::from_secs(60)),

@@ -13,7 +13,11 @@
 #     queries/sec of a single client (concurrent-serving gate), and
 #   * for every compiled strategy, executing a prepared plan from the plan
 #     cache must be at least MIN_AMORTIZATION x cheaper per execution than
-#     recompiling the statement each time (plan-cache amortization gate).
+#     recompiling the statement each time (plan-cache amortization gate), and
+#   * on a large streamable scan, the time to the first streamed batch
+#     (QueryStream TTFR) must be below MAX_TTFR_RATIO x the time to the
+#     full materialised result (TTLR) — enforced on every host, since
+#     streaming's head start needs no extra cores to express.
 #
 # The benches run INTERLEAVED: BENCH_ROUNDS round-robin passes over the
 # bench list in cargo-harness order, so every round runs every bench (all
@@ -36,6 +40,7 @@
 #        BENCH_ROUNDS     interleaved round-robin passes (default 2)
 #        MIN_SPEEDUP      enforced 8-thread/8-client speedup (default 2.0)
 #        MIN_AMORTIZATION enforced compile-each/prepared-once ratio (default 1.02)
+#        MAX_TTFR_RATIO   enforced first-batch/full-result ceiling (default 0.5)
 #        ENFORCE_SPEEDUP  1 = always enforce, 0 = never, unset = auto
 #                         (enforce only when >= 8 CPUs are available)
 #        BENCH_JSON       artifact path (default BENCH_smoke.json)
@@ -47,7 +52,7 @@ BENCH_JSON="${BENCH_JSON:-BENCH_smoke.json}"
 ROUNDS="${BENCH_ROUNDS:-2}"
 
 # The smoke benches, in the cargo-harness order every round replays.
-BENCHES=(ablation_parallel fig11_join concurrent_serving prepared_amortization)
+BENCHES=(ablation_parallel fig11_join concurrent_serving prepared_amortization first_row_latency)
 
 # ---------------------------------------------------------------------------
 # Parsing helpers. Bench lines look like (criterion shim; real criterion
@@ -258,7 +263,7 @@ EOF
         run_interleaved "$seqdir" > /dev/null
     )
     check "round-robin order" "$(paste -sd' ' "$seqdir/sequence")" \
-        "ablation_parallel fig11_join concurrent_serving prepared_amortization ablation_parallel fig11_join concurrent_serving prepared_amortization"
+        "ablation_parallel fig11_join concurrent_serving prepared_amortization first_row_latency ablation_parallel fig11_join concurrent_serving prepared_amortization first_row_latency"
     check "per-bench file holds every round" "$(grep -c "ran fig11_join" "$seqdir/fig11_join.out")" "2"
     # Counted-artifact validation: a well-formed counted JSON passes; float
     # values, duplicate names and wall-clock artifacts are rejected.
@@ -309,6 +314,7 @@ OUT="$OUTDIR/ablation_parallel.out"
 JOIN_OUT="$OUTDIR/fig11_join.out"
 SERVE_OUT="$OUTDIR/concurrent_serving.out"
 AMORT_OUT="$OUTDIR/prepared_amortization.out"
+TTFR_OUT="$OUTDIR/first_row_latency.out"
 
 # Every benchmark line must have produced a time in every round — a bench
 # that silently stopped reporting is bitrot even when it exits 0.
@@ -332,10 +338,15 @@ if [ "$AMORT_LINES" -lt $((8 * ROUNDS)) ]; then
     echo "bench-smoke: FAIL — expected >=$((8 * ROUNDS)) prepared-amortization reports, got $AMORT_LINES" >&2
     exit 1
 fi
-echo "bench-smoke: $LINES + $JOIN_LINES + $SERVE_LINES + $AMORT_LINES benchmark points reported over $ROUNDS round(s)"
+TTFR_LINES=$(grep -c "time:" "$TTFR_OUT" || true)
+if [ "$TTFR_LINES" -lt $((2 * ROUNDS)) ]; then
+    echo "bench-smoke: FAIL — expected >=$((2 * ROUNDS)) first-row-latency reports, got $TTFR_LINES" >&2
+    exit 1
+fi
+echo "bench-smoke: $LINES + $JOIN_LINES + $SERVE_LINES + $AMORT_LINES + $TTFR_LINES benchmark points reported over $ROUNDS round(s)"
 
 # Perf-trajectory artifact: per-benchmark median ns + host thread count.
-emit_bench_json "$BENCH_JSON" "$OUT" "$JOIN_OUT" "$SERVE_OUT" "$AMORT_OUT"
+emit_bench_json "$BENCH_JSON" "$OUT" "$JOIN_OUT" "$SERVE_OUT" "$AMORT_OUT" "$TTFR_OUT"
 echo "bench-smoke: wrote $(grep -c '^    "' "$BENCH_JSON") medians to $BENCH_JSON"
 
 # Speedup enforcement (à la tonic's bench-enforce): compare the min time of
@@ -442,5 +453,34 @@ gate_amortization "$AMORT_OUT" "prepared_amortization/native_prepared_once" \
     "prepared_amortization/native_compile_each" "compiled native"
 gate_amortization "$AMORT_OUT" "prepared_amortization/hybrid_prepared_once" \
     "prepared_amortization/hybrid_compile_each" "hybrid"
+
+# Streaming first-row gate: the first streamed batch of a large scan must
+# arrive well before the materialised result would. Unlike the speedup
+# gates this needs no extra cores — the stream's head start comes from
+# incremental publication, not parallelism — so it is enforced everywhere.
+MAX_TTFR="${MAX_TTFR_RATIO:-0.5}"
+
+# gate_ttfr <file> <first-batch-point> <full-result-point> <label>
+gate_ttfr() {
+    local file="$1" first="$2" full="$3" label="$4"
+    local tf tl ratio pass
+    tf=$(min_ms "$file" "$first")
+    tl=$(min_ms "$file" "$full")
+    if [ -z "${tf:-}" ] || [ -z "${tl:-}" ]; then
+        echo "bench-smoke: FAIL — $label TTFR/TTLR points missing from output" >&2
+        exit 1
+    fi
+    ratio=$(awk -v a="$tf" -v b="$tl" 'BEGIN { printf "%.3f", a / b }')
+    echo "bench-smoke: $label first-batch/full-result ratio: ${ratio} (TTFR ${tf} ms, TTLR ${tl} ms)"
+    pass=$(awk -v r="$ratio" -v m="$MAX_TTFR" 'BEGIN { print (r < m) ? 1 : 0 }')
+    if [ "$pass" != "1" ]; then
+        echo "bench-smoke: FAIL — $label streamed first batch not ahead of the full result (${ratio} >= ${MAX_TTFR})" >&2
+        exit 1
+    fi
+    echo "bench-smoke: $label first-row gate (< ${MAX_TTFR}) passed"
+}
+
+gate_ttfr "$TTFR_OUT" "first_row_latency/scan_ttfr" \
+    "first_row_latency/scan_ttlr" "streamed scan"
 
 echo "bench-smoke: OK"

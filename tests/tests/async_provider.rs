@@ -440,7 +440,11 @@ fn poll_join_and_handle_paths_agree_on_one_provider() {
     let reference = provider
         .execute(grouped_scan(), Strategy::CompiledNative)
         .unwrap();
-    let handle = provider.submit(grouped_scan(), Strategy::CompiledNative);
+    let handle = provider.submit(
+        grouped_scan(),
+        Strategy::CompiledNative,
+        QueryOptions::default(),
+    );
     let future = provider.submit_async(
         grouped_scan(),
         Strategy::CompiledNative,

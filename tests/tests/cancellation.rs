@@ -1,6 +1,6 @@
 //! Query-lifecycle control through the serving layer: cooperative
-//! cancellation, deadlines and QoS classes (`Provider::submit_with`,
-//! `QueryHandle::cancel`).
+//! cancellation, deadlines and QoS classes (`Provider::submit` with
+//! `QueryOptions`, `QueryHandle::cancel`).
 //!
 //! The contract under test:
 //! * an already-expired deadline resolves the handle at dispatch — the
@@ -108,7 +108,7 @@ fn zero_deadline_always_fires_before_any_morsel() {
     let provider = parallel_provider();
     for _ in 0..4 {
         let options = QueryOptions::new().with_deadline(Duration::ZERO);
-        let handle = provider.submit_with(long_scan(), Strategy::CompiledNative, options);
+        let handle = provider.submit(long_scan(), Strategy::CompiledNative, options);
         assert!(matches!(handle.join(), Err(QueryError::DeadlineExceeded)));
     }
     // Dispatch resolved every expired query before it reached the
@@ -121,7 +121,7 @@ fn zero_deadline_always_fires_before_any_morsel() {
 #[test]
 fn cancel_before_start_resolves_immediately() {
     let provider = parallel_provider();
-    let handle = provider.submit_with(long_scan(), Strategy::CompiledNative, QueryOptions::new());
+    let handle = provider.submit(long_scan(), Strategy::CompiledNative, QueryOptions::new());
     // Issued microseconds after submission: the scan (hundreds of ms of
     // work) cannot have completed, so the only admissible resolution is
     // Cancelled — at dispatch if the task had not started, at the next
@@ -137,8 +137,8 @@ fn cancelled_scan_resolves_cancelled_and_uncancelled_peer_stays_bit_identical() 
     // Queue the victim first, the peer second: the peer's tickets sit
     // behind the victim's, so abandoning the victim is also what frees the
     // pool for the peer.
-    let victim = provider.submit_with(long_scan(), Strategy::CompiledNative, QueryOptions::new());
-    let peer = provider.submit_with(long_scan(), Strategy::CompiledNative, QueryOptions::new());
+    let victim = provider.submit(long_scan(), Strategy::CompiledNative, QueryOptions::new());
+    let peer = provider.submit(long_scan(), Strategy::CompiledNative, QueryOptions::new());
     victim.cancel();
     assert!(matches!(victim.join(), Err(QueryError::Cancelled)));
     let out = peer.join().expect("uncancelled peer completes");
@@ -152,7 +152,7 @@ fn cancel_mid_query_leaves_the_pool_drainable() {
     // Give the victim a head start so the cancel lands mid-execution (if
     // the pool was busy and it never started, the dispatch check covers
     // it — either way the pool must come back clean).
-    let victim = provider.submit_with(long_scan(), Strategy::CompiledNative, QueryOptions::new());
+    let victim = provider.submit(long_scan(), Strategy::CompiledNative, QueryOptions::new());
     while !victim.is_finished() && provider.stats().cache_misses == 0 {
         std::thread::yield_now();
     }
@@ -164,7 +164,11 @@ fn cancel_mid_query_leaves_the_pool_drainable() {
         .expect("execute after cancel");
     assert_eq!(&executed, reference);
     let submitted = provider
-        .submit(long_scan(), Strategy::CompiledNative)
+        .submit(
+            long_scan(),
+            Strategy::CompiledNative,
+            QueryOptions::default(),
+        )
         .join()
         .expect("submit after cancel");
     assert_eq!(&submitted, reference);
@@ -174,8 +178,7 @@ fn cancel_mid_query_leaves_the_pool_drainable() {
 fn dropping_a_cancelled_handle_does_not_deadlock_provider_drop() {
     let provider = parallel_provider();
     for _ in 0..3 {
-        let handle =
-            provider.submit_with(long_scan(), Strategy::CompiledNative, QueryOptions::new());
+        let handle = provider.submit(long_scan(), Strategy::CompiledNative, QueryOptions::new());
         handle.cancel();
         drop(handle); // blocks until the (abandoned) query resolved
     }
@@ -206,7 +209,7 @@ fn intra_morsel_checkpoints_stop_a_giant_morsel_scan() {
         .expect("uncancelled giant-morsel scan");
     let full = full.elapsed();
 
-    let victim = provider.submit_with(long_scan(), Strategy::CompiledNative, QueryOptions::new());
+    let victim = provider.submit(long_scan(), Strategy::CompiledNative, QueryOptions::new());
     // Let it reach execution (compile observed), then cancel mid-morsel.
     while !victim.is_finished() && provider.stats().cache_hits == 0 {
         std::thread::yield_now();
@@ -233,13 +236,12 @@ fn intra_morsel_checkpoints_stop_a_giant_morsel_scan() {
 fn maintenance_class_queries_complete_with_identical_results() {
     let reference = sequential_reference();
     let provider = parallel_provider();
-    let maintenance = provider.submit_with(
+    let maintenance = provider.submit(
         long_scan(),
         Strategy::CompiledNative,
         QueryOptions::maintenance(),
     );
-    let interactive =
-        provider.submit_with(long_scan(), Strategy::CompiledNative, QueryOptions::new());
+    let interactive = provider.submit(long_scan(), Strategy::CompiledNative, QueryOptions::new());
     assert_eq!(&interactive.join().expect("interactive"), reference);
     assert_eq!(&maintenance.join().expect("maintenance"), reference);
 }
@@ -248,12 +250,12 @@ fn maintenance_class_queries_complete_with_identical_results() {
 fn qos_classes_complete_with_identical_results() {
     let reference = sequential_reference();
     let provider = parallel_provider();
-    let batch = provider.submit_with(
+    let batch = provider.submit(
         long_scan(),
         Strategy::CompiledNative,
         QueryOptions::batch().with_deadline(Duration::from_secs(600)),
     );
-    let interactive = provider.submit_with(
+    let interactive = provider.submit(
         long_scan(),
         Strategy::CompiledNative,
         QueryOptions::new().with_class(QosClass::Interactive),
@@ -280,12 +282,16 @@ fn cancellation_reaches_the_interpreted_baseline() {
     }
     let mut provider = Provider::over_heap(&heap);
     provider.bind_managed(SourceId(0), list, schema());
-    let handle = provider.submit_with(long_scan(), Strategy::LinqToObjects, QueryOptions::new());
+    let handle = provider.submit(long_scan(), Strategy::LinqToObjects, QueryOptions::new());
     handle.cancel();
     assert!(matches!(handle.join(), Err(QueryError::Cancelled)));
     // And with no cancel, the same statement completes.
     let out = provider
-        .submit(long_scan(), Strategy::LinqToObjects)
+        .submit(
+            long_scan(),
+            Strategy::LinqToObjects,
+            QueryOptions::default(),
+        )
         .join()
         .expect("uncancelled baseline completes");
     assert_eq!(out.rows.len(), 97);

@@ -101,7 +101,11 @@ fn submitted_native_faults_fail_only_the_victim() {
     for point in ["pool.dispatch", "engine.native.probe", "future.complete"] {
         for action in FAILING {
             fault::arm(point, action, 1);
-            let victim = native.submit(workload.clone(), Strategy::CompiledNative);
+            let victim = native.submit(
+                workload.clone(),
+                Strategy::CompiledNative,
+                QueryOptions::default(),
+            );
             // The peer runs while the fault is live.
             let peer = managed
                 .execute(workload.clone(), Strategy::CompiledCSharp)
@@ -115,7 +119,11 @@ fn submitted_native_faults_fail_only_the_victim() {
             fault::disarm_all();
             // The pool drained and the same provider serves again.
             let retry = native
-                .submit(workload.clone(), Strategy::CompiledNative)
+                .submit(
+                    workload.clone(),
+                    Strategy::CompiledNative,
+                    QueryOptions::default(),
+                )
                 .join()
                 .expect("post-fault retry");
             assert_rows(&native_ref, &retry, &format!("{point}/{action:?}: retry"));
@@ -155,7 +163,7 @@ fn managed_engine_faults_fail_only_the_victim() {
     for (point, victim_strategy, peer_strategy) in cases {
         for action in FAILING {
             fault::arm(point, action, 1);
-            let victim = managed.submit(workload.clone(), victim_strategy);
+            let victim = managed.submit(workload.clone(), victim_strategy, QueryOptions::default());
             let peer = managed
                 .execute(workload.clone(), peer_strategy)
                 .expect("peer survives");
@@ -167,7 +175,7 @@ fn managed_engine_faults_fail_only_the_victim() {
             assert!(error.contains(point), "{point}/{action:?}: {error}");
             fault::disarm_all();
             let retry = managed
-                .submit(workload.clone(), victim_strategy)
+                .submit(workload.clone(), victim_strategy, QueryOptions::default())
                 .join()
                 .expect("post-fault retry");
             assert_rows(&reference, &retry, &format!("{point}/{action:?}: retry"));
@@ -224,7 +232,7 @@ fn pool_worker_panics_during_join_builds_are_contained() {
     let parallel = Strategy::CompiledNativeParallel(par(2));
     for action in FAILING {
         fault::arm("join.build.shard", action, 1);
-        let victim = native.submit(workload.clone(), parallel);
+        let victim = native.submit(workload.clone(), parallel, QueryOptions::default());
         // Sequential peer on the same provider: no parallel shard build.
         let peer = native
             .execute(workload.clone(), Strategy::CompiledNative)
@@ -238,7 +246,7 @@ fn pool_worker_panics_during_join_builds_are_contained() {
         fault::disarm_all();
         // The pool stays serviceable for the same parallel plan.
         let retry = native
-            .submit(workload.clone(), parallel)
+            .submit(workload.clone(), parallel, QueryOptions::default())
             .join()
             .expect("post-panic parallel retry");
         assert_rows(&reference, &retry, &format!("{action:?}: retry"));
@@ -259,7 +267,11 @@ fn delay_faults_never_change_results() {
     fault::arm_spec("pool.dispatch:delay, engine.native.probe:delay, future.complete:delay")
         .expect("benign spec arms");
     let out = native
-        .submit(workload.clone(), Strategy::CompiledNative)
+        .submit(
+            workload.clone(),
+            Strategy::CompiledNative,
+            QueryOptions::default(),
+        )
         .join()
         .expect("delayed query succeeds");
     assert_rows(&reference, &out, "delayed");
@@ -279,7 +291,11 @@ fn disarmed_points_are_invisible() {
         .execute(workload.clone(), Strategy::CompiledNative)
         .expect("reference");
     let out = native
-        .submit(workload.clone(), Strategy::CompiledNative)
+        .submit(
+            workload.clone(),
+            Strategy::CompiledNative,
+            QueryOptions::default(),
+        )
         .join()
         .expect("submitted");
     assert_rows(&reference, &out, "disarmed");
@@ -322,7 +338,7 @@ fn overload_burst_sheds_by_class_with_exact_stats() {
     let mut admitted = Vec::new();
     for (options, outcomes) in burst {
         for expected in outcomes {
-            let handle = native.submit_with(workload.clone(), Strategy::CompiledNative, options);
+            let handle = native.submit(workload.clone(), Strategy::CompiledNative, options);
             match expected {
                 // Shed handles resolve immediately, without blocking.
                 Some((in_flight, limit)) => match handle.try_join() {
@@ -362,7 +378,11 @@ fn overload_burst_sheds_by_class_with_exact_stats() {
     }
     // The gate reopened: the same bounded provider serves again.
     let again = native
-        .submit(workload.clone(), Strategy::CompiledNative)
+        .submit(
+            workload.clone(),
+            Strategy::CompiledNative,
+            QueryOptions::default(),
+        )
         .join()
         .expect("post-burst query");
     assert_rows(&reference, &again, "post-burst");
@@ -393,7 +413,10 @@ fn shed_statements_never_touch_the_plan_cache() {
             .prepare(workload.clone(), Strategy::CompiledNative)
             .expect("prepare is not admission-gated");
         for _ in 0..16 {
-            let error = prepared.submit(&[]).join().expect_err("shed");
+            let error = prepared
+                .submit(&[], QueryOptions::default())
+                .join()
+                .expect_err("shed");
             assert!(
                 matches!(
                     error,
@@ -407,7 +430,11 @@ fn shed_statements_never_touch_the_plan_cache() {
         }
         // Ad-hoc submissions shed before the pattern cache too.
         let error = native
-            .submit(workload.clone(), Strategy::CompiledNative)
+            .submit(
+                workload.clone(),
+                Strategy::CompiledNative,
+                QueryOptions::default(),
+            )
             .join()
             .expect_err("ad-hoc shed");
         assert!(matches!(error, MrqError::Overloaded { .. }), "{error}");
@@ -432,7 +459,7 @@ fn shed_statements_never_touch_the_plan_cache() {
             .prepare(workload.clone(), Strategy::CompiledNative)
             .expect("prepare after reopen");
         prepared
-            .submit(&[])
+            .submit(&[], QueryOptions::default())
             .join()
             .expect("submission after reopen")
     };

@@ -14,7 +14,7 @@ use mrq_bench::Workbench;
 use mrq_codegen::exec::QueryOutput;
 use mrq_common::pool::WorkerPool;
 use mrq_common::ParallelConfig;
-use mrq_core::{Provider, Strategy};
+use mrq_core::{Provider, QueryOptions, Strategy};
 use mrq_engine_hybrid::HybridConfig;
 use mrq_tpch::queries;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -127,7 +127,7 @@ fn eight_submit_clients_join_bit_identical_results() {
                         .into_iter()
                         .map(|w| {
                             let strategy = strategies()[client % strategies().len()];
-                            shared.submit(w, strategy)
+                            shared.submit(w, strategy, QueryOptions::default())
                         })
                         .collect();
                     for (w, handle) in handles.into_iter().enumerate().rev() {
@@ -167,7 +167,11 @@ fn eight_native_clients_share_one_provider() {
     std::thread::scope(|scope| {
         for _ in 0..CLIENTS {
             scope.spawn(move || {
-                let handle = provider.submit(workload.clone(), Strategy::CompiledNative);
+                let handle = provider.submit(
+                    workload.clone(),
+                    Strategy::CompiledNative,
+                    QueryOptions::default(),
+                );
                 let direct = provider
                     .execute(workload.clone(), Strategy::CompiledNative)
                     .expect("concurrent native execute");
@@ -225,10 +229,18 @@ fn in_flight_queries_finish_before_provider_teardown() {
             .expect("reference");
         for _ in 0..4 {
             // Dropped immediately: each drop blocks until the query is done.
-            drop(provider.submit(queries::q1(), Strategy::CompiledCSharp));
+            drop(provider.submit(
+                queries::q1(),
+                Strategy::CompiledCSharp,
+                QueryOptions::default(),
+            ));
         }
         let joined = provider
-            .submit(queries::q1(), Strategy::CompiledCSharp)
+            .submit(
+                queries::q1(),
+                Strategy::CompiledCSharp,
+                QueryOptions::default(),
+            )
             .join()
             .expect("joined");
         assert_eq!(joined, reference);

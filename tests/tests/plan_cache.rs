@@ -280,7 +280,7 @@ fn under_binding_errors_instead_of_panicking() {
         "informative arity error, got: {err}"
     );
     // The submitted path resolves the handle with the same error.
-    let handle = prepared.submit_with(&[Value::Int64(10)], QueryOptions::new());
+    let handle = prepared.submit(&[Value::Int64(10)], QueryOptions::new());
     assert!(handle.join().is_err());
     // Full bindings work.
     assert_eq!(

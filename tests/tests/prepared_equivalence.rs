@@ -234,13 +234,13 @@ fn prepared_submit_paths_match_execute_and_respect_options() {
         .expect("prepare");
     let reference = prepared.execute(&[]).expect("blocking");
 
-    let handle = prepared.submit(&[]);
+    let handle = prepared.submit(&[], QueryOptions::default());
     assert_bit_identical(&reference, &handle.join().expect("submitted"), "submit");
 
     let future = prepared.submit_async(&[], QueryOptions::new());
     assert_bit_identical(&reference, &future.join().expect("async"), "submit_async");
 
-    let doomed = prepared.submit_with(
+    let doomed = prepared.submit(
         &[],
         QueryOptions::new().with_deadline(std::time::Duration::ZERO),
     );
