@@ -1,0 +1,95 @@
+//! Serving-stack latency: what the wire adds on top of in-process
+//! execution.
+//!
+//! A self-hosted `mrq-protocol` server runs on an ephemeral loopback port
+//! over TPC-H `lineitem`, plans pre-warmed. Two points:
+//!
+//! * `unary_rtt` — full round trip of a small-result aggregation (TPC-H
+//!   Q1, four output rows) on one persistent connection: request encode,
+//!   socket hop, execution, result encode, socket hop, decode.
+//! * `streamed_first_batch` — connect, open a streamed scan, and take the
+//!   first batch; dropping the client disconnects, which cancels the rest
+//!   of the scan server-side. This is the serving analogue of
+//!   `first_row_latency`: time-to-first-rows through the whole stack,
+//!   connection setup included.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mrq_client::Client;
+use mrq_core::{ParallelConfig, Provider, QueryOptions, Strategy};
+use mrq_engine_native::RowStore;
+use mrq_protocol::Server;
+use mrq_tpch::gen::{GenConfig, TpchData};
+use mrq_tpch::load::{schema_of, value_rows};
+use mrq_tpch::queries;
+use std::sync::Arc;
+
+const BATCH_ROWS: usize = 256;
+
+fn bench(c: &mut Criterion) {
+    let data = TpchData::generate(GenConfig::scale(mrq_bench::default_scale_factor()));
+    let cutoff = data.shipdate_for_selectivity(0.5);
+    let provider = {
+        let mut provider = Provider::new();
+        provider.bind_native_shared(
+            queries::SRC_LINEITEM,
+            Arc::new(RowStore::from_rows(
+                schema_of("lineitem"),
+                &value_rows(&data, "lineitem"),
+            )),
+        );
+        provider.set_parallelism(ParallelConfig {
+            threads: 2,
+            min_rows_per_thread: 1024,
+            ..ParallelConfig::default()
+        });
+        provider.into_shared()
+    };
+    // Warm the plan cache so both points measure serving, not one-off
+    // compilation.
+    provider
+        .execute(queries::q1(), Strategy::CompiledNative)
+        .expect("warm q1");
+    provider
+        .execute(queries::scan_micro(cutoff), Strategy::CompiledNative)
+        .expect("warm scan");
+
+    let server = Server::start(provider.clone(), "127.0.0.1:0").expect("bind loopback server");
+    let addr = server.local_addr().to_string();
+
+    let mut group = c.benchmark_group("serving_latency");
+    group.sample_size(10);
+
+    let mut client = Client::connect(addr.as_str()).expect("connect");
+    group.bench_function("unary_rtt", |b| {
+        b.iter(|| {
+            let out = client
+                .query(queries::q1(), Strategy::CompiledNative, QueryOptions::new())
+                .expect("unary query");
+            black_box(out.rows.len())
+        })
+    });
+
+    group.bench_function("streamed_first_batch", |b| {
+        b.iter(|| {
+            let mut client = Client::connect(addr.as_str()).expect("connect");
+            let mut stream = client
+                .query_stream(
+                    queries::scan_micro(cutoff),
+                    Strategy::CompiledNative,
+                    QueryOptions::new().with_stream_batch_rows(BATCH_ROWS),
+                )
+                .expect("open stream");
+            let first = stream
+                .next_batch()
+                .expect("first batch")
+                .expect("streamed rows");
+            black_box(first.len())
+            // Dropping the stream and client disconnects; the server's
+            // failed write cancels the remainder of the scan.
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

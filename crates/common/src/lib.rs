@@ -22,6 +22,10 @@
 //! * the bounded in-order [`stream`] channel streamed queries publish row
 //!   batches through (deterministic re-chunking, backpressure, and the
 //!   [`stream::WakerSlot`] async latch shared with `mrq-core`'s futures),
+//! * the dependency-free mini-[`executor`] every serving loop drives those
+//!   futures and streams with ([`executor::block_on`],
+//!   [`executor::drive_all`], and the dynamic [`executor::Multiplexer`]
+//!   behind `mrq-protocol`'s per-connection server driver),
 //! * the sharded concurrent LRU [`plancache`] the provider layer keys
 //!   compiled plans by, with atomic hit/miss/eviction counters,
 //! * the robustness layer under the serving core: [`admission`] gates
@@ -38,6 +42,7 @@ pub mod cancel;
 pub mod date;
 pub mod decimal;
 pub mod error;
+pub mod executor;
 pub mod fault;
 pub mod hash;
 pub mod morsel;

@@ -145,7 +145,7 @@ pub enum Strategy {
 ///   `MRQ_STREAM_BATCH_ROWS` environment override if set to a positive
 ///   integer, else [`mrq_common::stream::DEFAULT_BATCH_ROWS`] (4096, the
 ///   cancel-checkpoint cadence). Only streamed submissions consult it.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueryOptions {
     /// Wall-clock budget measured from submission — queue time counts
     /// against it. The deadline is *armed* at submission (no timer
@@ -869,22 +869,6 @@ impl<'a> Provider<'a> {
             token,
             _provider: PhantomData,
         }
-    }
-
-    /// Deprecated spelling of [`Provider::submit`] from before the
-    /// submission API took [`QueryOptions`] everywhere; kept for one
-    /// release.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use `submit(expr, strategy, options)` instead"
-    )]
-    pub fn submit_with(
-        &self,
-        expr: Expr,
-        strategy: Strategy,
-        options: QueryOptions,
-    ) -> QueryHandle<'_> {
-        self.submit(expr, strategy, options)
     }
 
     /// Queues a statement for execution on the persistent worker pool and

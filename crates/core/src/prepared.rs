@@ -300,14 +300,6 @@ impl<'p, 'a> PreparedQuery<'p, 'a> {
         }
     }
 
-    /// Deprecated spelling of [`PreparedQuery::submit`] from before the
-    /// submission API took [`QueryOptions`] everywhere; kept for one
-    /// release.
-    #[deprecated(since = "0.9.0", note = "use `submit(bindings, options)` instead")]
-    pub fn submit_with(&self, bindings: &[Value], options: QueryOptions) -> QueryHandle<'p> {
-        self.submit(bindings, options)
-    }
-
     /// Queues one execution with the given bindings and returns a
     /// waker-driven [`QueryFuture`] — the async counterpart of
     /// [`PreparedQuery::submit`], matching [`Provider::submit_async`]'s

@@ -1,0 +1,217 @@
+//! Primitive byte encoding: fixed-width little-endian integers,
+//! length-prefixed UTF-8 strings, and a bounds-checked cursor for decoding.
+//!
+//! Every multi-byte integer on the wire is little-endian. Strings are
+//! `u32` byte length + UTF-8 bytes. There is no varint layer — the frame
+//! sizes this protocol moves (expression trees, row batches) are dominated
+//! by row payloads, and fixed-width fields keep the golden-bytes test in
+//! `tests/tests/wire_protocol.rs` trivially auditable.
+
+use crate::ProtocolError;
+
+/// Appends primitives to a byte buffer. A thin namespace over `Vec<u8>` so
+/// the codec reads as `put_u32(buf, …)` rather than manual `extend_from_slice`
+/// calls.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Appends a bool as one byte (`0` / `1`).
+pub fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(v as u8);
+}
+
+/// Appends a `u32`, little-endian.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64`, little-endian.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `i32`, little-endian.
+pub fn put_i32(buf: &mut Vec<u8>, v: i32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `i64`, little-endian.
+pub fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its IEEE-754 bit pattern, little-endian.
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Appends a string: `u32` byte length then UTF-8 bytes.
+pub fn put_str(buf: &mut Vec<u8>, v: &str) {
+    put_u32(buf, v.len() as u32);
+    buf.extend_from_slice(v.as_bytes());
+}
+
+/// A bounds-checked read cursor over a decoded frame payload. Every read
+/// returns [`ProtocolError::Truncated`] instead of panicking when the
+/// buffer runs out — a garbage length prefix must never take the process
+/// down.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Asserts the payload was consumed exactly; trailing bytes mean the
+    /// two sides disagree about the frame layout.
+    pub fn finish(self) -> Result<(), ProtocolError> {
+        if self.remaining() != 0 {
+            return Err(ProtocolError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        if self.remaining() < n {
+            return Err(ProtocolError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool encoded as one byte; anything other than `0`/`1` is a
+    /// protocol error (a corrupted stream, not a silent `true`).
+    pub fn bool(&mut self) -> Result<bool, ProtocolError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(ProtocolError::Invalid(format!("bool byte {other:#04x}"))),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i32`.
+    pub fn i32(&mut self) -> Result<i32, ProtocolError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, ProtocolError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` from its little-endian bit pattern.
+    pub fn f64(&mut self) -> Result<f64, ProtocolError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `u32` length intended to drive a loop or allocation, capped
+    /// against the bytes actually remaining so a garbage length cannot
+    /// trigger a huge allocation before the truncation is noticed.
+    #[allow(clippy::len_without_is_empty)] // a decode step, not a container accessor
+    pub fn len(&mut self) -> Result<usize, ProtocolError> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err(ProtocolError::Truncated);
+        }
+        Ok(n)
+    }
+
+    /// Reads a count of variable-size items: bounded only by the remaining
+    /// bytes (each item costs at least one byte), same rationale as
+    /// [`Reader::len`].
+    pub fn count(&mut self) -> Result<usize, ProtocolError> {
+        self.len()
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, ProtocolError> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ProtocolError::Invalid("non-UTF-8 string".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_bool(&mut buf, true);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_i32(&mut buf, -42);
+        put_i64(&mut buf, i64::MIN);
+        put_f64(&mut buf, -0.125);
+        put_str(&mut buf, "héllo");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i32().unwrap(), -42);
+        assert_eq!(r.i64().unwrap(), i64::MIN);
+        assert_eq!(r.f64().unwrap(), -0.125);
+        assert_eq!(r.str().unwrap(), "héllo");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_error_instead_of_panicking() {
+        let buf = [1u8, 2, 3];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.u64(), Err(ProtocolError::Truncated)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_truncation_not_allocation() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.len(), Err(ProtocolError::Truncated)));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let buf = [0u8; 2];
+        let mut r = Reader::new(&buf);
+        r.u8().unwrap();
+        assert!(matches!(r.finish(), Err(ProtocolError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn bad_bool_byte_is_invalid() {
+        let buf = [9u8];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.bool(), Err(ProtocolError::Invalid(_))));
+    }
+}

@@ -10,12 +10,14 @@
 //!    `OwnedProvider::submit_async`, mixing QoS classes (Interactive
 //!    probes, Batch analytics, a Maintenance sweep), a deadline, a
 //!    mid-flight cancel, and one future that is dropped unresolved;
-//! 3. a ~60-line mini-executor (`block_on` + a ready-queue multiplexer
-//!    built on [`std::task::Wake`]) drives all of them on **one** driver
-//!    thread: each poll registers a waker on the query's completion latch,
-//!    the pool wakes it exactly once on completion, and the driver parks
-//!    whenever nothing is ready — queries execute on pool workers the whole
-//!    time;
+//! 3. the shared mini-executor ([`mrq_common::executor`]: `block_on` plus
+//!    the ready-queue multiplexer `drive_all`, both built on
+//!    [`std::task::Wake`]) drives all of them on **one** driver thread:
+//!    each poll registers a waker on the query's completion latch, the
+//!    pool wakes it exactly once on completion, and the driver parks
+//!    whenever nothing is ready — queries execute on pool workers the
+//!    whole time (the network server in `mrq-protocol` drives each
+//!    connection with the same executor's dynamic `Multiplexer`);
 //! 4. every completed result is checked bit-identical to a sequential
 //!    `Provider::execute` of the same statement;
 //! 5. a **prepared** Q1 (`OwnedProvider::prepare`, one plan in the sharded
@@ -39,6 +41,7 @@
 //! Knobs: `MRQ_SF` (scale factor, default 0.01), `MRQ_CLIENTS` (default 12).
 
 use mrq_codegen::exec::QueryOutput;
+use mrq_common::executor::{block_on, drive_all};
 use mrq_common::fault::{self, FaultAction};
 use mrq_common::Value;
 use mrq_core::{
@@ -51,108 +54,8 @@ use mrq_expr::Expr;
 use mrq_tpch::gen::{GenConfig, TpchData};
 use mrq_tpch::load::{schema_of, value_rows};
 use mrq_tpch::queries;
-use std::collections::VecDeque;
-use std::future::Future;
-use std::pin::{pin, Pin};
-use std::sync::{Arc, Mutex};
-use std::task::{Context, Poll, Wake, Waker};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-// ---------------------------------------------------------------------------
-// The dependency-free mini-executor.
-// ---------------------------------------------------------------------------
-
-/// Unparks the driver thread when a future completes: the whole of
-/// `block_on`'s reactor.
-struct Unpark(std::thread::Thread);
-
-impl Wake for Unpark {
-    fn wake(self: Arc<Self>) {
-        self.0.unpark();
-    }
-}
-
-/// Drives a single future to completion on the calling thread: poll, park
-/// until woken, repeat. No runtime, no queues — the minimal executor.
-fn block_on<F: Future>(future: F) -> F::Output {
-    let waker = Waker::from(Arc::new(Unpark(std::thread::current())));
-    let mut context = Context::from_waker(&waker);
-    let mut future = pin!(future);
-    loop {
-        match future.as_mut().poll(&mut context) {
-            Poll::Ready(output) => return output,
-            Poll::Pending => std::thread::park(),
-        }
-    }
-}
-
-/// The multiplexer's shared state: indices of tasks whose wakers fired,
-/// plus the driver thread to unpark.
-struct Reactor {
-    ready: Mutex<VecDeque<usize>>,
-    driver: std::thread::Thread,
-}
-
-/// One task's waker: enqueue my index, unpark the driver. Completion wakes
-/// each future exactly once, so each index is enqueued at most once beyond
-/// the initial seeding.
-struct TaskWaker {
-    index: usize,
-    reactor: Arc<Reactor>,
-}
-
-impl Wake for TaskWaker {
-    fn wake(self: Arc<Self>) {
-        self.reactor.ready.lock().unwrap().push_back(self.index);
-        self.reactor.driver.unpark();
-    }
-}
-
-/// Drives every future to completion on the calling thread, polling only
-/// tasks whose wakers fired (after one seeding poll each). Returns the
-/// outputs in submission order plus the total number of polls — the
-/// measure of how little work waker-driven multiplexing does compared to
-/// a poll loop.
-fn drive_all(futures: Vec<QueryFuture<'static>>) -> (Vec<Result<QueryOutput, QueryError>>, usize) {
-    let reactor = Arc::new(Reactor {
-        ready: Mutex::new((0..futures.len()).collect()),
-        driver: std::thread::current(),
-    });
-    let mut slots: Vec<Option<QueryFuture<'static>>> = futures.into_iter().map(Some).collect();
-    let mut results: Vec<Option<Result<QueryOutput, QueryError>>> =
-        (0..slots.len()).map(|_| None).collect();
-    let wakers: Vec<Waker> = (0..slots.len())
-        .map(|index| {
-            Waker::from(Arc::new(TaskWaker {
-                index,
-                reactor: Arc::clone(&reactor),
-            }))
-        })
-        .collect();
-    let mut pending = slots.len();
-    let mut polls = 0usize;
-    while pending > 0 {
-        let next = reactor.ready.lock().unwrap().pop_front();
-        let Some(index) = next else {
-            std::thread::park(); // nothing ready: wait for a completion
-            continue;
-        };
-        let Some(future) = slots[index].as_mut() else {
-            continue; // spurious wake after completion
-        };
-        polls += 1;
-        let mut context = Context::from_waker(&wakers[index]);
-        if let Poll::Ready(result) = Pin::new(future).poll(&mut context) {
-            results[index] = Some(result);
-            slots[index] = None;
-            pending -= 1;
-        }
-    }
-    (
-        results.into_iter().map(|r| r.expect("driven")).collect(),
-        polls,
-    )
-}
 
 /// The parameter bindings equivalent to running `stmt` ad hoc: optimize and
 /// canonicalize exactly as the provider does, and take the lifted literals

@@ -19,6 +19,10 @@
 #     full materialised result (TTLR) — enforced on every host, since
 #     streaming's head start needs no extra cores to express.
 #
+# The serving_latency bench (unary round trip + streamed first batch over
+# a loopback mrq-protocol server) runs in the same interleaved rotation;
+# its points are report-only but must report in every round.
+#
 # The benches run INTERLEAVED: BENCH_ROUNDS round-robin passes over the
 # bench list in cargo-harness order, so every round runs every bench (all
 # of its configs) once. Host-wide drift — thermal ramps, noisy neighbours,
@@ -52,7 +56,7 @@ BENCH_JSON="${BENCH_JSON:-BENCH_smoke.json}"
 ROUNDS="${BENCH_ROUNDS:-2}"
 
 # The smoke benches, in the cargo-harness order every round replays.
-BENCHES=(ablation_parallel fig11_join concurrent_serving prepared_amortization first_row_latency)
+BENCHES=(ablation_parallel fig11_join concurrent_serving prepared_amortization first_row_latency serving_latency)
 
 # ---------------------------------------------------------------------------
 # Parsing helpers. Bench lines look like (criterion shim; real criterion
@@ -263,7 +267,7 @@ EOF
         run_interleaved "$seqdir" > /dev/null
     )
     check "round-robin order" "$(paste -sd' ' "$seqdir/sequence")" \
-        "ablation_parallel fig11_join concurrent_serving prepared_amortization first_row_latency ablation_parallel fig11_join concurrent_serving prepared_amortization first_row_latency"
+        "ablation_parallel fig11_join concurrent_serving prepared_amortization first_row_latency serving_latency ablation_parallel fig11_join concurrent_serving prepared_amortization first_row_latency serving_latency"
     check "per-bench file holds every round" "$(grep -c "ran fig11_join" "$seqdir/fig11_join.out")" "2"
     # Counted-artifact validation: a well-formed counted JSON passes; float
     # values, duplicate names and wall-clock artifacts are rejected.
@@ -315,6 +319,7 @@ JOIN_OUT="$OUTDIR/fig11_join.out"
 SERVE_OUT="$OUTDIR/concurrent_serving.out"
 AMORT_OUT="$OUTDIR/prepared_amortization.out"
 TTFR_OUT="$OUTDIR/first_row_latency.out"
+WIRE_OUT="$OUTDIR/serving_latency.out"
 
 # Every benchmark line must have produced a time in every round — a bench
 # that silently stopped reporting is bitrot even when it exits 0.
@@ -343,10 +348,15 @@ if [ "$TTFR_LINES" -lt $((2 * ROUNDS)) ]; then
     echo "bench-smoke: FAIL — expected >=$((2 * ROUNDS)) first-row-latency reports, got $TTFR_LINES" >&2
     exit 1
 fi
-echo "bench-smoke: $LINES + $JOIN_LINES + $SERVE_LINES + $AMORT_LINES + $TTFR_LINES benchmark points reported over $ROUNDS round(s)"
+WIRE_LINES=$(grep -c "time:" "$WIRE_OUT" || true)
+if [ "$WIRE_LINES" -lt $((2 * ROUNDS)) ]; then
+    echo "bench-smoke: FAIL — expected >=$((2 * ROUNDS)) serving-latency reports, got $WIRE_LINES" >&2
+    exit 1
+fi
+echo "bench-smoke: $LINES + $JOIN_LINES + $SERVE_LINES + $AMORT_LINES + $TTFR_LINES + $WIRE_LINES benchmark points reported over $ROUNDS round(s)"
 
 # Perf-trajectory artifact: per-benchmark median ns + host thread count.
-emit_bench_json "$BENCH_JSON" "$OUT" "$JOIN_OUT" "$SERVE_OUT" "$AMORT_OUT" "$TTFR_OUT"
+emit_bench_json "$BENCH_JSON" "$OUT" "$JOIN_OUT" "$SERVE_OUT" "$AMORT_OUT" "$TTFR_OUT" "$WIRE_OUT"
 echo "bench-smoke: wrote $(grep -c '^    "' "$BENCH_JSON") medians to $BENCH_JSON"
 
 # Speedup enforcement (à la tonic's bench-enforce): compare the min time of

@@ -20,14 +20,21 @@
 //! fault-injection cell.
 
 use mrq_bench::Workbench;
+use mrq_client::{Client, ClientError};
 use mrq_codegen::exec::QueryOutput;
 use mrq_common::fault::{self, FaultAction};
-use mrq_common::{AdmissionConfig, MrqError, ParallelConfig};
-use mrq_core::{Provider, QueryOptions, Strategy};
+use mrq_common::{AdmissionConfig, DataType, Field, MrqError, ParallelConfig, Schema, Value};
+use mrq_core::{OwnedProvider, Provider, QueryOptions, Strategy};
 use mrq_engine_hybrid::HybridConfig;
+use mrq_engine_native::RowStore;
 use mrq_expr::Expr;
+use mrq_expr::{col, lam, lit, BinaryOp, Query, SourceId};
+use mrq_protocol::Server;
+use mrq_tpch::gen::{GenConfig, TpchData};
+use mrq_tpch::load::{schema_of, value_rows};
 use mrq_tpch::queries;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Serialises chaos tests on the process-global fault registry and leaves
 /// it clean on both entry and exit (even if the test panics).
@@ -464,4 +471,293 @@ fn shed_statements_never_touch_the_plan_cache() {
             .expect("submission after reopen")
     };
     assert_rows(&reference, &out, "after reopen");
+}
+
+// --- chaos over the wire -------------------------------------------------
+//
+// The same fault discipline, but with a real `mrq-protocol` server and a
+// real `mrq-client` on a loopback socket in between: disconnects cancel,
+// injected panics become typed error frames, and overload sheds cross the
+// wire with their exact admission numbers. These cells serialise on the
+// same `scoped()` guard as the in-process ones — the worker pool and the
+// fault registry are process-global.
+
+fn tpch_data() -> &'static TpchData {
+    static DATA: OnceLock<TpchData> = OnceLock::new();
+    DATA.get_or_init(|| TpchData::generate(GenConfig::scale(0.002)))
+}
+
+/// An owned native provider over shared TPC-H row stores — the 'static
+/// provider shape a server needs.
+fn served_native_provider(config: ParallelConfig) -> OwnedProvider {
+    let data = tpch_data();
+    let mut provider = Provider::new();
+    for (source, table) in [
+        (queries::SRC_LINEITEM, "lineitem"),
+        (queries::SRC_ORDERS, "orders"),
+        (queries::SRC_CUSTOMER, "customer"),
+    ] {
+        provider.bind_native_shared(
+            source,
+            Arc::new(RowStore::from_rows(
+                schema_of(table),
+                &value_rows(data, table),
+            )),
+        );
+    }
+    provider.set_parallelism(config);
+    provider.into_shared()
+}
+
+const WIRE_ROWS: i64 = 1_000_000;
+
+/// A large shared native store for the disconnect test: big enough that
+/// socket and channel buffering cannot absorb the full scan, so an
+/// uncancelled query would visibly keep streaming.
+fn wire_big_store() -> Arc<RowStore> {
+    static STORE: OnceLock<Arc<RowStore>> = OnceLock::new();
+    Arc::clone(STORE.get_or_init(|| {
+        let schema = Schema::new(
+            "N",
+            vec![
+                Field::new("n", DataType::Int64),
+                Field::new("bucket", DataType::Int64),
+            ],
+        );
+        let rows: Vec<Vec<Value>> = (0..WIRE_ROWS)
+            .map(|i| vec![Value::Int64(i), Value::Int64(i % 97)])
+            .collect();
+        Arc::new(RowStore::from_rows(schema, &rows))
+    }))
+}
+
+fn wire_big_scan() -> Expr {
+    Query::from_source(SourceId(0))
+        .where_(lam(
+            "x",
+            Expr::binary(BinaryOp::Ge, col("x", "n"), lit(0i64)),
+        ))
+        .select(lam("x", col("x", "n")))
+        .into_expr()
+}
+
+/// A client that disconnects mid-stream cancels the query server-side:
+/// the provider's work counters stop advancing (polled to stability, no
+/// magic sleeps in the pass path) far short of the full scan, and the
+/// server keeps serving new connections.
+#[test]
+fn client_disconnect_mid_stream_cancels_the_query() {
+    let _guard = scoped();
+    let provider = {
+        let mut provider = Provider::new();
+        provider.bind_native_shared(SourceId(0), wire_big_store());
+        provider.set_parallelism(ParallelConfig {
+            threads: 2,
+            min_rows_per_thread: 1024,
+            ..ParallelConfig::default()
+        });
+        provider.into_shared()
+    };
+    let server = Server::start(provider.clone(), "127.0.0.1:0").expect("bind loopback server");
+
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let mut stream = client
+        .query_stream(
+            wire_big_scan(),
+            Strategy::CompiledNative,
+            QueryOptions::new().with_stream_batch_rows(256),
+        )
+        .expect("open stream");
+    let first = stream
+        .next_batch()
+        .expect("first batch")
+        .expect("first batch rows");
+    assert!(!first.is_empty());
+    // Disconnect with the stream still live: drop the whole client. The
+    // server's next write fails, which drops its `QueryStream` and cancels
+    // the query.
+    let _ = stream;
+    drop(client);
+
+    // The engine-side row counter must stop advancing. Poll until two
+    // consecutive readings agree, then hold that as the final count.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut last = provider.cumulative_work_stats().rows_streamed;
+    let settled = loop {
+        std::thread::sleep(Duration::from_millis(50));
+        let now = provider.cumulative_work_stats().rows_streamed;
+        if now == last {
+            break now;
+        }
+        last = now;
+        assert!(
+            Instant::now() < deadline,
+            "work counters never settled after disconnect"
+        );
+    };
+    assert!(
+        settled < WIRE_ROWS as u64 / 2,
+        "cancel should stop the scan early, streamed {settled} of {WIRE_ROWS} rows"
+    );
+
+    // The server survived the abandoned connection: a fresh client gets a
+    // full answer.
+    let reference = provider
+        .execute(wire_big_scan(), Strategy::CompiledNative)
+        .expect("in-process reference");
+    let mut again = Client::connect(server.local_addr()).expect("reconnect");
+    let got = again
+        .query(
+            wire_big_scan(),
+            Strategy::CompiledNative,
+            QueryOptions::new(),
+        )
+        .expect("query after disconnect");
+    assert_eq!(got.rows.len(), reference.rows.len());
+    assert_eq!(got.rows, reference.rows);
+}
+
+/// An injected panic inside the native engine surfaces to the client as a
+/// typed error frame naming the fault point — never a hung connection —
+/// and the same connection keeps serving afterwards.
+#[test]
+fn injected_panics_cross_the_wire_as_error_frames() {
+    let _guard = scoped();
+    let config = par(2);
+    let provider = served_native_provider(config);
+    let strategy = Strategy::CompiledNativeParallel(config);
+    let workload = queries::q3();
+    let reference = provider
+        .execute(workload.clone(), strategy)
+        .expect("in-process reference");
+    let server = Server::start(provider.clone(), "127.0.0.1:0").expect("bind loopback server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    fault::arm("engine.native.probe", FaultAction::Panic, 1);
+    match client.query(workload.clone(), strategy, QueryOptions::new()) {
+        Err(ClientError::Query(error)) => {
+            let message = error.to_string();
+            assert!(
+                message.contains("engine.native.probe"),
+                "error frame should name the fault point, got: {message}"
+            );
+        }
+        other => panic!("expected a typed error frame, got {other:?}"),
+    }
+
+    // The panic was contained to the victim: the same connection serves
+    // the same statement bit-identically.
+    let again = client
+        .query(workload, strategy, QueryOptions::new())
+        .expect("connection survives an injected panic");
+    assert_eq!(again.schema, reference.schema);
+    assert_eq!(again.rows, reference.rows);
+}
+
+/// Overload sheds cross the wire as `Overloaded` error frames carrying the
+/// exact admission numbers, in deterministic submission order, while the
+/// provider-side [`AdmissionStats`] stay exact — and admitted queries
+/// complete bit-identical once the hold releases.
+#[test]
+fn overload_sheds_cross_the_wire_with_exact_admission_numbers() {
+    let _guard = scoped();
+    let workload = queries::q1();
+    let provider = {
+        let data = tpch_data();
+        let mut provider = Provider::new();
+        provider.bind_native_shared(
+            queries::SRC_LINEITEM,
+            Arc::new(RowStore::from_rows(
+                schema_of("lineitem"),
+                &value_rows(data, "lineitem"),
+            )),
+        );
+        provider.set_parallelism(ParallelConfig::with_threads(2));
+        provider.set_admission(AdmissionConfig::bounded(4, 2).with_reserve(1));
+        provider.into_shared()
+    };
+    let reference = provider
+        .execute(workload.clone(), Strategy::CompiledNative)
+        .expect("in-process reference");
+    let baseline_misses = provider.stats().cache_misses;
+    let server = Server::start(provider.clone(), "127.0.0.1:0").expect("bind loopback server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Freeze admitted work at the dispatch boundary so the shed pattern is
+    // deterministic, then pipeline a 10-query burst on one connection. The
+    // reader thread adjudicates in request order, so the outcome of every
+    // index is exact: class limits are Maintenance 4, Batch 5,
+    // Interactive 6.
+    fault::arm("pool.dispatch", FaultAction::Hold, 1);
+    type Expected = Option<(u64, u64)>; // None = admitted, Some = shed (in_flight, limit)
+    let burst: [(QueryOptions, Expected); 10] = [
+        (QueryOptions::maintenance(), None),
+        (QueryOptions::maintenance(), None),
+        (QueryOptions::maintenance(), None),
+        (QueryOptions::maintenance(), None),
+        (QueryOptions::maintenance(), Some((4, 4))),
+        (QueryOptions::batch(), None),
+        (QueryOptions::batch(), Some((5, 5))),
+        (QueryOptions::batch(), Some((5, 5))),
+        (QueryOptions::new(), None),
+        (QueryOptions::new(), Some((6, 6))),
+    ];
+    let tickets: Vec<_> = burst
+        .iter()
+        .map(|(options, _)| {
+            client
+                .submit(workload.clone(), Strategy::CompiledNative, *options)
+                .expect("submit burst query")
+        })
+        .collect();
+
+    // Wait (in process — we co-host the provider) for the server to
+    // adjudicate all ten, then check the exact stats while the hold pins
+    // every admitted task pre-compilation.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = provider.admission_stats();
+        if stats.admitted + stats.shed >= burst.len() as u64 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "admission never saw the burst");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let stats = provider.admission_stats();
+    assert_eq!(stats.admitted, 6);
+    assert_eq!(stats.shed, 4);
+    assert_eq!(stats.peak_in_flight, 6);
+    assert_eq!(stats.in_flight, 6);
+    // Shed and held statements generated zero compilation traffic.
+    assert_eq!(provider.stats().cache_misses, baseline_misses);
+
+    fault::release("pool.dispatch");
+    for (ticket, (_, expected)) in tickets.into_iter().zip(&burst) {
+        match (client.wait(ticket), expected) {
+            (Ok(out), None) => {
+                assert_eq!(out.schema, reference.schema);
+                assert_eq!(out.rows, reference.rows);
+            }
+            (
+                Err(ClientError::Query(MrqError::Overloaded { in_flight, limit })),
+                Some((expected_in_flight, expected_limit)),
+            ) => {
+                // The exact admission numbers cross the wire intact.
+                assert_eq!(
+                    (in_flight as u64, limit as u64),
+                    (*expected_in_flight, *expected_limit)
+                );
+            }
+            (outcome, expected) => {
+                panic!("burst outcome drifted: expected {expected:?}, got {outcome:?}")
+            }
+        }
+    }
+
+    // The gate reopened: the same connection serves again.
+    let again = client
+        .query(workload, Strategy::CompiledNative, QueryOptions::new())
+        .expect("post-burst query");
+    assert_eq!(again.rows, reference.rows);
+    assert_eq!(provider.admission_stats().admitted, 7);
 }

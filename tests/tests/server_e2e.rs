@@ -1,0 +1,415 @@
+//! End-to-end serving: a real `mrq-protocol` server on a loopback socket,
+//! a real `mrq-client` on the other side, and the contract that nothing
+//! about the wire changes an answer.
+//!
+//! * unary results over the socket are bit-identical to an in-process
+//!   `Provider::execute` of the same statement — for every strategy, at
+//!   every scheduler shape (threads {1, 2, 8} × stealing {off, on});
+//! * streamed batches concatenate to exactly the unary result, with the
+//!   same deterministic batch boundaries as an in-process `QueryStream`;
+//! * PREPARE / EXECUTE over the wire re-binds parameters exactly like
+//!   `Provider::prepare` in process, including prepare-time defaults,
+//!   streamed prepared execution, and typed errors for closed statements;
+//! * concurrent clients with mixed QoS classes all complete with identical
+//!   results — connection multiplexing never crosses answers.
+
+use mrq_client::{Client, ClientError, QueryResult};
+use mrq_codegen::exec::QueryOutput;
+use mrq_common::{ParallelConfig, Schema, Value};
+use mrq_core::{OwnedProvider, Provider, QueryOptions, Strategy};
+use mrq_engine_hybrid::HybridConfig;
+use mrq_engine_native::RowStore;
+use mrq_expr::optimize::{optimize, OptimizerConfig};
+use mrq_expr::{Expr, SourceId};
+use mrq_mheap::{Heap, ListId};
+use mrq_protocol::Server;
+use mrq_tpch::gen::{GenConfig, TpchData};
+use mrq_tpch::load::{schema_of, value_rows, HeapDataset, TABLE_NAMES};
+use mrq_tpch::queries;
+use std::sync::{Arc, OnceLock};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Shared test fixtures: one TPC-H generation, one managed heap, one set
+/// of native row stores — servers are cheap to stand up per cell, data is
+/// not.
+struct Harness {
+    data: TpchData,
+    heap: Arc<Heap>,
+    lists: Vec<(SourceId, ListId, Schema)>,
+    stores: Vec<(SourceId, Arc<RowStore>)>,
+}
+
+fn harness() -> &'static Harness {
+    static H: OnceLock<Harness> = OnceLock::new();
+    H.get_or_init(|| {
+        let data = TpchData::generate(GenConfig::scale(0.002));
+        let heap_data = HeapDataset::load(&data);
+        let lists = TABLE_NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, table)| (SourceId(i as u32), heap_data.list(table), schema_of(table)))
+            .collect();
+        let stores = [
+            (queries::SRC_LINEITEM, "lineitem"),
+            (queries::SRC_ORDERS, "orders"),
+            (queries::SRC_CUSTOMER, "customer"),
+        ]
+        .into_iter()
+        .map(|(source, table)| {
+            (
+                source,
+                Arc::new(RowStore::from_rows(
+                    schema_of(table),
+                    &value_rows(&data, table),
+                )),
+            )
+        })
+        .collect();
+        Harness {
+            data,
+            heap: Arc::new(heap_data.heap),
+            lists,
+            stores,
+        }
+    })
+}
+
+fn parallel(threads: usize, stealing: bool) -> ParallelConfig {
+    ParallelConfig {
+        threads,
+        min_rows_per_thread: 16,
+        ..ParallelConfig::default()
+    }
+    .with_morsel_rows(64)
+    .with_stealing(stealing)
+}
+
+fn managed_provider(config: ParallelConfig) -> OwnedProvider {
+    let h = harness();
+    let mut provider = Provider::over_shared_heap(Arc::clone(&h.heap));
+    for (source, list, schema) in &h.lists {
+        provider.bind_managed(*source, *list, schema.clone());
+    }
+    provider.set_parallelism(config);
+    provider.into_shared()
+}
+
+fn native_provider(config: ParallelConfig) -> OwnedProvider {
+    let h = harness();
+    let mut provider = Provider::new();
+    for (source, store) in &h.stores {
+        provider.bind_native_shared(*source, Arc::clone(store));
+    }
+    provider.set_parallelism(config);
+    provider.into_shared()
+}
+
+/// Stands up a loopback server over `provider` and connects one client.
+/// Dropping the returned `Server` shuts it down.
+fn serve(provider: &OwnedProvider) -> (Server, Client) {
+    let server = Server::start(provider.clone(), "127.0.0.1:0").expect("bind loopback server");
+    let client = Client::connect(server.local_addr()).expect("connect");
+    (server, client)
+}
+
+fn managed_strategies() -> Vec<(&'static str, Strategy)> {
+    vec![
+        ("linq", Strategy::LinqToObjects),
+        ("csharp", Strategy::CompiledCSharp),
+        ("hybrid", Strategy::Hybrid(HybridConfig::default())),
+    ]
+}
+
+fn assert_matches_output(got: &QueryResult, reference: &QueryOutput, context: &str) {
+    assert_eq!(got.schema, reference.schema, "{context}: schema");
+    assert_eq!(got.rows, reference.rows, "{context}: rows");
+}
+
+/// The parameter bindings equivalent to executing `expr` ad hoc — same
+/// canonicalisation the provider applies (see `prepared_equivalence.rs`).
+fn bindings_for(expr: Expr) -> Vec<Value> {
+    mrq_expr::canonicalize(optimize(expr, OptimizerConfig::default()).expr).params
+}
+
+/// Unary round trips: the socket, the codec and the server task plumbing
+/// must not perturb a single bit of any result, under every strategy and
+/// scheduler shape.
+#[test]
+fn unary_results_bit_identical_to_in_process_across_the_matrix() {
+    let cutoff = harness().data.shipdate_for_selectivity(0.5);
+    for (workload_name, workload) in [
+        ("scan_micro", queries::scan_micro(cutoff)),
+        ("q1", queries::q1()),
+    ] {
+        for &threads in &THREADS {
+            for stealing in [false, true] {
+                let config = parallel(threads, stealing);
+                let context = |name: &str| {
+                    format!("{workload_name}/{name} at {threads} threads, stealing={stealing}")
+                };
+
+                let provider = managed_provider(config);
+                let (_server, mut client) = serve(&provider);
+                for (name, strategy) in managed_strategies() {
+                    let reference = provider
+                        .execute(workload.clone(), strategy)
+                        .expect("in-process reference");
+                    let got = client
+                        .query(workload.clone(), strategy, QueryOptions::new())
+                        .expect("wire query");
+                    assert_matches_output(&got, &reference, &context(name));
+                }
+
+                let provider = native_provider(config);
+                let (_server, mut client) = serve(&provider);
+                let strategy = Strategy::CompiledNativeParallel(config);
+                let reference = provider
+                    .execute(workload.clone(), strategy)
+                    .expect("in-process native reference");
+                let got = client
+                    .query(workload.clone(), strategy, QueryOptions::new())
+                    .expect("wire native query");
+                assert_matches_output(&got, &reference, &context("native"));
+            }
+        }
+    }
+}
+
+/// Streamed batches over the socket concatenate to the unary result with
+/// the same deterministic boundaries as an in-process stream: full
+/// `stream_batch_rows`-sized batches plus one remainder.
+#[test]
+fn streamed_batches_concatenate_to_unary_over_the_wire() {
+    let cutoff = harness().data.shipdate_for_selectivity(0.5);
+    let workload = queries::scan_micro(cutoff);
+    let batch_rows = 7;
+    let options = QueryOptions::new().with_stream_batch_rows(batch_rows);
+
+    let expected_sizes = |total: usize| -> Vec<usize> {
+        let mut sizes = vec![batch_rows; total / batch_rows];
+        if !total.is_multiple_of(batch_rows) {
+            sizes.push(total % batch_rows);
+        }
+        sizes
+    };
+
+    for &threads in &THREADS {
+        for stealing in [false, true] {
+            let config = parallel(threads, stealing);
+            let context = |name: &str| format!("{name} at {threads} threads, stealing={stealing}");
+
+            let provider = managed_provider(config);
+            let (_server, mut client) = serve(&provider);
+            for (name, strategy) in managed_strategies() {
+                let reference = provider
+                    .execute(workload.clone(), strategy)
+                    .expect("in-process reference");
+                assert!(reference.rows.len() > 200, "workload too small to stream");
+                let mut rows = Vec::new();
+                let mut sizes = Vec::new();
+                for batch in client
+                    .query_stream(workload.clone(), strategy, options)
+                    .expect("open stream")
+                {
+                    let batch = batch.expect("streamed batch");
+                    sizes.push(batch.len());
+                    rows.extend(batch);
+                }
+                assert_eq!(rows, reference.rows, "{}: rows", context(name));
+                assert_eq!(
+                    sizes,
+                    expected_sizes(reference.rows.len()),
+                    "{}: batch sizes",
+                    context(name)
+                );
+            }
+
+            let provider = native_provider(config);
+            let (_server, mut client) = serve(&provider);
+            let strategy = Strategy::CompiledNativeParallel(config);
+            let reference = provider
+                .execute(workload.clone(), strategy)
+                .expect("in-process native reference");
+            let mut rows = Vec::new();
+            let mut sizes = Vec::new();
+            for batch in client
+                .query_stream(workload.clone(), strategy, options)
+                .expect("open native stream")
+            {
+                let batch = batch.expect("streamed batch");
+                sizes.push(batch.len());
+                rows.extend(batch);
+            }
+            assert_eq!(rows, reference.rows, "{}: rows", context("native"));
+            assert_eq!(
+                sizes,
+                expected_sizes(reference.rows.len()),
+                "{}: batch sizes",
+                context("native")
+            );
+        }
+    }
+}
+
+/// PREPARE / EXECUTE over the wire: prepare-time defaults, re-binding with
+/// a different statement instance's literals, streamed prepared execution,
+/// and a typed error (not a hang) for a closed statement — after which the
+/// connection keeps working.
+#[test]
+fn prepare_execute_rebinding_matches_adhoc_over_the_wire() {
+    let h = harness();
+    let prepare_cutoff = h.data.shipdate_for_selectivity(0.3);
+    let execute_cutoff = h.data.shipdate_for_selectivity(0.7);
+    let config = parallel(2, true);
+    let stream_options = QueryOptions::new().with_stream_batch_rows(16);
+
+    let shapes = [
+        (
+            "q1",
+            queries::q1_with_cutoff(prepare_cutoff),
+            queries::q1_with_cutoff(execute_cutoff),
+        ),
+        (
+            "q3",
+            queries::q3_with_params("BUILDING", prepare_cutoff),
+            queries::q3_with_params("MACHINERY", execute_cutoff),
+        ),
+    ];
+
+    let managed = managed_provider(config);
+    let native = native_provider(config);
+    let cells: Vec<(&OwnedProvider, Vec<(&'static str, Strategy)>)> = vec![
+        (&managed, managed_strategies()),
+        (
+            &native,
+            vec![("native", Strategy::CompiledNativeParallel(config))],
+        ),
+    ];
+
+    for (provider, strategies) in cells {
+        let (_server, mut client) = serve(provider);
+        for (shape, prepare_stmt, execute_stmt) in &shapes {
+            for (name, strategy) in &strategies {
+                let context = format!("{shape}/{name}");
+                let statement = client
+                    .prepare(prepare_stmt.clone(), *strategy)
+                    .expect("prepare over the wire");
+
+                // Empty bindings re-execute with the constants captured at
+                // prepare time.
+                let defaults = client
+                    .execute(statement, &[], QueryOptions::new())
+                    .expect("execute with defaults");
+                let reference = provider
+                    .execute(prepare_stmt.clone(), *strategy)
+                    .expect("in-process default reference");
+                assert_matches_output(&defaults, &reference, &format!("{context}: defaults"));
+
+                // Re-bind with the literals of a different instance of the
+                // same statement shape.
+                let bindings = bindings_for(execute_stmt.clone());
+                assert_eq!(
+                    bindings.len(),
+                    statement.param_slots(),
+                    "{context}: slot count"
+                );
+                let rebound = client
+                    .execute(statement, &bindings, QueryOptions::new())
+                    .expect("execute with re-bound parameters");
+                let reference = provider
+                    .execute(execute_stmt.clone(), *strategy)
+                    .expect("in-process re-bound reference");
+                assert_matches_output(&rebound, &reference, &format!("{context}: rebound"));
+
+                // Streamed prepared execution concatenates to the unary
+                // result.
+                let mut rows = Vec::new();
+                for batch in client
+                    .execute_stream(statement, &bindings, stream_options)
+                    .expect("open prepared stream")
+                {
+                    rows.extend(batch.expect("streamed batch"));
+                }
+                assert_eq!(rows, reference.rows, "{context}: streamed rows");
+
+                // Closing the statement makes further executions a typed
+                // error; the connection stays usable.
+                client.close_statement(statement).expect("close statement");
+                match client.execute(statement, &bindings, QueryOptions::new()) {
+                    Err(ClientError::Query(_)) => {}
+                    other => panic!("{context}: closed statement returned {other:?}"),
+                }
+                let again = client
+                    .query(execute_stmt.clone(), *strategy, QueryOptions::new())
+                    .expect("connection survives a statement error");
+                assert_matches_output(&again, &reference, &format!("{context}: after error"));
+            }
+        }
+    }
+}
+
+/// Many clients at once, across all three QoS classes: every query on
+/// every connection gets exactly its own full answer.
+#[test]
+fn concurrent_clients_with_mixed_qos_classes_complete_identically() {
+    let h = harness();
+    let config = parallel(2, true);
+    let provider = native_provider(config);
+    let server = Server::start(provider.clone(), "127.0.0.1:0").expect("bind loopback server");
+    let addr = server.local_addr().to_string();
+
+    let cutoff = h.data.shipdate_for_selectivity(0.5);
+    let strategy = Strategy::CompiledNativeParallel(config);
+    let scan = queries::scan_micro(cutoff);
+    let agg = queries::q1();
+    let scan_ref = provider
+        .execute(scan.clone(), strategy)
+        .expect("scan reference");
+    let agg_ref = provider
+        .execute(agg.clone(), strategy)
+        .expect("aggregation reference");
+
+    const CLIENTS: usize = 6;
+    const REQUESTS_PER_CLIENT: usize = 8;
+    let completed = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|worker| {
+                let (addr, strategy) = (&addr, &strategy);
+                let (scan, agg) = (&scan, &agg);
+                let (scan_ref, agg_ref) = (&scan_ref, &agg_ref);
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr.as_str()).expect("connect");
+                    let options = match worker % 3 {
+                        0 => QueryOptions::new(),
+                        1 => QueryOptions::batch(),
+                        _ => QueryOptions::maintenance(),
+                    };
+                    let mut completed = 0usize;
+                    for request in 0..REQUESTS_PER_CLIENT {
+                        let (workload, reference) = if (worker + request) % 2 == 0 {
+                            (scan, scan_ref)
+                        } else {
+                            (agg, agg_ref)
+                        };
+                        let got = client
+                            .query(workload.clone(), *strategy, options)
+                            .expect("concurrent query");
+                        assert_matches_output(
+                            &got,
+                            reference,
+                            &format!("client {worker} request {request}"),
+                        );
+                        completed += 1;
+                    }
+                    completed
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|worker| worker.join().expect("worker"))
+            .sum::<usize>()
+    });
+    assert_eq!(completed, CLIENTS * REQUESTS_PER_CLIENT);
+}
